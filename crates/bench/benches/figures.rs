@@ -1,0 +1,47 @@
+//! One Criterion benchmark per table/figure of the paper's evaluation.
+//!
+//! Each bench regenerates the corresponding result on the simulated
+//! cluster (quick-mode sizes) and reports how long the regeneration takes.
+//! Run the `repro` binary for the actual tables:
+//! `cargo run --release -p mantle-core --bin repro -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mantle_core::repro::{self, ReproOpts};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_heatmap", |b| {
+        b.iter(|| repro::fig1_heatmap(ReproOpts::QUICK))
+    });
+    group.bench_function("fig3_locality", |b| {
+        b.iter(|| repro::fig3_locality(ReproOpts::QUICK))
+    });
+    group.bench_function("fig4_variance", |b| {
+        b.iter(|| repro::fig4_unpredictable(ReproOpts::QUICK))
+    });
+    group.bench_function("fig5_saturation", |b| {
+        b.iter(|| repro::fig5_saturation(ReproOpts::QUICK))
+    });
+    group.bench_function("table1_policies", |b| b.iter(repro::table1_policies));
+    group.bench_function("fig7_spill", |b| {
+        b.iter(|| repro::fig7_spill_timelines(ReproOpts::QUICK))
+    });
+    group.bench_function("fig8_speedup", |b| {
+        b.iter(|| repro::fig8_speedups(ReproOpts::QUICK))
+    });
+    group.bench_function("sessions_table", |b| {
+        b.iter(|| repro::sessions_table(ReproOpts::QUICK))
+    });
+    group.bench_function("fig9_compile", |b| {
+        b.iter(|| repro::fig9_compile_speedup(ReproOpts::QUICK))
+    });
+    group.bench_function("fig10_aggressiveness", |b| {
+        b.iter(|| repro::fig10_aggressiveness(ReproOpts::QUICK))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

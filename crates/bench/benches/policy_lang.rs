@@ -1,0 +1,110 @@
+//! Policy-language micro-benchmarks: how much does the programmable layer
+//! cost per balancer tick? (The paper's answer for LuaJIT was "near
+//! native"; here we quantify our tree-walking interpreter.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mantle_core::policies;
+use mantle_mds::balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer};
+use mantle_mds::metrics::Heartbeat;
+use mantle_policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics};
+use mantle_policy::{compile, Interpreter};
+use mantle_sim::SimTime;
+
+const ADAPTABLE_SRC: &str = include_str!("../../core/policies/adaptable.lua");
+
+fn cluster_inputs(n: usize) -> BalancerInputs {
+    BalancerInputs {
+        whoami: 0,
+        mds: (0..n)
+            .map(|i| MdsMetrics {
+                auth: 100.0 / (i + 1) as f64,
+                all: 120.0 / (i + 1) as f64,
+                cpu: 50.0,
+                mem: 25.0,
+                q: i as f64,
+                req: 100.0,
+            })
+            .collect(),
+        auth_metaload: 100.0,
+        all_metaload: 120.0,
+    }
+}
+
+fn heartbeats(n: usize) -> Vec<Heartbeat> {
+    (0..n)
+        .map(|i| Heartbeat {
+            auth_metaload: 100.0 / (i + 1) as f64,
+            all_metaload: 120.0 / (i + 1) as f64,
+            cpu: 50.0,
+            mem: 25.0,
+            queue_len: i as f64,
+            req_rate: 100.0,
+            taken_at: SimTime::ZERO,
+        })
+        .collect()
+}
+
+fn bench_language(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_lang");
+
+    group.bench_function("lex+parse adaptable.lua", |b| {
+        b.iter(|| compile(ADAPTABLE_SRC).unwrap())
+    });
+
+    let script = compile(ADAPTABLE_SRC).unwrap();
+    group.bench_function("pretty_print adaptable.lua", |b| {
+        b.iter(|| mantle_policy::script_to_source(&script))
+    });
+
+    // Raw interpreter throughput: a tight arithmetic loop.
+    let loop_script = compile("s = 0 for i = 1, 1000 do s = s + i * 2 end").unwrap();
+    group.bench_function("interp 1k-iteration loop", |b| {
+        b.iter_batched(
+            Interpreter::new,
+            |mut interp| interp.run(&loop_script).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Full balancer decisions across cluster sizes.
+    for n in [3usize, 16, 64] {
+        let rt = MantleRuntime::new(policies::adaptable().unwrap());
+        let inputs = cluster_inputs(n);
+        group.bench_function(format!("mantle decide, {n} MDSs"), |b| {
+            b.iter(|| rt.decide(&inputs).unwrap())
+        });
+    }
+
+    // The hard-coded balancer as the "native" reference point.
+    let mut hard = CephfsBalancer::default();
+    let ctx = BalanceContext {
+        whoami: 0,
+        heartbeats: heartbeats(16),
+    };
+    group.bench_function("hard-coded cephfs decide, 16 MDSs", |b| {
+        b.iter(|| hard.decide(&ctx).unwrap())
+    });
+    let mut scripted =
+        MantleBalancer::new("cephfs-script", policies::cephfs_original().unwrap()).unwrap();
+    group.bench_function("scripted cephfs decide, 16 MDSs", |b| {
+        b.iter(|| scripted.decide(&ctx).unwrap())
+    });
+
+    // Metaload hook (runs once per dirfrag per tick — the hottest hook).
+    let rt = MantleRuntime::new(policies::cephfs_original().unwrap());
+    let frag = FragMetrics {
+        ird: 10.0,
+        iwr: 20.0,
+        readdir: 3.0,
+        fetch: 1.0,
+        store: 2.0,
+    };
+    group.bench_function("metaload hook", |b| {
+        b.iter(|| rt.eval_metaload(0, &frag).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_language);
+criterion_main!(benches);

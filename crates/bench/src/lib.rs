@@ -1,0 +1,10 @@
+//! Benchmark crate for the Mantle reproduction.
+//!
+//! The interesting code lives in `benches/`:
+//!
+//! * `figures` — one Criterion benchmark per paper table/figure (the data
+//!   itself comes from `cargo run -p mantle-core --bin repro`);
+//! * `policy_lang` — cost of the programmable layer per balancer tick;
+//! * `ablations` — design-choice sweeps (decay half-life, migration
+//!   freeze cost, dirfrag split threshold, heartbeat cadence, selector
+//!   accuracy), printing the domain metric per variant.

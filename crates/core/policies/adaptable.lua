@@ -1,0 +1,23 @@
+-- Adaptable Balancer (Listing 4): a simplified version of the original
+-- CephFS adaptive load sharing. Only one exporter may act at a time (the
+-- MDS holding the majority of the cluster load), and it tops every other
+-- MDS up to the average.
+--
+-- Adaptation from the printed listing: Listing 4 writes
+-- `max = max(MDSs[i]["load"], max)`, shadowing the max() function with a
+-- number on first assignment (a type error in real Lua 5.1 as well); the
+-- accumulator is renamed maxload.
+maxload = 0
+for i=1,#MDSs do
+  maxload = max(MDSs[i]["load"], maxload)
+end
+myLoad = MDSs[whoami]["load"]
+if myLoad > total/2 and myLoad >= maxload then
+  -- Where policy
+  targetLoad = total/#MDSs
+  for i=1,#MDSs do
+    if MDSs[i]["load"] < targetLoad then
+      targets[i] = targetLoad - MDSs[i]["load"]
+    end
+  end
+end

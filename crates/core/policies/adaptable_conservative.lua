@@ -1,0 +1,29 @@
+-- Conservative Adaptable Balancer (Fig. 10, top): Listing 4 plus a
+-- minimum-offload gate and a 3-tick patience counter — metadata stays on
+-- one MDS until a sustained load spike (the flash crowd at minute 5)
+-- forces distribution.
+maxload = 0
+for i=1,#MDSs do
+  maxload = max(MDSs[i]["load"], maxload)
+end
+myLoad = MDSs[whoami]["load"]
+-- Minimum offload: don't bother distributing a trickle.
+overloaded = 0
+if myLoad > total/2 and myLoad >= maxload and myLoad > 100 then
+  overloaded = 1
+end
+streak = RDstate()
+if overloaded == 1 then
+  WRstate(streak + 1)
+else
+  WRstate(0)
+end
+if overloaded == 1 and streak + 1 >= 3 then
+  WRstate(0)
+  targetLoad = total/#MDSs
+  for i=1,#MDSs do
+    if MDSs[i]["load"] < targetLoad then
+      targets[i] = targetLoad - MDSs[i]["load"]
+    end
+  end
+end

@@ -1,0 +1,14 @@
+-- Too-Aggressive Adaptable Balancer (Fig. 10, bottom): chases perfect
+-- balance by exporting whenever this MDS is even slightly above the
+-- average. Every MDS may act every tick, so subtrees and dirfrags bounce
+-- around the cluster — 60× the forwards of the aggressive balancer, worse
+-- runtime, and a much higher standard deviation.
+myLoad = MDSs[whoami]["load"]
+avg = total/#MDSs
+if myLoad > avg and myLoad > 1 then
+  for i=1,#MDSs do
+    if MDSs[i]["load"] < avg then
+      targets[i] = avg - MDSs[i]["load"]
+    end
+  end
+end

@@ -1,0 +1,22 @@
+-- The original CephFS "where" policy (Table 1) expressed in the Mantle
+-- API (§3.2 notes it fits in ~20 lines of Lua): assign every
+-- under-average MDS a target that tops it up to the cluster average,
+-- scaled by mds_bal_need_min (0.8) to absorb measurement noise, and never
+-- plan to ship more than this MDS's surplus.
+targetLoad = total/#MDSs
+myLoad = MDSs[whoami]["load"]
+surplus = myLoad - targetLoad
+planned = 0
+for i=1,#MDSs do
+  if i ~= whoami and MDSs[i]["load"] < targetLoad then
+    targets[i] = (targetLoad - MDSs[i]["load"]) * 0.8
+    planned = planned + targets[i]
+  end
+end
+if planned > surplus and planned > 0 then
+  for i=1,#MDSs do
+    if targets[i] ~= nil then
+      targets[i] = targets[i] * surplus / planned
+    end
+  end
+end

@@ -1,0 +1,10 @@
+-- Greedy Spill Balancer (Listing 1) — the GIGA+-style uniform-hashing
+-- strategy: shed half the load to the next MDS as soon as it has any.
+--
+-- Adaptation from the paper's listing: the printed version indexes
+-- MDSs[whoami+1] unconditionally, which faults on the last MDS (nil index
+-- in real Lua too); the `whoami < #MDSs` guard completes it.
+if whoami < #MDSs and MDSs[whoami]["load"]>.01 and MDSs[whoami+1]["load"]<.01 then
+  -- Where policy
+  targets[whoami+1]=allmetaload/2
+end

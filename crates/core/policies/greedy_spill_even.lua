@@ -1,0 +1,18 @@
+-- Greedy Spill Evenly Balancer (Listing 2): partition the cluster when
+-- selecting the target so the load splits evenly across all MDSs instead
+-- of cascading in ever-smaller halves.
+--
+-- Adaptations from the printed listing (which is pseudo-code-ish):
+--   * math.floor keeps the target index integral (the paper's
+--     ((#MDSs-whoami+1)/2)+whoami is fractional for even offsets);
+--   * the search walks down from the midpoint PAST loaded MDSs to find an
+--     underutilized one (the listing's `MDSs[t]<.01` comparison is written
+--     against the bare table);
+--   * the last-MDS guard, as in greedy_spill.lua.
+t = math.floor((#MDSs-whoami+1)/2) + whoami
+if t > #MDSs then t = whoami end
+while t ~= whoami and MDSs[t]["load"] >= .01 do t = t - 1 end
+if MDSs[whoami]["load"] > .01 and t ~= whoami and MDSs[t]["load"] < .01 then
+  -- Where policy
+  targets[t] = MDSs[whoami]["load"]/2
+end

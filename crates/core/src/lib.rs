@@ -1,0 +1,37 @@
+//! High-level experiment API for the Mantle reproduction.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`policies`] — the paper's balancers (Listings 1–4, Table 1) as
+//!   embedded, validated policy scripts;
+//! * [`experiment`] — declarative experiment specs ([`Experiment`]) and
+//!   runners (single run, parallel seed sweeps);
+//! * [`repro`] — one regenerator per table/figure of the paper's
+//!   evaluation section (also driven by `cargo run -p mantle-core --bin
+//!   repro` and by the Criterion benches);
+//! * [`table`] — dependency-free text-table/CSV output.
+
+pub mod experiment;
+pub mod policies;
+pub mod repro;
+pub mod table;
+
+pub use experiment::{
+    run_experiment, run_seeds, BalancerSpec, Experiment, ScheduledPartition, WorkloadSpec,
+};
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use crate::experiment::{
+        run_experiment, run_seeds, BalancerSpec, Experiment, WorkloadSpec,
+    };
+    pub use crate::policies;
+    pub use crate::table::TextTable;
+    pub use mantle_mds::{
+        Balancer, CephfsBalancer, Cluster, ClusterConfig, MantleBalancer, RunReport,
+    };
+    pub use mantle_namespace::{Namespace, NodeId, NsConfig, OpKind};
+    pub use mantle_policy::env::PolicySet;
+    pub use mantle_policy::{PolicyValidator, Value};
+    pub use mantle_sim::{SimTime, Summary};
+}

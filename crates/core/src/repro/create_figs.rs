@@ -1,0 +1,325 @@
+//! Regenerators for the create-workload figures (Figs. 4, 5, 7, 8 and the
+//! §4.1 session counts).
+
+use mantle_mds::RunReport;
+use mantle_sim::Summary;
+
+use crate::experiment::{run_experiment, run_seeds, BalancerSpec, Experiment, WorkloadSpec};
+use crate::policies;
+use crate::repro::ReproOpts;
+use crate::table::{f, pct, sparkline, TextTable};
+
+fn per_mds_timeline(r: &RunReport) -> String {
+    let mut out = String::new();
+    for (i, m) in r.mds.iter().enumerate() {
+        // 5-second buckets keep the sparkline terminal-sized.
+        let coarse = m.throughput.coarsen(5);
+        out.push_str(&format!(
+            "  MDS{i} [{:>8} ops] {}\n",
+            m.total_ops as u64,
+            sparkline(coarse.values())
+        ));
+    }
+    out
+}
+
+/// Figure 4: the same create-intensive workload has different throughput
+/// across identical runs under the hard-coded CephFS balancer.
+pub fn fig4_unpredictable(opts: ReproOpts) -> String {
+    let files = opts.n(100_000);
+    let spec = Experiment::new(
+        opts.cfg(3, 0),
+        WorkloadSpec::CreateSeparate { clients: 4, files },
+        BalancerSpec::Cephfs,
+    );
+    let seeds = [11, 23, 37, 51];
+    let reports = run_seeds(&spec, &seeds);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "4 identical runs (create {files} files/client × 4 clients, 3 MDS, CephFS balancer):\n\n"
+    ));
+    let mut t = TextTable::new(["run", "seed", "makespan (min)", "migrations", "forwards"]);
+    for (i, r) in reports.iter().enumerate() {
+        t.row([
+            format!("#{i}"),
+            seeds[i].to_string(),
+            f(r.makespan.as_mins_f64(), 2),
+            r.total_migrations().to_string(),
+            r.total_forwards().to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!("run #{i} per-MDS throughput:\n"));
+        out.push_str(&per_mds_timeline(r));
+    }
+    let makespans: Vec<f64> = reports.iter().map(|r| r.makespan.as_mins_f64()).collect();
+    let s = Summary::of(&makespans);
+    out.push_str(&format!(
+        "\nmakespan spread across identical runs: {} – {} min (stddev {} min)\n",
+        f(s.min, 2),
+        f(s.max, 2),
+        f(s.stddev, 3),
+    ));
+    out
+}
+
+/// Figure 5: single-MDS client scaling — throughput saturates around 4
+/// clients while latency (and its variance) keeps growing.
+pub fn fig5_saturation(opts: ReproOpts) -> String {
+    let files = opts.n(60_000);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "single MDS, 1–7 clients × {files} creates each (separate dirs):\n\n"
+    ));
+    let mut t = TextTable::new([
+        "clients",
+        "throughput (req/s)",
+        "latency mean (ms)",
+        "latency p99 (ms)",
+        "latency stddev (ms)",
+    ]);
+    let mut rates = Vec::new();
+    for clients in 1..=7 {
+        let spec = Experiment::new(
+            opts.cfg(1, 100 + clients as u64),
+            WorkloadSpec::CreateSeparate { clients, files },
+            BalancerSpec::None,
+        );
+        let r = run_experiment(&spec);
+        let lat_means: Vec<f64> = r.clients.iter().map(|c| c.latency.mean).collect();
+        let lat_p99 = r
+            .clients
+            .iter()
+            .map(|c| c.latency.p99)
+            .fold(0.0_f64, f64::max);
+        let lat = Summary::of(&lat_means);
+        let rate = r.mean_throughput();
+        rates.push(rate);
+        t.row([
+            clients.to_string(),
+            f(rate, 0),
+            f(lat.mean, 3),
+            f(lat_p99, 3),
+            f(Summary::of(
+                &r.clients
+                    .iter()
+                    .map(|c| c.latency.stddev)
+                    .collect::<Vec<_>>(),
+            )
+            .mean, 3),
+        ]);
+    }
+    out.push_str(&t.render());
+    let knee = rates
+        .windows(2)
+        .position(|w| w[1] < w[0] * 1.08)
+        .map(|i| i + 1)
+        .unwrap_or(rates.len());
+    out.push_str(&format!(
+        "\nthroughput stops improving after ≈{knee} clients (paper: a single MDS handles \
+         up to 4 clients without being overloaded)\n"
+    ));
+    out
+}
+
+/// The Fig. 7/8 balancer roster.
+fn spill_balancers() -> Vec<(&'static str, BalancerSpec)> {
+    vec![
+        (
+            "greedy spill",
+            BalancerSpec::mantle("greedy-spill", policies::greedy_spill().expect("preset")),
+        ),
+        (
+            "greedy spill (even)",
+            BalancerSpec::mantle(
+                "greedy-spill-even",
+                policies::greedy_spill_even().expect("preset"),
+            ),
+        ),
+        (
+            "fill & spill (25%)",
+            BalancerSpec::mantle(
+                "fill-and-spill",
+                policies::fill_and_spill(0.25).expect("preset"),
+            ),
+        ),
+        ("cephfs balancer", BalancerSpec::Cephfs),
+    ]
+}
+
+/// Figure 7: clients creating files in the same directory — per-MDS
+/// throughput timelines for each spill strategy on 4 MDS nodes.
+pub fn fig7_spill_timelines(opts: ReproOpts) -> String {
+    let files = opts.n(100_000);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "4 clients × {files} creates into ONE shared directory, 4 MDS nodes:\n\n"
+    ));
+    for (label, bal) in spill_balancers() {
+        let spec = Experiment::new(
+            opts.cfg(4, 7),
+            WorkloadSpec::CreateShared { clients: 4, files },
+            bal,
+        );
+        let r = run_experiment(&spec);
+        out.push_str(&format!(
+            "{label}: makespan {} min, {} migrations, {} sessions flushed\n",
+            f(r.makespan.as_mins_f64(), 2),
+            r.total_migrations(),
+            r.sessions_flushed,
+        ));
+        out.push_str(&per_mds_timeline(&r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 8: per-client speedup vs 1 MDS for each spill strategy × MDS
+/// count. Paper shape: greedy spill to 2 MDSs wins ≈+10 %, to 3 loses
+/// ≈5 %, to 4 loses ≈20 %; even spilling to 4 loses up to 40 %; Fill &
+/// Spill gains ≈6–9 % using only a subset of the MDSs.
+pub fn fig8_speedups(opts: ReproOpts) -> String {
+    let files = opts.n(100_000);
+    let base_spec = Experiment::new(
+        opts.cfg(1, 7),
+        WorkloadSpec::CreateShared { clients: 4, files },
+        BalancerSpec::None,
+    );
+    let base = run_experiment(&base_spec);
+    let base_mins = base.mean_client_makespan_mins();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "per-client speedup vs 1 MDS (4 clients × {files} creates, shared dir; \
+         baseline {} min):\n\n",
+        f(base_mins, 2)
+    ));
+    let mut t = TextTable::new([
+        "balancer",
+        "MDS",
+        "MDSs used",
+        "makespan (min)",
+        "speedup",
+        "stddev (min)",
+    ]);
+    let mut configs: Vec<(&str, BalancerSpec, usize)> = vec![];
+    for n in [2, 3, 4] {
+        configs.push((
+            "greedy spill",
+            BalancerSpec::mantle("greedy-spill", policies::greedy_spill().expect("preset")),
+            n,
+        ));
+    }
+    configs.push((
+        "greedy spill (even)",
+        BalancerSpec::mantle(
+            "greedy-spill-even",
+            policies::greedy_spill_even().expect("preset"),
+        ),
+        4,
+    ));
+    configs.push((
+        "fill & spill (10%)",
+        BalancerSpec::mantle(
+            "fill-and-spill-10",
+            policies::fill_and_spill(0.10).expect("preset"),
+        ),
+        4,
+    ));
+    configs.push((
+        "fill & spill (25%)",
+        BalancerSpec::mantle(
+            "fill-and-spill-25",
+            policies::fill_and_spill(0.25).expect("preset"),
+        ),
+        4,
+    ));
+    for (label, bal, n) in configs {
+        let spec = Experiment::new(
+            opts.cfg(n, 7),
+            WorkloadSpec::CreateShared { clients: 4, files },
+            bal,
+        );
+        let r = run_experiment(&spec);
+        let mins = r.mean_client_makespan_mins();
+        let used = r.mds.iter().filter(|m| m.total_ops > files as f64 * 0.05).count();
+        t.row([
+            label.to_string(),
+            n.to_string(),
+            used.to_string(),
+            f(mins, 2),
+            pct(base_mins / mins),
+            f(r.client_makespan_stddev_mins(), 3),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// §4.1 session counts: client sessions flushed grow with distribution
+/// (paper: 157 / 323 / 458 / 788 / 936 for 1 / 2 / 3 / 4-uneven / 4-even
+/// MDSs).
+pub fn sessions_table(opts: ReproOpts) -> String {
+    let files = opts.n(100_000);
+    let mut out = String::new();
+    out.push_str("client sessions flushed while migrating the shared directory:\n\n");
+    let mut t = TextTable::new(["setup", "MDS", "migrations", "sessions flushed"]);
+    let mut row = |label: &str, n: usize, bal: BalancerSpec| {
+        let spec = Experiment::new(
+            opts.cfg(n, 7),
+            WorkloadSpec::CreateShared { clients: 4, files },
+            bal,
+        );
+        let r = run_experiment(&spec);
+        t.row([
+            label.to_string(),
+            n.to_string(),
+            r.total_migrations().to_string(),
+            r.sessions_flushed.to_string(),
+        ]);
+    };
+    row("1 MDS (no balancing)", 1, BalancerSpec::None);
+    for n in [2, 3, 4] {
+        row(
+            &format!("greedy spill → {n} MDS"),
+            n,
+            BalancerSpec::mantle("greedy-spill", policies::greedy_spill().expect("preset")),
+        );
+    }
+    row(
+        "greedy spill (even) → 4 MDS",
+        4,
+        BalancerSpec::mantle(
+            "greedy-spill-even",
+            policies::greedy_spill_even().expect("preset"),
+        ),
+    );
+    out.push_str(&t.render());
+    out.push_str(
+        "\n(the paper's absolute counts — 157…936 — include per-mount session setup; the \
+         reproduction counts migration-triggered flushes, so the 1-MDS row is 0. The shape to \
+         check is monotone growth with distribution.)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_quick_smoke() {
+        let s = fig5_saturation(ReproOpts::QUICK);
+        assert!(s.contains("throughput stops improving"));
+        // 7 data rows.
+        assert!(s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count() >= 7);
+    }
+
+    #[test]
+    fn sessions_quick_smoke() {
+        let s = sessions_table(ReproOpts::QUICK);
+        assert!(s.contains("greedy spill"));
+    }
+}

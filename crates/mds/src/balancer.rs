@@ -1,0 +1,417 @@
+//! The balancing framework: a [`Balancer`] trait with two implementations —
+//! the hard-coded CephFS balancer (Table 1) and the programmable
+//! [`MantleBalancer`] driving injected policy scripts.
+//!
+//! A balancer answers three questions each tick (the fourth, *which*
+//! concrete dirfrags move, is the partitioner's job in
+//! [`crate::partition`], parameterized by the balancer's selectors):
+//!
+//! * **load**: how much work is a dirfrag / an MDS doing?
+//! * **when**: should this MDS migrate anything right now?
+//! * **where**: how much load should go to which MDS (`targets[]`)?
+
+use mantle_namespace::MdsId;
+use mantle_policy::{
+    BalancerInputs, MdsMetrics, PolicyError, PolicyResult, PolicyValidator,
+};
+use mantle_policy::env::{FragMetrics, MantleRuntime, PolicySet};
+use mantle_namespace::HeatSample;
+
+use crate::metrics::Heartbeat;
+use crate::selector::{DirfragSelector, ScriptedSelector, SelectorKind};
+use std::rc::Rc;
+
+/// What a balancer sees when it runs: its identity and the (stale)
+/// heartbeat snapshots of the whole cluster.
+#[derive(Debug, Clone)]
+pub struct BalanceContext {
+    /// The MDS running this balancer.
+    pub whoami: MdsId,
+    /// Heartbeat snapshot per MDS (index = MDS id). These are the values
+    /// from the *previous* exchange — stale by up to one interval, exactly
+    /// like the real system (§2.2.2).
+    pub heartbeats: Vec<Heartbeat>,
+}
+
+/// The outcome of the when/where decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// Load to ship to each MDS (0 for self and for non-targets).
+    pub targets: Vec<f64>,
+    /// Dirfrag selectors to try when partitioning the namespace (built-in
+    /// or policy-defined).
+    pub selectors: Vec<SelectorKind>,
+}
+
+impl MigrationPlan {
+    /// Total load this plan wants to move.
+    pub fn total_target(&self) -> f64 {
+        self.targets.iter().sum()
+    }
+}
+
+/// A metadata load balancer living on one MDS.
+pub trait Balancer {
+    /// Human-readable name (for reports).
+    fn name(&self) -> &str;
+
+    /// The `metaload` hook: scalar load of one dirfrag from its decayed
+    /// counters.
+    fn metaload(&self, heat: &HeatSample) -> PolicyResult<f64>;
+
+    /// The when/where decision. `Ok(None)` = no migration this tick.
+    fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>>;
+}
+
+// ---------------------------------------------------------------------------
+// The original CephFS balancer (Table 1), hard-coded.
+// ---------------------------------------------------------------------------
+
+/// The CephFS balancer with its policies compiled in, as the shipping
+/// system does (§2.2.3 / Table 1).
+#[derive(Debug, Clone)]
+pub struct CephfsBalancer {
+    /// The `mds_bal_need_min` tunable: targets are scaled by this factor to
+    /// absorb measurement noise (0.8 by default — the §2.2.3 example).
+    pub need_min: f64,
+}
+
+impl Default for CephfsBalancer {
+    fn default() -> Self {
+        CephfsBalancer { need_min: 0.8 }
+    }
+}
+
+impl CephfsBalancer {
+    /// The Table 1 `MDSload` formula.
+    pub fn mds_load(hb: &Heartbeat) -> f64 {
+        0.8 * hb.auth_metaload + 0.2 * hb.all_metaload + hb.req_rate + 10.0 * hb.queue_len
+    }
+}
+
+impl Balancer for CephfsBalancer {
+    fn name(&self) -> &str {
+        "cephfs-default"
+    }
+
+    fn metaload(&self, heat: &HeatSample) -> PolicyResult<f64> {
+        // metaload = IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE
+        Ok(heat.cephfs_metaload())
+    }
+
+    fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>> {
+        let n = ctx.heartbeats.len();
+        if n < 2 {
+            return Ok(None);
+        }
+        let loads: Vec<f64> = ctx.heartbeats.iter().map(Self::mds_load).collect();
+        let total: f64 = loads.iter().sum();
+        let avg = total / n as f64;
+        // when: my load > cluster average.
+        if loads[ctx.whoami] <= avg || total <= 0.0 {
+            return Ok(None);
+        }
+        // where: fill every under-average MDS up to the average, scaled by
+        // need_min to absorb noise.
+        let mut targets = vec![0.0; n];
+        for (i, &l) in loads.iter().enumerate() {
+            if i != ctx.whoami && l < avg {
+                targets[i] = (avg - l) * self.need_min;
+            }
+        }
+        // Never plan to send more than we have above the average.
+        let surplus = loads[ctx.whoami] - avg;
+        let planned: f64 = targets.iter().sum();
+        if planned > surplus && planned > 0.0 {
+            let scale = surplus / planned;
+            for t in &mut targets {
+                *t *= scale;
+            }
+        }
+        if targets.iter().all(|&t| t <= 0.0) {
+            return Ok(None);
+        }
+        Ok(Some(MigrationPlan {
+            targets,
+            selectors: vec![DirfragSelector::BigFirst.into()],
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Mantle balancer: injected policy scripts.
+// ---------------------------------------------------------------------------
+
+/// A balancer whose policies are injected Lua-subset scripts executed by
+/// [`mantle_policy`].
+pub struct MantleBalancer {
+    name: String,
+    runtime: MantleRuntime,
+    selectors: Vec<SelectorKind>,
+}
+
+impl std::fmt::Debug for MantleBalancer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MantleBalancer")
+            .field("name", &self.name)
+            .field("selectors", &self.selectors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MantleBalancer {
+    /// Wrap a compiled policy set. The policy is validated first — the
+    /// §4.4 safety simulator runs before anything reaches the cluster.
+    pub fn new(name: impl Into<String>, policy: PolicySet) -> PolicyResult<Self> {
+        PolicyValidator::new().validate(&policy)?;
+        Self::new_unvalidated(name, policy)
+    }
+
+    /// Wrap a policy set without dry-run validation (tests of pathological
+    /// policies use this; production callers want [`MantleBalancer::new`]).
+    pub fn new_unvalidated(
+        name: impl Into<String>,
+        policy: PolicySet,
+    ) -> PolicyResult<Self> {
+        let selectors = policy
+            .howmuch
+            .iter()
+            .map(|name| {
+                if let Some(builtin) = DirfragSelector::parse(name) {
+                    return Ok(SelectorKind::Builtin(builtin));
+                }
+                policy
+                    .custom_selectors
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(n, script)| {
+                        SelectorKind::Scripted(Rc::new(ScriptedSelector {
+                            name: n.clone(),
+                            script: script.clone(),
+                        }))
+                    })
+                    .ok_or_else(|| PolicyError::Rejected {
+                        reason: format!("unknown dirfrag selector '{name}'"),
+                    })
+            })
+            .collect::<PolicyResult<Vec<_>>>()?;
+        let selectors = if selectors.is_empty() {
+            vec![DirfragSelector::BigFirst.into()]
+        } else {
+            selectors
+        };
+        Ok(MantleBalancer {
+            name: name.into(),
+            runtime: MantleRuntime::new(policy),
+            selectors,
+        })
+    }
+
+    fn inputs(ctx: &BalanceContext) -> BalancerInputs {
+        let mds = ctx
+            .heartbeats
+            .iter()
+            .map(|hb| MdsMetrics {
+                auth: hb.auth_metaload,
+                all: hb.all_metaload,
+                cpu: hb.cpu,
+                mem: hb.mem,
+                q: hb.queue_len,
+                req: hb.req_rate,
+            })
+            .collect();
+        BalancerInputs {
+            whoami: ctx.whoami,
+            mds,
+            auth_metaload: ctx.heartbeats[ctx.whoami].auth_metaload,
+            all_metaload: ctx.heartbeats[ctx.whoami].all_metaload,
+        }
+    }
+}
+
+impl Balancer for MantleBalancer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn metaload(&self, heat: &HeatSample) -> PolicyResult<f64> {
+        self.runtime.eval_metaload(
+            0,
+            &FragMetrics {
+                ird: heat.ird,
+                iwr: heat.iwr,
+                readdir: heat.readdir,
+                fetch: heat.fetch,
+                store: heat.store,
+            },
+        )
+    }
+
+    fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>> {
+        if ctx.heartbeats.is_empty() {
+            return Ok(None);
+        }
+        let outcome = self.runtime.decide(&Self::inputs(ctx))?;
+        if !outcome.migrate {
+            return Ok(None);
+        }
+        Ok(Some(MigrationPlan {
+            targets: outcome.targets,
+            selectors: self.selectors.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantle_sim::SimTime;
+
+    fn hb(auth: f64, q: f64, req: f64) -> Heartbeat {
+        Heartbeat {
+            auth_metaload: auth,
+            all_metaload: auth,
+            cpu: 0.0,
+            mem: 0.0,
+            queue_len: q,
+            req_rate: req,
+            taken_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn cephfs_mdsload_formula() {
+        let h = hb(10.0, 2.0, 5.0);
+        // 0.8*10 + 0.2*10 + 5 + 10*2 = 35
+        assert!((CephfsBalancer::mds_load(&h) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cephfs_when_only_fires_above_average() {
+        let mut b = CephfsBalancer::default();
+        let ctx = BalanceContext {
+            whoami: 1,
+            heartbeats: vec![hb(90.0, 0.0, 0.0), hb(5.0, 0.0, 0.0), hb(5.0, 0.0, 0.0)],
+        };
+        assert!(b.decide(&ctx).unwrap().is_none(), "cold MDS stays put");
+        let ctx_hot = BalanceContext { whoami: 0, ..ctx };
+        let plan = b.decide(&ctx_hot).unwrap().expect("hot MDS exports");
+        assert_eq!(plan.targets[0], 0.0);
+        assert!(plan.targets[1] > 0.0 && plan.targets[2] > 0.0);
+        assert_eq!(plan.selectors, vec![DirfragSelector::BigFirst.into()]);
+    }
+
+    #[test]
+    fn cephfs_targets_scaled_by_need_min() {
+        let mut b = CephfsBalancer { need_min: 0.8 };
+        let ctx = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(100.0, 0.0, 0.0), hb(0.0, 0.0, 0.0)],
+        };
+        let plan = b.decide(&ctx).unwrap().unwrap();
+        // avg = 50; raw target = 50; scaled = 40; surplus = 50 → stays 40.
+        assert!((plan.targets[1] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cephfs_never_ships_more_than_surplus() {
+        let mut b = CephfsBalancer { need_min: 1.0 };
+        // avg = 40; self surplus = 20; two cold MDSs "want" 35+25=60.
+        let ctx = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(60.0, 0.0, 0.0), hb(5.0, 0.0, 0.0), hb(15.0, 0.0, 0.0),
+                             hb(80.0, 0.0, 0.0)],
+        };
+        let plan = b.decide(&ctx).unwrap().unwrap();
+        let planned: f64 = plan.targets.iter().sum();
+        assert!(planned <= 20.0 + 1e-9, "planned {planned}");
+        assert_eq!(plan.targets[3], 0.0, "hotter MDS gets nothing");
+    }
+
+    #[test]
+    fn cephfs_single_mds_never_migrates() {
+        let mut b = CephfsBalancer::default();
+        let ctx = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(100.0, 5.0, 5.0)],
+        };
+        assert!(b.decide(&ctx).unwrap().is_none());
+    }
+
+    #[test]
+    fn mantle_balancer_from_greedy_spill() {
+        let policy = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            r#"
+if MDSs[whoami]["load"]>.01 and whoami < #MDSs and MDSs[whoami+1]["load"]<.01 then
+  targets[whoami+1]=allmetaload/2
+end
+"#,
+            &["half"],
+        )
+        .unwrap();
+        let mut b = MantleBalancer::new("greedy-spill", policy).unwrap();
+        assert_eq!(b.name(), "greedy-spill");
+        let ctx = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(50.0, 0.0, 0.0), hb(0.0, 0.0, 0.0)],
+        };
+        let plan = b.decide(&ctx).unwrap().expect("spills");
+        assert_eq!(plan.targets[1], 25.0);
+        assert_eq!(plan.selectors, vec![DirfragSelector::Half.into()]);
+        // Neighbour busy → idle.
+        let ctx2 = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(50.0, 0.0, 0.0), hb(50.0, 0.0, 0.0)],
+        };
+        assert!(b.decide(&ctx2).unwrap().is_none());
+    }
+
+    #[test]
+    fn mantle_metaload_uses_script() {
+        let policy = PolicySet::from_combined(
+            "IRD + 2*IWR",
+            "MDSs[i][\"all\"]",
+            "x = 1",
+            &["big_first"],
+        )
+        .unwrap();
+        let b = MantleBalancer::new_unvalidated("m", policy).unwrap();
+        let heat = HeatSample {
+            ird: 3.0,
+            iwr: 5.0,
+            ..Default::default()
+        };
+        assert_eq!(b.metaload(&heat).unwrap(), 13.0);
+    }
+
+    #[test]
+    fn bad_selector_name_rejected() {
+        let policy = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            "x = 1",
+            &["biggest_first_totally_real"],
+        )
+        .unwrap();
+        assert!(MantleBalancer::new_unvalidated("m", policy).is_err());
+    }
+
+    #[test]
+    fn validation_runs_on_construction() {
+        let policy =
+            PolicySet::from_combined("IWR", "MDSs[i][\"all\"]", "while 1 do end", &["half"])
+                .unwrap();
+        assert!(MantleBalancer::new("evil", policy).is_err());
+    }
+
+    #[test]
+    fn plan_total_target() {
+        let p = MigrationPlan {
+            targets: vec![0.0, 2.5, 1.5],
+            selectors: vec![DirfragSelector::Half.into()],
+        };
+        assert_eq!(p.total_target(), 4.0);
+    }
+}

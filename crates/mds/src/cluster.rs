@@ -1,0 +1,787 @@
+//! The cluster simulation: clients, MDS queues, heartbeats, balancer
+//! ticks, and migrations, driven by one deterministic event loop.
+
+use std::collections::HashMap;
+
+use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig};
+use mantle_sim::{EventQueue, SimRng, SimTime, Summary};
+
+use crate::balancer::{BalanceContext, Balancer};
+use crate::client::{ClientOp, ClientState, Workload};
+use crate::config::{ClusterConfig, PlacementPolicy};
+use crate::metrics::{Heartbeat, MdsCounters};
+use crate::partition::{plan_exports, Export, ExportUnit};
+use crate::report::{ClientReport, MdsReport, RunReport};
+
+/// A request in flight.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    client: usize,
+    op: ClientOp,
+    /// The dirfrag the client routed to (picked at issue time and carried
+    /// with the request, like the frag bits in a real CephFS request).
+    frag: mantle_namespace::FragId,
+    issued: SimTime,
+    forwarded: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A client is ready to issue its next op.
+    ClientNext(usize),
+    /// A request arrives at an MDS.
+    Arrive { mds: MdsId, req: Request },
+    /// An MDS finishes serving a request.
+    Complete {
+        mds: MdsId,
+        req: Request,
+        service_us: f64,
+    },
+    /// Cluster-wide heartbeat + balancer tick.
+    Heartbeat,
+    /// A scheduled administrative action (manual repartition etc.).
+    Admin(usize),
+}
+
+/// A balancer that never migrates — used for static-partition experiments
+/// (the "high locality" / "spread" setups of Fig. 3).
+#[derive(Debug, Default, Clone)]
+pub struct NoopBalancer;
+
+impl Balancer for NoopBalancer {
+    fn name(&self) -> &str {
+        "none"
+    }
+    fn metaload(&self, heat: &mantle_namespace::HeatSample) -> mantle_policy::PolicyResult<f64> {
+        Ok(heat.cephfs_metaload())
+    }
+    fn decide(
+        &mut self,
+        _ctx: &BalanceContext,
+    ) -> mantle_policy::PolicyResult<Option<crate::balancer::MigrationPlan>> {
+        Ok(None)
+    }
+}
+
+type AdminAction = Box<dyn FnOnce(&mut Namespace) + Send>;
+
+/// The simulated cluster. Build one, optionally schedule admin actions,
+/// then [`Cluster::run`] it to completion.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    ns: Namespace,
+    workload: Box<dyn Workload>,
+    balancers: Vec<Box<dyn Balancer>>,
+    clients: Vec<ClientState>,
+    counters: Vec<MdsCounters>,
+    /// Absolute µs when each MDS becomes free (single-server queue).
+    next_free: Vec<SimTime>,
+    /// Frozen directories (two-phase-commit migrations): dir → thaw time.
+    frozen: HashMap<NodeId, SimTime>,
+    /// Directories whose new authority is still warming up its ancestor
+    /// prefix replicas: dir → warm time.
+    prefix_cold_until: HashMap<NodeId, SimTime>,
+    queue: EventQueue<Event>,
+    rng_service: SimRng,
+    rng_cpu: SimRng,
+    inflight: usize,
+    active_clients: usize,
+    admin_actions: Vec<Option<AdminAction>>,
+    /// Count of balancer hook errors (bad policies surface here).
+    pub policy_errors: u64,
+}
+
+impl Cluster {
+    /// Build a cluster. `make_balancer` is invoked once per MDS — each MDS
+    /// runs its own independent balancer instance, as in the paper.
+    pub fn new<F>(cfg: ClusterConfig, mut workload: Box<dyn Workload>, mut make_balancer: F) -> Self
+    where
+        F: FnMut(MdsId) -> Box<dyn Balancer>,
+    {
+        let mut ns = Namespace::new(NsConfig {
+            frag_split_threshold: cfg.frag_split_threshold,
+            decay_half_life: cfg.decay_half_life,
+            ..Default::default()
+        });
+        workload.setup(&mut ns);
+        let n = cfg.num_mds;
+        let master = SimRng::new(cfg.seed);
+        let clients = (0..workload.num_clients()).map(ClientState::new).collect();
+        let balancers = (0..n).map(&mut make_balancer).collect();
+        let num_clients = workload.num_clients();
+        Cluster {
+            ns,
+            workload,
+            balancers,
+            clients,
+            counters: (0..n).map(|_| MdsCounters::new()).collect(),
+            next_free: vec![SimTime::ZERO; n],
+            frozen: HashMap::new(),
+            prefix_cold_until: HashMap::new(),
+            queue: EventQueue::new(),
+            rng_service: master.stream("service-noise"),
+            rng_cpu: master.stream("cpu-noise"),
+            inflight: 0,
+            active_clients: num_clients,
+            admin_actions: Vec::new(),
+            policy_errors: 0,
+            cfg,
+        }
+    }
+
+    /// Mutable access to the namespace before the run (static partitions).
+    pub fn namespace_mut(&mut self) -> &mut Namespace {
+        &mut self.ns
+    }
+
+    /// Schedule an administrative action (e.g. a manual repartition) at a
+    /// point in virtual time.
+    pub fn schedule_admin<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Namespace) + Send + 'static,
+    {
+        let idx = self.admin_actions.len();
+        self.admin_actions.push(Some(Box::new(action)));
+        self.queue.schedule_at(at, Event::Admin(idx));
+    }
+
+    fn half_rtt(&self) -> SimTime {
+        SimTime::from_micros_f64(self.cfg.costs.rtt_us / 2.0)
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> RunReport {
+        // Kick off every client and the heartbeat cycle.
+        for c in 0..self.clients.len() {
+            self.queue.schedule_at(SimTime::ZERO, Event::ClientNext(c));
+        }
+        self.queue
+            .schedule_at(self.cfg.heartbeat_interval, Event::Heartbeat);
+
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.cfg.max_duration {
+                break;
+            }
+            match event {
+                Event::ClientNext(c) => self.on_client_next(c, now),
+                Event::Arrive { mds, req } => self.on_arrive(mds, req, now),
+                Event::Complete {
+                    mds,
+                    req,
+                    service_us,
+                } => self.on_complete(mds, req, service_us, now),
+                Event::Heartbeat => self.on_heartbeat(now),
+                Event::Admin(idx) => {
+                    if let Some(action) = self.admin_actions[idx].take() {
+                        action(&mut self.ns);
+                    }
+                }
+            }
+            if self.active_clients == 0 && self.inflight == 0 {
+                break;
+            }
+        }
+        self.into_report()
+    }
+
+    fn on_client_next(&mut self, c: usize, now: SimTime) {
+        if self.clients[c].done {
+            return;
+        }
+        let stall = self.clients[c].stall_until;
+        if stall > now {
+            self.queue.schedule_at(stall, Event::ClientNext(c));
+            return;
+        }
+        match self.workload.next(c, &mut self.ns, now) {
+            None => {
+                self.clients[c].done = true;
+                if self.clients[c].finished_at == SimTime::ZERO {
+                    self.clients[c].finished_at = now;
+                }
+                self.active_clients -= 1;
+            }
+            Some(op) => {
+                let frag = self.ns.peek_frag(op.dir);
+                let mds = self.clients[c].route(&self.ns, &op, frag);
+                let req = Request {
+                    client: c,
+                    op,
+                    frag,
+                    issued: now,
+                    forwarded: false,
+                };
+                self.inflight += 1;
+                self.queue
+                    .schedule_at(now + self.half_rtt(), Event::Arrive { mds, req });
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, mds: MdsId, mut req: Request, now: SimTime) {
+        // Hash placement pins each directory on first touch.
+        if self.cfg.placement == PlacementPolicy::HashDirs
+            && self.ns.dir(req.op.dir).auth.is_none()
+        {
+            let target = (req.op.dir.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize
+                % self.cfg.num_mds;
+            self.ns.set_auth(req.op.dir, Some(target));
+        }
+        // Frozen subtree (mid-migration): the request waits for the thaw.
+        if let Some(&thaw) = self.frozen.get(&req.op.dir) {
+            if thaw > now {
+                self.queue.schedule_at(thaw, Event::Arrive { mds, req });
+                return;
+            }
+            self.frozen.remove(&req.op.dir);
+        }
+        let frag = req.frag.min(self.ns.dir(req.op.dir).frags.len() - 1);
+        let auth = self.ns.frag_auth(req.op.dir, frag);
+        if auth != mds {
+            // Wrong MDS: pay a forward (wasted service here + a hop).
+            self.counters[mds].forwards_out += 1;
+            let fwd_us = self.cfg.costs.forward_us;
+            let start = self.next_free[mds].max(now);
+            self.next_free[mds] = start + SimTime::from_micros_f64(fwd_us);
+            self.counters[mds].busy_window_us += fwd_us;
+            req.forwarded = true;
+            let hop = SimTime::from_micros_f64(self.cfg.costs.forward_hop_us);
+            self.queue
+                .schedule_at(self.next_free[mds].max(now) + hop, Event::Arrive {
+                    mds: auth,
+                    req,
+                });
+            return;
+        }
+        if req.forwarded {
+            self.counters[mds].forwards_in += 1;
+        } else {
+            self.counters[mds].hits += 1;
+        }
+        let span = self.ns.frag_owners(req.op.dir).len();
+        let mut base = self.cfg.costs.service_with_span(req.op.kind, span)
+            * self.cfg.costs.contention_factor(self.counters[mds].queued);
+        // Path traversal: right after an import the serving MDS has not
+        // yet replicated the directory's ancestor prefix, so traversals
+        // resolve remotely (and, once warm, locally again).
+        if let Some(&cold) = self.prefix_cold_until.get(&req.op.dir) {
+            if now < cold && self.ns.dir(req.op.dir).parent.is_some() {
+                base *= 1.0 + self.cfg.costs.remote_prefix_penalty;
+                self.counters[mds].remote_prefix += 1;
+            } else if now >= cold {
+                self.prefix_cold_until.remove(&req.op.dir);
+            }
+        } else if self.cfg.placement == PlacementPolicy::HashDirs {
+            // Hash-based placement has no subtree prefix replication
+            // (§5 "Compute it — Hashing"): every traversal whose parent
+            // lives elsewhere resolves remotely, permanently.
+            if let Some(parent) = self.ns.dir(req.op.dir).parent {
+                if self.ns.resolve_auth(parent) != mds {
+                    base *= 1.0 + self.cfg.costs.remote_prefix_penalty;
+                    self.counters[mds].remote_prefix += 1;
+                }
+            }
+        }
+        let service_us = (base * self.rng_service.jitter(self.cfg.costs.service_noise)).max(1.0);
+        let start = self.next_free[mds].max(now);
+        let done = start + SimTime::from_micros_f64(service_us);
+        self.next_free[mds] = done;
+        self.counters[mds].queued += 1;
+        self.queue.schedule_at(done, Event::Complete {
+            mds,
+            req,
+            service_us,
+        });
+    }
+
+    fn on_complete(&mut self, mds: MdsId, req: Request, service_us: f64, now: SimTime) {
+        self.counters[mds].queued = self.counters[mds].queued.saturating_sub(1);
+        self.counters[mds].complete_op(now, service_us);
+        let (_frag, split) = self.ns.record_op_on(req.op.dir, req.frag, req.op.kind, now);
+        if split.is_some() {
+            self.counters[mds].splits += 1;
+            let cost = SimTime::from_micros_f64(self.cfg.costs.split_us);
+            self.next_free[mds] = self.next_free[mds].max(now) + cost;
+            self.counters[mds].busy_window_us += self.cfg.costs.split_us;
+        }
+        let reply_at = now + self.half_rtt();
+        let latency_ms = (reply_at - req.issued).as_millis_f64();
+        let client = &mut self.clients[req.client];
+        client.learn(req.op.dir, mds);
+        client.record_completion(reply_at, latency_ms);
+        self.inflight -= 1;
+        self.queue
+            .schedule_at(reply_at, Event::ClientNext(req.client));
+    }
+
+    fn on_heartbeat(&mut self, now: SimTime) {
+        // 1. Every MDS packages up its metrics ("send HB").
+        let heartbeats = self.snapshot_heartbeats(now);
+        // 2. Roll the measurement windows.
+        for c in &mut self.counters {
+            c.roll_window();
+        }
+        // 3. Every MDS runs its balancer against the (shared, already
+        //    slightly stale) snapshots and migrates ("recv HB" →
+        //    "rebalance" → "migrate").
+        for m in 0..self.cfg.num_mds {
+            let ctx = BalanceContext {
+                whoami: m,
+                heartbeats: heartbeats.clone(),
+            };
+            let plan = match self.balancers[m].decide(&ctx) {
+                Ok(Some(plan)) => plan,
+                Ok(None) => continue,
+                Err(_) => {
+                    self.policy_errors += 1;
+                    continue;
+                }
+            };
+            let exports =
+                match plan_exports(&mut self.ns, m, self.balancers[m].as_ref(), &plan, now) {
+                    Ok(e) => e,
+                    Err(_) => {
+                        self.policy_errors += 1;
+                        continue;
+                    }
+                };
+            for export in exports {
+                self.apply_export(m, export, now);
+            }
+        }
+        // 4. Next tick, while clients are still running.
+        if self.active_clients > 0 {
+            self.queue
+                .schedule_at(now + self.cfg.heartbeat_interval, Event::Heartbeat);
+        }
+    }
+
+    fn snapshot_heartbeats(&mut self, now: SimTime) -> Vec<Heartbeat> {
+        let n = self.cfg.num_mds;
+        let mut auth_load = vec![0.0; n];
+        let mut all_load = vec![0.0; n];
+        // Metadata loads from the decayed counters, via each MDS's own
+        // metaload policy. Using MDS 0's metaload for the shared roll-up
+        // keeps this O(frags); per-MDS hooks are identical in practice.
+        let dirs: Vec<_> = self.ns.all_dirs().collect();
+        for d in dirs {
+            let nfrags = self.ns.dir(d).frags.len();
+            for f in 0..nfrags {
+                let heat = self.ns.frag_heat(d, f, now);
+                let auth = self.ns.frag_auth(d, f);
+                let load = match self.balancers[auth].metaload(&heat) {
+                    Ok(l) => l,
+                    Err(_) => {
+                        self.policy_errors += 1;
+                        heat.cephfs_metaload()
+                    }
+                };
+                auth_load[auth] += load;
+                all_load[auth] += load;
+                // Every MDS replicating this path prefix also "knows"
+                // about this load.
+                for rep in self.ns.ancestor_auth_chain(d) {
+                    if rep != auth {
+                        all_load[rep] += load * 0.2;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|m| {
+                let cpu_raw = self.counters[m].cpu_percent(self.cfg.heartbeat_interval);
+                let cpu = (cpu_raw * self.rng_cpu.jitter(self.cfg.cpu_noise)).clamp(0.0, 100.0);
+                // Loads are instantaneous samples shipped over the wire —
+                // every reader sees them with sampling error (§2.2.2).
+                let load_jitter = self.rng_cpu.jitter(self.cfg.metaload_noise);
+                Heartbeat {
+                    auth_metaload: auth_load[m] * load_jitter,
+                    all_metaload: all_load[m] * load_jitter,
+                    cpu,
+                    mem: 20.0 + 0.5 * auth_load[m].min(100.0),
+                    queue_len: self.counters[m].queued as f64,
+                    req_rate: self.counters[m].req_rate(self.cfg.heartbeat_interval),
+                    taken_at: now,
+                }
+            })
+            .collect()
+    }
+
+    fn apply_export(&mut self, from: MdsId, export: Export, now: SimTime) {
+        if export.to >= self.cfg.num_mds || export.to == from {
+            return;
+        }
+        let (dir, moved) = match export.unit {
+            ExportUnit::Subtree(d) => (d, self.ns.migrate_subtree(d, export.to)),
+            ExportUnit::Frag(d, f) => (d, self.ns.migrate_frag(d, f, export.to)),
+        };
+        // Two-phase commit: the subtree freezes while the importer
+        // journals the metadata.
+        let freeze_us = self.cfg.costs.migrate_freeze_us(moved);
+        let thaw = now + SimTime::from_micros_f64(freeze_us);
+        let entry = self.frozen.entry(dir).or_insert(thaw);
+        if *entry < thaw {
+            *entry = thaw;
+        }
+        // Importer and exporter both journal (busy time on each).
+        let journal_us = freeze_us / 4.0;
+        for &m in &[from, export.to] {
+            self.next_free[m] =
+                self.next_free[m].max(now) + SimTime::from_micros_f64(journal_us);
+            self.counters[m].busy_window_us += journal_us;
+        }
+        self.counters[from].migrations_out += 1;
+        self.counters[from].inodes_exported += moved;
+        // The importer's ancestor-prefix replicas need to warm up; the
+        // exported subtree's own directories are cold too.
+        let warm = now + SimTime::from_micros_f64(self.cfg.costs.prefix_warmup_us);
+        self.prefix_cold_until.insert(dir, warm);
+        if let ExportUnit::Subtree(d) = export.unit {
+            for sub in self.ns.subtree_dirs(d, true) {
+                self.prefix_cold_until.insert(sub, warm);
+            }
+        }
+        // Session flushes: every active client halts updates on the moved
+        // directory and re-syncs (§4.1).
+        let flush = SimTime::from_micros_f64(self.cfg.costs.session_flush_us);
+        let mut flushed = 0;
+        for c in &mut self.clients {
+            if !c.done {
+                c.invalidate(dir);
+                let until = now + flush;
+                if until > c.stall_until {
+                    c.stall_until = until;
+                }
+                flushed += 1;
+            }
+        }
+        self.counters[from].sessions_flushed += flushed;
+    }
+
+    fn into_report(self) -> RunReport {
+        let makespan = self
+            .clients
+            .iter()
+            .map(|c| c.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let sessions: u64 = self.counters.iter().map(|c| c.sessions_flushed).sum();
+        RunReport {
+            balancer: self
+                .balancers
+                .first()
+                .map(|b| b.name().to_string())
+                .unwrap_or_default(),
+            workload: self.workload.name().to_string(),
+            num_mds: self.cfg.num_mds,
+            seed: self.cfg.seed,
+            makespan,
+            mds: self
+                .counters
+                .into_iter()
+                .map(|c| MdsReport {
+                    total_ops: c.completed.total(),
+                    throughput: c.completed,
+                    hits: c.hits,
+                    forwards_out: c.forwards_out,
+                    forwards_in: c.forwards_in,
+                    migrations_out: c.migrations_out,
+                    inodes_exported: c.inodes_exported,
+                    sessions_flushed: c.sessions_flushed,
+                    splits: c.splits,
+                    remote_prefix: c.remote_prefix,
+                })
+                .collect(),
+            clients: self
+                .clients
+                .into_iter()
+                .map(|c| ClientReport {
+                    completed: c.completed,
+                    finished_at: c.finished_at,
+                    latency: Summary::of(&c.latencies),
+                })
+                .collect(),
+            sessions_flushed: sessions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantle_namespace::OpKind;
+
+    /// A trivial workload: each client creates `count` files in its own
+    /// directory.
+    struct TinyCreate {
+        clients: usize,
+        count: u64,
+        issued: Vec<u64>,
+        dirs: Vec<NodeId>,
+    }
+
+    impl TinyCreate {
+        fn new(clients: usize, count: u64) -> Self {
+            TinyCreate {
+                clients,
+                count,
+                issued: vec![0; clients],
+                dirs: Vec::new(),
+            }
+        }
+    }
+
+    impl Workload for TinyCreate {
+        fn num_clients(&self) -> usize {
+            self.clients
+        }
+        fn setup(&mut self, ns: &mut Namespace) {
+            self.dirs = (0..self.clients)
+                .map(|c| ns.mkdir_p(&format!("/client{c}")))
+                .collect();
+        }
+        fn next(&mut self, client: usize, _ns: &mut Namespace, _now: SimTime) -> Option<ClientOp> {
+            if self.issued[client] >= self.count {
+                return None;
+            }
+            self.issued[client] += 1;
+            Some(ClientOp {
+                dir: self.dirs[client],
+                kind: OpKind::Create,
+            })
+        }
+        fn name(&self) -> &str {
+            "tiny-create"
+        }
+    }
+
+    fn run_tiny(num_mds: usize, clients: usize, count: u64, seed: u64) -> RunReport {
+        let cfg = ClusterConfig {
+            num_mds,
+            seed,
+            ..Default::default()
+        };
+        let cluster = Cluster::new(cfg, Box::new(TinyCreate::new(clients, count)), |_| {
+            Box::new(NoopBalancer)
+        });
+        cluster.run()
+    }
+
+    #[test]
+    fn completes_all_ops_single_mds() {
+        let r = run_tiny(1, 2, 100, 1);
+        assert_eq!(r.total_ops(), 200.0);
+        assert_eq!(r.total_hits(), 200);
+        assert_eq!(r.total_forwards(), 0);
+        assert!(r.makespan > SimTime::ZERO);
+        assert_eq!(r.clients.len(), 2);
+        assert_eq!(r.clients[0].completed, 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_tiny(2, 3, 50, 7);
+        let b = run_tiny(2, 3, 50, 7);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_ops(), b.total_ops());
+        let c = run_tiny(2, 3, 50, 8);
+        assert_ne!(
+            a.makespan, c.makespan,
+            "different seeds give different noise"
+        );
+    }
+
+    #[test]
+    fn static_partition_splits_work() {
+        let cfg = ClusterConfig {
+            num_mds: 2,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cfg, Box::new(TinyCreate::new(2, 200)), |_| {
+            Box::new(NoopBalancer)
+        });
+        // Statically give client1's dir to MDS 1.
+        let ns = cluster.namespace_mut();
+        let d1 = ns.lookup_child(ns.root(), "client1").unwrap();
+        ns.set_auth(d1, Some(1));
+        let r = cluster.run();
+        assert!(r.mds[0].total_ops > 0.0);
+        assert!(r.mds[1].total_ops > 0.0, "MDS1 served its subtree");
+    }
+
+    #[test]
+    fn unknown_dirs_route_to_mds0_then_learn() {
+        // With everything on MDS 0 and no migrations there are no forwards;
+        // statically moving a dir *after* clients learned creates some.
+        let cfg = ClusterConfig {
+            num_mds: 2,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cfg, Box::new(TinyCreate::new(1, 500)), |_| {
+            Box::new(NoopBalancer)
+        });
+        cluster.schedule_admin(SimTime::from_millis(50), |ns| {
+            let d = ns.lookup_child(ns.root(), "client0").unwrap();
+            ns.set_auth(d, Some(1));
+        });
+        let r = cluster.run();
+        assert!(
+            r.total_forwards() >= 1,
+            "stale client cache must cause at least one forward"
+        );
+        assert!(r.mds[1].total_ops > 0.0);
+    }
+
+    #[test]
+    fn throughput_series_covers_run() {
+        let r = run_tiny(1, 4, 500, 3);
+        let ts = r.cluster_throughput();
+        assert!((ts.total() - 2000.0).abs() < 1e-9);
+        assert!(ts.len() as f64 <= r.makespan.as_secs_f64() + 2.0);
+    }
+
+    #[test]
+    fn latencies_recorded() {
+        let r = run_tiny(1, 1, 50, 9);
+        let lat = &r.clients[0].latency;
+        assert_eq!(lat.count, 50);
+        assert!(lat.mean > 0.5 && lat.mean < 5.0, "mean {} ms", lat.mean);
+    }
+
+    #[test]
+    fn max_duration_stops_runaway() {
+        let cfg = ClusterConfig {
+            num_mds: 1,
+            max_duration: SimTime::from_millis(10),
+            ..Default::default()
+        };
+        let cluster = Cluster::new(cfg, Box::new(TinyCreate::new(1, 1_000_000)), |_| {
+            Box::new(NoopBalancer)
+        });
+        let r = cluster.run();
+        assert!(r.total_ops() < 1_000_000.0);
+    }
+
+    #[test]
+    fn expensive_migrations_slow_the_job() {
+        // The same spill decisions with a 2-second two-phase-commit freeze
+        // must produce a longer makespan — the freeze defers every request
+        // to the moved directory.
+        let mk = |freeze_us: f64| {
+            let mut cfg = ClusterConfig {
+                num_mds: 2,
+                seed: 4,
+                heartbeat_interval: SimTime::from_millis(400),
+                frag_split_threshold: 300,
+                ..Default::default()
+            };
+            cfg.costs.migrate_fixed_us = freeze_us;
+            let workload = TinyCreate::new(4, 2_000);
+            // A one-shot admin migration makes the comparison exact.
+            let mut cluster = Cluster::new(cfg, Box::new(workload), |_| Box::new(NoopBalancer));
+            cluster.schedule_admin(SimTime::from_millis(200), |ns| {
+                let d = ns.lookup_child(ns.root(), "client1").unwrap();
+                ns.set_auth(d, Some(1));
+            });
+            cluster.run()
+        };
+        let cheap = mk(1_000.0);
+        let costly = mk(1_000.0); // admin path doesn't freeze — both equal…
+        assert_eq!(cheap.makespan, costly.makespan, "control: determinism");
+
+        // …but the balancer path does. Greedy spill with huge freezes:
+        let spec = |freeze_us: f64| {
+            let mut cfg = ClusterConfig {
+                num_mds: 2,
+                seed: 4,
+                heartbeat_interval: SimTime::from_millis(400),
+                frag_split_threshold: 300,
+                ..Default::default()
+            };
+            cfg.costs.migrate_fixed_us = freeze_us;
+            cfg
+        };
+        let policy = mantle_policy::env::PolicySet::from_combined(
+            "IWR",
+            r#"MDSs[i]["all"]"#,
+            r#"if whoami < #MDSs and MDSs[whoami]["load"]>.01 and MDSs[whoami+1]["load"]<.01 then targets[whoami+1]=allmetaload/2 end"#,
+            &["half"],
+        )
+        .unwrap();
+        let run_with = |cfg: ClusterConfig| {
+            let p = policy.clone();
+            Cluster::new(cfg, Box::new(TinyCreate::new(4, 2_000)), move |_| {
+                Box::new(
+                    crate::balancer::MantleBalancer::new_unvalidated("g", p.clone()).unwrap(),
+                )
+            })
+            .run()
+        };
+        let fast = run_with(spec(1_000.0));
+        let slow = run_with(spec(2_000_000.0));
+        assert!(
+            slow.makespan > fast.makespan,
+            "2 s freezes must hurt: {} vs {}",
+            slow.makespan,
+            fast.makespan
+        );
+    }
+
+    #[test]
+    fn session_flushes_stall_clients() {
+        let mut cfg = ClusterConfig {
+            num_mds: 2,
+            seed: 9,
+            heartbeat_interval: SimTime::from_millis(400),
+            frag_split_threshold: 300,
+            ..Default::default()
+        };
+        cfg.costs.session_flush_us = 500_000.0; // half a second per flush
+        let policy = mantle_policy::env::PolicySet::from_combined(
+            "IWR",
+            r#"MDSs[i]["all"]"#,
+            r#"if whoami < #MDSs and MDSs[whoami]["load"]>.01 and MDSs[whoami+1]["load"]<.01 then targets[whoami+1]=allmetaload/2 end"#,
+            &["half"],
+        )
+        .unwrap();
+        let p2 = policy.clone();
+        let r = Cluster::new(cfg.clone(), Box::new(TinyCreate::new(2, 1_500)), move |_| {
+            Box::new(crate::balancer::MantleBalancer::new_unvalidated("g", p2.clone()).unwrap())
+        })
+        .run();
+        cfg.costs.session_flush_us = 1_000.0;
+        let p3 = policy;
+        let r_cheap = Cluster::new(cfg, Box::new(TinyCreate::new(2, 1_500)), move |_| {
+            Box::new(crate::balancer::MantleBalancer::new_unvalidated("g", p3.clone()).unwrap())
+        })
+        .run();
+        assert!(r.sessions_flushed > 0);
+        assert!(
+            r.makespan > r_cheap.makespan,
+            "expensive session flushes stall clients: {} vs {}",
+            r.makespan,
+            r_cheap.makespan
+        );
+    }
+
+    #[test]
+    fn saturation_shape_matches_fig5() {
+        // Fig. 5: throughput stops improving around 4-5 clients and
+        // latency keeps rising.
+        let t1 = run_tiny(1, 1, 400, 5);
+        let t4 = run_tiny(1, 4, 400, 5);
+        let t7 = run_tiny(1, 7, 400, 5);
+        let rate1 = t1.mean_throughput();
+        let rate4 = t4.mean_throughput();
+        let rate7 = t7.mean_throughput();
+        assert!(rate4 > rate1 * 2.5, "scales early: {rate1} → {rate4}");
+        assert!(
+            rate7 < rate4 * 1.35,
+            "saturates late: {rate4} → {rate7}"
+        );
+        assert!(
+            t7.clients[0].latency.mean > t1.clients[0].latency.mean * 1.3,
+            "latency rises under overload"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! A deterministic simulation of a CephFS-like metadata server (MDS)
+//! cluster with pluggable, programmable load balancers — the substrate the
+//! Mantle paper runs on, rebuilt as a discrete-event model.
+//!
+//! The moving parts mirror Fig. 2 of the paper:
+//!
+//! * **clients** issue metadata ops in a closed loop, learn the
+//!   subtree→MDS map from replies, and contact MDSs round-robin for
+//!   creates in directories whose fragments span several MDSs (§4.1);
+//! * each **MDS** is a single-server queue with per-op service costs,
+//!   plus surcharges for coherency traffic when directories span
+//!   authorities;
+//! * requests landing on the wrong MDS are **forwarded** (hop latency +
+//!   wasted service on the wrong node) — the hits-vs-forwards split of
+//!   Fig. 3b;
+//! * every 10 s each MDS packages its metrics into a **heartbeat**; other
+//!   MDSs see the *previous* tick's snapshot (state is stale by design,
+//!   §2.2.2) with seeded measurement noise on CPU;
+//! * the **balancer** on each MDS — either the hard-coded CephFS one
+//!   (Table 1) or a Mantle policy script — decides when/where/how much to
+//!   migrate; migrations freeze the moved subtree for a two-phase commit
+//!   and flush client sessions (§4.1).
+
+pub mod balancer;
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod metrics;
+pub mod partition;
+pub mod report;
+pub mod selector;
+
+pub use balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer, MigrationPlan};
+pub use client::{ClientOp, Workload};
+pub use cluster::Cluster;
+pub use config::{ClusterConfig, PlacementPolicy};
+pub use report::RunReport;
+pub use selector::{select_best, DirfragSelector};

@@ -1,0 +1,366 @@
+//! Partitioning the namespace: turning a [`MigrationPlan`]'s per-MDS load
+//! targets into concrete subtree/dirfrag exports.
+//!
+//! The traversal follows §3.2: start at this MDS's subtree roots and work
+//! downward — "subtrees are divided and migrated only if their ancestors
+//! are too popular to migrate" — running every configured dirfrag selector
+//! at each level and keeping the one that lands closest to the remaining
+//! target.
+
+use mantle_namespace::{FragId, MdsId, Namespace, NodeId};
+use mantle_policy::PolicyResult;
+use mantle_sim::SimTime;
+
+use crate::balancer::{Balancer, MigrationPlan};
+use crate::selector::select_best_of;
+
+/// One unit of metadata chosen for export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExportUnit {
+    /// A whole subtree rooted at a directory.
+    Subtree(NodeId),
+    /// One fragment of a directory.
+    Frag(NodeId, FragId),
+}
+
+/// A planned export: what goes where, and how much load it carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Export {
+    /// The unit to move.
+    pub unit: ExportUnit,
+    /// Destination MDS.
+    pub to: MdsId,
+    /// The unit's metadata load at planning time.
+    pub load: f64,
+}
+
+/// Internal: a candidate unit with its load.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    unit: ExportUnit,
+    load: f64,
+}
+
+/// Fraction of the target below which we stop drilling (close enough).
+const TARGET_EPSILON: f64 = 0.05;
+
+/// Plan concrete exports for `plan` on behalf of MDS `me`.
+///
+/// Reads (and lazily decays) fragment heat via the balancer's `metaload`
+/// hook; does **not** mutate authority — the cluster applies the returned
+/// exports so it can charge migration costs.
+pub fn plan_exports<B: Balancer + ?Sized>(
+    ns: &mut Namespace,
+    me: MdsId,
+    balancer: &B,
+    plan: &MigrationPlan,
+    now: SimTime,
+) -> PolicyResult<Vec<Export>> {
+    let mut exports = Vec::new();
+    // Process destinations largest target first, so big importers get the
+    // big subtrees.
+    let mut order: Vec<usize> = (0..plan.targets.len()).collect();
+    order.sort_by(|&a, &b| {
+        plan.targets[b]
+            .partial_cmp(&plan.targets[a])
+            .expect("targets are never NaN")
+    });
+
+    // Track units already claimed by earlier destinations.
+    let mut claimed_subtrees: Vec<NodeId> = Vec::new();
+    let mut claimed_frags: Vec<(NodeId, FragId)> = Vec::new();
+
+    for dest in order {
+        let target = plan.targets[dest];
+        if dest == me || target <= 0.0 {
+            continue;
+        }
+        let mut remaining = target;
+        // My export roots: dirs explicitly bound to me, plus dirs where I
+        // own individual fragments (an MDS that only ever *imported*
+        // dirfrags — the downstream nodes of a spill cascade — has no
+        // bound subtree but must still be able to shed its fragments).
+        let mut queue: Vec<NodeId> = ns
+            .all_dirs()
+            .filter(|&d| {
+                if claimed_subtrees.contains(&d) {
+                    return false;
+                }
+                ns.dir(d).auth == Some(me)
+                    || (ns.resolve_auth(d) != me
+                        && (0..ns.dir(d).frags.len()).any(|f| ns.frag_auth(d, f) == me))
+            })
+            .collect();
+        queue.dedup();
+        sort_by_load(ns, balancer, &mut queue, now)?;
+
+        while remaining > target * TARGET_EPSILON {
+            let Some(dir) = queue.pop() else { break };
+            let mut cands: Vec<Candidate> = Vec::new();
+            let mut drill: Vec<NodeId> = Vec::new();
+            // Child subtrees still bound to me.
+            let children: Vec<NodeId> = ns.dir(dir).children.clone();
+            for c in &children {
+                if ns.resolve_auth(*c) == me
+                    && ns.dir(*c).auth.is_none_or(|a| a == me)
+                    && !claimed_subtrees.contains(c)
+                {
+                    let load = subtree_load(ns, balancer, *c, me, now)?;
+                    if load <= 0.0 {
+                        continue;
+                    }
+                    // A subtree that dwarfs the remaining target is too
+                    // popular to migrate whole — divide it instead
+                    // (§3.2: "subtrees are divided and migrated only if
+                    // their ancestors are too popular to migrate").
+                    let divisible =
+                        !ns.dir(*c).children.is_empty() || ns.dir(*c).frags.len() > 1;
+                    if divisible && load > remaining * 1.25 {
+                        drill.push(*c);
+                        continue;
+                    }
+                    cands.push(Candidate {
+                        unit: ExportUnit::Subtree(*c),
+                        load,
+                    });
+                }
+            }
+            // My fragments of this directory.
+            for f in 0..ns.dir(dir).frags.len() {
+                if ns.frag_auth(dir, f) == me && !claimed_frags.contains(&(dir, f)) {
+                    let heat = ns.frag_heat(dir, f, now);
+                    let load = balancer.metaload(&heat)?;
+                    if load > 0.0 {
+                        cands.push(Candidate {
+                            unit: ExportUnit::Frag(dir, f),
+                            load,
+                        });
+                    }
+                }
+            }
+            if cands.is_empty() {
+                sort_by_load(ns, balancer, &mut drill, now)?;
+                queue.extend(drill);
+                continue;
+            }
+            let loads: Vec<f64> = cands.iter().map(|c| c.load).collect();
+            let (_, chosen, shipped) = select_best_of(&plan.selectors, &loads, remaining)?;
+            for &i in &chosen {
+                let c = cands[i];
+                match c.unit {
+                    ExportUnit::Subtree(d) => claimed_subtrees.push(d),
+                    ExportUnit::Frag(d, f) => claimed_frags.push((d, f)),
+                }
+                exports.push(Export {
+                    unit: c.unit,
+                    to: dest,
+                    load: c.load,
+                });
+            }
+            remaining -= shipped;
+            // Drill down: oversized and unchosen child subtrees become the
+            // next level.
+            let mut next: Vec<NodeId> = drill;
+            next.extend(
+                cands
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| {
+                        !chosen.contains(i) && matches!(c.unit, ExportUnit::Subtree(_))
+                    })
+                    .map(|(_, c)| match c.unit {
+                        ExportUnit::Subtree(d) => d,
+                        ExportUnit::Frag(..) => unreachable!(),
+                    }),
+            );
+            sort_by_load(ns, balancer, &mut next, now)?;
+            queue.extend(next);
+        }
+    }
+    Ok(exports)
+}
+
+fn sort_by_load<B: Balancer + ?Sized>(
+    ns: &mut Namespace,
+    balancer: &B,
+    dirs: &mut [NodeId],
+    now: SimTime,
+) -> PolicyResult<()> {
+    let mut keyed: Vec<(NodeId, f64)> = Vec::with_capacity(dirs.len());
+    for &d in dirs.iter() {
+        let heat = ns.subtree_heat(d, now);
+        keyed.push((d, balancer.metaload(&heat)?));
+    }
+    keyed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("loads are never NaN"));
+    for (slot, (d, _)) in dirs.iter_mut().zip(keyed) {
+        *slot = d;
+    }
+    Ok(())
+}
+
+/// Metadata load of the subtree rooted at `dir`, counting only fragments
+/// bound to `me` (nested bounds belong to other MDSs).
+pub fn subtree_load<B: Balancer + ?Sized>(
+    ns: &mut Namespace,
+    balancer: &B,
+    dir: NodeId,
+    me: MdsId,
+    now: SimTime,
+) -> PolicyResult<f64> {
+    let mut total = 0.0;
+    for d in ns.subtree_dirs(dir, true) {
+        for f in 0..ns.dir(d).frags.len() {
+            if ns.frag_auth(d, f) == me {
+                let heat = ns.frag_heat(d, f, now);
+                total += balancer.metaload(&heat)?;
+            }
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::CephfsBalancer;
+    use crate::selector::DirfragSelector;
+    use mantle_namespace::{NsConfig, OpKind};
+
+    fn heat_up(ns: &mut Namespace, dir: NodeId, creates: usize) {
+        for _ in 0..creates {
+            ns.record_op(dir, OpKind::Create, SimTime::ZERO);
+        }
+    }
+
+    fn plan(targets: Vec<f64>, selectors: Vec<DirfragSelector>) -> MigrationPlan {
+        MigrationPlan {
+            targets,
+            selectors: selectors.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    #[test]
+    fn exports_biggest_client_dirs_first() {
+        let mut ns = Namespace::default();
+        let d1 = ns.mkdir_p("/client0");
+        let d2 = ns.mkdir_p("/client1");
+        let d3 = ns.mkdir_p("/client2");
+        heat_up(&mut ns, d1, 100);
+        heat_up(&mut ns, d2, 60);
+        heat_up(&mut ns, d3, 10);
+        let b = CephfsBalancer::default();
+        let root = ns.root();
+        let total = subtree_load(&mut ns, &b, root, 0, SimTime::ZERO).unwrap();
+        let p = plan(vec![0.0, total / 2.0], vec![DirfragSelector::BigFirst]);
+        let exports = plan_exports(&mut ns, 0, &b, &p, SimTime::ZERO).unwrap();
+        assert!(!exports.is_empty());
+        // The hottest dir goes first.
+        assert_eq!(exports[0].unit, ExportUnit::Subtree(d1));
+        assert!(exports.iter().all(|e| e.to == 1));
+        let shipped: f64 = exports.iter().map(|e| e.load).sum();
+        assert!(shipped >= total / 2.0 * 0.5, "made real progress");
+    }
+
+    #[test]
+    fn half_selector_drills_into_shared_dir() {
+        // One hot fragmented directory: the `half` selector can't take
+        // "half of one subtree", so the planner drills into the dir and
+        // ships half its fragments (the Greedy Spill shape of §4.1).
+        let mut ns = Namespace::new(NsConfig {
+            frag_split_threshold: 16,
+            ..Default::default()
+        });
+        let d = ns.mkdir_p("/shared");
+        heat_up(&mut ns, d, 100); // splits into 8 frags
+        assert_eq!(ns.dir(d).frags.len(), 8);
+        let b = CephfsBalancer::default();
+        let total = subtree_load(&mut ns, &b, d, 0, SimTime::ZERO).unwrap();
+        let p = plan(vec![0.0, total / 2.0], vec![DirfragSelector::Half]);
+        let exports = plan_exports(&mut ns, 0, &b, &p, SimTime::ZERO).unwrap();
+        let frag_exports: Vec<_> = exports
+            .iter()
+            .filter(|e| matches!(e.unit, ExportUnit::Frag(..)))
+            .collect();
+        assert_eq!(frag_exports.len(), 4, "half of 8 fragments move");
+    }
+
+    #[test]
+    fn nothing_to_export_when_targets_zero() {
+        let mut ns = Namespace::default();
+        let d = ns.mkdir_p("/x");
+        heat_up(&mut ns, d, 10);
+        let b = CephfsBalancer::default();
+        let p = plan(vec![0.0, 0.0], vec![DirfragSelector::BigFirst]);
+        let exports = plan_exports(&mut ns, 0, &b, &p, SimTime::ZERO).unwrap();
+        assert!(exports.is_empty());
+    }
+
+    #[test]
+    fn cold_namespace_exports_nothing() {
+        let mut ns = Namespace::default();
+        ns.mkdir_p("/idle");
+        let b = CephfsBalancer::default();
+        let p = plan(vec![0.0, 100.0], vec![DirfragSelector::BigFirst]);
+        let exports = plan_exports(&mut ns, 0, &b, &p, SimTime::ZERO).unwrap();
+        assert!(exports.is_empty(), "no load → nothing moves");
+    }
+
+    #[test]
+    fn two_destinations_get_disjoint_units() {
+        let mut ns = Namespace::default();
+        let dirs: Vec<NodeId> = (0..6)
+            .map(|i| ns.mkdir_p(&format!("/c{i}")))
+            .collect();
+        for (i, d) in dirs.iter().enumerate() {
+            heat_up(&mut ns, *d, 20 + i * 10);
+        }
+        let b = CephfsBalancer::default();
+        let root = ns.root();
+        let total = subtree_load(&mut ns, &b, root, 0, SimTime::ZERO).unwrap();
+        let p = plan(
+            vec![0.0, total / 3.0, total / 3.0],
+            vec![DirfragSelector::BigFirst],
+        );
+        let exports = plan_exports(&mut ns, 0, &b, &p, SimTime::ZERO).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for e in &exports {
+            let key = format!("{:?}", e.unit);
+            assert!(seen.insert(key), "unit exported twice: {:?}", e.unit);
+        }
+        assert!(exports.iter().any(|e| e.to == 1));
+        assert!(exports.iter().any(|e| e.to == 2));
+    }
+
+    #[test]
+    fn nested_bounds_are_not_exported() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a");
+        let ab = ns.mkdir_p("/a/b");
+        heat_up(&mut ns, a, 50);
+        heat_up(&mut ns, ab, 50);
+        ns.set_auth(ab, Some(2)); // /a/b already belongs to MDS 2
+        let b = CephfsBalancer::default();
+        let p = plan(vec![0.0, 1_000.0], vec![DirfragSelector::BigFirst]);
+        let exports = plan_exports(&mut ns, 0, &b, &p, SimTime::ZERO).unwrap();
+        assert!(
+            exports
+                .iter()
+                .all(|e| e.unit != ExportUnit::Subtree(ab)),
+            "someone else's subtree must not move"
+        );
+    }
+
+    #[test]
+    fn subtree_load_respects_bounds() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a");
+        let ab = ns.mkdir_p("/a/b");
+        heat_up(&mut ns, a, 10);
+        heat_up(&mut ns, ab, 90);
+        let b = CephfsBalancer::default();
+        let full = subtree_load(&mut ns, &b, a, 0, SimTime::ZERO).unwrap();
+        ns.set_auth(ab, Some(1));
+        let bounded = subtree_load(&mut ns, &b, a, 0, SimTime::ZERO).unwrap();
+        assert!(bounded < full, "bounded {bounded} < full {full}");
+    }
+}

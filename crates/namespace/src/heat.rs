@@ -1,0 +1,200 @@
+//! Decayed popularity counters — the per-directory "heat" of Fig. 1.
+
+use mantle_sim::{DecayCounter, SimTime};
+
+use crate::types::OpKind;
+
+/// The five decayed counters a dirfrag carries; these are the exact inputs
+/// to the `metaload` policy hook (Table 2's local metrics).
+#[derive(Debug, Clone)]
+pub struct FragHeat {
+    half_life_ms: u64,
+    ird: DecayCounter,
+    iwr: DecayCounter,
+    readdir: DecayCounter,
+    fetch: DecayCounter,
+    store: DecayCounter,
+}
+
+/// A point-in-time sample of a [`FragHeat`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HeatSample {
+    /// Decayed inode reads.
+    pub ird: f64,
+    /// Decayed inode writes.
+    pub iwr: f64,
+    /// Decayed readdirs.
+    pub readdir: f64,
+    /// Decayed object-store fetches.
+    pub fetch: f64,
+    /// Decayed object-store stores.
+    pub store: f64,
+}
+
+impl HeatSample {
+    /// The default CephFS scalarization (Table 1's `metaload` row):
+    /// `IRD + 2·IWR + READDIR + 2·FETCH + 4·STORE`.
+    pub fn cephfs_metaload(&self) -> f64 {
+        self.ird + 2.0 * self.iwr + self.readdir + 2.0 * self.fetch + 4.0 * self.store
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &HeatSample) -> HeatSample {
+        HeatSample {
+            ird: self.ird + other.ird,
+            iwr: self.iwr + other.iwr,
+            readdir: self.readdir + other.readdir,
+            fetch: self.fetch + other.fetch,
+            store: self.store + other.store,
+        }
+    }
+}
+
+impl FragHeat {
+    /// Fresh counters with the given decay half life.
+    pub fn new(half_life: SimTime) -> Self {
+        FragHeat {
+            half_life_ms: half_life.as_millis(),
+            ird: DecayCounter::new(half_life),
+            iwr: DecayCounter::new(half_life),
+            readdir: DecayCounter::new(half_life),
+            fetch: DecayCounter::new(half_life),
+            store: DecayCounter::new(half_life),
+        }
+    }
+
+    /// Record one operation at `now`.
+    ///
+    /// The mapping mirrors the CephFS counters: every op is an inode
+    /// read or write; readdirs additionally bump `READDIR`; opens that miss
+    /// the cache would fetch from RADOS (`FETCH`) and creates eventually
+    /// journal (`STORE`) — we charge those deterministically at fixed
+    /// ratios rather than modelling the cache itself.
+    pub fn record(&mut self, op: OpKind, now: SimTime) {
+        if op.is_write() {
+            self.iwr.hit(now, 1.0);
+        } else {
+            self.ird.hit(now, 1.0);
+        }
+        match op {
+            OpKind::Readdir => {
+                self.readdir.hit(now, 1.0);
+                // Listing a cold directory fetches its dirfrag object.
+                self.fetch.hit(now, 0.2);
+            }
+            OpKind::Create => {
+                // Journal flush amortized over creates.
+                self.store.hit(now, 0.1);
+            }
+            OpKind::OpenRead => {
+                self.fetch.hit(now, 0.1);
+            }
+            _ => {}
+        }
+    }
+
+    /// Sample all counters at `now`.
+    pub fn sample(&mut self, now: SimTime) -> HeatSample {
+        HeatSample {
+            ird: self.ird.get(now),
+            iwr: self.iwr.get(now),
+            readdir: self.readdir.get(now),
+            fetch: self.fetch.get(now),
+            store: self.store.get(now),
+        }
+    }
+
+    /// Split this heat into `n` equal parts (used when a dirfrag splits —
+    /// the children inherit the parent's heat evenly, like CephFS).
+    pub fn split(&mut self, now: SimTime, n: usize) -> Vec<FragHeat> {
+        assert!(n >= 1);
+        let sample = self.sample(now);
+        let share = 1.0 / n as f64;
+        (0..n)
+            .map(|_| {
+                let mut h = FragHeat::new(self.half_life());
+                h.ird.hit(now, sample.ird * share);
+                h.iwr.hit(now, sample.iwr * share);
+                h.readdir.hit(now, sample.readdir * share);
+                h.fetch.hit(now, sample.fetch * share);
+                h.store.hit(now, sample.store * share);
+                h
+            })
+            .collect()
+    }
+
+    /// Decay half life (shared by all five counters).
+    pub fn half_life(&self) -> SimTime {
+        SimTime::from_millis(self.half_life_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn write_ops_bump_iwr() {
+        let mut h = FragHeat::new(t(10));
+        h.record(OpKind::Create, t(0));
+        h.record(OpKind::Stat, t(0));
+        let s = h.sample(t(0));
+        assert_eq!(s.iwr, 1.0);
+        assert_eq!(s.ird, 1.0);
+        assert!(s.store > 0.0, "creates charge journal stores");
+    }
+
+    #[test]
+    fn heat_decays() {
+        let mut h = FragHeat::new(t(10));
+        for _ in 0..8 {
+            h.record(OpKind::Create, t(0));
+        }
+        let hot = h.sample(t(0)).iwr;
+        let cooled = h.sample(t(10)).iwr;
+        assert!((cooled - hot / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cephfs_metaload_weights() {
+        let s = HeatSample {
+            ird: 1.0,
+            iwr: 2.0,
+            readdir: 3.0,
+            fetch: 4.0,
+            store: 5.0,
+        };
+        assert_eq!(s.cephfs_metaload(), 1.0 + 4.0 + 3.0 + 8.0 + 20.0);
+    }
+
+    #[test]
+    fn split_conserves_heat() {
+        let mut h = FragHeat::new(t(10));
+        for _ in 0..80 {
+            h.record(OpKind::Create, t(0));
+        }
+        let before = h.sample(t(0));
+        let parts = h.split(t(0), 8);
+        assert_eq!(parts.len(), 8);
+        let mut total = HeatSample::default();
+        for mut p in parts {
+            total = total.add(&p.sample(t(0)));
+        }
+        assert!((total.iwr - before.iwr).abs() < 1e-6);
+        assert!((total.store - before.store).abs() < 1e-6);
+    }
+
+    #[test]
+    fn readdir_charges_fetch() {
+        let mut h = FragHeat::new(t(10));
+        h.record(OpKind::Readdir, t(0));
+        let s = h.sample(t(0));
+        assert_eq!(s.readdir, 1.0);
+        assert!(s.fetch > 0.0);
+        assert_eq!(s.iwr, 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Namespace statistics: the structural summaries reports and ablations
+//! use (fragment distribution, per-MDS inode shares, depth histogram).
+
+use std::collections::BTreeMap;
+
+use mantle_sim::SimTime;
+
+use crate::tree::Namespace;
+use crate::types::MdsId;
+
+/// A structural snapshot of the namespace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamespaceStats {
+    /// Number of directories.
+    pub dirs: usize,
+    /// Number of file entries.
+    pub files: u64,
+    /// Total dirfrags.
+    pub frags: usize,
+    /// Largest fragment count of any single directory.
+    pub max_frags_per_dir: usize,
+    /// Maximum tree depth.
+    pub max_depth: u32,
+    /// Directories per depth level.
+    pub depth_histogram: Vec<usize>,
+    /// Inodes (dirs + files) served per MDS.
+    pub inodes_per_mds: BTreeMap<MdsId, u64>,
+    /// Number of explicit subtree bounds (authority overrides).
+    pub subtree_bounds: usize,
+    /// Number of fragment-level authority overrides.
+    pub frag_overrides: usize,
+}
+
+impl NamespaceStats {
+    /// Collect statistics from a namespace.
+    pub fn collect(ns: &Namespace) -> NamespaceStats {
+        let mut dirs = 0usize;
+        let mut files = 0u64;
+        let mut frags = 0usize;
+        let mut max_frags = 0usize;
+        let mut max_depth = 0u32;
+        let mut depth_hist: Vec<usize> = Vec::new();
+        let mut per_mds: BTreeMap<MdsId, u64> = BTreeMap::new();
+        let mut bounds = 0usize;
+        let mut overrides = 0usize;
+        for id in ns.all_dirs() {
+            let d = ns.dir(id);
+            dirs += 1;
+            frags += d.frags.len();
+            max_frags = max_frags.max(d.frags.len());
+            max_depth = max_depth.max(d.depth);
+            if d.depth as usize >= depth_hist.len() {
+                depth_hist.resize(d.depth as usize + 1, 0);
+            }
+            depth_hist[d.depth as usize] += 1;
+            if d.auth.is_some() {
+                bounds += 1;
+            }
+            *per_mds.entry(ns.resolve_auth(id)).or_insert(0) += 1;
+            for (f, frag) in d.frags.iter().enumerate() {
+                if frag.auth.is_some() {
+                    overrides += 1;
+                }
+                files += frag.files;
+                *per_mds.entry(ns.frag_auth(id, f)).or_insert(0) += frag.files;
+            }
+        }
+        NamespaceStats {
+            dirs,
+            files,
+            frags,
+            max_frags_per_dir: max_frags,
+            max_depth,
+            depth_histogram: depth_hist,
+            inodes_per_mds: per_mds,
+            subtree_bounds: bounds,
+            frag_overrides: overrides,
+        }
+    }
+
+    /// Imbalance of the per-MDS inode shares across `num_mds` MDSs:
+    /// `max share / mean share` (1.0 = perfectly balanced). MDSs serving
+    /// nothing count as zero shares.
+    pub fn inode_imbalance(&self, num_mds: usize) -> f64 {
+        assert!(num_mds > 0);
+        let total: u64 = self.inodes_per_mds.values().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / num_mds as f64;
+        let max = self.inodes_per_mds.values().max().copied().unwrap_or(0) as f64;
+        max / mean
+    }
+}
+
+/// Heat of every directory at `now`, sorted hottest first — the data
+/// behind the Fig. 1 heat map.
+pub fn hottest_dirs(ns: &mut Namespace, now: SimTime, limit: usize) -> Vec<(String, f64)> {
+    let ids: Vec<_> = ns.all_dirs().collect();
+    let mut out: Vec<(String, f64)> = ids
+        .into_iter()
+        .map(|id| {
+            let heat = ns.subtree_heat(id, now).cephfs_metaload();
+            (ns.path(id), heat)
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("heat is never NaN"));
+    out.truncate(limit);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NsConfig;
+    use crate::types::OpKind;
+
+    #[test]
+    fn collects_structure() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a/b/c");
+        let _ = ns.mkdir_p("/x");
+        for _ in 0..5 {
+            ns.record_op(a, OpKind::Create, SimTime::ZERO);
+        }
+        let stats = NamespaceStats::collect(&ns);
+        assert_eq!(stats.dirs, 5); // root, a, b, c, x
+        assert_eq!(stats.files, 5);
+        assert_eq!(stats.max_depth, 3);
+        assert_eq!(stats.depth_histogram, vec![1, 2, 1, 1]);
+        assert_eq!(stats.subtree_bounds, 1, "only root is bound");
+    }
+
+    #[test]
+    fn imbalance_detects_hot_mds() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a");
+        let b = ns.mkdir_p("/b");
+        for _ in 0..10 {
+            ns.record_op(a, OpKind::Create, SimTime::ZERO);
+        }
+        ns.set_auth(b, Some(1));
+        let stats = NamespaceStats::collect(&ns);
+        // Everything except /b on MDS0.
+        let imb = stats.inode_imbalance(2);
+        assert!(imb > 1.5, "imbalance {imb}");
+        assert_eq!(stats.inodes_per_mds[&1], 1);
+    }
+
+    #[test]
+    fn fragment_counts() {
+        let mut ns = Namespace::new(NsConfig {
+            frag_split_threshold: 8,
+            ..Default::default()
+        });
+        let d = ns.mkdir_p("/big");
+        for _ in 0..10 {
+            ns.record_op(d, OpKind::Create, SimTime::ZERO);
+        }
+        let stats = NamespaceStats::collect(&ns);
+        assert_eq!(stats.max_frags_per_dir, 8);
+        assert!(stats.frags >= 9); // 8 + root's 1
+    }
+
+    #[test]
+    fn hottest_dirs_sorted() {
+        let mut ns = Namespace::default();
+        let hot = ns.mkdir_p("/hot");
+        let cold = ns.mkdir_p("/cold");
+        for _ in 0..50 {
+            ns.record_op(hot, OpKind::Create, SimTime::ZERO);
+        }
+        ns.record_op(cold, OpKind::Stat, SimTime::ZERO);
+        let top = hottest_dirs(&mut ns, SimTime::ZERO, 2);
+        assert_eq!(top[0].0, "/", "root rolls everything up");
+        assert_eq!(top[1].0, "/hot");
+    }
+
+    #[test]
+    fn fresh_namespace_concentrates_on_mds0() {
+        // A fresh namespace holds exactly the root inode on MDS 0, so the
+        // "imbalance" over 4 MDSs is max/mean = 1/(1/4) = 4.
+        let ns = Namespace::default();
+        let stats = NamespaceStats::collect(&ns);
+        assert_eq!(stats.inode_imbalance(4), 4.0);
+        assert_eq!(stats.files, 0);
+        assert_eq!(stats.dirs, 1);
+    }
+}

@@ -1,0 +1,698 @@
+//! The directory tree, dirfrags, and the subtree authority map.
+
+use mantle_sim::SimTime;
+
+use crate::heat::{FragHeat, HeatSample};
+use crate::types::{MdsId, NodeId, OpKind};
+
+/// Namespace configuration.
+#[derive(Debug, Clone)]
+pub struct NsConfig {
+    /// A directory fragments once it holds this many entries (§4.1 uses
+    /// 50 000; experiments scale it down together with file counts).
+    pub frag_split_threshold: u64,
+    /// Ways of the first split (2³ = 8 in the paper).
+    pub initial_split_ways: usize,
+    /// Ways of every further per-fragment split.
+    pub resplit_ways: usize,
+    /// Half life of the popularity counters (the exponential decay of
+    /// Fig. 1).
+    pub decay_half_life: SimTime,
+}
+
+impl Default for NsConfig {
+    fn default() -> Self {
+        NsConfig {
+            frag_split_threshold: 50_000,
+            initial_split_ways: 8,
+            resplit_ways: 2,
+            decay_half_life: SimTime::from_secs(10),
+        }
+    }
+}
+
+/// Index of a fragment within its directory.
+pub type FragId = usize;
+
+/// A directory fragment: a slice of one directory's entries.
+#[derive(Debug, Clone)]
+pub struct Frag {
+    /// Number of file entries living in this fragment.
+    pub files: u64,
+    /// Decayed popularity counters.
+    pub heat: FragHeat,
+    /// Authority override for just this fragment (spilling a hot directory
+    /// distributes its fragments across MDS nodes).
+    pub auth: Option<MdsId>,
+}
+
+impl Frag {
+    fn new(half_life: SimTime) -> Self {
+        Frag {
+            files: 0,
+            heat: FragHeat::new(half_life),
+            auth: None,
+        }
+    }
+}
+
+/// A directory inode.
+#[derive(Debug, Clone)]
+pub struct Dir {
+    /// This directory's id.
+    pub id: NodeId,
+    /// Parent directory (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Name within the parent.
+    pub name: String,
+    /// Depth (root = 0).
+    pub depth: u32,
+    /// Child directories.
+    pub children: Vec<NodeId>,
+    /// Fragments (≥ 1).
+    pub frags: Vec<Frag>,
+    /// Subtree authority override: when set, this directory and everything
+    /// below it (up to deeper overrides) is served by this MDS.
+    pub auth: Option<MdsId>,
+    /// Rolled-up decayed heat of the whole subtree (every op on this dir or
+    /// any descendant hits this) — the per-directory heat of Fig. 1.
+    pub subtree_heat: FragHeat,
+}
+
+/// Emitted when a directory fragments, so the MDS can charge the cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitEvent {
+    /// The directory that fragmented.
+    pub dir: NodeId,
+    /// Number of fragments it now has.
+    pub resulting_frags: usize,
+}
+
+/// A reference to one dirfrag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragRef {
+    /// The directory.
+    pub dir: NodeId,
+    /// The fragment within it.
+    pub frag: FragId,
+}
+
+/// The namespace: a tree of [`Dir`]s with authority annotations.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    cfg: NsConfig,
+    dirs: Vec<Dir>,
+}
+
+impl Namespace {
+    /// A namespace with just the root directory, owned by MDS 0.
+    pub fn new(cfg: NsConfig) -> Self {
+        let root = Dir {
+            id: NodeId(0),
+            parent: None,
+            name: String::new(),
+            depth: 0,
+            children: Vec::new(),
+            frags: vec![Frag::new(cfg.decay_half_life)],
+            auth: Some(0),
+            subtree_heat: FragHeat::new(cfg.decay_half_life),
+        };
+        Namespace {
+            dirs: vec![root],
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NsConfig {
+        &self.cfg
+    }
+
+    /// The root directory id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Borrow a directory.
+    pub fn dir(&self, id: NodeId) -> &Dir {
+        &self.dirs[id.0 as usize]
+    }
+
+    fn dir_mut(&mut self, id: NodeId) -> &mut Dir {
+        &mut self.dirs[id.0 as usize]
+    }
+
+    /// Number of directories.
+    pub fn dir_count(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Total file entries across all directories.
+    pub fn file_count(&self) -> u64 {
+        self.dirs
+            .iter()
+            .map(|d| d.frags.iter().map(|f| f.files).sum::<u64>())
+            .sum()
+    }
+
+    /// Create a subdirectory. Does not record heat; callers route a
+    /// [`OpKind::Mkdir`] through [`Namespace::record_op`] on the parent.
+    pub fn mkdir(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.dirs.len() as u32);
+        let depth = self.dir(parent).depth + 1;
+        let half_life = self.cfg.decay_half_life;
+        let dir = Dir {
+            id,
+            parent: Some(parent),
+            name: name.into(),
+            depth,
+            children: Vec::new(),
+            frags: vec![Frag::new(half_life)],
+            auth: None,
+            subtree_heat: FragHeat::new(half_life),
+        };
+        self.dirs.push(dir);
+        self.dir_mut(parent).children.push(id);
+        id
+    }
+
+    /// Create every component of a `/`-separated path, returning the leaf.
+    pub fn mkdir_p(&mut self, path: &str) -> NodeId {
+        let mut cur = self.root();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            cur = match self
+                .dir(cur)
+                .children
+                .iter()
+                .find(|&&c| self.dir(c).name == comp)
+            {
+                Some(&existing) => existing,
+                None => self.mkdir(cur, comp),
+            };
+        }
+        cur
+    }
+
+    /// Find a child directory by name.
+    pub fn lookup_child(&self, parent: NodeId, name: &str) -> Option<NodeId> {
+        self.dir(parent)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.dir(c).name == name)
+    }
+
+    /// Full path of a directory (`/a/b/c`; root is `/`).
+    pub fn path(&self, id: NodeId) -> String {
+        let mut comps = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let d = self.dir(c);
+            if !d.name.is_empty() {
+                comps.push(d.name.clone());
+            }
+            cur = d.parent;
+        }
+        comps.reverse();
+        format!("/{}", comps.join("/"))
+    }
+
+    /// Ancestors of `id`, nearest first (excluding `id` itself).
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.dir(id).parent;
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.dir(c).parent;
+        }
+        out
+    }
+
+    /// Record a metadata operation against a directory at time `now`.
+    ///
+    /// Picks the target fragment (creates spread over fragments the way
+    /// GIGA+ hashes entries), bumps its counters and every ancestor's
+    /// rolled-up subtree heat, updates entry counts, and fragments the
+    /// directory when it crosses the split threshold.
+    pub fn record_op(&mut self, id: NodeId, op: OpKind, now: SimTime) -> (FragId, Option<SplitEvent>) {
+        let frag_id = self.pick_frag(id, op);
+        self.record_op_on(id, frag_id, op, now)
+    }
+
+    /// Record a metadata operation against a specific fragment (chosen by
+    /// the client when it routed the request). `frag` is clamped to the
+    /// current fragment count — the directory may have split while the
+    /// request was in flight.
+    pub fn record_op_on(
+        &mut self,
+        id: NodeId,
+        frag: FragId,
+        op: OpKind,
+        now: SimTime,
+    ) -> (FragId, Option<SplitEvent>) {
+        let frag_id = frag.min(self.dir(id).frags.len() - 1);
+        {
+            let d = self.dir_mut(id);
+            d.frags[frag_id].heat.record(op, now);
+            d.subtree_heat.record(op, now);
+            if op == OpKind::Create {
+                d.frags[frag_id].files += 1;
+            } else if op == OpKind::Unlink && d.frags[frag_id].files > 0 {
+                d.frags[frag_id].files -= 1;
+            }
+        }
+        for anc in self.ancestors(id) {
+            self.dir_mut(anc).subtree_heat.record(op, now);
+        }
+        let split = self.maybe_split(id, now);
+        (frag_id, split)
+    }
+
+    /// The fragment the next operation on `id` will hit (used by request
+    /// routing to find the serving MDS before the op is recorded).
+    pub fn peek_frag(&self, id: NodeId) -> FragId {
+        self.pick_frag(id, OpKind::Stat)
+    }
+
+    /// Distinct MDSs owning fragments of `id`, in fragment order. A
+    /// directory whose fragments span several MDSs triggers round-robin
+    /// client contact and coherency traffic (§4.1).
+    pub fn frag_owners(&self, id: NodeId) -> Vec<MdsId> {
+        let mut out = Vec::new();
+        for f in 0..self.dir(id).frags.len() {
+            let a = self.frag_auth(id, f);
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Deterministic fragment choice: creates hash over fragments by the
+    /// running entry count; reads hit fragments proportionally the same
+    /// way.
+    fn pick_frag(&self, id: NodeId, _op: OpKind) -> FragId {
+        let d = self.dir(id);
+        if d.frags.len() == 1 {
+            return 0;
+        }
+        let total: u64 = d.frags.iter().map(|f| f.files).sum();
+        (total % d.frags.len() as u64) as usize
+    }
+
+    fn maybe_split(&mut self, id: NodeId, now: SimTime) -> Option<SplitEvent> {
+        let threshold = self.cfg.frag_split_threshold;
+        let (nfrags, total_files, biggest, biggest_files) = {
+            let d = self.dir(id);
+            let total: u64 = d.frags.iter().map(|f| f.files).sum();
+            let (bi, bf) = d
+                .frags
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, f.files))
+                .max_by_key(|&(_, f)| f)
+                .expect("dirs always have ≥1 frag");
+            (d.frags.len(), total, bi, bf)
+        };
+        if nfrags == 1 && total_files > threshold {
+            // First fragmentation: 2^3-way, as in §4.1.
+            let ways = self.cfg.initial_split_ways;
+            self.split_frag(id, 0, ways, now);
+            return Some(SplitEvent {
+                dir: id,
+                resulting_frags: ways,
+            });
+        }
+        if nfrags > 1 && biggest_files > threshold {
+            let ways = self.cfg.resplit_ways;
+            self.split_frag(id, biggest, ways, now);
+            return Some(SplitEvent {
+                dir: id,
+                resulting_frags: self.dir(id).frags.len(),
+            });
+        }
+        None
+    }
+
+    fn split_frag(&mut self, id: NodeId, frag: FragId, ways: usize, now: SimTime) {
+        let d = self.dir_mut(id);
+        let old = d.frags.remove(frag);
+        let mut heats = {
+            let mut h = old.heat;
+            h.split(now, ways)
+        };
+        let files_each = old.files / ways as u64;
+        let mut remainder = old.files % ways as u64;
+        for _ in 0..ways {
+            let extra = if remainder > 0 {
+                remainder -= 1;
+                1
+            } else {
+                0
+            };
+            d.frags.push(Frag {
+                files: files_each + extra,
+                heat: heats.pop().expect("split returns `ways` heats"),
+                // Children of a split inherit the parent fragment's
+                // authority placement.
+                auth: old.auth,
+            });
+        }
+    }
+
+    // ---- authority ----
+
+    /// Install (or clear) a subtree authority override at `id`.
+    pub fn set_auth(&mut self, id: NodeId, auth: Option<MdsId>) {
+        self.dir_mut(id).auth = auth;
+    }
+
+    /// Install (or clear) a per-fragment authority override.
+    pub fn set_frag_auth(&mut self, id: NodeId, frag: FragId, auth: Option<MdsId>) {
+        self.dir_mut(id).frags[frag].auth = auth;
+    }
+
+    /// The MDS serving directory `id` (nearest ancestor override; the root
+    /// always has one).
+    pub fn resolve_auth(&self, id: NodeId) -> MdsId {
+        let mut cur = id;
+        loop {
+            let d = self.dir(cur);
+            if let Some(a) = d.auth {
+                return a;
+            }
+            cur = d.parent.expect("root always has an authority");
+        }
+    }
+
+    /// The MDS serving one fragment (fragment override, else the dir's).
+    pub fn frag_auth(&self, id: NodeId, frag: FragId) -> MdsId {
+        self.dir(id).frags[frag]
+            .auth
+            .unwrap_or_else(|| self.resolve_auth(id))
+    }
+
+    /// All fragments currently served by `mds`.
+    pub fn auth_frags(&self, mds: MdsId) -> Vec<FragRef> {
+        let mut out = Vec::new();
+        for d in &self.dirs {
+            for (i, _) in d.frags.iter().enumerate() {
+                if self.frag_auth(d.id, i) == mds {
+                    out.push(FragRef { dir: d.id, frag: i });
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of MDSs appearing on `id`'s ancestor authority chain
+    /// (every MDS that replicates this path prefix and therefore "knows"
+    /// about the subtree).
+    pub fn ancestor_auth_chain(&self, id: NodeId) -> Vec<MdsId> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let d = self.dir(c);
+            if let Some(a) = d.auth {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+            cur = d.parent;
+        }
+        out
+    }
+
+    /// Directories in the subtree rooted at `id` (inclusive, preorder),
+    /// stopping at directories with their own authority override when
+    /// `stop_at_bounds` is set (those belong to a different subtree).
+    pub fn subtree_dirs(&self, id: NodeId, stop_at_bounds: bool) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if stop_at_bounds && cur != id && self.dir(cur).auth.is_some() {
+                continue;
+            }
+            out.push(cur);
+            stack.extend(self.dir(cur).children.iter().copied());
+        }
+        out
+    }
+
+    /// Count inodes (directories + file entries) in the subtree rooted at
+    /// `id`, honouring subtree bounds.
+    pub fn subtree_inodes(&self, id: NodeId) -> u64 {
+        self.subtree_dirs(id, true)
+            .iter()
+            .map(|&d| 1 + self.dir(d).frags.iter().map(|f| f.files).sum::<u64>())
+            .sum()
+    }
+
+    /// Migrate the subtree rooted at `id` to `to`. Returns the number of
+    /// inodes whose authority changed (the migration's size, which the MDS
+    /// charges as freeze/journal cost).
+    pub fn migrate_subtree(&mut self, id: NodeId, to: MdsId) -> u64 {
+        let moved = self.subtree_inodes(id);
+        self.dir_mut(id).auth = Some(to);
+        // Fragment overrides inside the bound subtree now point elsewhere;
+        // migrating the subtree supersedes them.
+        for d in self.subtree_dirs(id, true) {
+            for f in &mut self.dir_mut(d).frags {
+                f.auth = None;
+            }
+        }
+        moved
+    }
+
+    /// Migrate one fragment to `to`. Returns the entries moved.
+    pub fn migrate_frag(&mut self, id: NodeId, frag: FragId, to: MdsId) -> u64 {
+        let moved = self.dir(id).frags[frag].files;
+        self.dir_mut(id).frags[frag].auth = Some(to);
+        moved + 1
+    }
+
+    /// Sample a fragment's heat at `now`.
+    pub fn frag_heat(&mut self, id: NodeId, frag: FragId, now: SimTime) -> HeatSample {
+        self.dir_mut(id).frags[frag].heat.sample(now)
+    }
+
+    /// Sample a directory's rolled-up subtree heat at `now` (Fig. 1).
+    pub fn subtree_heat(&mut self, id: NodeId, now: SimTime) -> HeatSample {
+        self.dir_mut(id).subtree_heat.sample(now)
+    }
+
+    /// Iterate all directory ids.
+    pub fn all_dirs(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.dirs.len()).map(|i| NodeId(i as u32))
+    }
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Namespace::new(NsConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> NsConfig {
+        NsConfig {
+            frag_split_threshold: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mkdir_p_builds_and_reuses() {
+        let mut ns = Namespace::default();
+        let c1 = ns.mkdir_p("/a/b/c");
+        let c2 = ns.mkdir_p("/a/b/c");
+        assert_eq!(c1, c2);
+        assert_eq!(ns.path(c1), "/a/b/c");
+        assert_eq!(ns.dir(c1).depth, 3);
+        let b = ns.mkdir_p("/a/b");
+        assert_eq!(ns.ancestors(c1)[0], b);
+        assert_eq!(ns.dir_count(), 4); // root, a, b, c
+    }
+
+    #[test]
+    fn root_path_and_lookup() {
+        let mut ns = Namespace::default();
+        assert_eq!(ns.path(ns.root()), "/");
+        let a = ns.mkdir(ns.root(), "a");
+        assert_eq!(ns.lookup_child(ns.root(), "a"), Some(a));
+        assert_eq!(ns.lookup_child(ns.root(), "zzz"), None);
+    }
+
+    #[test]
+    fn creates_count_files() {
+        let mut ns = Namespace::default();
+        let d = ns.mkdir_p("/data");
+        for _ in 0..5 {
+            ns.record_op(d, OpKind::Create, SimTime::ZERO);
+        }
+        assert_eq!(ns.file_count(), 5);
+        ns.record_op(d, OpKind::Unlink, SimTime::ZERO);
+        assert_eq!(ns.file_count(), 4);
+    }
+
+    #[test]
+    fn directory_fragments_at_threshold() {
+        let mut ns = Namespace::new(small_cfg());
+        let d = ns.mkdir_p("/big");
+        let mut split_seen = None;
+        for _ in 0..11 {
+            let (_, split) = ns.record_op(d, OpKind::Create, SimTime::ZERO);
+            if split.is_some() {
+                split_seen = split;
+            }
+        }
+        let split = split_seen.expect("11 creates over threshold 10 must split");
+        assert_eq!(split.resulting_frags, 8, "first split is 2^3-way");
+        assert_eq!(ns.dir(d).frags.len(), 8);
+        // Entries conserved.
+        let total: u64 = ns.dir(d).frags.iter().map(|f| f.files).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn fragment_resplits_two_ways() {
+        let mut ns = Namespace::new(small_cfg());
+        let d = ns.mkdir_p("/big");
+        // Push far past the threshold; creates round-robin across frags, so
+        // every frag grows; eventually frags individually exceed 10.
+        for _ in 0..200 {
+            ns.record_op(d, OpKind::Create, SimTime::ZERO);
+        }
+        assert!(ns.dir(d).frags.len() > 8, "resplits happened");
+        let total: u64 = ns.dir(d).frags.iter().map(|f| f.files).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn authority_inheritance() {
+        let mut ns = Namespace::default();
+        let c = ns.mkdir_p("/a/b/c");
+        let a = ns.mkdir_p("/a");
+        assert_eq!(ns.resolve_auth(c), 0, "inherits root's MDS0");
+        ns.set_auth(a, Some(2));
+        assert_eq!(ns.resolve_auth(c), 2, "inherits nearest override");
+        ns.set_auth(c, Some(1));
+        assert_eq!(ns.resolve_auth(c), 1);
+        let b = ns.mkdir_p("/a/b");
+        assert_eq!(ns.resolve_auth(b), 2, "b still under a's subtree");
+    }
+
+    #[test]
+    fn frag_auth_override() {
+        let mut ns = Namespace::default();
+        let d = ns.mkdir_p("/shared");
+        ns.set_frag_auth(d, 0, Some(3));
+        assert_eq!(ns.frag_auth(d, 0), 3);
+        assert_eq!(ns.resolve_auth(d), 0, "dir itself still MDS0");
+    }
+
+    #[test]
+    fn auth_frags_enumerates() {
+        let mut ns = Namespace::default();
+        let d1 = ns.mkdir_p("/one");
+        let _d2 = ns.mkdir_p("/two");
+        ns.set_auth(d1, Some(1));
+        let mds0 = ns.auth_frags(0);
+        let mds1 = ns.auth_frags(1);
+        assert_eq!(mds1.len(), 1);
+        assert_eq!(mds1[0].dir, d1);
+        // root + /two for MDS0
+        assert_eq!(mds0.len(), 2);
+    }
+
+    #[test]
+    fn subtree_migration_moves_inodes_and_respects_bounds() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a");
+        let ab = ns.mkdir_p("/a/b");
+        let _ac = ns.mkdir_p("/a/c");
+        let abd = ns.mkdir_p("/a/b/d");
+        for _ in 0..4 {
+            ns.record_op(ab, OpKind::Create, SimTime::ZERO);
+        }
+        // Nested bound: /a/b/d belongs to MDS 2 already.
+        ns.set_auth(abd, Some(2));
+        let moved = ns.migrate_subtree(a, 1);
+        // dirs a, b, c (3) + 4 files; d is excluded (own bound).
+        assert_eq!(moved, 7);
+        assert_eq!(ns.resolve_auth(ab), 1);
+        assert_eq!(ns.resolve_auth(abd), 2, "nested subtree untouched");
+    }
+
+    #[test]
+    fn migrate_subtree_clears_inner_frag_overrides() {
+        let mut ns = Namespace::default();
+        let d = ns.mkdir_p("/x");
+        ns.set_frag_auth(d, 0, Some(3));
+        ns.migrate_subtree(d, 1);
+        assert_eq!(ns.frag_auth(d, 0), 1, "frag override superseded");
+    }
+
+    #[test]
+    fn migrate_frag_counts_entries() {
+        let mut ns = Namespace::default();
+        let d = ns.mkdir_p("/x");
+        for _ in 0..3 {
+            ns.record_op(d, OpKind::Create, SimTime::ZERO);
+        }
+        let moved = ns.migrate_frag(d, 0, 2);
+        assert_eq!(moved, 4, "3 entries + the frag itself");
+        assert_eq!(ns.frag_auth(d, 0), 2);
+    }
+
+    #[test]
+    fn heat_rolls_up_to_ancestors() {
+        let mut ns = Namespace::default();
+        let deep = ns.mkdir_p("/linux/fs/ext4");
+        let top = ns.mkdir_p("/linux");
+        ns.record_op(deep, OpKind::Stat, SimTime::ZERO);
+        ns.record_op(deep, OpKind::Stat, SimTime::ZERO);
+        let h = ns.subtree_heat(top, SimTime::ZERO);
+        assert_eq!(h.ird, 2.0, "ancestor sees descendant ops");
+        let hr = ns.subtree_heat(ns.root(), SimTime::ZERO);
+        assert_eq!(hr.ird, 2.0);
+    }
+
+    #[test]
+    fn ancestor_auth_chain_lists_replica_holders() {
+        let mut ns = Namespace::default();
+        let c = ns.mkdir_p("/a/b/c");
+        let a = ns.mkdir_p("/a");
+        ns.set_auth(a, Some(1));
+        ns.set_auth(c, Some(2));
+        let chain = ns.ancestor_auth_chain(c);
+        assert_eq!(chain, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn subtree_inodes_counts_dirs_and_files() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a");
+        let _b = ns.mkdir_p("/a/b");
+        ns.record_op(a, OpKind::Create, SimTime::ZERO);
+        ns.record_op(a, OpKind::Create, SimTime::ZERO);
+        assert_eq!(ns.subtree_inodes(a), 4); // a, b + 2 files
+    }
+
+    #[test]
+    fn split_preserves_frag_auth() {
+        let mut ns = Namespace::new(small_cfg());
+        let d = ns.mkdir_p("/spill");
+        ns.set_frag_auth(d, 0, Some(1));
+        for _ in 0..12 {
+            ns.record_op(d, OpKind::Create, SimTime::ZERO);
+        }
+        assert!(ns.dir(d).frags.len() >= 8);
+        for i in 0..ns.dir(d).frags.len() {
+            assert_eq!(ns.frag_auth(d, i), 1, "children inherit placement");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Shared identifier types and the metadata operation vocabulary.
+
+use std::fmt;
+
+/// Identifier of an MDS node in the cluster (0-based; the policy language
+/// converts to Lua's 1-based indexing at its boundary).
+pub type MdsId = usize;
+
+/// Identifier of a directory inode in the namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dir#{}", self.0)
+    }
+}
+
+/// The metadata operations the workloads issue — the request types whose
+/// frequencies differ between the create-heavy and compile workloads (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Create a file in a directory (inode write + journal store).
+    Create,
+    /// `stat`/`getattr`/`lookup` — inode read.
+    Stat,
+    /// Update an inode (chmod, utimes, write-back of size) — inode write.
+    SetAttr,
+    /// `readdir` — directory listing.
+    Readdir,
+    /// Open-for-read path (inode read, may fetch from the object store).
+    OpenRead,
+    /// Unlink a file (inode write).
+    Unlink,
+    /// Mkdir (inode write on the parent + new dir).
+    Mkdir,
+}
+
+impl OpKind {
+    /// Whether the op writes metadata (drives `IWR`) or only reads (`IRD`).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            OpKind::Create | OpKind::SetAttr | OpKind::Unlink | OpKind::Mkdir
+        )
+    }
+
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::Stat => "stat",
+            OpKind::SetAttr => "setattr",
+            OpKind::Readdir => "readdir",
+            OpKind::OpenRead => "open",
+            OpKind::Unlink => "unlink",
+            OpKind::Mkdir => "mkdir",
+        }
+    }
+
+    /// All op kinds (for exhaustive tests/sweeps).
+    pub fn all() -> [OpKind; 7] {
+        [
+            OpKind::Create,
+            OpKind::Stat,
+            OpKind::SetAttr,
+            OpKind::Readdir,
+            OpKind::OpenRead,
+            OpKind::Unlink,
+            OpKind::Mkdir,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_classification() {
+        assert!(OpKind::Create.is_write());
+        assert!(OpKind::Mkdir.is_write());
+        assert!(!OpKind::Stat.is_write());
+        assert!(!OpKind::Readdir.is_write());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            OpKind::all().iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), OpKind::all().len());
+    }
+}

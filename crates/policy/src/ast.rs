@@ -1,0 +1,251 @@
+//! Abstract syntax tree for the policy language.
+
+/// A compiled script: a block of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// Top-level statements.
+    pub block: Block,
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = expr` — assignment to a name or index chain.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `local name = expr` (initializer optional).
+    Local {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `if c then ... elseif c2 then ... else ... end`
+    If {
+        /// `(condition, block)` pairs: the `if` arm plus any `elseif` arms.
+        arms: Vec<(Expr, Block)>,
+        /// The `else` block, if present.
+        else_block: Option<Block>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while c do ... end`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source line.
+        line: u32,
+    },
+    /// Numeric `for name = start, stop [, step] do ... end`
+    NumericFor {
+        /// Loop variable (fresh local per Lua semantics).
+        var: String,
+        /// Start expression.
+        start: Expr,
+        /// Stop expression (inclusive).
+        stop: Expr,
+        /// Optional step expression (default 1).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+        /// Source line.
+        line: u32,
+    },
+    /// A call evaluated for its side effects.
+    ExprStmt {
+        /// The call (or other expression; non-call expression statements are
+        /// accepted in "expression script" mode).
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `do ... end`
+    Do {
+        /// Inner block.
+        body: Block,
+    },
+    /// `return [expr]`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A plain name (`x = ...`): local if declared, else global.
+    Name(String),
+    /// An indexed location (`t[k] = ...` / `t.k = ...`).
+    Index {
+        /// The table expression.
+        object: Expr,
+        /// The key expression.
+        key: Expr,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `nil`
+    Nil,
+    /// `true` / `false`
+    Bool(bool),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Variable reference.
+    Name(String, u32),
+    /// `object[key]` or `object.key`.
+    Index {
+        /// Table expression.
+        object: Box<Expr>,
+        /// Key expression.
+        key: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Function call.
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Table constructor: positional items and keyed items.
+    TableCtor {
+        /// Array-part entries (`{a, b, c}`), appended at indices 1..
+        items: Vec<Expr>,
+        /// Hash-part entries (`{k = v}` / `{["k"] = v}`).
+        pairs: Vec<(Expr, Expr)>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The source line the expression starts on (0 for literals, which never
+    /// fail at runtime).
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Name(_, line)
+            | Expr::Index { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::TableCtor { line, .. } => *line,
+            _ => 0,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical `not`.
+    Not,
+    /// Length `#`.
+    Len,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `^`
+    Pow,
+    /// `..`
+    Concat,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit)
+    And,
+    /// `or` (short-circuit)
+    Or,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_line_accessor() {
+        assert_eq!(Expr::Nil.line(), 0);
+        assert_eq!(Expr::Name("x".into(), 7).line(), 7);
+        let call = Expr::Call {
+            callee: Box::new(Expr::Name("f".into(), 3)),
+            args: vec![],
+            line: 3,
+        };
+        assert_eq!(call.line(), 3);
+    }
+}

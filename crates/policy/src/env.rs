@@ -1,0 +1,753 @@
+//! The Mantle balancer environment (the paper's Table 2) and the runtime
+//! that drives the four policy hooks against it.
+//!
+//! Per Table 2, an injected script sees:
+//!
+//! | global | meaning |
+//! |---|---|
+//! | `whoami` | current MDS (1-based, Lua style) |
+//! | `authmetaload` | metadata load on this MDS's authority subtrees |
+//! | `allmetaload` | metadata load on all subtrees it knows about |
+//! | `IRD`, `IWR` | decayed inode reads/writes of the fragment under consideration |
+//! | `READDIR`, `FETCH`, `STORE` | decayed readdirs / RADOS fetches / stores |
+//! | `MDSs[i]["auth"/"all"/"cpu"/"mem"/"q"/"req"/"load"]` | per-MDS heartbeat metrics |
+//! | `total` | sum of `MDSs[i]["load"]` |
+//! | `targets[i]` | *output*: load to send to MDS `i` |
+//! | `WRstate(s)` / `RDstate()` | persist state across balancer ticks |
+//! | `max(a,b)` / `min(a,b)` | numeric helpers |
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::Script;
+use crate::error::{PolicyError, PolicyResult};
+use crate::interp::{Interpreter, StepBudget};
+use crate::parser::{parse_expression_script, parse_script, parse_when};
+use crate::stdlib;
+use crate::value::{Table, Value};
+
+/// Decayed popularity counters for one dirfrag/subtree — the inputs to the
+/// `metaload` hook.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FragMetrics {
+    /// Inode reads (decayed).
+    pub ird: f64,
+    /// Inode writes (decayed).
+    pub iwr: f64,
+    /// Directory listings (decayed).
+    pub readdir: f64,
+    /// Fetches from the object store (decayed).
+    pub fetch: f64,
+    /// Stores to the object store (decayed).
+    pub store: f64,
+}
+
+/// One MDS's heartbeat metrics — the inputs to the `mdsload` hook.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MdsMetrics {
+    /// Metadata load on subtrees this MDS is the authority for.
+    pub auth: f64,
+    /// Metadata load on all subtrees it knows about (incl. replicas).
+    pub all: f64,
+    /// CPU utilization, percent.
+    pub cpu: f64,
+    /// Memory utilization, percent.
+    pub mem: f64,
+    /// Requests waiting in the queue.
+    pub q: f64,
+    /// Request rate, req/s.
+    pub req: f64,
+}
+
+/// Everything the balancer on one MDS knows when it runs: its identity and
+/// the (possibly stale) heartbeat metrics for the whole cluster.
+#[derive(Debug, Clone, Default)]
+pub struct BalancerInputs {
+    /// This MDS's index, 0-based (converted to Lua's 1-based inside).
+    pub whoami: usize,
+    /// Per-MDS metrics, indexed by MDS id.
+    pub mds: Vec<MdsMetrics>,
+    /// Metadata load on this MDS's authority subtrees.
+    pub auth_metaload: f64,
+    /// Metadata load on all subtrees this MDS knows about.
+    pub all_metaload: f64,
+}
+
+/// The decision a balancer run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancerOutcome {
+    /// `mdsload` evaluated per MDS.
+    pub mds_loads: Vec<f64>,
+    /// Sum of the loads.
+    pub total: f64,
+    /// Whether the `when` hook fired.
+    pub migrate: bool,
+    /// `targets[i]`: load to export to MDS `i` (0-based; 0.0 when none).
+    pub targets: Vec<f64>,
+}
+
+impl BalancerOutcome {
+    /// A no-migration outcome.
+    pub fn idle(n: usize) -> Self {
+        BalancerOutcome {
+            mds_loads: vec![0.0; n],
+            total: 0.0,
+            migrate: false,
+            targets: vec![0.0; n],
+        }
+    }
+}
+
+/// Persistent state for `WRstate`/`RDstate`, keyed per MDS.
+///
+/// The paper implements this with temporary files and names RADOS objects
+/// as future work; this trait is that pluggable point.
+pub trait StateStore {
+    /// Save `value` for `mds`.
+    fn write(&mut self, mds: usize, value: f64);
+    /// Read the last saved value for `mds` (0.0 when none — the listings
+    /// compare `RDstate()` numerically on first run).
+    fn read(&self, mds: usize) -> f64;
+    /// Drop all state.
+    fn clear(&mut self);
+}
+
+/// In-memory state store (the default).
+#[derive(Debug, Default, Clone)]
+pub struct MemoryStateStore {
+    slots: HashMap<usize, f64>,
+}
+
+impl StateStore for MemoryStateStore {
+    fn write(&mut self, mds: usize, value: f64) {
+        self.slots.insert(mds, value);
+    }
+    fn read(&self, mds: usize) -> f64 {
+        self.slots.get(&mds).copied().unwrap_or(0.0)
+    }
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+/// File-backed state store — the paper's actual prototype mechanism
+/// ("implemented using temporary files", §3.1).
+#[derive(Debug)]
+pub struct FileStateStore {
+    dir: std::path::PathBuf,
+}
+
+impl FileStateStore {
+    /// Store state under `dir` (created if missing).
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileStateStore { dir })
+    }
+
+    fn path(&self, mds: usize) -> std::path::PathBuf {
+        self.dir.join(format!("mantle-state-mds{mds}"))
+    }
+}
+
+impl StateStore for FileStateStore {
+    fn write(&mut self, mds: usize, value: f64) {
+        // Balancer state is advisory; losing it degrades to the cold-start
+        // behaviour, so IO errors are swallowed just like the prototype.
+        let _ = std::fs::write(self.path(mds), value.to_string());
+    }
+    fn read(&self, mds: usize) -> f64 {
+        std::fs::read_to_string(self.path(mds))
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0.0)
+    }
+    fn clear(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+        let _ = std::fs::create_dir_all(&self.dir);
+    }
+}
+
+/// How the `when`/`where` decisions are expressed.
+#[derive(Debug, Clone)]
+pub enum Decision {
+    /// Separate `when` (predicate) and `where` (fills `targets[]`) hooks —
+    /// the paper's §3.2 API.
+    Hooks {
+        /// The `mds_bal_when` script; its result's truthiness decides.
+        when: Script,
+        /// The `mds_bal_where` script; runs only when `when` fired.
+        where_: Script,
+    },
+    /// One combined script that conditionally fills `targets[]` — the form
+    /// of Listings 1–3. Migration happens iff some target is positive.
+    Combined(Script),
+}
+
+/// A full set of compiled balancer policies.
+#[derive(Debug, Clone)]
+pub struct PolicySet {
+    /// `mds_bal_metaload`: load of one dirfrag from its counters.
+    pub metaload: Script,
+    /// `mds_bal_mdsload`: load of MDS `i` from `MDSs[i]` metrics.
+    pub mdsload: Script,
+    /// when/where.
+    pub decision: Decision,
+    /// `mds_bal_howmuch`: dirfrag selector names, tried in order.
+    pub howmuch: Vec<String>,
+    /// Policy-defined dirfrag selectors: `(name, compiled script)`. The
+    /// paper's §3.2 feeds the balancer "an external Lua file with a list
+    /// of strategies"; this is that list, generalized so policies can ship
+    /// strategies beyond the four built-ins. Referenced from `howmuch` by
+    /// name.
+    pub custom_selectors: Vec<(String, Script)>,
+}
+
+impl PolicySet {
+    /// Compile a policy set from hook sources (the `ceph tell mds.N
+    /// injectargs` form of §3.1).
+    pub fn from_hooks(
+        metaload: &str,
+        mdsload: &str,
+        when: &str,
+        where_: &str,
+        howmuch: &[&str],
+    ) -> PolicyResult<PolicySet> {
+        Ok(PolicySet {
+            metaload: parse_expression_script(metaload)?,
+            mdsload: parse_expression_script(mdsload)?,
+            decision: Decision::Hooks {
+                when: parse_when(when)?,
+                where_: parse_script(where_)?,
+            },
+            howmuch: howmuch.iter().map(|s| s.to_string()).collect(),
+            custom_selectors: Vec::new(),
+        })
+    }
+
+    /// Compile a policy set whose when/where is a single combined script
+    /// (the form of the paper's listings).
+    pub fn from_combined(
+        metaload: &str,
+        mdsload: &str,
+        whenwhere: &str,
+        howmuch: &[&str],
+    ) -> PolicyResult<PolicySet> {
+        Ok(PolicySet {
+            metaload: parse_expression_script(metaload)?,
+            mdsload: parse_expression_script(mdsload)?,
+            decision: Decision::Combined(parse_script(whenwhere)?),
+            howmuch: howmuch.iter().map(|s| s.to_string()).collect(),
+            custom_selectors: Vec::new(),
+        })
+    }
+
+    /// Attach a policy-defined dirfrag selector (referenced from the
+    /// `howmuch` list by `name`). The script sees `loads` (1-based array)
+    /// and `target`, and returns a table of 1-based indices to ship.
+    pub fn with_custom_selector(mut self, name: &str, src: &str) -> PolicyResult<Self> {
+        let script = parse_script(src)?;
+        self.custom_selectors.push((name.to_string(), script));
+        if !self.howmuch.iter().any(|n| n == name) {
+            self.howmuch.push(name.to_string());
+        }
+        Ok(self)
+    }
+}
+
+/// Executes a [`PolicySet`] against [`BalancerInputs`] — the bridge between
+/// the MDS (which collects metrics and performs migrations) and the policy
+/// scripts (which decide).
+pub struct MantleRuntime {
+    policy: PolicySet,
+    state: Rc<RefCell<dyn StateStore>>,
+    budget: StepBudget,
+}
+
+impl fmt::Debug for MantleRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MantleRuntime")
+            .field("policy", &self.policy)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MantleRuntime {
+    /// Build a runtime with an in-memory state store.
+    pub fn new(policy: PolicySet) -> Self {
+        MantleRuntime {
+            policy,
+            state: Rc::new(RefCell::new(MemoryStateStore::default())),
+            budget: StepBudget::default(),
+        }
+    }
+
+    /// Use a custom state store.
+    pub fn with_state_store(mut self, store: Rc<RefCell<dyn StateStore>>) -> Self {
+        self.state = store;
+        self
+    }
+
+    /// Override the step budget applied to every hook invocation.
+    pub fn with_budget(mut self, budget: StepBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured dirfrag selectors.
+    pub fn selectors(&self) -> &[String] {
+        &self.policy.howmuch
+    }
+
+    /// Access the policy set.
+    pub fn policy(&self) -> &PolicySet {
+        &self.policy
+    }
+
+    fn base_interp(&self, whoami: usize) -> Interpreter {
+        let mut interp = Interpreter::new().with_budget(self.budget);
+        stdlib::install(&mut interp);
+        let store = Rc::clone(&self.state);
+        let store_rd = Rc::clone(&self.state);
+        interp.set_global(
+            "WRstate",
+            Value::Native(
+                "WRstate",
+                Rc::new(move |_, args| {
+                    let v = args
+                        .first()
+                        .ok_or_else(|| PolicyError::runtime(0, "WRstate expects a value"))?
+                        .as_number(0)?;
+                    store.borrow_mut().write(whoami, v);
+                    Ok(Value::Nil)
+                }),
+            ),
+        );
+        interp.set_global(
+            "RDstate",
+            Value::Native(
+                "RDstate",
+                Rc::new(move |_, _| Ok(Value::Number(store_rd.borrow().read(whoami)))),
+            ),
+        );
+        interp
+    }
+
+    /// Evaluate `mds_bal_metaload` for one fragment's counters.
+    pub fn eval_metaload(&self, whoami: usize, frag: &FragMetrics) -> PolicyResult<f64> {
+        let mut interp = self.base_interp(whoami);
+        interp.set_global("IRD", Value::Number(frag.ird));
+        interp.set_global("IWR", Value::Number(frag.iwr));
+        interp.set_global("READDIR", Value::Number(frag.readdir));
+        interp.set_global("FETCH", Value::Number(frag.fetch));
+        interp.set_global("STORE", Value::Number(frag.store));
+        interp.run(&self.policy.metaload)?.as_number(0)
+    }
+
+    /// Run the full decision pipeline: `mdsload` per MDS, then
+    /// `when`/`where` (or the combined script).
+    pub fn decide(&self, inputs: &BalancerInputs) -> PolicyResult<BalancerOutcome> {
+        let n = inputs.mds.len();
+        if n == 0 {
+            return Ok(BalancerOutcome::idle(0));
+        }
+
+        // Pass 1: evaluate mdsload for every MDS, building the MDSs table.
+        let mdss_table = Rc::new(RefCell::new(Table::new()));
+        for (i, m) in inputs.mds.iter().enumerate() {
+            let t = Table::from_fields([
+                ("auth", Value::Number(m.auth)),
+                ("all", Value::Number(m.all)),
+                ("cpu", Value::Number(m.cpu)),
+                ("mem", Value::Number(m.mem)),
+                ("q", Value::Number(m.q)),
+                ("req", Value::Number(m.req)),
+            ]);
+            mdss_table
+                .borrow_mut()
+                .set_int(i as i64 + 1, Value::Table(Rc::new(RefCell::new(t))));
+        }
+
+        let mut mds_loads = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut interp = self.base_interp(inputs.whoami);
+            interp.set_global("whoami", Value::Number(inputs.whoami as f64 + 1.0));
+            interp.set_global("i", Value::Number(i as f64 + 1.0));
+            interp.set_global("MDSs", Value::Table(Rc::clone(&mdss_table)));
+            interp.set_global("authmetaload", Value::Number(inputs.auth_metaload));
+            interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
+            let load = interp.run(&self.policy.mdsload)?.as_number(0)?;
+            mds_loads.push(load);
+        }
+        let total: f64 = mds_loads.iter().sum();
+        for (i, load) in mds_loads.iter().enumerate() {
+            if let Value::Table(t) = mdss_table.borrow().get_int(i as i64 + 1) {
+                t.borrow_mut().set_str("load", Value::Number(*load));
+            }
+        }
+
+        // Pass 2: when/where.
+        let targets_table = Rc::new(RefCell::new(Table::new()));
+        let setup = |interp: &mut Interpreter| {
+            interp.set_global("whoami", Value::Number(inputs.whoami as f64 + 1.0));
+            interp.set_global("MDSs", Value::Table(Rc::clone(&mdss_table)));
+            interp.set_global("total", Value::Number(total));
+            interp.set_global("authmetaload", Value::Number(inputs.auth_metaload));
+            interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
+            interp.set_global("targets", Value::Table(Rc::clone(&targets_table)));
+        };
+
+        let migrate = match &self.policy.decision {
+            Decision::Hooks { when, where_ } => {
+                let mut interp = self.base_interp(inputs.whoami);
+                setup(&mut interp);
+                let fired = interp.run(when)?.truthy();
+                if fired {
+                    let mut interp = self.base_interp(inputs.whoami);
+                    setup(&mut interp);
+                    interp.run(where_)?;
+                }
+                fired
+            }
+            Decision::Combined(script) => {
+                let mut interp = self.base_interp(inputs.whoami);
+                setup(&mut interp);
+                interp.run(script)?;
+                // The listings signal "migrate" by filling targets.
+                (1..=n as i64).any(|i| {
+                    targets_table
+                        .borrow()
+                        .get_int(i)
+                        .as_number(0)
+                        .map(|v| v > 0.0)
+                        .unwrap_or(false)
+                })
+            }
+        };
+
+        let mut targets = vec![0.0; n];
+        {
+            let tt = targets_table.borrow();
+            for (i, slot) in targets.iter_mut().enumerate() {
+                if let Ok(v) = tt.get_int(i as i64 + 1).as_number(0) {
+                    *slot = v.max(0.0);
+                }
+            }
+        }
+        // Migration that targets nobody is a no-op.
+        let migrate = migrate && targets.iter().any(|&t| t > 0.0);
+
+        Ok(BalancerOutcome {
+            mds_loads,
+            total,
+            migrate,
+            targets,
+        })
+    }
+}
+
+/// Builder for one-off script environments in tests and tools.
+#[derive(Debug, Default)]
+pub struct EnvBuilder {
+    globals: Vec<(String, f64)>,
+}
+
+impl EnvBuilder {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a numeric global.
+    pub fn number(mut self, name: &str, v: f64) -> Self {
+        self.globals.push((name.to_string(), v));
+        self
+    }
+
+    /// Build an interpreter with the stdlib plus the configured globals.
+    pub fn build(self) -> Interpreter {
+        let mut interp = Interpreter::new();
+        stdlib::install(&mut interp);
+        for (name, v) in self.globals {
+            interp.set_global(&name, Value::Number(v));
+        }
+        interp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(loads: &[f64]) -> Vec<MdsMetrics> {
+        loads
+            .iter()
+            .map(|&l| MdsMetrics {
+                auth: l,
+                all: l,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    /// The original CephFS balancer policies from Table 1, expressed in
+    /// the Mantle API (§3.2).
+    fn cephfs_policy() -> PolicySet {
+        PolicySet::from_hooks(
+            "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE",
+            "0.8*MDSs[i][\"auth\"] + 0.2*MDSs[i][\"all\"] + MDSs[i][\"req\"] + 10*MDSs[i][\"q\"]",
+            "if MDSs[whoami][\"load\"] > total/#MDSs then",
+            r#"
+targetLoad = total/#MDSs
+for i=1,#MDSs do
+  if MDSs[i]["load"] < targetLoad then
+    targets[i] = targetLoad - MDSs[i]["load"]
+  end
+end
+"#,
+            &["big_first"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_metaload_weights() {
+        let rt = MantleRuntime::new(cephfs_policy());
+        let frag = FragMetrics {
+            ird: 1.0,
+            iwr: 2.0,
+            readdir: 3.0,
+            fetch: 4.0,
+            store: 5.0,
+        };
+        // 1 + 2*2 + 3 + 2*4 + 4*5 = 36
+        assert_eq!(rt.eval_metaload(0, &frag).unwrap(), 36.0);
+    }
+
+    #[test]
+    fn table1_when_fires_only_above_average() {
+        let rt = MantleRuntime::new(cephfs_policy());
+        let hot = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[90.0, 5.0, 5.0]),
+            ..Default::default()
+        };
+        let out = rt.decide(&hot).unwrap();
+        assert!(out.migrate);
+        // targets for the two cold MDSs, none for self.
+        assert_eq!(out.targets[0], 0.0);
+        assert!(out.targets[1] > 0.0 && out.targets[2] > 0.0);
+
+        let cold = BalancerInputs {
+            whoami: 1,
+            mds: metrics(&[90.0, 5.0, 5.0]),
+            ..Default::default()
+        };
+        let out = rt.decide(&cold).unwrap();
+        assert!(!out.migrate, "an underloaded MDS must not export");
+    }
+
+    #[test]
+    fn mdsload_weighted_sum() {
+        let rt = MantleRuntime::new(cephfs_policy());
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: vec![MdsMetrics {
+                auth: 10.0,
+                all: 20.0,
+                req: 5.0,
+                q: 2.0,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let out = rt.decide(&inputs).unwrap();
+        // 0.8*10 + 0.2*20 + 5 + 10*2 = 37
+        assert!((out.mds_loads[0] - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn listing_1_greedy_spill_runs_verbatim() {
+        // Listing 1, with `end` completing the truncated `if`.
+        let p = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            r#"
+if MDSs[whoami]["load"]>.01 and MDSs[whoami+1]["load"]<.01 then
+  targets[whoami+1]=allmetaload/2
+end
+"#,
+            &["half"],
+        )
+        .unwrap();
+        let rt = MantleRuntime::new(p);
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[50.0, 0.0, 0.0, 0.0]),
+            all_metaload: 50.0,
+            ..Default::default()
+        };
+        let out = rt.decide(&inputs).unwrap();
+        assert!(out.migrate);
+        assert_eq!(out.targets[1], 25.0);
+        assert_eq!(out.targets[2], 0.0);
+
+        // Neighbour already loaded → no spill.
+        let inputs2 = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[50.0, 50.0, 0.0, 0.0]),
+            all_metaload: 50.0,
+            ..Default::default()
+        };
+        assert!(!rt.decide(&inputs2).unwrap().migrate);
+    }
+
+    #[test]
+    fn listing_3_fill_and_spill_state_machine() {
+        // Fill & Spill: spill 25% only after CPU > 48 for 3 straight ticks.
+        let p = PolicySet::from_combined(
+            "IWR + IRD",
+            "MDSs[i][\"auth\"]",
+            r#"
+wait=RDstate()
+go = 0
+if MDSs[whoami]["cpu"]>48 then
+  if wait>0 then WRstate(wait-1)
+  else WRstate(2) go=1 end
+else WRstate(2) end
+if go==1 then
+  targets[whoami+1] = MDSs[whoami]["load"]/4
+end
+"#,
+            &["small_first"],
+        )
+        .unwrap();
+        let rt = MantleRuntime::new(p);
+        let busy = BalancerInputs {
+            whoami: 0,
+            mds: vec![
+                MdsMetrics {
+                    auth: 100.0,
+                    cpu: 90.0,
+                    ..Default::default()
+                },
+                MdsMetrics::default(),
+            ],
+            ..Default::default()
+        };
+        // Tick 1: cold start, wait==0 → go (the listing's semantics: an MDS
+        // already past threshold with no armed counter fires and re-arms).
+        assert!(rt.decide(&busy).unwrap().migrate);
+        // Ticks 2-3: armed counter counts down, no migration.
+        assert!(!rt.decide(&busy).unwrap().migrate);
+        assert!(!rt.decide(&busy).unwrap().migrate);
+        // Tick 4: counter exhausted → fires again.
+        assert!(rt.decide(&busy).unwrap().migrate);
+        // Idle CPU always re-arms and never fires.
+        let idle = BalancerInputs {
+            whoami: 0,
+            mds: vec![
+                MdsMetrics {
+                    auth: 100.0,
+                    cpu: 10.0,
+                    ..Default::default()
+                },
+                MdsMetrics::default(),
+            ],
+            ..Default::default()
+        };
+        assert!(!rt.decide(&idle).unwrap().migrate);
+    }
+
+    #[test]
+    fn combined_decision_with_no_targets_is_idle() {
+        let p = PolicySet::from_combined("IWR", "MDSs[i][\"all\"]", "x = 1", &["half"]).unwrap();
+        let rt = MantleRuntime::new(p);
+        let out = rt
+            .decide(&BalancerInputs {
+                whoami: 0,
+                mds: metrics(&[10.0, 0.0]),
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(!out.migrate);
+        assert_eq!(out.targets, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn when_true_but_empty_targets_is_idle() {
+        let p = PolicySet::from_hooks("IWR", "MDSs[i][\"all\"]", "true", "x = 1", &["half"])
+            .unwrap();
+        let rt = MantleRuntime::new(p);
+        let out = rt
+            .decide(&BalancerInputs {
+                whoami: 0,
+                mds: metrics(&[10.0, 0.0]),
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(!out.migrate, "no targets → nothing to do");
+    }
+
+    #[test]
+    fn negative_targets_are_clamped() {
+        let p = PolicySet::from_hooks(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            "true",
+            "targets[2] = -5",
+            &["half"],
+        )
+        .unwrap();
+        let rt = MantleRuntime::new(p);
+        let out = rt
+            .decide(&BalancerInputs {
+                whoami: 0,
+                mds: metrics(&[10.0, 5.0]),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(out.targets[1], 0.0);
+        assert!(!out.migrate);
+    }
+
+    #[test]
+    fn file_state_store_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mantle-test-{}", std::process::id()));
+        let mut store = FileStateStore::new(&dir).unwrap();
+        assert_eq!(store.read(3), 0.0);
+        store.write(3, 2.5);
+        assert_eq!(store.read(3), 2.5);
+        store.clear();
+        assert_eq!(store.read(3), 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_isolated_per_mds() {
+        let mut store = MemoryStateStore::default();
+        store.write(0, 1.0);
+        store.write(1, 2.0);
+        assert_eq!(store.read(0), 1.0);
+        assert_eq!(store.read(1), 2.0);
+    }
+
+    #[test]
+    fn env_builder() {
+        let mut interp = EnvBuilder::new().number("x", 3.0).build();
+        let script = crate::parser::parse_script("y = max(x, 2)").unwrap();
+        interp.run(&script).unwrap();
+        assert_eq!(interp.get_global("y").as_number(0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn empty_cluster_is_idle() {
+        let rt = MantleRuntime::new(cephfs_policy());
+        let out = rt.decide(&BalancerInputs::default()).unwrap();
+        assert!(!out.migrate);
+        assert!(out.targets.is_empty());
+    }
+}

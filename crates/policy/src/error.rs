@@ -1,0 +1,110 @@
+//! Error type shared by the lexer, parser, and interpreter.
+
+use std::fmt;
+
+/// Result alias for policy operations.
+pub type PolicyResult<T> = Result<T, PolicyError>;
+
+/// An error raised while compiling or running a policy script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// Lexical error (bad character, unterminated string, malformed number).
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// Runtime error (type errors, undefined operations).
+    Runtime {
+        /// 1-based source line of the failing construct, when known.
+        line: u32,
+        /// Description.
+        message: String,
+    },
+    /// The script exceeded its step budget — the `while 1 do end` guard the
+    /// paper calls for in §4.4.
+    BudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// The script is syntactically valid Lua but uses a feature outside the
+    /// supported subset (e.g. `function` definitions, generic `for`).
+    Unsupported {
+        /// 1-based source line.
+        line: u32,
+        /// The feature.
+        feature: String,
+    },
+    /// Validation failed (static check or dry-run rejected the policy).
+    Rejected {
+        /// Why the validator rejected the script.
+        reason: String,
+    },
+}
+
+impl PolicyError {
+    /// Shorthand runtime error constructor.
+    pub fn runtime(line: u32, message: impl Into<String>) -> Self {
+        PolicyError::Runtime {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The source line associated with the error, if any.
+    pub fn line(&self) -> Option<u32> {
+        match self {
+            PolicyError::Lex { line, .. }
+            | PolicyError::Parse { line, .. }
+            | PolicyError::Runtime { line, .. }
+            | PolicyError::Unsupported { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
+            PolicyError::Parse { line, message } => {
+                write!(f, "syntax error (line {line}): {message}")
+            }
+            PolicyError::Runtime { line, message } => {
+                write!(f, "runtime error (line {line}): {message}")
+            }
+            PolicyError::BudgetExhausted { budget } => {
+                write!(f, "policy exceeded its step budget of {budget} steps")
+            }
+            PolicyError::Unsupported { line, feature } => {
+                write!(f, "unsupported feature (line {line}): {feature}")
+            }
+            PolicyError::Rejected { reason } => write!(f, "policy rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_line() {
+        let e = PolicyError::runtime(4, "boom");
+        assert_eq!(e.to_string(), "runtime error (line 4): boom");
+        assert_eq!(e.line(), Some(4));
+        let b = PolicyError::BudgetExhausted { budget: 10 };
+        assert_eq!(b.line(), None);
+        assert!(b.to_string().contains("10"));
+    }
+}

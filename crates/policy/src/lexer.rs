@@ -1,0 +1,426 @@
+//! Hand-written lexer for the policy language.
+
+use crate::error::{PolicyError, PolicyResult};
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `src` into a token stream terminated by [`TokenKind::Eof`].
+pub fn lex(src: &str) -> PolicyResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        let line = self.line;
+        self.out.push(Token { kind, line });
+    }
+
+    fn err(&self, message: impl Into<String>) -> PolicyError {
+        PolicyError::Lex {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn run(mut self) -> PolicyResult<Vec<Token>> {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'-' => {
+                    if self.peek2() == Some(b'-') {
+                        self.skip_comment();
+                    } else {
+                        self.bump();
+                        self.push(TokenKind::Minus);
+                    }
+                }
+                b'+' => {
+                    self.bump();
+                    self.push(TokenKind::Plus);
+                }
+                b'*' => {
+                    self.bump();
+                    self.push(TokenKind::Star);
+                }
+                b'/' => {
+                    self.bump();
+                    self.push(TokenKind::Slash);
+                }
+                b'%' => {
+                    self.bump();
+                    self.push(TokenKind::Percent);
+                }
+                b'^' => {
+                    self.bump();
+                    self.push(TokenKind::Caret);
+                }
+                b'#' => {
+                    self.bump();
+                    self.push(TokenKind::Hash);
+                }
+                b'(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen);
+                }
+                b')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen);
+                }
+                b'{' => {
+                    self.bump();
+                    self.push(TokenKind::LBrace);
+                }
+                b'}' => {
+                    self.bump();
+                    self.push(TokenKind::RBrace);
+                }
+                b'[' => {
+                    self.bump();
+                    self.push(TokenKind::LBracket);
+                }
+                b']' => {
+                    self.bump();
+                    self.push(TokenKind::RBracket);
+                }
+                b';' => {
+                    self.bump();
+                    self.push(TokenKind::Semi);
+                }
+                b':' => {
+                    self.bump();
+                    self.push(TokenKind::Colon);
+                }
+                b',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma);
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::EqEq);
+                    } else {
+                        self.push(TokenKind::Assign);
+                    }
+                }
+                b'~' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::NotEq);
+                    } else {
+                        return Err(self.err("expected '=' after '~'"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Le);
+                    } else {
+                        self.push(TokenKind::Lt);
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Ge);
+                    } else {
+                        self.push(TokenKind::Gt);
+                    }
+                }
+                b'.' => {
+                    // '.' can start a number (`.01`), a concat (`..`), or be
+                    // an index dot.
+                    if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                        self.number()?;
+                    } else if self.peek2() == Some(b'.') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokenKind::Concat);
+                    } else {
+                        self.bump();
+                        self.push(TokenKind::Dot);
+                    }
+                }
+                b'"' | b'\'' => self.string(b)?,
+                b'0'..=b'9' => self.number()?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.name(),
+                other => {
+                    return Err(self.err(format!("unexpected character '{}'", other as char)));
+                }
+            }
+        }
+        self.push(TokenKind::Eof);
+        Ok(self.out)
+    }
+
+    fn skip_comment(&mut self) {
+        // Only line comments; Lua's long-bracket comments are not in the
+        // listings and stay out of the subset.
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn string(&mut self, quote: u8) -> PolicyResult<()> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b) if b == quote => break,
+                Some(b'\\') => {
+                    let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+                    match esc {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'\\' => s.push('\\'),
+                        b'"' => s.push('"'),
+                        b'\'' => s.push('\''),
+                        other => {
+                            return Err(
+                                self.err(format!("unknown escape '\\{}'", other as char))
+                            );
+                        }
+                    }
+                }
+                Some(b) => s.push(b as char),
+            }
+        }
+        self.push(TokenKind::Str(s));
+        Ok(())
+    }
+
+    fn number(&mut self) -> PolicyResult<()> {
+        let start = self.pos;
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !seen_dot && !seen_exp => {
+                    // Don't swallow a concat operator `1..2`.
+                    if self.peek2() == Some(b'.') {
+                        break;
+                    }
+                    seen_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !seen_exp => {
+                    seen_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("malformed number '{text}'")))?;
+        self.push(TokenKind::Number(n));
+        Ok(())
+    }
+
+    fn name(&mut self) {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii name");
+        match TokenKind::keyword(text) {
+            Some(kw) => self.push(kw),
+            None => self.push(TokenKind::Name(text.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 .01 1e3 2.5e-2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(0.01),
+                TokenKind::Number(1e3),
+                TokenKind::Number(2.5e-2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_dot_number_from_listing_1() {
+        // Listing 1 uses `.01` literally.
+        let toks = kinds("MDSs[whoami][\"load\"]>.01");
+        assert!(toks.contains(&TokenKind::Number(0.01)));
+        assert!(toks.contains(&TokenKind::Gt));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("-- Metadata load\nmetaload = IWR -- trailing"),
+            vec![
+                TokenKind::Name("metaload".into()),
+                TokenKind::Assign,
+                TokenKind::Name("IWR".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a ~= b <= c .. d"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::NotEq,
+                TokenKind::Name("b".into()),
+                TokenKind::Le,
+                TokenKind::Name("c".into()),
+                TokenKind::Concat,
+                TokenKind::Name("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#" "big_first" 'half' "a\nb" "#),
+            vec![
+                TokenKind::Str("big_first".into()),
+                TokenKind::Str("half".into()),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(
+            lex("\"oops"),
+            Err(PolicyError::Lex { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn keywords_vs_names() {
+        assert_eq!(
+            kinds("while whilex do"),
+            vec![
+                TokenKind::While,
+                TokenKind::Name("whilex".into()),
+                TokenKind::Do,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_tracking() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]); // c and EOF on line 4
+    }
+
+    #[test]
+    fn concat_vs_number_dots() {
+        assert_eq!(
+            kinds("1 .. 2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Concat,
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
+        );
+        // Adjacent form: `1..2` must lex as 1 .. 2 too.
+        assert_eq!(
+            kinds("1..2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Concat,
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character() {
+        assert!(matches!(lex("a @ b"), Err(PolicyError::Lex { .. })));
+        assert!(matches!(lex("a ~ b"), Err(PolicyError::Lex { .. })));
+    }
+
+    #[test]
+    fn listing_fragment_lexes() {
+        let src = r#"
+-- When policy
+t=((#MDSs-whoami+1)/2)+whoami
+if t>#MDSs then t=whoami end
+while t~=whoami and MDSs[t]["load"]<.01 do t=t-1 end
+"#;
+        assert!(lex(src).is_ok());
+    }
+}

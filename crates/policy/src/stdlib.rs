@@ -1,0 +1,158 @@
+//! Built-in functions available to every policy: `max`, `min` (Table 2),
+//! plus a small `math` table (`math.max`, `math.min`, `math.abs`,
+//! `math.floor`, `math.ceil`, `math.sqrt`, `math.huge`) and `tonumber` /
+//! `tostring`. Everything is pure: policies stay sandboxed and
+//! deterministic.
+
+use std::rc::Rc;
+
+use crate::error::{PolicyError, PolicyResult};
+use crate::interp::Interpreter;
+use crate::value::{Table, Value};
+
+fn numeric_fold(
+    name: &'static str,
+    args: &[Value],
+    f: impl Fn(f64, f64) -> f64,
+) -> PolicyResult<Value> {
+    if args.is_empty() {
+        return Err(PolicyError::runtime(
+            0,
+            format!("{name} expects at least one argument"),
+        ));
+    }
+    let mut acc = args[0].as_number(0)?;
+    for a in &args[1..] {
+        acc = f(acc, a.as_number(0)?);
+    }
+    Ok(Value::Number(acc))
+}
+
+fn unary(name: &'static str, args: &[Value], f: impl Fn(f64) -> f64) -> PolicyResult<Value> {
+    if args.len() != 1 {
+        return Err(PolicyError::runtime(
+            0,
+            format!("{name} expects exactly one argument"),
+        ));
+    }
+    Ok(Value::Number(f(args[0].as_number(0)?)))
+}
+
+/// Install the standard library into an interpreter's globals.
+pub fn install(interp: &mut Interpreter) {
+    interp.set_global(
+        "max",
+        Value::Native("max", Rc::new(|_, a| numeric_fold("max", a, f64::max))),
+    );
+    interp.set_global(
+        "min",
+        Value::Native("min", Rc::new(|_, a| numeric_fold("min", a, f64::min))),
+    );
+    interp.set_global(
+        "tonumber",
+        Value::Native(
+            "tonumber",
+            Rc::new(|_, a| match a.first() {
+                Some(v) => Ok(v
+                    .as_number(0)
+                    .map(Value::Number)
+                    .unwrap_or(Value::Nil)),
+                None => Ok(Value::Nil),
+            }),
+        ),
+    );
+    interp.set_global(
+        "tostring",
+        Value::Native(
+            "tostring",
+            Rc::new(|_, a| {
+                Ok(Value::str(
+                    a.first().map(|v| v.display_string()).unwrap_or_default(),
+                ))
+            }),
+        ),
+    );
+
+    let mut math = Table::new();
+    math.set_str(
+        "max",
+        Value::Native("math.max", Rc::new(|_, a| numeric_fold("math.max", a, f64::max))),
+    );
+    math.set_str(
+        "min",
+        Value::Native("math.min", Rc::new(|_, a| numeric_fold("math.min", a, f64::min))),
+    );
+    math.set_str(
+        "abs",
+        Value::Native("math.abs", Rc::new(|_, a| unary("math.abs", a, f64::abs))),
+    );
+    math.set_str(
+        "floor",
+        Value::Native(
+            "math.floor",
+            Rc::new(|_, a| unary("math.floor", a, f64::floor)),
+        ),
+    );
+    math.set_str(
+        "ceil",
+        Value::Native("math.ceil", Rc::new(|_, a| unary("math.ceil", a, f64::ceil))),
+    );
+    math.set_str(
+        "sqrt",
+        Value::Native("math.sqrt", Rc::new(|_, a| unary("math.sqrt", a, f64::sqrt))),
+    );
+    math.set_str("huge", Value::Number(f64::INFINITY));
+    interp.set_global("math", Value::table(math));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+
+    fn run(src: &str) -> Interpreter {
+        let script = parse_script(src).unwrap();
+        let mut interp = Interpreter::new();
+        install(&mut interp);
+        interp.run(&script).unwrap();
+        interp
+    }
+
+    #[test]
+    fn max_min() {
+        let i = run("a = max(1, 5, 3) b = min(2, -1)");
+        assert_eq!(i.get_global("a").as_number(0).unwrap(), 5.0);
+        assert_eq!(i.get_global("b").as_number(0).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn math_table() {
+        let i = run("a = math.floor(2.7) b = math.ceil(2.1) c = math.abs(-3) d = math.sqrt(16)");
+        assert_eq!(i.get_global("a").as_number(0).unwrap(), 2.0);
+        assert_eq!(i.get_global("b").as_number(0).unwrap(), 3.0);
+        assert_eq!(i.get_global("c").as_number(0).unwrap(), 3.0);
+        assert_eq!(i.get_global("d").as_number(0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn math_huge() {
+        let i = run("h = math.huge x = min(h, 5)");
+        assert_eq!(i.get_global("x").as_number(0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn tostring_tonumber() {
+        let i = run("s = tostring(42) n = tonumber(\"2.5\") bad = tonumber(\"zz\")");
+        assert_eq!(i.get_global("s").display_string(), "42");
+        assert_eq!(i.get_global("n").as_number(0).unwrap(), 2.5);
+        assert!(matches!(i.get_global("bad"), Value::Nil));
+    }
+
+    #[test]
+    fn max_with_no_args_errors() {
+        let script = parse_script("x = max()").unwrap();
+        let mut interp = Interpreter::new();
+        install(&mut interp);
+        assert!(interp.run(&script).is_err());
+    }
+}

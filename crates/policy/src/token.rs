@@ -1,0 +1,234 @@
+//! Tokens for the policy language.
+
+use std::fmt;
+
+/// A lexical token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and names
+    /// Numeric literal (always an f64, as in Lua 5.1).
+    Number(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// Identifier.
+    Name(String),
+
+    // Keywords
+    /// `and`
+    And,
+    /// `break`
+    Break,
+    /// `do`
+    Do,
+    /// `else`
+    Else,
+    /// `elseif`
+    Elseif,
+    /// `end`
+    End,
+    /// `false`
+    False,
+    /// `for`
+    For,
+    /// `function` (recognized so we can give a useful "unsupported" error)
+    Function,
+    /// `if`
+    If,
+    /// `local`
+    Local,
+    /// `nil`
+    Nil,
+    /// `not`
+    Not,
+    /// `or`
+    Or,
+    /// `return`
+    Return,
+    /// `then`
+    Then,
+    /// `true`
+    True,
+    /// `while`
+    While,
+    /// `in` (recognized for error reporting on generic-for)
+    In,
+    /// `repeat`
+    Repeat,
+    /// `until`
+    Until,
+
+    // Symbols
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `#`
+    Hash,
+    /// `==`
+    EqEq,
+    /// `~=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    Concat,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier.
+    pub fn keyword(name: &str) -> Option<TokenKind> {
+        Some(match name {
+            "and" => TokenKind::And,
+            "break" => TokenKind::Break,
+            "do" => TokenKind::Do,
+            "else" => TokenKind::Else,
+            "elseif" => TokenKind::Elseif,
+            "end" => TokenKind::End,
+            "false" => TokenKind::False,
+            "for" => TokenKind::For,
+            "function" => TokenKind::Function,
+            "if" => TokenKind::If,
+            "in" => TokenKind::In,
+            "local" => TokenKind::Local,
+            "nil" => TokenKind::Nil,
+            "not" => TokenKind::Not,
+            "or" => TokenKind::Or,
+            "repeat" => TokenKind::Repeat,
+            "return" => TokenKind::Return,
+            "then" => TokenKind::Then,
+            "true" => TokenKind::True,
+            "until" => TokenKind::Until,
+            "while" => TokenKind::While,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Name(n) => write!(f, "name '{n}'"),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    TokenKind::And => "and",
+                    TokenKind::Break => "break",
+                    TokenKind::Do => "do",
+                    TokenKind::Else => "else",
+                    TokenKind::Elseif => "elseif",
+                    TokenKind::End => "end",
+                    TokenKind::False => "false",
+                    TokenKind::For => "for",
+                    TokenKind::Function => "function",
+                    TokenKind::If => "if",
+                    TokenKind::In => "in",
+                    TokenKind::Local => "local",
+                    TokenKind::Nil => "nil",
+                    TokenKind::Not => "not",
+                    TokenKind::Or => "or",
+                    TokenKind::Repeat => "repeat",
+                    TokenKind::Return => "return",
+                    TokenKind::Then => "then",
+                    TokenKind::True => "true",
+                    TokenKind::Until => "until",
+                    TokenKind::While => "while",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Caret => "^",
+                    TokenKind::Hash => "#",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "~=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::Assign => "=",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Colon => ":",
+                    TokenKind::Comma => ",",
+                    TokenKind::Dot => ".",
+                    TokenKind::Concat => "..",
+                    _ => unreachable!(),
+                };
+                write!(f, "'{s}'")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("whoami"), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::NotEq.to_string(), "'~='");
+        assert_eq!(TokenKind::Number(3.5).to_string(), "number 3.5");
+        assert_eq!(TokenKind::Name("t".into()).to_string(), "name 't'");
+    }
+}

@@ -1,0 +1,391 @@
+//! Policy validation — the §4.4 "simulator that checks the logic before
+//! injecting policies in the running cluster".
+//!
+//! Validation has two stages:
+//!
+//! 1. **static**: the script must compile, and may only reference globals
+//!    from the Mantle environment (Table 2) — a typo like `MDSS` is caught
+//!    here rather than producing `nil` at 2 a.m. on a production MDS;
+//! 2. **dynamic**: every hook is dry-run under a small step budget against
+//!    a family of synthetic clusters (idle, hot-self, hot-other, single
+//!    MDS) and must complete without runtime errors on all of them.
+
+use std::collections::HashSet;
+
+use crate::ast::{Block, Expr, LValue, Script, Stmt};
+use crate::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics, PolicySet};
+use crate::error::{PolicyError, PolicyResult};
+use crate::interp::StepBudget;
+
+/// Globals every policy may reference (Table 2 plus the stdlib).
+const KNOWN_GLOBALS: &[&str] = &[
+    "whoami",
+    // The MDS index the runtime sets while evaluating `mdsload`.
+    "i",
+    "authmetaload",
+    "allmetaload",
+    "IRD",
+    "IWR",
+    "READDIR",
+    "FETCH",
+    "STORE",
+    "MDSs",
+    "total",
+    "targets",
+    "WRstate",
+    "RDstate",
+    "max",
+    "min",
+    "math",
+    "tonumber",
+    "tostring",
+];
+
+/// Validates policy sets before they are injected.
+#[derive(Debug, Clone)]
+pub struct PolicyValidator {
+    budget: StepBudget,
+}
+
+impl Default for PolicyValidator {
+    fn default() -> Self {
+        PolicyValidator {
+            // Dry runs get a tighter budget than production: a validator
+            // tick must be quick.
+            budget: StepBudget(200_000),
+        }
+    }
+}
+
+impl PolicyValidator {
+    /// Validator with the default dry-run budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the dry-run step budget.
+    pub fn with_budget(mut self, budget: StepBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Validate a policy set; `Ok(())` means safe to inject.
+    pub fn validate(&self, policy: &PolicySet) -> PolicyResult<()> {
+        self.check_globals(policy)?;
+        self.dry_run(policy)
+    }
+
+    fn check_globals(&self, policy: &PolicySet) -> PolicyResult<()> {
+        let mut scripts: Vec<&Script> = vec![&policy.metaload, &policy.mdsload];
+        match &policy.decision {
+            crate::env::Decision::Hooks { when, where_ } => {
+                scripts.push(when);
+                scripts.push(where_);
+            }
+            crate::env::Decision::Combined(s) => scripts.push(s),
+        }
+        for script in scripts {
+            let unknown = unknown_globals(script);
+            if let Some(name) = unknown.into_iter().next() {
+                return Err(PolicyError::Rejected {
+                    reason: format!(
+                        "script reads global '{name}' which is not part of the Mantle \
+                         environment (Table 2) and is never assigned"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn dry_run(&self, policy: &PolicySet) -> PolicyResult<()> {
+        let scenarios = synthetic_clusters();
+        for (label, inputs) in &scenarios {
+            let rt = MantleRuntime::new(policy.clone()).with_budget(self.budget);
+            rt.eval_metaload(
+                inputs.whoami,
+                &FragMetrics {
+                    ird: 3.0,
+                    iwr: 7.0,
+                    readdir: 1.0,
+                    fetch: 0.5,
+                    store: 0.25,
+                },
+            )
+            .map_err(|e| reject(label, "metaload", e))?;
+            // Run the decision twice so WRstate/RDstate interplay is
+            // exercised (first tick cold, second tick warm).
+            rt.decide(inputs).map_err(|e| reject(label, "decision", e))?;
+            rt.decide(inputs).map_err(|e| reject(label, "decision", e))?;
+        }
+        Ok(())
+    }
+}
+
+fn reject(scenario: &str, hook: &str, err: PolicyError) -> PolicyError {
+    PolicyError::Rejected {
+        reason: format!("dry run '{scenario}' failed in {hook}: {err}"),
+    }
+}
+
+/// The synthetic clusters every policy must survive.
+fn synthetic_clusters() -> Vec<(&'static str, BalancerInputs)> {
+    let mk = |loads: &[f64], cpus: &[f64], whoami: usize| {
+        let mds = loads
+            .iter()
+            .zip(cpus)
+            .map(|(&l, &c)| MdsMetrics {
+                auth: l,
+                all: l * 1.2,
+                cpu: c,
+                mem: 20.0,
+                q: (l / 10.0).floor(),
+                req: l * 5.0,
+            })
+            .collect();
+        BalancerInputs {
+            whoami,
+            mds,
+            auth_metaload: loads[whoami],
+            all_metaload: loads[whoami] * 1.2,
+        }
+    };
+    vec![
+        ("single-mds", mk(&[40.0], &[50.0], 0)),
+        ("idle-cluster", mk(&[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0], 0)),
+        ("hot-self", mk(&[95.0, 2.0, 3.0], &[92.0, 5.0, 5.0], 0)),
+        ("hot-other", mk(&[2.0, 95.0, 3.0], &[5.0, 92.0, 5.0], 0)),
+        ("last-mds", mk(&[10.0, 10.0, 80.0], &[20.0, 20.0, 85.0], 2)),
+        (
+            "even-cluster",
+            mk(&[25.0, 25.0, 25.0, 25.0], &[50.0; 4], 1),
+        ),
+    ]
+}
+
+/// Collect globals a script reads before ever assigning them, excluding the
+/// known environment.
+fn unknown_globals(script: &Script) -> Vec<String> {
+    let mut ctx = GlobalScan::default();
+    ctx.block(&script.block);
+    let mut out: Vec<String> = ctx
+        .reads
+        .into_iter()
+        .filter(|name| !KNOWN_GLOBALS.contains(&name.as_str()) && !ctx.writes.contains(name))
+        .collect();
+    out.sort();
+    out
+}
+
+#[derive(Default)]
+struct GlobalScan {
+    reads: HashSet<String>,
+    writes: HashSet<String>,
+    locals: HashSet<String>,
+}
+
+impl GlobalScan {
+    fn block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                self.expr(value);
+                match target {
+                    LValue::Name(n) => {
+                        if !self.locals.contains(n) {
+                            self.writes.insert(n.clone());
+                        }
+                    }
+                    LValue::Index { object, key } => {
+                        self.expr(object);
+                        self.expr(key);
+                    }
+                }
+            }
+            Stmt::Local { name, value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+                self.locals.insert(name.clone());
+            }
+            Stmt::If {
+                arms, else_block, ..
+            } => {
+                for (c, b) in arms {
+                    self.expr(c);
+                    self.block(b);
+                }
+                if let Some(b) = else_block {
+                    self.block(b);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Stmt::NumericFor {
+                var,
+                start,
+                stop,
+                step,
+                body,
+                ..
+            } => {
+                self.expr(start);
+                self.expr(stop);
+                if let Some(s) = step {
+                    self.expr(s);
+                }
+                let fresh = self.locals.insert(var.clone());
+                self.block(body);
+                if fresh {
+                    self.locals.remove(var);
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => self.expr(expr),
+            Stmt::Do { body } => self.block(body),
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+            Stmt::Break { .. } => {}
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Name(n, _) if !self.locals.contains(n) && !self.writes.contains(n) => {
+                self.reads.insert(n.clone());
+            }
+            Expr::Name(..) => {}
+            Expr::Index { object, key, .. } => {
+                self.expr(object);
+                self.expr(key);
+            }
+            Expr::Call { callee, args, .. } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary { operand, .. } => self.expr(operand),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::TableCtor { items, pairs, .. } => {
+                for i in items {
+                    self.expr(i);
+                }
+                for (k, v) in pairs {
+                    self.expr(k);
+                    self.expr(v);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn greedy() -> PolicySet {
+        PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            r#"
+if MDSs[whoami]["load"]>.01 and whoami < #MDSs and MDSs[whoami+1]["load"]<.01 then
+  targets[whoami+1]=allmetaload/2
+end
+"#,
+            &["half"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_policy_passes() {
+        PolicyValidator::new().validate(&greedy()).unwrap();
+    }
+
+    #[test]
+    fn typo_in_global_is_rejected_statically() {
+        let p = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            // `MDSS` (typo) is not in the environment.
+            "if MDSS[whoami] then targets[1] = 1 end",
+            &["half"],
+        )
+        .unwrap();
+        let err = PolicyValidator::new().validate(&p).unwrap_err();
+        assert!(err.to_string().contains("MDSS"), "{err}");
+    }
+
+    #[test]
+    fn infinite_loop_is_rejected_dynamically() {
+        let p = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            "while 1 do x = 1 end",
+            &["half"],
+        )
+        .unwrap();
+        let err = PolicyValidator::new().validate(&p).unwrap_err();
+        assert!(err.to_string().contains("step budget"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_neighbour_is_caught_by_dry_run() {
+        // Indexes MDSs[whoami+1] unconditionally: fine on 3-MDS clusters
+        // when whoami=0, but the "last-mds"/"single-mds" scenarios blow up.
+        let p = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            "if MDSs[whoami+1][\"load\"]<.01 then targets[whoami+1]=1 end",
+            &["half"],
+        )
+        .unwrap();
+        let err = PolicyValidator::new().validate(&p).unwrap_err();
+        assert!(matches!(err, PolicyError::Rejected { .. }));
+    }
+
+    #[test]
+    fn assigned_globals_are_not_unknown() {
+        let p = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            "myload = MDSs[whoami][\"load\"] if myload > 1 then targets[1] = myload end",
+            &["half"],
+        )
+        .unwrap();
+        PolicyValidator::new().validate(&p).unwrap();
+    }
+
+    #[test]
+    fn state_functions_are_known() {
+        let p = PolicySet::from_combined(
+            "IWR",
+            "MDSs[i][\"all\"]",
+            "w = RDstate() WRstate(w + 1)",
+            &["half"],
+        )
+        .unwrap();
+        PolicyValidator::new().validate(&p).unwrap();
+    }
+
+    #[test]
+    fn for_loop_variable_is_local_to_loop() {
+        let script = crate::parser::parse_script("for j=1,3 do x = j end y = j").unwrap();
+        let unknown = unknown_globals(&script);
+        assert_eq!(unknown, vec!["j".to_string()], "j leaks outside the loop");
+    }
+}

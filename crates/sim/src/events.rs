@@ -1,0 +1,177 @@
+//! A deterministic event queue.
+//!
+//! Events fire in `(time, insertion order)` order, so two events scheduled
+//! for the same instant always pop in the order they were pushed. This is
+//! what makes whole-cluster runs bit-for-bit reproducible for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event plus its firing time, as stored in the queue.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-break sequence number (insertion order).
+    seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of timestamped events with stable FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the firing time of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the kernel
+    /// clamps it to `now` so time never goes backwards, and debug builds
+    /// assert.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduled event in the past");
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` after a relative delay from `now`.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.at;
+            (s.at, s.event)
+        })
+    }
+
+    /// Firing time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+        // Relative scheduling now uses the advanced clock.
+        q.schedule_in(SimTime::from_millis(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(SimTime::ZERO, 1);
+        q.schedule_in(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_asserts_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(5), ());
+    }
+}

@@ -1,0 +1,192 @@
+//! Seeded random-number streams.
+//!
+//! A run has one master seed; every component (each client, each MDS's
+//! measurement noise, each workload generator) derives an independent
+//! stream from `(master seed, label)` so adding a new consumer of
+//! randomness never perturbs the draws of existing ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Master stream for a run.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream named `label`.
+    ///
+    /// Uses an FNV-1a mix of the label over the parent seed, which is cheap
+    /// and collision-resistant enough for a handful of component names.
+    pub fn stream(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Avoid the degenerate case of deriving the identical seed.
+        SimRng::new(h ^ self.seed.rotate_left(17))
+    }
+
+    /// Derive a child stream for a numbered component (client 3, MDS 1, ...).
+    pub fn stream_n(&self, label: &str, n: usize) -> SimRng {
+        self.stream(&format!("{label}#{n}"))
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform u64 in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Gaussian sample via Box–Muller (mean `mu`, std dev `sigma`).
+    pub fn gaussian(&mut self, mu: f64, sigma: f64) -> f64 {
+        // Draw until u1 is nonzero so ln() is finite.
+        let mut u1 = self.f64();
+        while u1 <= f64::EPSILON {
+            u1 = self.f64();
+        }
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mu + sigma * z
+    }
+
+    /// Exponential sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let mut u = self.f64();
+        while u <= f64::EPSILON {
+            u = self.f64();
+        }
+        -mean * u.ln()
+    }
+
+    /// A multiplicative jitter factor in `[1-amount, 1+amount]`.
+    pub fn jitter(&mut self, amount: f64) -> f64 {
+        1.0 + (self.f64() * 2.0 - 1.0) * amount
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let master = SimRng::new(7);
+        let mut a = master.stream("clients");
+        let mut b = master.stream("mds-noise");
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn stream_is_stable_across_calls() {
+        let master = SimRng::new(7);
+        let mut a = master.stream("x");
+        let mut b = master.stream("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn numbered_streams_differ() {
+        let master = SimRng::new(3);
+        let mut a = master.stream_n("client", 0);
+        let mut b = master.stream_n("client", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_right() {
+        let mut rng = SimRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut rng = SimRng::new(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut rng = SimRng::new(17);
+        for _ in 0..1_000 {
+            let j = rng.jitter(0.25);
+            assert!((0.75..=1.25).contains(&j));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(19);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

@@ -1,0 +1,428 @@
+//! Statistics helpers for the evaluation: running summaries (Welford),
+//! percentile summaries, bucketed time series (the per-second throughput
+//! curves in Figs. 4, 7, 10), and the exponentially decayed counters CephFS
+//! uses for directory "heat" (Fig. 1).
+
+use crate::time::SimTime;
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 when fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A finished summary of a sample set, including percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample set. Returns an all-zero summary for empty input.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let mut acc = OnlineStats::new();
+        for &s in samples {
+            acc.push(s);
+        }
+        Summary {
+            count: samples.len(),
+            mean: acc.mean(),
+            stddev: acc.stddev(),
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Counts bucketed by fixed-width windows of virtual time. Used for the
+/// per-second/per-minute throughput curves in the figures.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_ms: u64,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// New series with the given bucket width.
+    pub fn new(bucket: SimTime) -> Self {
+        assert!(bucket.as_millis() > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_ms: bucket.as_millis(),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> SimTime {
+        SimTime::from_millis(self.bucket_ms)
+    }
+
+    /// Add `amount` at time `t`.
+    pub fn add(&mut self, t: SimTime, amount: f64) {
+        let idx = (t.as_millis() / self.bucket_ms) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += amount;
+    }
+
+    /// Record one occurrence at time `t`.
+    pub fn incr(&mut self, t: SimTime) {
+        self.add(t, 1.0);
+    }
+
+    /// The raw bucket values.
+    pub fn values(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Iterate `(bucket start time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (SimTime::from_millis(i as u64 * self.bucket_ms), v))
+    }
+
+    /// Per-second rates (value / bucket width in seconds).
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let secs = self.bucket_ms as f64 / 1_000.0;
+        self.buckets.iter().map(|v| v / secs).collect()
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Re-bucket into a coarser series whose width is a multiple of this one.
+    pub fn coarsen(&self, factor: usize) -> TimeSeries {
+        assert!(factor >= 1);
+        let mut out = TimeSeries::new(SimTime::from_millis(self.bucket_ms * factor as u64));
+        for (i, &v) in self.buckets.iter().enumerate() {
+            let t = SimTime::from_millis(i as u64 * self.bucket_ms);
+            out.add(t, v);
+        }
+        out
+    }
+}
+
+/// Exponentially decayed counter — the "heat" CephFS stores per directory.
+///
+/// The counter loses half its value every `half_life`; hits add 1. Decay is
+/// applied lazily when the counter is touched or read, so idle directories
+/// cost nothing.
+#[derive(Debug, Clone)]
+pub struct DecayCounter {
+    value: f64,
+    last: SimTime,
+    half_life_ms: f64,
+}
+
+impl DecayCounter {
+    /// New counter at zero with the given half life.
+    pub fn new(half_life: SimTime) -> Self {
+        assert!(half_life.as_millis() > 0, "half life must be positive");
+        DecayCounter {
+            value: 0.0,
+            last: SimTime::ZERO,
+            half_life_ms: half_life.as_millis() as f64,
+        }
+    }
+
+    fn decay_to(&mut self, now: SimTime) {
+        if now > self.last {
+            let dt = (now - self.last).as_millis() as f64;
+            self.value *= 0.5_f64.powf(dt / self.half_life_ms);
+            self.last = now;
+        }
+    }
+
+    /// Add `amount` at time `now` (after decaying to `now`).
+    pub fn hit(&mut self, now: SimTime, amount: f64) {
+        self.decay_to(now);
+        self.value += amount;
+    }
+
+    /// Decayed value as of `now`.
+    pub fn get(&mut self, now: SimTime) -> f64 {
+        self.decay_to(now);
+        self.value
+    }
+
+    /// Value without applying further decay (as of the last touch).
+    pub fn peek(&self) -> f64 {
+        self.value
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self, now: SimTime) {
+        self.value = 0.0;
+        self.last = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.count, 100);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn timeseries_buckets() {
+        let mut ts = TimeSeries::new(SimTime::from_secs(1));
+        ts.incr(SimTime::from_millis(100));
+        ts.incr(SimTime::from_millis(900));
+        ts.incr(SimTime::from_millis(1_000));
+        ts.add(SimTime::from_millis(2_500), 3.0);
+        assert_eq!(ts.values(), &[2.0, 1.0, 3.0]);
+        assert_eq!(ts.total(), 6.0);
+        assert_eq!(ts.rates_per_sec(), vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn timeseries_coarsen() {
+        let mut ts = TimeSeries::new(SimTime::from_secs(1));
+        for s in 0..6 {
+            ts.add(SimTime::from_secs(s), 1.0);
+        }
+        let coarse = ts.coarsen(3);
+        assert_eq!(coarse.values(), &[3.0, 3.0]);
+        assert_eq!(coarse.bucket(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn decay_counter_halves_at_half_life() {
+        let mut c = DecayCounter::new(SimTime::from_secs(10));
+        c.hit(SimTime::ZERO, 8.0);
+        assert!((c.get(SimTime::from_secs(10)) - 4.0).abs() < 1e-9);
+        assert!((c.get(SimTime::from_secs(30)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_counter_accumulates() {
+        let mut c = DecayCounter::new(SimTime::from_secs(10));
+        c.hit(SimTime::ZERO, 1.0);
+        c.hit(SimTime::from_secs(10), 1.0);
+        // First hit decayed to 0.5, plus the new 1.0.
+        assert!((c.peek() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_counter_reset() {
+        let mut c = DecayCounter::new(SimTime::from_secs(1));
+        c.hit(SimTime::ZERO, 5.0);
+        c.reset(SimTime::from_secs(2));
+        assert_eq!(c.get(SimTime::from_secs(3)), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile_sorted(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 1.0), 4.0);
+    }
+}

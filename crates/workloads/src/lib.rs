@@ -1,0 +1,21 @@
+//! Workload generators for the Mantle evaluation (§4 "Workloads"):
+//!
+//! * [`CreateSeparateDirs`] — every client creates N files in its own
+//!   directory (the mdtest-style storm of Figs. 4 and 5; the HPC
+//!   checkpoint/restart pattern);
+//! * [`CreateSharedDir`] — every client creates into the *same* directory,
+//!   forcing directory fragmentation (Figs. 7 and 8; GIGA+'s target
+//!   workload);
+//! * [`Compile`] — a phased stand-in for compiling the Linux source:
+//!   untar (create sweep), compile (hot subdirectories: `arch`, `kernel`,
+//!   `fs`, `mm`), and a link-phase readdir flash crowd (Figs. 1, 3, 9, 10).
+//!
+//! All generators are deterministic given their seed.
+
+pub mod compile;
+pub mod create;
+pub mod zipf;
+
+pub use compile::{Compile, CompilePhase};
+pub use create::{CreateSeparateDirs, CreateSharedDir};
+pub use zipf::ZipfMix;

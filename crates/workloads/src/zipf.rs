@@ -1,0 +1,201 @@
+//! A Zipf-distributed mixed-metadata workload.
+//!
+//! Not taken from a specific figure — this is the "many types of parallel
+//! applications" generalization the paper's intro motivates, used by the
+//! ablation benches to study balancers under skew that is *not* one of the
+//! two extremes (one shared directory vs perfectly separate directories).
+
+use mantle_mds::{ClientOp, Workload};
+use mantle_namespace::{Namespace, NodeId, OpKind};
+use mantle_sim::{SimRng, SimTime};
+
+/// Clients issue a mix of metadata ops over a flat population of
+/// directories whose popularity follows a Zipf distribution.
+#[derive(Debug, Clone)]
+pub struct ZipfMix {
+    clients: usize,
+    dirs: usize,
+    ops_per_client: u64,
+    exponent: f64,
+    write_fraction: f64,
+    seed: u64,
+    issued: Vec<u64>,
+    nodes: Vec<NodeId>,
+    /// Cumulative Zipf weights for sampling.
+    cdf: Vec<f64>,
+    rngs: Vec<SimRng>,
+}
+
+impl ZipfMix {
+    /// New workload: `clients` clients × `ops_per_client` ops over `dirs`
+    /// directories with Zipf exponent `exponent` (1.0 ≈ classic web skew)
+    /// and the given fraction of metadata writes.
+    pub fn new(
+        clients: usize,
+        dirs: usize,
+        ops_per_client: u64,
+        exponent: f64,
+        write_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(clients > 0 && dirs > 0);
+        assert!((0.0..=1.0).contains(&write_fraction));
+        assert!(exponent >= 0.0);
+        let mut cdf = Vec::with_capacity(dirs);
+        let mut acc = 0.0;
+        for rank in 1..=dirs {
+            acc += 1.0 / (rank as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        for w in &mut cdf {
+            *w /= acc;
+        }
+        let master = SimRng::new(seed);
+        ZipfMix {
+            clients,
+            dirs,
+            ops_per_client,
+            exponent,
+            write_fraction,
+            seed,
+            issued: vec![0; clients],
+            nodes: Vec::new(),
+            cdf,
+            rngs: (0..clients).map(|c| master.stream_n("zipf-client", c)).collect(),
+        }
+    }
+
+    /// The Zipf exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Number of directories in the population.
+    pub fn dirs(&self) -> usize {
+        self.dirs
+    }
+
+    /// Seed used.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn sample_dir(&mut self, client: usize) -> NodeId {
+        let u = self.rngs[client].f64();
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.nodes.len() - 1);
+        self.nodes[idx]
+    }
+}
+
+impl Workload for ZipfMix {
+    fn num_clients(&self) -> usize {
+        self.clients
+    }
+
+    fn setup(&mut self, ns: &mut Namespace) {
+        // A two-level tree so subtree partitioning has units to move:
+        // /zipf/g<k>/d<i> with 16 dirs per group.
+        self.nodes = (0..self.dirs)
+            .map(|i| ns.mkdir_p(&format!("/zipf/g{}/d{}", i / 16, i % 16)))
+            .collect();
+    }
+
+    fn next(&mut self, client: usize, _ns: &mut Namespace, _now: SimTime) -> Option<ClientOp> {
+        if self.issued[client] >= self.ops_per_client {
+            return None;
+        }
+        self.issued[client] += 1;
+        let dir = self.sample_dir(client);
+        let r = self.rngs[client].f64();
+        let kind = if r < self.write_fraction {
+            if r < self.write_fraction * 0.7 {
+                OpKind::Create
+            } else {
+                OpKind::SetAttr
+            }
+        } else {
+            let r2 = (r - self.write_fraction) / (1.0 - self.write_fraction).max(1e-9);
+            if r2 < 0.7 {
+                OpKind::Stat
+            } else if r2 < 0.9 {
+                OpKind::OpenRead
+            } else {
+                OpKind::Readdir
+            }
+        };
+        Some(ClientOp { dir, kind })
+    }
+
+    fn name(&self) -> &str {
+        "zipf-mix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_population() {
+        let mut w = ZipfMix::new(2, 64, 100, 1.0, 0.5, 3);
+        let mut ns = Namespace::default();
+        w.setup(&mut ns);
+        assert_eq!(w.nodes.len(), 64);
+        assert_eq!(w.dirs(), 64);
+        // Two-level grouping exists.
+        assert!(ns.mkdir_p("/zipf/g0") != ns.root());
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let mut w = ZipfMix::new(1, 50, 20_000, 1.2, 0.5, 9);
+        let mut ns = Namespace::default();
+        w.setup(&mut ns);
+        let first = w.nodes[0];
+        let mut hits_first = 0u64;
+        let mut total = 0u64;
+        while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+            total += 1;
+            if op.dir == first {
+                hits_first += 1;
+            }
+        }
+        assert_eq!(total, 20_000);
+        let frac = hits_first as f64 / total as f64;
+        assert!(frac > 0.15, "rank-1 dir got {frac:.3} of traffic");
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let mut w = ZipfMix::new(1, 10, 10_000, 1.0, 0.3, 5);
+        let mut ns = Namespace::default();
+        w.setup(&mut ns);
+        let mut writes = 0u64;
+        let mut total = 0u64;
+        while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+            total += 1;
+            if op.kind.is_write() {
+                writes += 1;
+            }
+        }
+        let frac = writes as f64 / total as f64;
+        assert!((frac - 0.3).abs() < 0.03, "write fraction {frac:.3}");
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let mut w = ZipfMix::new(1, 20, 40_000, 0.0, 0.5, 7);
+        let mut ns = Namespace::default();
+        w.setup(&mut ns);
+        let mut counts = std::collections::HashMap::new();
+        while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+            *counts.entry(op.dir).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap() as f64;
+        let min = counts.values().min().copied().unwrap() as f64;
+        assert!(max / min < 1.35, "uniform spread: {min}..{max}");
+    }
+}

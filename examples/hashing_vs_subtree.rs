@@ -1,0 +1,74 @@
+//! Locality matters: hash-based placement (related work, §5 "Compute it —
+//! Hashing") vs dynamic subtree partitioning on the compile workload.
+//!
+//! Hashing balances perfectly but destroys namespace locality — every
+//! directory lands on a random MDS, so path prefixes and client caches
+//! never line up. Subtree partitioning keeps related metadata together.
+//!
+//! ```text
+//! cargo run --release --example hashing_vs_subtree
+//! ```
+
+use mantle::mds::PlacementPolicy;
+use mantle::prelude::*;
+
+fn main() {
+    let workload = WorkloadSpec::Compile {
+        clients: 5,
+        scale: 6.0,
+    };
+    let base_cfg = ClusterConfig::default().with_mds(3).with_seed(21);
+
+    let runs: Vec<(&str, ClusterConfig, BalancerSpec)> = vec![
+        (
+            "subtree partitioning + adaptable balancer",
+            base_cfg.clone(),
+            BalancerSpec::mantle("adaptable", policies::adaptable().unwrap()),
+        ),
+        (
+            "hash every directory (PVFSv2/SkyFS-style)",
+            ClusterConfig {
+                placement: PlacementPolicy::HashDirs,
+                ..base_cfg.clone()
+            },
+            BalancerSpec::None,
+        ),
+        (
+            "single MDS (maximum locality)",
+            ClusterConfig {
+                num_mds: 1,
+                ..base_cfg
+            },
+            BalancerSpec::None,
+        ),
+    ];
+
+    let mut table = TextTable::new([
+        "placement",
+        "makespan (min)",
+        "per-MDS ops (max/mean)",
+        "remote traversals",
+    ]);
+    for (label, config, balancer) in runs {
+        let n = config.num_mds;
+        let report = run_experiment(&Experiment::new(config, workload.clone(), balancer));
+        let mean = report.total_ops() / n as f64;
+        let max = report
+            .mds
+            .iter()
+            .map(|m| m.total_ops)
+            .fold(0.0_f64, f64::max);
+        table.row([
+            label.to_string(),
+            format!("{:.2}", report.makespan.as_mins_f64()),
+            format!("{:.2}", max / mean),
+            report.total_remote_traversals().to_string(),
+        ]);
+    }
+    println!("5 compile clients, 3 MDS nodes (plus a 1-MDS locality baseline):\n");
+    println!("{}", table.render());
+    println!(
+        "Hashing wins on balance (max/mean → 1) and loses on locality — the \
+         trade-off Mantle's programmable policies let you navigate (§2.1, §5)."
+    );
+}

@@ -1,0 +1,225 @@
+//! Lua-subset semantics torture tests: the policy language against the
+//! behaviours Lua 5.1 defines (the paper's balancers rely on several of
+//! these — 1-based arrays, `and`/`or` returning operands, `#` borders,
+//! floored modulo).
+
+use mantle::policy::{compile, compile_expr, Interpreter, PolicyError, Value};
+
+fn run(src: &str) -> Interpreter {
+    let script = compile(src).unwrap_or_else(|e| panic!("parse {src:?}: {e}"));
+    let mut interp = Interpreter::new();
+    mantle::policy::stdlib::install(&mut interp);
+    interp
+        .run(&script)
+        .unwrap_or_else(|e| panic!("run {src:?}: {e}"));
+    interp
+}
+
+fn num(interp: &Interpreter, name: &str) -> f64 {
+    interp.get_global(name).as_number(0).unwrap()
+}
+
+#[test]
+fn numeric_semantics() {
+    let i = run(r#"
+a = 7 / 2
+b = 7 % 3
+c = -7 % 3
+d = 2 ^ -1
+e = 0.1 + 0.2
+"#);
+    assert_eq!(num(&i, "a"), 3.5, "no integer division in Lua 5.1");
+    assert_eq!(num(&i, "b"), 1.0);
+    assert_eq!(num(&i, "c"), 2.0, "floored modulo");
+    assert_eq!(num(&i, "d"), 0.5);
+    assert!((num(&i, "e") - 0.3).abs() < 1e-12);
+}
+
+#[test]
+fn logic_returns_operands() {
+    let i = run(r#"
+a = nil or 5
+b = false and 5
+c = 3 and 4
+d = nil and nil or "fallback"
+e = not nil
+f = not 0
+"#);
+    assert_eq!(num(&i, "a"), 5.0);
+    assert!(matches!(i.get_global("b"), Value::Bool(false)));
+    assert_eq!(num(&i, "c"), 4.0);
+    assert_eq!(i.get_global("d").display_string(), "fallback");
+    assert!(matches!(i.get_global("e"), Value::Bool(true)));
+    assert!(
+        matches!(i.get_global("f"), Value::Bool(false)),
+        "0 is truthy in Lua"
+    );
+}
+
+#[test]
+fn table_borders_and_nil_holes() {
+    let i = run(r#"
+t = {10, 20, 30}
+n1 = #t
+t[5] = 50
+n2 = #t
+t[4] = 40
+n3 = #t
+t[1] = nil
+n4 = #t
+"#);
+    assert_eq!(num(&i, "n1"), 3.0);
+    assert_eq!(num(&i, "n2"), 3.0, "gap at 4 keeps the border at 3");
+    assert_eq!(num(&i, "n3"), 5.0, "filling the gap extends to 5");
+    assert_eq!(num(&i, "n4"), 0.0, "deleting index 1 resets the border");
+}
+
+#[test]
+fn string_number_coercion_in_arithmetic() {
+    let i = run(r#"x = "10" + 5 y = "3.5" * 2"#);
+    assert_eq!(num(&i, "x"), 15.0);
+    assert_eq!(num(&i, "y"), 7.0);
+    // …but not in comparison.
+    let err = compile(r#"z = "10" < 5"#)
+        .and_then(|s| Interpreter::new().run(&s))
+        .unwrap_err();
+    assert!(matches!(err, PolicyError::Runtime { .. }));
+}
+
+#[test]
+fn concat_formats_like_lua() {
+    let i = run(r#"s = "load=" .. 3 .. "/" .. 2.5"#);
+    assert_eq!(i.get_global("s").display_string(), "load=3/2.5");
+}
+
+#[test]
+fn scoping_shadowing_and_loop_locals() {
+    let i = run(r#"
+x = 1
+do
+  local x = 2
+  y = x
+end
+z = x
+sum = 0
+for x = 1, 3 do sum = sum + x end
+after = x
+"#);
+    assert_eq!(num(&i, "y"), 2.0);
+    assert_eq!(num(&i, "z"), 1.0, "global untouched by the local");
+    assert_eq!(num(&i, "sum"), 6.0);
+    assert_eq!(num(&i, "after"), 1.0, "loop var does not leak");
+}
+
+#[test]
+fn break_exits_innermost_loop_only() {
+    let i = run(r#"
+count = 0
+for i = 1, 3 do
+  for j = 1, 10 do
+    if j == 2 then break end
+    count = count + 1
+  end
+end
+"#);
+    assert_eq!(num(&i, "count"), 3.0, "inner loop breaks at j==2, 1 iteration each");
+}
+
+#[test]
+fn while_with_state_machine() {
+    // A miniature of the Fill & Spill wait-counter logic.
+    let i = run(r#"
+wait = 3
+fires = 0
+ticks = 0
+while ticks < 10 do
+  ticks = ticks + 1
+  if wait > 0 then wait = wait - 1
+  else fires = fires + 1 wait = 3 end
+end
+"#);
+    assert_eq!(num(&i, "fires"), 2.0);
+}
+
+#[test]
+fn nested_table_mutation_through_shared_reference() {
+    let i = run(r#"
+a = {inner = {v = 1}}
+b = a.inner
+b.v = 42
+got = a.inner.v
+same = a.inner == b
+"#);
+    assert_eq!(num(&i, "got"), 42.0, "tables are references");
+    assert!(matches!(i.get_global("same"), Value::Bool(true)));
+}
+
+#[test]
+fn comparison_chain_precedence() {
+    let i = run("r = 1 + 2 < 2 * 2");
+    assert!(matches!(i.get_global("r"), Value::Bool(true)));
+    let i2 = run("r = not (1 > 2) and 3 ~= 4");
+    assert!(matches!(i2.get_global("r"), Value::Bool(true)));
+}
+
+#[test]
+fn expression_mode_accepts_bare_and_scripted_forms() {
+    for src in [
+        "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE",
+        "0.8*MDSs[i][\"auth\"] + 0.2*MDSs[i][\"all\"]",
+        "x = 4 return x * 2",
+    ] {
+        compile_expr(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+    }
+}
+
+#[test]
+fn errors_carry_line_numbers() {
+    let err = compile("x = 1\ny = 2\nz = } bad").unwrap_err();
+    assert_eq!(err.line(), Some(3));
+    let script = compile("a = 1\nb = nothere.field").unwrap();
+    let err = Interpreter::new().run(&script).unwrap_err();
+    assert_eq!(err.line(), Some(2));
+}
+
+#[test]
+fn deep_nesting_within_budget() {
+    // 40 nested ifs — legal, deep, and cheap.
+    let mut src = String::from("x = 0\n");
+    for _ in 0..40 {
+        src.push_str("if x >= 0 then\n");
+    }
+    src.push_str("x = 1\n");
+    for _ in 0..40 {
+        src.push_str("end\n");
+    }
+    let i = run(&src);
+    assert_eq!(num(&i, "x"), 1.0);
+}
+
+#[test]
+fn step_budget_counts_across_hooks_independently() {
+    // Each run resets the budget: 1000 runs of a small script never trip.
+    let script = compile("t = 0 for i = 1, 20 do t = t + i end").unwrap();
+    let mut interp = Interpreter::new().with_budget(mantle::policy::StepBudget(500));
+    for _ in 0..1_000 {
+        interp.run(&script).unwrap();
+    }
+    assert_eq!(interp.get_global("t").as_number(0).unwrap(), 210.0);
+}
+
+#[test]
+fn unsupported_features_error_cleanly() {
+    for src in [
+        "function f() end",
+        "for k, v in pairs(t) do end",
+        "repeat x = 1 until x > 0",
+        "t:method()",
+    ] {
+        let err = compile(src).unwrap_err();
+        assert!(
+            matches!(err, PolicyError::Unsupported { .. }),
+            "{src:?} gave {err}"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Property-based tests over the core data structures and invariants.
+
+use mantle::mds::{select_best, DirfragSelector};
+use mantle::namespace::{Namespace, NamespaceStats, NsConfig, OpKind};
+use mantle::policy::env::{BalancerInputs, MantleRuntime, MdsMetrics, PolicySet};
+use mantle::policy::{parse_script, script_to_source};
+use mantle::sim::{DecayCounter, EventQueue, OnlineStats, SimTime, Summary};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Simulation kernel
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn online_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.stddev() - var.sqrt()).abs() < 1e-6 * (1.0 + var.sqrt()));
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered(xs in prop::collection::vec(0.0f64..1e9, 1..300)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.p50 + 1e-9);
+        prop_assert!(s.p50 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn decay_counter_is_monotone_without_hits(
+        amount in 0.1f64..1e6,
+        dt1 in 1u64..100_000,
+        dt2 in 1u64..100_000,
+    ) {
+        let mut c = DecayCounter::new(SimTime::from_secs(10));
+        c.hit(SimTime::ZERO, amount);
+        let v1 = c.get(SimTime::from_millis(dt1));
+        let v2 = c.get(SimTime::from_millis(dt1 + dt2));
+        prop_assert!(v1 <= amount + 1e-9);
+        prop_assert!(v2 <= v1 + 1e-9, "decay must be monotone");
+        prop_assert!(v2 >= 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dirfrag selectors (§3.2)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn selectors_return_valid_disjoint_indices(
+        loads in prop::collection::vec(0.01f64..100.0, 0..40),
+        target in 0.0f64..2_000.0,
+    ) {
+        for sel in DirfragSelector::all() {
+            let chosen = sel.select(&loads, target);
+            let mut seen = std::collections::HashSet::new();
+            for &i in &chosen {
+                prop_assert!(i < loads.len(), "{sel}: index out of range");
+                prop_assert!(seen.insert(i), "{sel}: duplicate index");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_selectors_never_wildly_overshoot(
+        loads in prop::collection::vec(0.01f64..100.0, 1..40),
+        target in 0.1f64..500.0,
+    ) {
+        // big_first/small_first stop as soon as the target is reached, so
+        // the shipped load overshoots by at most one unit's load.
+        for sel in [DirfragSelector::BigFirst, DirfragSelector::SmallFirst] {
+            let chosen = sel.select(&loads, target);
+            let shipped: f64 = chosen.iter().map(|&i| loads[i]).sum();
+            let max_unit = loads.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(
+                shipped <= target + max_unit + 1e-9,
+                "{sel} shipped {shipped} for target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn select_best_is_no_worse_than_any_single_selector(
+        loads in prop::collection::vec(0.01f64..100.0, 1..40),
+        target in 0.1f64..500.0,
+    ) {
+        let all = DirfragSelector::all();
+        let (_, _, best_shipped) = select_best(&all, &loads, target);
+        let best_dist = (best_shipped - target).abs();
+        for sel in all {
+            let chosen = sel.select(&loads, target);
+            let shipped: f64 = chosen.iter().map(|&i| loads[i]).sum();
+            prop_assert!(
+                best_dist <= (shipped - target).abs() + 1e-9,
+                "select_best lost to {sel}"
+            );
+        }
+    }
+
+    #[test]
+    fn half_selector_takes_exactly_half(loads in prop::collection::vec(0.01f64..10.0, 0..33)) {
+        let chosen = DirfragSelector::Half.select(&loads, 1.0);
+        prop_assert_eq!(chosen.len(), loads.len() / 2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Namespace invariants
+// ---------------------------------------------------------------------------
+
+/// A random namespace operation script.
+#[derive(Debug, Clone)]
+enum NsAction {
+    Mkdir(u8),
+    Create(u8),
+    Unlink(u8),
+    Stat(u8),
+    Migrate(u8, u8),
+    MigrateFrag(u8, u8),
+}
+
+fn ns_action() -> impl Strategy<Value = NsAction> {
+    prop_oneof![
+        (0u8..16).prop_map(NsAction::Mkdir),
+        (0u8..16).prop_map(NsAction::Create),
+        (0u8..16).prop_map(NsAction::Unlink),
+        (0u8..16).prop_map(NsAction::Stat),
+        ((0u8..16), (0u8..4)).prop_map(|(d, m)| NsAction::Migrate(d, m)),
+        ((0u8..16), (0u8..4)).prop_map(|(d, m)| NsAction::MigrateFrag(d, m)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn namespace_invariants_hold_under_random_ops(
+        actions in prop::collection::vec(ns_action(), 1..400),
+    ) {
+        let mut ns = Namespace::new(NsConfig {
+            frag_split_threshold: 6, // force frequent splits
+            ..Default::default()
+        });
+        let mut created: i64 = 0;
+        let mut unlinked: i64 = 0;
+        let mut dirs = vec![ns.root()];
+        let now = SimTime::ZERO;
+        for action in actions {
+            match action {
+                NsAction::Mkdir(p) => {
+                    let parent = dirs[p as usize % dirs.len()];
+                    let name = format!("d{}", dirs.len());
+                    dirs.push(ns.mkdir(parent, name));
+                }
+                NsAction::Create(d) => {
+                    let dir = dirs[d as usize % dirs.len()];
+                    ns.record_op(dir, OpKind::Create, now);
+                    created += 1;
+                }
+                NsAction::Unlink(d) => {
+                    let dir = dirs[d as usize % dirs.len()];
+                    let before = ns.file_count();
+                    ns.record_op(dir, OpKind::Unlink, now);
+                    if ns.file_count() < before {
+                        unlinked += 1;
+                    }
+                }
+                NsAction::Stat(d) => {
+                    let dir = dirs[d as usize % dirs.len()];
+                    ns.record_op(dir, OpKind::Stat, now);
+                }
+                NsAction::Migrate(d, m) => {
+                    let dir = dirs[d as usize % dirs.len()];
+                    ns.migrate_subtree(dir, m as usize);
+                }
+                NsAction::MigrateFrag(d, m) => {
+                    let dir = dirs[d as usize % dirs.len()];
+                    let frag = ns.peek_frag(dir);
+                    ns.migrate_frag(dir, frag, m as usize);
+                }
+            }
+            // Invariant: every directory resolves to exactly one authority.
+            for &dir in &dirs {
+                let _ = ns.resolve_auth(dir);
+            }
+        }
+        // Invariant: files are conserved across splits and migrations.
+        prop_assert_eq!(ns.file_count() as i64, created - unlinked);
+        // Invariant: auth_frags partitions the fragment set.
+        let stats = NamespaceStats::collect(&ns);
+        let total_from_partition: usize =
+            (0..4).map(|m| ns.auth_frags(m).len()).sum();
+        prop_assert_eq!(total_from_partition, stats.frags);
+        // Invariant: every dir keeps at least one fragment.
+        for &dir in &dirs {
+            prop_assert!(!ns.dir(dir).frags.is_empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policy language
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pretty-printer is a fixpoint: print(parse(print(x))) == print(x).
+    #[test]
+    fn printer_round_trips_random_arithmetic(
+        a in -1_000i32..1_000,
+        b in 1i32..1_000,
+        c in -1_000i32..1_000,
+    ) {
+        let src = format!("x = {a} + {b} * {c} y = ({a} - {c}) / {b} z = x < y and y ~= {c}");
+        let first = parse_script(&src).unwrap();
+        let printed = script_to_source(&first);
+        let reparsed = parse_script(&printed).unwrap();
+        prop_assert_eq!(printed, script_to_source(&reparsed));
+    }
+
+    /// Arithmetic in the policy language matches Rust f64 arithmetic.
+    #[test]
+    fn interpreter_arithmetic_matches_rust(
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+        c in 0.001f64..1e3,
+    ) {
+        let src = format!("r = ({a}) + ({b}) * ({c})");
+        let script = parse_script(&src).unwrap();
+        let mut interp = mantle::policy::Interpreter::new();
+        interp.run(&script).unwrap();
+        let got = interp.get_global("r").as_number(0).unwrap();
+        let want = a + b * c;
+        prop_assert!((got - want).abs() <= 1e-9 * (1.0 + want.abs()));
+    }
+
+    /// Random balancer states never crash the shipped policies; targets
+    /// are finite and non-negative, and never point at self.
+    #[test]
+    fn shipped_policies_are_total_over_random_states(
+        loads in prop::collection::vec(0.0f64..10_000.0, 1..9),
+        cpus in prop::collection::vec(0.0f64..100.0, 1..9),
+        whoami_raw in 0usize..8,
+    ) {
+        let n = loads.len().min(cpus.len());
+        let whoami = whoami_raw % n;
+        let inputs = BalancerInputs {
+            whoami,
+            mds: (0..n)
+                .map(|i| MdsMetrics {
+                    auth: loads[i],
+                    all: loads[i] * 1.2,
+                    cpu: cpus[i],
+                    mem: 25.0,
+                    q: (loads[i] / 100.0).floor(),
+                    req: loads[i],
+                })
+                .collect(),
+            auth_metaload: loads[whoami],
+            all_metaload: loads[whoami] * 1.2,
+        };
+        for policy in [
+            mantle::core::policies::greedy_spill().unwrap(),
+            mantle::core::policies::greedy_spill_even().unwrap(),
+            mantle::core::policies::fill_and_spill(0.25).unwrap(),
+            mantle::core::policies::adaptable().unwrap(),
+            mantle::core::policies::cephfs_original().unwrap(),
+        ] {
+            let rt = MantleRuntime::new(policy);
+            let out = rt.decide(&inputs).unwrap();
+            prop_assert_eq!(out.targets.len(), n);
+            for (i, &t) in out.targets.iter().enumerate() {
+                prop_assert!(t.is_finite() && t >= 0.0);
+                if i == whoami {
+                    prop_assert!(t == 0.0, "policy exported to itself");
+                }
+            }
+        }
+    }
+
+    /// Scripts that loop forever always hit the step budget, regardless of
+    /// loop structure.
+    #[test]
+    fn budget_always_terminates_loops(step in 1u32..5, body_len in 1usize..4) {
+        let body = "x = x + 1 ".repeat(body_len);
+        let src = format!("x = 0 while true do {body} end y = {step}");
+        let script = parse_script(&src).unwrap();
+        let mut interp = mantle::policy::Interpreter::new()
+            .with_budget(mantle::policy::StepBudget(5_000));
+        let err = interp.run(&script).unwrap_err();
+        let budget_hit = matches!(err, mantle::policy::PolicyError::BudgetExhausted { .. });
+        prop_assert!(budget_hit, "expected budget exhaustion, got {err}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PolicySet construction is total over selector lists
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn policy_from_combined_handles_arbitrary_howmuch(
+        names in prop::collection::vec("[a-z_]{1,12}", 0..5),
+    ) {
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        // Construction itself must not panic; unknown selector names are
+        // rejected later, at balancer construction.
+        let _ = PolicySet::from_combined("IWR", "MDSs[i][\"all\"]", "x = 1", &refs);
+    }
+}
