@@ -1,13 +1,13 @@
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
-//! Criterion measures regeneration wall time; the domain metric of each
+//! The harness measures regeneration wall time; the domain metric of each
 //! ablation (makespan, migrations, selector accuracy) is printed once per
 //! variant when the bench starts, so `cargo bench` output doubles as the
 //! ablation table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mantle_core::{run_experiment, BalancerSpec, Experiment, WorkloadSpec};
+use mantle_bench::harness::Runner;
 use mantle_core::policies;
+use mantle_core::{run_experiment, BalancerSpec, Experiment, WorkloadSpec};
 use mantle_mds::{select_best, ClusterConfig, DirfragSelector};
 use mantle_sim::{SimRng, SimTime};
 
@@ -29,9 +29,8 @@ fn shared_storm() -> WorkloadSpec {
 
 /// Decay half-life of the popularity counters (Fig. 1 smoothing): too
 /// short and the balancer chases noise; too long and it reacts late.
-fn ablation_decay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_decay_half_life");
-    group.sample_size(10);
+fn ablation_decay(r: &mut Runner) {
+    r.group("ablation_decay_half_life");
     for secs in [1u64, 10, 60] {
         let cfg = ClusterConfig {
             decay_half_life: SimTime::from_secs(secs),
@@ -42,24 +41,24 @@ fn ablation_decay(c: &mut Criterion) {
             shared_storm(),
             BalancerSpec::mantle("greedy", policies::greedy_spill().unwrap()),
         );
-        let r = run_experiment(&spec);
+        let report = run_experiment(&spec);
         eprintln!(
             "[ablation] decay {secs:>3} s: makespan {:.2} min, {} migrations",
-            r.makespan.as_mins_f64(),
-            r.total_migrations()
+            report.makespan.as_mins_f64(),
+            report.total_migrations()
         );
-        group.bench_function(format!("half_life_{secs}s"), |b| {
-            b.iter(|| run_experiment(&spec))
-        });
+        r.bench(&format!("half_life_{secs}s"), || run_experiment(&spec));
     }
-    group.finish();
 }
 
 /// Migration freeze cost: when does moving metadata stop paying?
-fn ablation_freeze(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_migration_freeze");
-    group.sample_size(10);
-    for (label, fixed_us) in [("cheap_5ms", 5_000.0), ("default_50ms", 50_000.0), ("costly_500ms", 500_000.0)] {
+fn ablation_freeze(r: &mut Runner) {
+    r.group("ablation_migration_freeze");
+    for (label, fixed_us) in [
+        ("cheap_5ms", 5_000.0),
+        ("default_50ms", 50_000.0),
+        ("costly_500ms", 500_000.0),
+    ] {
         let mut cfg = base_cfg();
         cfg.costs.migrate_fixed_us = fixed_us;
         let spec = Experiment::new(
@@ -67,21 +66,19 @@ fn ablation_freeze(c: &mut Criterion) {
             shared_storm(),
             BalancerSpec::mantle("greedy", policies::greedy_spill().unwrap()),
         );
-        let r = run_experiment(&spec);
+        let report = run_experiment(&spec);
         eprintln!(
             "[ablation] freeze {label}: makespan {:.2} min, sessions {}",
-            r.makespan.as_mins_f64(),
-            r.sessions_flushed
+            report.makespan.as_mins_f64(),
+            report.sessions_flushed
         );
-        group.bench_function(label, |b| b.iter(|| run_experiment(&spec)));
+        r.bench(label, || run_experiment(&spec));
     }
-    group.finish();
 }
 
 /// Dirfrag split threshold (the GIGA+ fan-out knob).
-fn ablation_split_threshold(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_split_threshold");
-    group.sample_size(10);
+fn ablation_split_threshold(r: &mut Runner) {
+    r.group("ablation_split_threshold");
     for threshold in [500u64, 2_000, 8_000] {
         let cfg = ClusterConfig {
             frag_split_threshold: threshold,
@@ -92,48 +89,41 @@ fn ablation_split_threshold(c: &mut Criterion) {
             shared_storm(),
             BalancerSpec::mantle("greedy", policies::greedy_spill().unwrap()),
         );
-        let r = run_experiment(&spec);
-        let splits: u64 = r.mds.iter().map(|m| m.splits).sum();
+        let report = run_experiment(&spec);
+        let splits: u64 = report.mds.iter().map(|m| m.splits).sum();
         eprintln!(
             "[ablation] split@{threshold}: makespan {:.2} min, {} splits, {} migrations",
-            r.makespan.as_mins_f64(),
+            report.makespan.as_mins_f64(),
             splits,
-            r.total_migrations()
+            report.total_migrations()
         );
-        group.bench_function(format!("threshold_{threshold}"), |b| {
-            b.iter(|| run_experiment(&spec))
-        });
+        r.bench(&format!("threshold_{threshold}"), || run_experiment(&spec));
     }
-    group.finish();
 }
 
 /// Heartbeat cadence: fresher state vs more balancer churn (§2.2.2).
-fn ablation_heartbeat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_heartbeat_cadence");
-    group.sample_size(10);
+fn ablation_heartbeat(r: &mut Runner) {
+    r.group("ablation_heartbeat_cadence");
     for ms in [1_000u64, 2_000, 10_000] {
         let cfg = ClusterConfig {
             heartbeat_interval: SimTime::from_millis(ms),
             ..base_cfg()
         };
         let spec = Experiment::new(cfg, shared_storm(), BalancerSpec::Cephfs);
-        let r = run_experiment(&spec);
+        let report = run_experiment(&spec);
         eprintln!(
             "[ablation] heartbeat {ms:>5} ms: makespan {:.2} min, {} migrations, {} forwards",
-            r.makespan.as_mins_f64(),
-            r.total_migrations(),
-            r.total_forwards()
+            report.makespan.as_mins_f64(),
+            report.total_migrations(),
+            report.total_forwards()
         );
-        group.bench_function(format!("interval_{ms}ms"), |b| {
-            b.iter(|| run_experiment(&spec))
-        });
+        r.bench(&format!("interval_{ms}ms"), || run_experiment(&spec));
     }
-    group.finish();
 }
 
 /// Selector accuracy on random dirfrag load sets (§2.2.3 / §3.2): how far
 /// from the target does each strategy land?
-fn ablation_selectors(c: &mut Criterion) {
+fn ablation_selectors(r: &mut Runner) {
     let mut rng = SimRng::new(99);
     let cases: Vec<(Vec<f64>, f64)> = (0..200)
         .map(|_| {
@@ -166,23 +156,19 @@ fn ablation_selectors(c: &mut Criterion) {
         / cases.len() as f64;
     eprintln!("[ablation] selector best-of-all  mean relative distance {mean_best:.4}");
 
-    let mut group = c.benchmark_group("ablation_selectors");
-    group.bench_function("select_best_200_cases", |b| {
-        b.iter(|| {
-            for (loads, target) in &cases {
-                select_best(&all, loads, *target);
-            }
-        })
+    r.group("ablation_selectors");
+    r.bench("select_best_200_cases", || {
+        for (loads, target) in &cases {
+            select_best(&all, loads, *target);
+        }
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_decay,
-    ablation_freeze,
-    ablation_split_threshold,
-    ablation_heartbeat,
-    ablation_selectors
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    ablation_decay(&mut r);
+    ablation_freeze(&mut r);
+    ablation_split_threshold(&mut r);
+    ablation_heartbeat(&mut r);
+    ablation_selectors(&mut r);
+}

@@ -1,47 +1,27 @@
-//! One Criterion benchmark per table/figure of the paper's evaluation.
+//! One benchmark per table/figure of the paper's evaluation.
 //!
 //! Each bench regenerates the corresponding result on the simulated
 //! cluster (quick-mode sizes) and reports how long the regeneration takes.
 //! Run the `repro` binary for the actual tables:
 //! `cargo run --release -p mantle-core --bin repro -- all`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mantle_bench::harness::Runner;
 use mantle_core::repro::{self, ReproOpts};
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::from_env();
+    r.group("figures");
 
-    group.bench_function("fig1_heatmap", |b| {
-        b.iter(|| repro::fig1_heatmap(ReproOpts::QUICK))
+    r.bench("fig1_heatmap", || repro::fig1_heatmap(ReproOpts::QUICK));
+    r.bench("fig3_locality", || repro::fig3_locality(ReproOpts::QUICK));
+    r.bench("fig4_variance", || repro::fig4_unpredictable(ReproOpts::QUICK));
+    r.bench("fig5_saturation", || repro::fig5_saturation(ReproOpts::QUICK));
+    r.bench("table1_policies", repro::table1_policies);
+    r.bench("fig7_spill", || repro::fig7_spill_timelines(ReproOpts::QUICK));
+    r.bench("fig8_speedup", || repro::fig8_speedups(ReproOpts::QUICK));
+    r.bench("sessions_table", || repro::sessions_table(ReproOpts::QUICK));
+    r.bench("fig9_compile", || repro::fig9_compile_speedup(ReproOpts::QUICK));
+    r.bench("fig10_aggressiveness", || {
+        repro::fig10_aggressiveness(ReproOpts::QUICK)
     });
-    group.bench_function("fig3_locality", |b| {
-        b.iter(|| repro::fig3_locality(ReproOpts::QUICK))
-    });
-    group.bench_function("fig4_variance", |b| {
-        b.iter(|| repro::fig4_unpredictable(ReproOpts::QUICK))
-    });
-    group.bench_function("fig5_saturation", |b| {
-        b.iter(|| repro::fig5_saturation(ReproOpts::QUICK))
-    });
-    group.bench_function("table1_policies", |b| b.iter(repro::table1_policies));
-    group.bench_function("fig7_spill", |b| {
-        b.iter(|| repro::fig7_spill_timelines(ReproOpts::QUICK))
-    });
-    group.bench_function("fig8_speedup", |b| {
-        b.iter(|| repro::fig8_speedups(ReproOpts::QUICK))
-    });
-    group.bench_function("sessions_table", |b| {
-        b.iter(|| repro::sessions_table(ReproOpts::QUICK))
-    });
-    group.bench_function("fig9_compile", |b| {
-        b.iter(|| repro::fig9_compile_speedup(ReproOpts::QUICK))
-    });
-    group.bench_function("fig10_aggressiveness", |b| {
-        b.iter(|| repro::fig10_aggressiveness(ReproOpts::QUICK))
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

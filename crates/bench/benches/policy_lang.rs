@@ -1,8 +1,11 @@
 //! Policy-language micro-benchmarks: how much does the programmable layer
 //! cost per balancer tick? (The paper's answer for LuaJIT was "near
-//! native"; here we quantify our tree-walking interpreter.)
+//! native"; here we quantify our tree-walking interpreter against the
+//! slot-compiled evaluator and the scalar fast path.)
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use mantle_bench::harness::Runner;
 use mantle_core::policies;
 use mantle_mds::balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer};
 use mantle_mds::metrics::Heartbeat;
@@ -30,7 +33,7 @@ fn cluster_inputs(n: usize) -> BalancerInputs {
     }
 }
 
-fn heartbeats(n: usize) -> Vec<Heartbeat> {
+fn heartbeats(n: usize) -> Arc<[Heartbeat]> {
     (0..n)
         .map(|i| Heartbeat {
             auth_metaload: 100.0 / (i + 1) as f64,
@@ -44,34 +47,30 @@ fn heartbeats(n: usize) -> Vec<Heartbeat> {
         .collect()
 }
 
-fn bench_language(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy_lang");
+fn main() {
+    let mut r = Runner::from_env();
+    r.group("policy_lang");
 
-    group.bench_function("lex+parse adaptable.lua", |b| {
-        b.iter(|| compile(ADAPTABLE_SRC).unwrap())
-    });
+    r.bench("lex+parse adaptable.lua", || compile(ADAPTABLE_SRC).unwrap());
 
     let script = compile(ADAPTABLE_SRC).unwrap();
-    group.bench_function("pretty_print adaptable.lua", |b| {
-        b.iter(|| mantle_policy::script_to_source(&script))
+    r.bench("pretty_print adaptable.lua", || {
+        mantle_policy::script_to_source(&script)
     });
 
     // Raw interpreter throughput: a tight arithmetic loop.
     let loop_script = compile("s = 0 for i = 1, 1000 do s = s + i * 2 end").unwrap();
-    group.bench_function("interp 1k-iteration loop", |b| {
-        b.iter_batched(
-            Interpreter::new,
-            |mut interp| interp.run(&loop_script).unwrap(),
-            BatchSize::SmallInput,
-        )
+    r.bench("interp 1k-iteration loop", || {
+        let mut interp = Interpreter::new();
+        interp.run(&loop_script).unwrap()
     });
 
     // Full balancer decisions across cluster sizes.
     for n in [3usize, 16, 64] {
         let rt = MantleRuntime::new(policies::adaptable().unwrap());
         let inputs = cluster_inputs(n);
-        group.bench_function(format!("mantle decide, {n} MDSs"), |b| {
-            b.iter(|| rt.decide(&inputs).unwrap())
+        r.bench(&format!("mantle decide, {n} MDSs"), || {
+            rt.decide(&inputs).unwrap()
         });
     }
 
@@ -81,13 +80,13 @@ fn bench_language(c: &mut Criterion) {
         whoami: 0,
         heartbeats: heartbeats(16),
     };
-    group.bench_function("hard-coded cephfs decide, 16 MDSs", |b| {
-        b.iter(|| hard.decide(&ctx).unwrap())
+    r.bench("hard-coded cephfs decide, 16 MDSs", || {
+        hard.decide(&ctx).unwrap()
     });
     let mut scripted =
         MantleBalancer::new("cephfs-script", policies::cephfs_original().unwrap()).unwrap();
-    group.bench_function("scripted cephfs decide, 16 MDSs", |b| {
-        b.iter(|| scripted.decide(&ctx).unwrap())
+    r.bench("scripted cephfs decide, 16 MDSs", || {
+        scripted.decide(&ctx).unwrap()
     });
 
     // Metaload hook (runs once per dirfrag per tick — the hottest hook).
@@ -99,12 +98,11 @@ fn bench_language(c: &mut Criterion) {
         fetch: 1.0,
         store: 2.0,
     };
-    group.bench_function("metaload hook", |b| {
-        b.iter(|| rt.eval_metaload(0, &frag).unwrap())
+    r.bench("metaload hook (fast path)", || {
+        rt.eval_metaload(0, &frag).unwrap()
     });
-
-    group.finish();
+    let slow = MantleRuntime::new(policies::cephfs_original().unwrap()).with_force_slow_path(true);
+    r.bench("metaload hook (tree-walking)", || {
+        slow.eval_metaload(0, &frag).unwrap()
+    });
 }
-
-criterion_group!(benches, bench_language);
-criterion_main!(benches);

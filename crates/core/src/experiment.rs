@@ -2,9 +2,9 @@
 //!
 //! An [`Experiment`] is pure data (so it can be cloned across threads);
 //! [`run_experiment`] builds the cluster and runs it; [`run_seeds`] fans
-//! repeated runs out over OS threads with crossbeam (the simulation itself
-//! is single-threaded and deterministic — parallelism is across runs, the
-//! same way the paper repeats jobs).
+//! repeated runs out over a bounded pool of OS threads (the simulation
+//! itself is single-threaded and deterministic — parallelism is across
+//! runs, the same way the paper repeats jobs).
 
 use mantle_mds::cluster::NoopBalancer;
 use mantle_mds::{Balancer, CephfsBalancer, Cluster, ClusterConfig, MantleBalancer, RunReport};
@@ -77,6 +77,10 @@ pub enum BalancerSpec {
         name: String,
         /// The compiled policy.
         policy: PolicySet,
+        /// Evaluate hooks with the legacy tree-walking interpreter
+        /// instead of the slot-compiled engine. Differential testing
+        /// only — results must be identical either way.
+        force_slow_path: bool,
     },
 }
 
@@ -86,6 +90,18 @@ impl BalancerSpec {
         BalancerSpec::Mantle {
             name: name.into(),
             policy,
+            force_slow_path: false,
+        }
+    }
+
+    /// Like [`BalancerSpec::mantle`], but hooks run on the tree-walking
+    /// interpreter (the pre-slot-compilation engine). Exists so tests can
+    /// pin both engines to byte-identical [`RunReport`]s.
+    pub fn mantle_slow_path(name: impl Into<String>, policy: PolicySet) -> Self {
+        BalancerSpec::Mantle {
+            name: name.into(),
+            policy,
+            force_slow_path: true,
         }
     }
 
@@ -93,11 +109,16 @@ impl BalancerSpec {
         match self {
             BalancerSpec::None => Box::new(NoopBalancer),
             BalancerSpec::Cephfs => Box::new(CephfsBalancer::default()),
-            BalancerSpec::Mantle { name, policy } => Box::new(
+            BalancerSpec::Mantle {
+                name,
+                policy,
+                force_slow_path,
+            } => Box::new(
                 // Presets are validated in `policies`; here the policy has
                 // already passed or the caller opted in explicitly.
                 MantleBalancer::new_unvalidated(name.clone(), policy.clone())
-                    .expect("policy set was already validated"),
+                    .expect("policy set was already validated")
+                    .with_force_slow_path(*force_slow_path),
             ),
         }
     }
@@ -192,18 +213,38 @@ pub fn run_experiment(spec: &Experiment) -> RunReport {
 }
 
 /// Run the experiment once per seed, in parallel across OS threads.
+///
+/// Fan-out is capped at [`std::thread::available_parallelism`]: spawning
+/// one thread per seed (64 seeds = 64 threads on a 1-core box) only adds
+/// scheduler pressure, so workers instead pull seeds from a shared queue.
 pub fn run_seeds(spec: &Experiment, seeds: &[u64]) -> Vec<RunReport> {
-    let mut out: Vec<Option<RunReport>> = (0..seeds.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, &seed) in out.iter_mut().zip(seeds) {
-            let spec = spec.clone();
-            scope.spawn(move |_| {
-                *slot = Some(run_experiment(&spec.with_seed(seed)));
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(seeds.len().max(1));
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<RunReport>>> =
+        (0..seeds.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let report = run_experiment(&spec.clone().with_seed(seed));
+                *out[i].lock().expect("slot lock never poisoned") = Some(report);
             });
         }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock never poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
 }
 
 #[cfg(test)]

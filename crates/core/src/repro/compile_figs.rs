@@ -6,7 +6,7 @@ use mantle_mds::cluster::NoopBalancer;
 use mantle_mds::Cluster;
 use mantle_sim::SimTime;
 use mantle_workloads::Compile;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::experiment::{run_experiment, BalancerSpec, Experiment, WorkloadSpec};
 use crate::policies;
@@ -49,11 +49,11 @@ pub fn fig1_heatmap(opts: ReproOpts) -> String {
                 let heat = ns.subtree_heat(ch, at).cephfs_metaload();
                 row.push((name, heat));
             }
-            sink2.lock().push((at, row));
+            sink2.lock().expect("sink lock never poisoned").push((at, row));
         });
     }
     let report = cluster.run();
-    let samples = sink.lock();
+    let samples = sink.lock().expect("sink lock never poisoned");
     let mut out = String::new();
     out.push_str(&format!(
         "decayed per-directory heat while 1 client compiles (makespan {} min, {} ops):\n\n",

@@ -102,7 +102,7 @@ pub fn table1_policies() -> String {
     for n in [2usize, 3, 5] {
         for hot in 0..n {
             for spread in [1.0_f64, 3.0, 10.0] {
-                let heartbeats: Vec<Heartbeat> = (0..n)
+                let heartbeats: std::sync::Arc<[Heartbeat]> = (0..n)
                     .map(|i| {
                         let load = if i == hot { 50.0 * spread } else { 10.0 };
                         Heartbeat {

@@ -20,6 +20,7 @@ use mantle_namespace::HeatSample;
 use crate::metrics::Heartbeat;
 use crate::selector::{DirfragSelector, ScriptedSelector, SelectorKind};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// What a balancer sees when it runs: its identity and the (stale)
 /// heartbeat snapshots of the whole cluster.
@@ -29,8 +30,10 @@ pub struct BalanceContext {
     pub whoami: MdsId,
     /// Heartbeat snapshot per MDS (index = MDS id). These are the values
     /// from the *previous* exchange — stale by up to one interval, exactly
-    /// like the real system (§2.2.2).
-    pub heartbeats: Vec<Heartbeat>,
+    /// like the real system (§2.2.2). Shared: every MDS's balancer reads
+    /// the same snapshot, so the tick hands out references instead of
+    /// cloning the vector per MDS.
+    pub heartbeats: Arc<[Heartbeat]>,
 }
 
 /// The outcome of the when/where decision.
@@ -39,8 +42,9 @@ pub struct MigrationPlan {
     /// Load to ship to each MDS (0 for self and for non-targets).
     pub targets: Vec<f64>,
     /// Dirfrag selectors to try when partitioning the namespace (built-in
-    /// or policy-defined).
-    pub selectors: Vec<SelectorKind>,
+    /// or policy-defined). Shared with the balancer that produced the
+    /// plan — selectors are fixed per policy, so plans don't copy them.
+    pub selectors: Rc<[SelectorKind]>,
 }
 
 impl MigrationPlan {
@@ -58,6 +62,14 @@ pub trait Balancer {
     /// The `metaload` hook: scalar load of one dirfrag from its decayed
     /// counters.
     fn metaload(&self, heat: &HeatSample) -> PolicyResult<f64>;
+
+    /// True when [`Balancer::metaload`] is linear with no constant term,
+    /// i.e. `metaload(a + b) == metaload(a) + metaload(b)`. The cluster
+    /// then computes heartbeat loads from per-MDS heat aggregates (O(MDSs)
+    /// per tick) instead of evaluating the hook once per dirfrag.
+    fn metaload_is_additive(&self) -> bool {
+        false
+    }
 
     /// The when/where decision. `Ok(None)` = no migration this tick.
     fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>>;
@@ -99,6 +111,10 @@ impl Balancer for CephfsBalancer {
         Ok(heat.cephfs_metaload())
     }
 
+    fn metaload_is_additive(&self) -> bool {
+        true
+    }
+
     fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>> {
         let n = ctx.heartbeats.len();
         if n < 2 {
@@ -133,7 +149,7 @@ impl Balancer for CephfsBalancer {
         }
         Ok(Some(MigrationPlan {
             targets,
-            selectors: vec![DirfragSelector::BigFirst.into()],
+            selectors: Rc::from([DirfragSelector::BigFirst.into()]),
         }))
     }
 }
@@ -147,7 +163,7 @@ impl Balancer for CephfsBalancer {
 pub struct MantleBalancer {
     name: String,
     runtime: MantleRuntime,
-    selectors: Vec<SelectorKind>,
+    selectors: Rc<[SelectorKind]>,
 }
 
 impl std::fmt::Debug for MantleBalancer {
@@ -195,16 +211,24 @@ impl MantleBalancer {
                     })
             })
             .collect::<PolicyResult<Vec<_>>>()?;
-        let selectors = if selectors.is_empty() {
-            vec![DirfragSelector::BigFirst.into()]
+        let selectors: Rc<[SelectorKind]> = if selectors.is_empty() {
+            Rc::from([DirfragSelector::BigFirst.into()])
         } else {
-            selectors
+            selectors.into()
         };
         Ok(MantleBalancer {
             name: name.into(),
             runtime: MantleRuntime::new(policy),
             selectors,
         })
+    }
+
+    /// Evaluate hooks on the legacy tree-walking interpreter instead of
+    /// the slot-compiled engine. Differential testing only — the two
+    /// engines are pinned byte-identical.
+    pub fn with_force_slow_path(mut self, force: bool) -> Self {
+        self.runtime = self.runtime.with_force_slow_path(force);
+        self
     }
 
     fn inputs(ctx: &BalanceContext) -> BalancerInputs {
@@ -247,6 +271,10 @@ impl Balancer for MantleBalancer {
         )
     }
 
+    fn metaload_is_additive(&self) -> bool {
+        self.runtime.metaload_is_additive()
+    }
+
     fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>> {
         if ctx.heartbeats.is_empty() {
             return Ok(None);
@@ -257,7 +285,8 @@ impl Balancer for MantleBalancer {
         }
         Ok(Some(MigrationPlan {
             targets: outcome.targets,
-            selectors: self.selectors.clone(),
+            // Reference-count bump, not a per-decision vector copy.
+            selectors: Rc::clone(&self.selectors),
         }))
     }
 }
@@ -291,14 +320,14 @@ mod tests {
         let mut b = CephfsBalancer::default();
         let ctx = BalanceContext {
             whoami: 1,
-            heartbeats: vec![hb(90.0, 0.0, 0.0), hb(5.0, 0.0, 0.0), hb(5.0, 0.0, 0.0)],
+            heartbeats: vec![hb(90.0, 0.0, 0.0), hb(5.0, 0.0, 0.0), hb(5.0, 0.0, 0.0)].into(),
         };
         assert!(b.decide(&ctx).unwrap().is_none(), "cold MDS stays put");
         let ctx_hot = BalanceContext { whoami: 0, ..ctx };
         let plan = b.decide(&ctx_hot).unwrap().expect("hot MDS exports");
         assert_eq!(plan.targets[0], 0.0);
         assert!(plan.targets[1] > 0.0 && plan.targets[2] > 0.0);
-        assert_eq!(plan.selectors, vec![DirfragSelector::BigFirst.into()]);
+        assert_eq!(plan.selectors.as_ref(), [DirfragSelector::BigFirst.into()]);
     }
 
     #[test]
@@ -306,7 +335,7 @@ mod tests {
         let mut b = CephfsBalancer { need_min: 0.8 };
         let ctx = BalanceContext {
             whoami: 0,
-            heartbeats: vec![hb(100.0, 0.0, 0.0), hb(0.0, 0.0, 0.0)],
+            heartbeats: vec![hb(100.0, 0.0, 0.0), hb(0.0, 0.0, 0.0)].into(),
         };
         let plan = b.decide(&ctx).unwrap().unwrap();
         // avg = 50; raw target = 50; scaled = 40; surplus = 50 → stays 40.
@@ -320,7 +349,7 @@ mod tests {
         let ctx = BalanceContext {
             whoami: 0,
             heartbeats: vec![hb(60.0, 0.0, 0.0), hb(5.0, 0.0, 0.0), hb(15.0, 0.0, 0.0),
-                             hb(80.0, 0.0, 0.0)],
+                             hb(80.0, 0.0, 0.0)].into(),
         };
         let plan = b.decide(&ctx).unwrap().unwrap();
         let planned: f64 = plan.targets.iter().sum();
@@ -333,7 +362,7 @@ mod tests {
         let mut b = CephfsBalancer::default();
         let ctx = BalanceContext {
             whoami: 0,
-            heartbeats: vec![hb(100.0, 5.0, 5.0)],
+            heartbeats: vec![hb(100.0, 5.0, 5.0)].into(),
         };
         assert!(b.decide(&ctx).unwrap().is_none());
     }
@@ -355,15 +384,15 @@ end
         assert_eq!(b.name(), "greedy-spill");
         let ctx = BalanceContext {
             whoami: 0,
-            heartbeats: vec![hb(50.0, 0.0, 0.0), hb(0.0, 0.0, 0.0)],
+            heartbeats: vec![hb(50.0, 0.0, 0.0), hb(0.0, 0.0, 0.0)].into(),
         };
         let plan = b.decide(&ctx).unwrap().expect("spills");
         assert_eq!(plan.targets[1], 25.0);
-        assert_eq!(plan.selectors, vec![DirfragSelector::Half.into()]);
+        assert_eq!(plan.selectors.as_ref(), [DirfragSelector::Half.into()]);
         // Neighbour busy → idle.
         let ctx2 = BalanceContext {
             whoami: 0,
-            heartbeats: vec![hb(50.0, 0.0, 0.0), hb(50.0, 0.0, 0.0)],
+            heartbeats: vec![hb(50.0, 0.0, 0.0), hb(50.0, 0.0, 0.0)].into(),
         };
         assert!(b.decide(&ctx2).unwrap().is_none());
     }
@@ -410,7 +439,7 @@ end
     fn plan_total_target() {
         let p = MigrationPlan {
             targets: vec![0.0, 2.5, 1.5],
-            selectors: vec![DirfragSelector::Half.into()],
+            selectors: Rc::from([DirfragSelector::Half.into()]),
         };
         assert_eq!(p.total_target(), 4.0);
     }

@@ -93,6 +93,19 @@ impl FragHeat {
         }
     }
 
+    /// Fold a sampled heat into these counters at `now`, scaled by
+    /// `scale`. Because all counters share one exponential decay, adding a
+    /// point-in-time sample is equivalent to having recorded the underlying
+    /// ops here — which is what lets per-MDS aggregates be rebuilt from
+    /// per-frag truth.
+    pub fn add_sample(&mut self, s: &HeatSample, now: SimTime, scale: f64) {
+        self.ird.hit(now, s.ird * scale);
+        self.iwr.hit(now, s.iwr * scale);
+        self.readdir.hit(now, s.readdir * scale);
+        self.fetch.hit(now, s.fetch * scale);
+        self.store.hit(now, s.store * scale);
+    }
+
     /// Sample all counters at `now`.
     pub fn sample(&mut self, now: SimTime) -> HeatSample {
         HeatSample {

@@ -77,6 +77,50 @@ pub struct Dir {
     /// Rolled-up decayed heat of the whole subtree (every op on this dir or
     /// any descendant hits this) — the per-directory heat of Fig. 1.
     pub subtree_heat: FragHeat,
+    /// Memoized authority resolution, valid while its epoch matches the
+    /// namespace's [`Namespace::auth_epoch`].
+    auth_cache: AuthCache,
+}
+
+/// Cached result of `resolve_auth` + `ancestor_auth_chain` for one dir.
+#[derive(Debug, Clone, Default)]
+struct AuthCache {
+    /// Epoch this entry was computed at; 0 means never computed (the
+    /// namespace epoch starts at 1).
+    epoch: u64,
+    auth: MdsId,
+    /// The ancestor authority chain, nearest first, deduplicated.
+    chain: Vec<MdsId>,
+}
+
+/// Per-MDS decayed heat totals, maintained incrementally so heartbeat
+/// snapshots need not walk every dirfrag.
+#[derive(Debug, Clone)]
+struct LoadAggregates {
+    half_life: SimTime,
+    /// Heat of all frags each MDS is the authority for.
+    auth: Vec<FragHeat>,
+    /// Heat of all frags each MDS replicates via an ancestor prefix
+    /// (unscaled; readers apply the replica discount).
+    replica: Vec<FragHeat>,
+}
+
+impl LoadAggregates {
+    fn new(half_life: SimTime) -> Self {
+        LoadAggregates {
+            half_life,
+            auth: Vec::new(),
+            replica: Vec::new(),
+        }
+    }
+
+    /// Grow both vectors so `mds` is a valid index.
+    fn ensure(&mut self, mds: MdsId) {
+        while self.auth.len() <= mds {
+            self.auth.push(FragHeat::new(self.half_life));
+            self.replica.push(FragHeat::new(self.half_life));
+        }
+    }
 }
 
 /// Emitted when a directory fragments, so the MDS can charge the cost.
@@ -98,10 +142,25 @@ pub struct FragRef {
 }
 
 /// The namespace: a tree of [`Dir`]s with authority annotations.
+///
+/// Besides the tree itself, the namespace maintains per-MDS decayed heat
+/// aggregates incrementally: every [`Namespace::record_op`] also charges
+/// the authority's (and each prefix replica's) aggregate counter, and every
+/// authority mutation marks the aggregates dirty. A heartbeat snapshot via
+/// [`Namespace::mds_load_samples`] is then O(MDSs) on migration-free ticks
+/// and rebuilds from per-frag truth — once, interpreter-free — on the first
+/// tick after an authority change.
 #[derive(Debug, Clone)]
 pub struct Namespace {
     cfg: NsConfig,
     dirs: Vec<Dir>,
+    /// Bumped on every authority mutation; versions the per-dir
+    /// `AuthCache` entries. Starts at 1 so a zeroed cache is always stale.
+    auth_epoch: u64,
+    agg: LoadAggregates,
+    /// When set, the aggregates have missed updates (an authority change
+    /// moved heat between MDSs) and must be rebuilt before reading.
+    agg_dirty: bool,
 }
 
 impl Namespace {
@@ -116,10 +175,15 @@ impl Namespace {
             frags: vec![Frag::new(cfg.decay_half_life)],
             auth: Some(0),
             subtree_heat: FragHeat::new(cfg.decay_half_life),
+            auth_cache: AuthCache::default(),
         };
+        let agg = LoadAggregates::new(cfg.decay_half_life);
         Namespace {
             dirs: vec![root],
             cfg,
+            auth_epoch: 1,
+            agg,
+            agg_dirty: false,
         }
     }
 
@@ -170,6 +234,7 @@ impl Namespace {
             frags: vec![Frag::new(half_life)],
             auth: None,
             subtree_heat: FragHeat::new(half_life),
+            auth_cache: AuthCache::default(),
         };
         self.dirs.push(dir);
         self.dir_mut(parent).children.push(id);
@@ -261,11 +326,45 @@ impl Namespace {
                 d.frags[frag_id].files -= 1;
             }
         }
+        // Charge the per-MDS aggregates. When dirty (an authority change
+        // happened since the last rebuild) skip: the rebuild recaptures
+        // everything from per-frag truth anyway.
+        if !self.agg_dirty {
+            self.refresh_auth_cache(id);
+            let idx = id.0 as usize;
+            let auth = self.dirs[idx].frags[frag_id]
+                .auth
+                .unwrap_or(self.dirs[idx].auth_cache.auth);
+            self.agg.ensure(auth);
+            self.agg.auth[auth].record(op, now);
+            for &rep in &self.dirs[idx].auth_cache.chain {
+                if rep != auth {
+                    self.agg.ensure(rep);
+                    self.agg.replica[rep].record(op, now);
+                }
+            }
+        }
         for anc in self.ancestors(id) {
             self.dir_mut(anc).subtree_heat.record(op, now);
         }
         let split = self.maybe_split(id, now);
         (frag_id, split)
+    }
+
+    /// Recompute `id`'s memoized authority resolution if an authority
+    /// change happened since it was last computed (O(depth) upward walk;
+    /// amortized O(1) across the ops between authority changes).
+    fn refresh_auth_cache(&mut self, id: NodeId) {
+        if self.dirs[id.0 as usize].auth_cache.epoch == self.auth_epoch {
+            return;
+        }
+        let auth = self.resolve_auth(id);
+        let chain = self.ancestor_auth_chain(id);
+        self.dirs[id.0 as usize].auth_cache = AuthCache {
+            epoch: self.auth_epoch,
+            auth,
+            chain,
+        };
     }
 
     /// The fragment the next operation on `id` will hit (used by request
@@ -362,14 +461,23 @@ impl Namespace {
 
     // ---- authority ----
 
+    /// Invalidate all memoized authority resolutions and the per-MDS load
+    /// aggregates; called by every authority mutation.
+    fn note_auth_change(&mut self) {
+        self.auth_epoch += 1;
+        self.agg_dirty = true;
+    }
+
     /// Install (or clear) a subtree authority override at `id`.
     pub fn set_auth(&mut self, id: NodeId, auth: Option<MdsId>) {
         self.dir_mut(id).auth = auth;
+        self.note_auth_change();
     }
 
     /// Install (or clear) a per-fragment authority override.
     pub fn set_frag_auth(&mut self, id: NodeId, frag: FragId, auth: Option<MdsId>) {
         self.dir_mut(id).frags[frag].auth = auth;
+        self.note_auth_change();
     }
 
     /// The MDS serving directory `id` (nearest ancestor override; the root
@@ -461,6 +569,7 @@ impl Namespace {
                 f.auth = None;
             }
         }
+        self.note_auth_change();
         moved
     }
 
@@ -468,6 +577,7 @@ impl Namespace {
     pub fn migrate_frag(&mut self, id: NodeId, frag: FragId, to: MdsId) -> u64 {
         let moved = self.dir(id).frags[frag].files;
         self.dir_mut(id).frags[frag].auth = Some(to);
+        self.note_auth_change();
         moved + 1
     }
 
@@ -479,6 +589,83 @@ impl Namespace {
     /// Sample a directory's rolled-up subtree heat at `now` (Fig. 1).
     pub fn subtree_heat(&mut self, id: NodeId, now: SimTime) -> HeatSample {
         self.dir_mut(id).subtree_heat.sample(now)
+    }
+
+    /// Per-MDS decayed heat totals at `now`, for MDS ids `0..num_mds`:
+    /// `(auth, replica)`, where `auth[m]` sums the heat of every frag MDS
+    /// `m` is the authority for, and `replica[m]` sums the heat of every
+    /// frag whose ancestor authority chain includes `m` without `m` being
+    /// the authority (i.e. `m` replicates its path prefix). The replica
+    /// totals are unscaled; readers apply their own replica discount.
+    ///
+    /// O(num_mds) on ticks with no authority change since the last call;
+    /// rebuilds from per-frag truth — one pass, no policy evaluation —
+    /// otherwise.
+    pub fn mds_load_samples(
+        &mut self,
+        num_mds: usize,
+        now: SimTime,
+    ) -> (Vec<HeatSample>, Vec<HeatSample>) {
+        if self.agg_dirty {
+            self.rebuild_aggregates(now);
+        }
+        if num_mds > 0 {
+            self.agg.ensure(num_mds - 1);
+        }
+        let auth = (0..num_mds).map(|m| self.agg.auth[m].sample(now)).collect();
+        let replica = (0..num_mds)
+            .map(|m| self.agg.replica[m].sample(now))
+            .collect();
+        (auth, replica)
+    }
+
+    /// Recompute the per-MDS aggregates from per-frag truth and refresh
+    /// every directory's authority cache in one top-down pass. `mkdir`
+    /// appends children after their parents, so iterating in index order
+    /// always finds the parent's cache already refreshed.
+    fn rebuild_aggregates(&mut self, now: SimTime) {
+        let preserve = self.agg.auth.len();
+        self.agg = LoadAggregates::new(self.cfg.decay_half_life);
+        if preserve > 0 {
+            self.agg.ensure(preserve - 1);
+        }
+        let epoch = self.auth_epoch;
+        for i in 0..self.dirs.len() {
+            let (auth, chain) = match (self.dirs[i].auth, self.dirs[i].parent) {
+                (Some(a), None) => (a, vec![a]),
+                (None, None) => unreachable!("root always has an authority"),
+                (own, Some(p)) => {
+                    let parent = &self.dirs[p.0 as usize].auth_cache;
+                    debug_assert_eq!(parent.epoch, epoch);
+                    match own {
+                        None => (parent.auth, parent.chain.clone()),
+                        Some(a) => {
+                            let mut chain = vec![a];
+                            for &m in &parent.chain {
+                                if !chain.contains(&m) {
+                                    chain.push(m);
+                                }
+                            }
+                            (a, chain)
+                        }
+                    }
+                }
+            };
+            for f in 0..self.dirs[i].frags.len() {
+                let s = self.dirs[i].frags[f].heat.sample(now);
+                let eff = self.dirs[i].frags[f].auth.unwrap_or(auth);
+                self.agg.ensure(eff);
+                self.agg.auth[eff].add_sample(&s, now, 1.0);
+                for &rep in &chain {
+                    if rep != eff {
+                        self.agg.ensure(rep);
+                        self.agg.replica[rep].add_sample(&s, now, 1.0);
+                    }
+                }
+            }
+            self.dirs[i].auth_cache = AuthCache { epoch, auth, chain };
+        }
+        self.agg_dirty = false;
     }
 
     /// Iterate all directory ids.
@@ -680,6 +867,129 @@ mod tests {
         ns.record_op(a, OpKind::Create, SimTime::ZERO);
         ns.record_op(a, OpKind::Create, SimTime::ZERO);
         assert_eq!(ns.subtree_inodes(a), 4); // a, b + 2 files
+    }
+
+    /// Reference implementation of `mds_load_samples`: the full per-frag
+    /// walk the aggregates replace.
+    fn brute_force_loads(
+        ns: &mut Namespace,
+        num_mds: usize,
+        now: SimTime,
+    ) -> (Vec<HeatSample>, Vec<HeatSample>) {
+        let mut auth = vec![HeatSample::default(); num_mds];
+        let mut rep = vec![HeatSample::default(); num_mds];
+        let dirs: Vec<_> = ns.all_dirs().collect();
+        for d in dirs {
+            for f in 0..ns.dir(d).frags.len() {
+                let s = ns.frag_heat(d, f, now);
+                let a = ns.frag_auth(d, f);
+                auth[a] = auth[a].add(&s);
+                for r in ns.ancestor_auth_chain(d) {
+                    if r != a {
+                        rep[r] = rep[r].add(&s);
+                    }
+                }
+            }
+        }
+        (auth, rep)
+    }
+
+    fn assert_close(a: &HeatSample, b: &HeatSample, ctx: &str) {
+        for (x, y) in [
+            (a.ird, b.ird),
+            (a.iwr, b.iwr),
+            (a.readdir, b.readdir),
+            (a.fetch, b.fetch),
+            (a.store, b.store),
+        ] {
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                "{ctx}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregates_match_per_frag_walk() {
+        let mut ns = Namespace::new(small_cfg());
+        let a = ns.mkdir_p("/a");
+        let ab = ns.mkdir_p("/a/b");
+        let c = ns.mkdir_p("/c");
+        ns.set_auth(a, Some(1));
+        ns.set_auth(ab, Some(2));
+        // Mixed ops, including enough creates on /a/b to force splits.
+        for i in 0..40 {
+            ns.record_op(ab, OpKind::Create, SimTime::from_millis(i * 10));
+            ns.record_op(a, OpKind::Stat, SimTime::from_millis(i * 10));
+            ns.record_op(c, OpKind::Readdir, SimTime::from_millis(i * 10));
+        }
+        let now = SimTime::from_secs(1);
+        let (agg_auth, agg_rep) = ns.mds_load_samples(3, now);
+        let (bf_auth, bf_rep) = brute_force_loads(&mut ns, 3, now);
+        for m in 0..3 {
+            assert_close(&agg_auth[m], &bf_auth[m], &format!("auth[{m}]"));
+            assert_close(&agg_rep[m], &bf_rep[m], &format!("replica[{m}]"));
+        }
+        // /a/b's heat is authored by MDS 2, replicated by 1 (via /a) and 0
+        // (via root).
+        assert!(agg_auth[2].iwr > 0.0);
+        assert!(agg_rep[1].iwr > 0.0);
+        assert!(agg_rep[0].iwr > 0.0);
+    }
+
+    #[test]
+    fn aggregates_stay_in_sync_incrementally() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a");
+        ns.set_auth(a, Some(1));
+        // First read rebuilds (set_auth dirtied); later ops must keep the
+        // aggregates in sync without another rebuild.
+        let _ = ns.mds_load_samples(2, SimTime::ZERO);
+        for i in 0..25 {
+            ns.record_op(a, OpKind::Create, SimTime::from_millis(i * 7));
+            ns.record_op(ns.root(), OpKind::Stat, SimTime::from_millis(i * 7));
+        }
+        let now = SimTime::from_millis(500);
+        let (agg_auth, agg_rep) = ns.mds_load_samples(2, now);
+        let (bf_auth, bf_rep) = brute_force_loads(&mut ns, 2, now);
+        for m in 0..2 {
+            assert_close(&agg_auth[m], &bf_auth[m], &format!("auth[{m}]"));
+            assert_close(&agg_rep[m], &bf_rep[m], &format!("replica[{m}]"));
+        }
+    }
+
+    #[test]
+    fn migration_moves_aggregate_heat() {
+        let mut ns = Namespace::default();
+        let d = ns.mkdir_p("/hot");
+        for _ in 0..10 {
+            ns.record_op(d, OpKind::Create, SimTime::ZERO);
+        }
+        let (auth, _) = ns.mds_load_samples(2, SimTime::ZERO);
+        assert!(auth[0].iwr > 0.0);
+        assert_eq!(auth[1].iwr, 0.0);
+        ns.migrate_subtree(d, 1);
+        let (auth, rep) = ns.mds_load_samples(2, SimTime::ZERO);
+        assert!(auth[1].iwr > 0.0, "heat followed the migration");
+        assert!(rep[0].iwr > 0.0, "old authority still replicates the prefix");
+        let (bf_auth, bf_rep) = brute_force_loads(&mut ns, 2, SimTime::ZERO);
+        for m in 0..2 {
+            assert_close(&auth[m], &bf_auth[m], &format!("auth[{m}]"));
+            assert_close(&rep[m], &bf_rep[m], &format!("replica[{m}]"));
+        }
+    }
+
+    #[test]
+    fn aggregate_heat_decays_like_frag_heat() {
+        let mut ns = Namespace::default();
+        let d = ns.mkdir_p("/x");
+        for _ in 0..8 {
+            ns.record_op(d, OpKind::Create, SimTime::ZERO);
+        }
+        let half_life = ns.config().decay_half_life;
+        let (hot, _) = ns.mds_load_samples(1, SimTime::ZERO);
+        let (cooled, _) = ns.mds_load_samples(1, half_life);
+        assert!((cooled[0].iwr - hot[0].iwr / 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! | `WRstate(s)` / `RDstate()` | persist state across balancer ticks |
 //! | `max(a,b)` / `min(a,b)` | numeric helpers |
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -25,6 +25,7 @@ use crate::ast::Script;
 use crate::error::{PolicyError, PolicyResult};
 use crate::interp::{Interpreter, StepBudget};
 use crate::parser::{parse_expression_script, parse_script, parse_when};
+use crate::slots::{ScalarMetaload, SlotProgram, SlotVm};
 use crate::stdlib;
 use crate::value::{Table, Value};
 
@@ -257,13 +258,124 @@ impl PolicySet {
     }
 }
 
+/// Slot indices of the Table-2 environment names one compiled hook
+/// references (`None` when the script never mentions the name, in which
+/// case the runtime skips the write entirely).
+#[derive(Debug, Default)]
+struct EnvSlots {
+    whoami: Option<usize>,
+    i: Option<usize>,
+    mdss: Option<usize>,
+    total: Option<usize>,
+    targets: Option<usize>,
+    authmetaload: Option<usize>,
+    allmetaload: Option<usize>,
+    ird: Option<usize>,
+    iwr: Option<usize>,
+    readdir: Option<usize>,
+    fetch: Option<usize>,
+    store: Option<usize>,
+}
+
+/// One policy hook, slot-compiled at [`MantleRuntime`] construction and
+/// reused for every invocation: resetting the environment between runs is a
+/// `clone_from_slice` over the global frame plus a handful of slot writes —
+/// no interpreter construction, no name hashing, no `String` allocation.
+struct CompiledHook {
+    prog: SlotProgram,
+    /// Base global frame: host functions (stdlib, `WRstate`/`RDstate`) at
+    /// their slots, `Nil` everywhere else.
+    base: Vec<Value>,
+    env: EnvSlots,
+    vm: RefCell<SlotVm>,
+}
+
+impl CompiledHook {
+    fn compile(script: &Script, host: &Interpreter, budget: StepBudget) -> CompiledHook {
+        let prog = SlotProgram::compile(script);
+        let base = prog
+            .global_names()
+            .iter()
+            .map(|name| host.get_global(name))
+            .collect();
+        let slot = |name: &str| prog.global_slot(name);
+        let env = EnvSlots {
+            whoami: slot("whoami"),
+            i: slot("i"),
+            mdss: slot("MDSs"),
+            total: slot("total"),
+            targets: slot("targets"),
+            authmetaload: slot("authmetaload"),
+            allmetaload: slot("allmetaload"),
+            ird: slot("IRD"),
+            iwr: slot("IWR"),
+            readdir: slot("READDIR"),
+            fetch: slot("FETCH"),
+            store: slot("STORE"),
+        };
+        let vm = RefCell::new(SlotVm::new(&prog, budget));
+        CompiledHook {
+            prog,
+            base,
+            env,
+            vm,
+        }
+    }
+
+    /// Reset the environment to the base image, apply `setup`, execute.
+    fn run(&self, setup: impl FnOnce(&EnvSlots, &mut SlotVm)) -> PolicyResult<Value> {
+        let mut vm = self.vm.borrow_mut();
+        vm.reset_globals(&self.base);
+        setup(&self.env, &mut vm);
+        vm.run(&self.prog)
+    }
+}
+
+/// Write a value to an environment slot the hook actually references.
+fn set_slot(vm: &mut SlotVm, slot: Option<usize>, value: Value) {
+    if let Some(s) = slot {
+        vm.set_global(s, value);
+    }
+}
+
+enum CompiledDecision {
+    // Boxed to keep the enum's two variants close in size.
+    Hooks {
+        when: Box<CompiledHook>,
+        where_: Box<CompiledHook>,
+    },
+    Combined(Box<CompiledHook>),
+}
+
+struct CompiledHooks {
+    metaload: CompiledHook,
+    mdsload: CompiledHook,
+    decision: CompiledDecision,
+}
+
 /// Executes a [`PolicySet`] against [`BalancerInputs`] — the bridge between
 /// the MDS (which collects metrics and performs migrations) and the policy
 /// scripts (which decide).
+///
+/// Hooks are compiled to slot programs once, at construction (see
+/// [`crate::slots`]); each invocation reuses the compiled program and its
+/// VM. A `metaload` hook that is a linear combination of the five counters
+/// additionally compiles to a [`ScalarMetaload`] evaluated without touching
+/// the VM at all. [`Self::with_force_slow_path`] disables both and runs the
+/// original tree-walking interpreter — the two paths are bit-identical (the
+/// differential tests pin this), so the switch exists for benchmarks and
+/// differential testing only.
 pub struct MantleRuntime {
     policy: PolicySet,
     state: Rc<RefCell<dyn StateStore>>,
     budget: StepBudget,
+    /// Which MDS's persistent state `WRstate`/`RDstate` touch. The compiled
+    /// hooks' host functions are built once and close over this cell; the
+    /// runtime sets it at each entry point instead of rebuilding closures.
+    whoami_cell: Rc<Cell<usize>>,
+    hooks: CompiledHooks,
+    metaload_scalar: Option<ScalarMetaload>,
+    force_slow_path: bool,
 }
 
 impl fmt::Debug for MantleRuntime {
@@ -278,22 +390,102 @@ impl fmt::Debug for MantleRuntime {
 impl MantleRuntime {
     /// Build a runtime with an in-memory state store.
     pub fn new(policy: PolicySet) -> Self {
+        Self::build(
+            policy,
+            Rc::new(RefCell::new(MemoryStateStore::default())),
+            StepBudget::default(),
+            false,
+        )
+    }
+
+    fn build(
+        policy: PolicySet,
+        state: Rc<RefCell<dyn StateStore>>,
+        budget: StepBudget,
+        force_slow_path: bool,
+    ) -> Self {
+        let whoami_cell = Rc::new(Cell::new(0usize));
+        let host = Self::host_env(&state, &whoami_cell, budget);
+        let metaload_scalar = ScalarMetaload::extract(&policy.metaload);
+        let hooks = CompiledHooks {
+            metaload: CompiledHook::compile(&policy.metaload, &host, budget),
+            mdsload: CompiledHook::compile(&policy.mdsload, &host, budget),
+            decision: match &policy.decision {
+                Decision::Hooks { when, where_ } => CompiledDecision::Hooks {
+                    when: Box::new(CompiledHook::compile(when, &host, budget)),
+                    where_: Box::new(CompiledHook::compile(where_, &host, budget)),
+                },
+                Decision::Combined(script) => {
+                    CompiledDecision::Combined(Box::new(CompiledHook::compile(
+                        script, &host, budget,
+                    )))
+                }
+            },
+        };
         MantleRuntime {
             policy,
-            state: Rc::new(RefCell::new(MemoryStateStore::default())),
-            budget: StepBudget::default(),
+            state,
+            budget,
+            whoami_cell,
+            hooks,
+            metaload_scalar,
+            force_slow_path,
         }
     }
 
+    /// The host environment compiled hooks draw their base frame from:
+    /// stdlib plus `WRstate`/`RDstate` closing over the shared whoami cell.
+    fn host_env(
+        state: &Rc<RefCell<dyn StateStore>>,
+        whoami_cell: &Rc<Cell<usize>>,
+        budget: StepBudget,
+    ) -> Interpreter {
+        let mut interp = Interpreter::new().with_budget(budget);
+        stdlib::install(&mut interp);
+        let store = Rc::clone(state);
+        let cell = Rc::clone(whoami_cell);
+        interp.set_global(
+            "WRstate",
+            Value::Native(
+                "WRstate",
+                Rc::new(move |_, args| {
+                    let v = args
+                        .first()
+                        .ok_or_else(|| PolicyError::runtime(0, "WRstate expects a value"))?
+                        .as_number(0)?;
+                    store.borrow_mut().write(cell.get(), v);
+                    Ok(Value::Nil)
+                }),
+            ),
+        );
+        let store = Rc::clone(state);
+        let cell = Rc::clone(whoami_cell);
+        interp.set_global(
+            "RDstate",
+            Value::Native(
+                "RDstate",
+                Rc::new(move |_, _| Ok(Value::Number(store.borrow().read(cell.get())))),
+            ),
+        );
+        interp
+    }
+
     /// Use a custom state store.
-    pub fn with_state_store(mut self, store: Rc<RefCell<dyn StateStore>>) -> Self {
-        self.state = store;
-        self
+    pub fn with_state_store(self, store: Rc<RefCell<dyn StateStore>>) -> Self {
+        Self::build(self.policy, store, self.budget, self.force_slow_path)
     }
 
     /// Override the step budget applied to every hook invocation.
-    pub fn with_budget(mut self, budget: StepBudget) -> Self {
-        self.budget = budget;
+    pub fn with_budget(self, budget: StepBudget) -> Self {
+        Self::build(self.policy, self.state, budget, self.force_slow_path)
+    }
+
+    /// Force every hook through the original tree-walking interpreter
+    /// instead of the slot-compiled (and scalar) fast paths. The two
+    /// evaluation paths are bit-identical; this switch exists so benchmarks
+    /// and differential tests can compare them.
+    pub fn with_force_slow_path(mut self, force: bool) -> Self {
+        self.force_slow_path = force;
         self
     }
 
@@ -305,6 +497,26 @@ impl MantleRuntime {
     /// Access the policy set.
     pub fn policy(&self) -> &PolicySet {
         &self.policy
+    }
+
+    /// The scalar-compiled `metaload`, when the hook is a single linear
+    /// combination of the five counters (true for Table 1 and every
+    /// shipped policy).
+    pub fn metaload_scalar(&self) -> Option<&ScalarMetaload> {
+        self.metaload_scalar.as_ref()
+    }
+
+    /// True when `metaload` distributes over sums of counter vectors
+    /// (linear with no constant term), which lets callers evaluate it once
+    /// per MDS on aggregated heat instead of once per dirfrag.
+    ///
+    /// Deliberately independent of [`Self::with_force_slow_path`]: the
+    /// force switch changes the evaluation engine, never the aggregation
+    /// structure, so reports stay identical between the two engines.
+    pub fn metaload_is_additive(&self) -> bool {
+        self.metaload_scalar
+            .as_ref()
+            .is_some_and(|s| s.is_homogeneous())
     }
 
     fn base_interp(&self, whoami: usize) -> Interpreter {
@@ -337,14 +549,35 @@ impl MantleRuntime {
     }
 
     /// Evaluate `mds_bal_metaload` for one fragment's counters.
+    ///
+    /// This is the hottest hook (once per dirfrag per balancer tick). The
+    /// fast paths do zero interpreter constructions and zero `String`
+    /// allocations: a scalar-compiled hook is a few multiply-adds; anything
+    /// else reuses the hook's compiled slot program.
     pub fn eval_metaload(&self, whoami: usize, frag: &FragMetrics) -> PolicyResult<f64> {
-        let mut interp = self.base_interp(whoami);
-        interp.set_global("IRD", Value::Number(frag.ird));
-        interp.set_global("IWR", Value::Number(frag.iwr));
-        interp.set_global("READDIR", Value::Number(frag.readdir));
-        interp.set_global("FETCH", Value::Number(frag.fetch));
-        interp.set_global("STORE", Value::Number(frag.store));
-        interp.run(&self.policy.metaload)?.as_number(0)
+        if self.force_slow_path {
+            let mut interp = self.base_interp(whoami);
+            interp.set_global("IRD", Value::Number(frag.ird));
+            interp.set_global("IWR", Value::Number(frag.iwr));
+            interp.set_global("READDIR", Value::Number(frag.readdir));
+            interp.set_global("FETCH", Value::Number(frag.fetch));
+            interp.set_global("STORE", Value::Number(frag.store));
+            return interp.run(&self.policy.metaload)?.as_number(0);
+        }
+        if let Some(scalar) = &self.metaload_scalar {
+            return Ok(scalar.eval(&[frag.ird, frag.iwr, frag.readdir, frag.fetch, frag.store]));
+        }
+        self.whoami_cell.set(whoami);
+        self.hooks
+            .metaload
+            .run(|env, vm| {
+                set_slot(vm, env.ird, Value::Number(frag.ird));
+                set_slot(vm, env.iwr, Value::Number(frag.iwr));
+                set_slot(vm, env.readdir, Value::Number(frag.readdir));
+                set_slot(vm, env.fetch, Value::Number(frag.fetch));
+                set_slot(vm, env.store, Value::Number(frag.store));
+            })?
+            .as_number(0)
     }
 
     /// Run the full decision pipeline: `mdsload` per MDS, then
@@ -371,15 +604,29 @@ impl MantleRuntime {
                 .set_int(i as i64 + 1, Value::Table(Rc::new(RefCell::new(t))));
         }
 
+        self.whoami_cell.set(inputs.whoami);
         let mut mds_loads = Vec::with_capacity(n);
         for i in 0..n {
-            let mut interp = self.base_interp(inputs.whoami);
-            interp.set_global("whoami", Value::Number(inputs.whoami as f64 + 1.0));
-            interp.set_global("i", Value::Number(i as f64 + 1.0));
-            interp.set_global("MDSs", Value::Table(Rc::clone(&mdss_table)));
-            interp.set_global("authmetaload", Value::Number(inputs.auth_metaload));
-            interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
-            let load = interp.run(&self.policy.mdsload)?.as_number(0)?;
+            let load = if self.force_slow_path {
+                let mut interp = self.base_interp(inputs.whoami);
+                interp.set_global("whoami", Value::Number(inputs.whoami as f64 + 1.0));
+                interp.set_global("i", Value::Number(i as f64 + 1.0));
+                interp.set_global("MDSs", Value::Table(Rc::clone(&mdss_table)));
+                interp.set_global("authmetaload", Value::Number(inputs.auth_metaload));
+                interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
+                interp.run(&self.policy.mdsload)?.as_number(0)?
+            } else {
+                self.hooks
+                    .mdsload
+                    .run(|env, vm| {
+                        set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
+                        set_slot(vm, env.i, Value::Number(i as f64 + 1.0));
+                        set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
+                        set_slot(vm, env.authmetaload, Value::Number(inputs.auth_metaload));
+                        set_slot(vm, env.allmetaload, Value::Number(inputs.all_metaload));
+                    })?
+                    .as_number(0)?
+            };
             mds_loads.push(load);
         }
         let total: f64 = mds_loads.iter().sum();
@@ -399,32 +646,59 @@ impl MantleRuntime {
             interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
             interp.set_global("targets", Value::Table(Rc::clone(&targets_table)));
         };
+        let slot_setup = |env: &EnvSlots, vm: &mut SlotVm| {
+            set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
+            set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
+            set_slot(vm, env.total, Value::Number(total));
+            set_slot(vm, env.authmetaload, Value::Number(inputs.auth_metaload));
+            set_slot(vm, env.allmetaload, Value::Number(inputs.all_metaload));
+            set_slot(vm, env.targets, Value::Table(Rc::clone(&targets_table)));
+        };
+        // The listings signal "migrate" by filling targets.
+        let targets_filled = |targets_table: &Rc<RefCell<Table>>| {
+            (1..=n as i64).any(|i| {
+                targets_table
+                    .borrow()
+                    .get_int(i)
+                    .as_number(0)
+                    .map(|v| v > 0.0)
+                    .unwrap_or(false)
+            })
+        };
 
-        let migrate = match &self.policy.decision {
-            Decision::Hooks { when, where_ } => {
-                let mut interp = self.base_interp(inputs.whoami);
-                setup(&mut interp);
-                let fired = interp.run(when)?.truthy();
-                if fired {
+        let migrate = if self.force_slow_path {
+            match &self.policy.decision {
+                Decision::Hooks { when, where_ } => {
                     let mut interp = self.base_interp(inputs.whoami);
                     setup(&mut interp);
-                    interp.run(where_)?;
+                    let fired = interp.run(when)?.truthy();
+                    if fired {
+                        let mut interp = self.base_interp(inputs.whoami);
+                        setup(&mut interp);
+                        interp.run(where_)?;
+                    }
+                    fired
                 }
-                fired
+                Decision::Combined(script) => {
+                    let mut interp = self.base_interp(inputs.whoami);
+                    setup(&mut interp);
+                    interp.run(script)?;
+                    targets_filled(&targets_table)
+                }
             }
-            Decision::Combined(script) => {
-                let mut interp = self.base_interp(inputs.whoami);
-                setup(&mut interp);
-                interp.run(script)?;
-                // The listings signal "migrate" by filling targets.
-                (1..=n as i64).any(|i| {
-                    targets_table
-                        .borrow()
-                        .get_int(i)
-                        .as_number(0)
-                        .map(|v| v > 0.0)
-                        .unwrap_or(false)
-                })
+        } else {
+            match &self.hooks.decision {
+                CompiledDecision::Hooks { when, where_ } => {
+                    let fired = when.run(slot_setup)?.truthy();
+                    if fired {
+                        where_.run(slot_setup)?;
+                    }
+                    fired
+                }
+                CompiledDecision::Combined(hook) => {
+                    hook.run(slot_setup)?;
+                    targets_filled(&targets_table)
+                }
             }
         };
 
@@ -749,5 +1023,95 @@ end
         let out = rt.decide(&BalancerInputs::default()).unwrap();
         assert!(!out.migrate);
         assert!(out.targets.is_empty());
+    }
+
+    #[test]
+    fn table1_policy_is_scalar_and_additive() {
+        let rt = MantleRuntime::new(cephfs_policy());
+        assert!(rt.metaload_scalar().is_some());
+        assert!(rt.metaload_is_additive());
+        // The force switch changes the engine, never the aggregation
+        // structure.
+        let slow = MantleRuntime::new(cephfs_policy()).with_force_slow_path(true);
+        assert!(slow.metaload_is_additive());
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_bit_for_bit() {
+        let fast = MantleRuntime::new(cephfs_policy());
+        let slow = MantleRuntime::new(cephfs_policy()).with_force_slow_path(true);
+        let frag = FragMetrics {
+            ird: 0.137,
+            iwr: 12.75,
+            readdir: 1.0 / 3.0,
+            fetch: 9e3,
+            store: 0.001,
+        };
+        assert_eq!(
+            fast.eval_metaload(2, &frag).unwrap().to_bits(),
+            slow.eval_metaload(2, &frag).unwrap().to_bits()
+        );
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[90.0, 5.0, 35.0]),
+            auth_metaload: 90.0,
+            all_metaload: 95.0,
+        };
+        let a = fast.decide(&inputs).unwrap();
+        let b = slow.decide(&inputs).unwrap();
+        assert_eq!(a, b);
+        for (x, y) in a.targets.iter().zip(&b.targets) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn stateful_policy_agrees_across_paths_and_mds_identities() {
+        // Fill & Spill exercises WRstate/RDstate through the shared whoami
+        // cell; the state machine must evolve identically on both engines
+        // and stay isolated per MDS.
+        let mk = |force: bool| {
+            let p = PolicySet::from_combined(
+                "IWR + IRD",
+                "MDSs[i][\"auth\"]",
+                r#"
+wait=RDstate()
+go = 0
+if MDSs[whoami]["cpu"]>48 then
+  if wait>0 then WRstate(wait-1)
+  else WRstate(2) go=1 end
+else WRstate(2) end
+if go==1 then
+  targets[whoami+1] = MDSs[whoami]["load"]/4
+end
+"#,
+                &["small_first"],
+            )
+            .unwrap();
+            MantleRuntime::new(p).with_force_slow_path(force)
+        };
+        let fast = mk(false);
+        let slow = mk(true);
+        let busy = |whoami: usize| BalancerInputs {
+            whoami,
+            mds: vec![
+                MdsMetrics {
+                    auth: 100.0,
+                    cpu: 90.0,
+                    ..Default::default()
+                };
+                3
+            ],
+            ..Default::default()
+        };
+        // Interleave two MDS identities; their counters are independent.
+        for tick in 0..8 {
+            for whoami in 0..2 {
+                let a = fast.decide(&busy(whoami)).unwrap();
+                let b = slow.decide(&busy(whoami)).unwrap();
+                assert_eq!(a, b, "tick {tick} whoami {whoami}");
+                assert_eq!(a.migrate, tick % 3 == 0, "tick {tick} whoami {whoami}");
+            }
+        }
     }
 }

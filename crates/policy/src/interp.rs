@@ -407,7 +407,7 @@ impl Interpreter {
     }
 }
 
-fn concat_operand(v: &Value, line: u32) -> PolicyResult<String> {
+pub(crate) fn concat_operand(v: &Value, line: u32) -> PolicyResult<String> {
     match v {
         Value::Str(s) => Ok(s.to_string()),
         Value::Number(n) => Ok(fmt_number(*n)),
@@ -418,7 +418,7 @@ fn concat_operand(v: &Value, line: u32) -> PolicyResult<String> {
     }
 }
 
-fn compare(l: &Value, r: &Value, line: u32) -> PolicyResult<std::cmp::Ordering> {
+pub(crate) fn compare(l: &Value, r: &Value, line: u32) -> PolicyResult<std::cmp::Ordering> {
     match (l, r) {
         (Value::Number(a), Value::Number(b)) => a.partial_cmp(b).ok_or_else(|| {
             PolicyError::runtime(line, "comparison with NaN has no defined order")

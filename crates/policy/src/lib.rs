@@ -50,6 +50,7 @@ pub mod fmt;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod slots;
 pub mod stdlib;
 pub mod token;
 pub mod validate;
@@ -60,6 +61,7 @@ pub use error::{PolicyError, PolicyResult};
 pub use interp::{Interpreter, StepBudget};
 pub use fmt::script_to_source;
 pub use parser::parse_script;
+pub use slots::{ScalarMetaload, SlotProgram, SlotVm};
 pub use validate::PolicyValidator;
 pub use value::{Table, Value};
 

@@ -1,0 +1,1174 @@
+//! Slot-compiled policy hooks: a resolve pass + flat-frame evaluator.
+//!
+//! The tree-walking [`Interpreter`](crate::interp::Interpreter) resolves
+//! every variable read and write by hashing its name against a stack of
+//! `HashMap<String, Value>` scopes. For the `metaload` hook — which runs
+//! once per dirfrag per balancer tick — that hash traffic (plus building a
+//! fresh interpreter and re-`set_global`ing the environment per call)
+//! dominates the tick cost.
+//!
+//! This module adds a second stage to the pipeline: after parsing, a
+//! **resolve pass** ([`SlotProgram::compile`]) walks the AST once, mapping
+//! every name to an integer slot:
+//!
+//! * names in lexical scope of a `local` declaration (or a `for` loop
+//!   variable) become *local slots* — indices into one flat frame;
+//! * everything else becomes a *global slot* — an index into a per-program
+//!   global vector whose layout is fixed at compile time.
+//!
+//! Static resolution is valid because the language subset has no closures,
+//! no `goto`, and no `function` definitions: a block's statements execute
+//! in source order, so a name read lexically after a `local` declaration
+//! in the same (or an enclosing) block is that local, and a read before it
+//! is whatever the enclosing scope says — exactly what the dynamic scope
+//! stack would have found.
+//!
+//! The evaluator ([`SlotVm`]) then executes the slotted AST against two
+//! `Vec<Value>` frames with plain indexing. It is written to be
+//! **bit-identical** to the tree-walking interpreter: the same evaluation
+//! order, the same IEEE-754 operation order, the same error messages, and
+//! the same step accounting (a step is charged exactly where
+//! `Interpreter::step` would charge one, so even
+//! [`BudgetExhausted`](crate::error::PolicyError::BudgetExhausted) errors
+//! fire on the same script step). Differential tests below and in
+//! `tests/properties.rs` pin this.
+//!
+//! Finally, [`ScalarMetaload`] covers the common case from the paper's
+//! Table 1 and every shipped policy: a `metaload` hook that is a linear
+//! combination of the five counters. Such hooks compile to a coefficient
+//! term list evaluated as a handful of fused multiply-adds — no `Value`
+//! boxing, no step counting, no table lookups — while still reproducing
+//! the interpreter's result bit for bit (the term list preserves the
+//! source's association order).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::{BinOp, Block, Expr, LValue, Script, Stmt, UnOp};
+use crate::error::{PolicyError, PolicyResult};
+use crate::interp::{compare, concat_operand, Interpreter, StepBudget};
+use crate::value::{Key, Table, Value};
+
+// ---------------------------------------------------------------------------
+// Slotted AST
+// ---------------------------------------------------------------------------
+
+/// A statement with all names resolved to slots.
+#[derive(Debug, Clone)]
+enum SStmt {
+    Assign {
+        target: SLValue,
+        value: SExpr,
+        line: u32,
+    },
+    /// `local` declaration: assigns its slot when executed.
+    LocalDecl { slot: u32, value: Option<SExpr> },
+    If {
+        arms: Vec<(SExpr, Vec<SStmt>)>,
+        else_block: Option<Vec<SStmt>>,
+    },
+    While {
+        cond: SExpr,
+        body: Vec<SStmt>,
+    },
+    NumericFor {
+        slot: u32,
+        start: SExpr,
+        stop: SExpr,
+        step: Option<SExpr>,
+        body: Vec<SStmt>,
+        line: u32,
+    },
+    ExprStmt { expr: SExpr },
+    Do { body: Vec<SStmt> },
+    Return { value: Option<SExpr> },
+    Break,
+}
+
+/// An assignable location, resolved.
+#[derive(Debug, Clone)]
+enum SLValue {
+    Local(u32),
+    Global(u32),
+    Index { object: SExpr, key: SKey },
+}
+
+/// An expression with resolved names and pre-interned constant keys.
+#[derive(Debug, Clone)]
+enum SExpr {
+    Nil,
+    Bool(bool),
+    /// String literals are pre-built `Value::Str`s: evaluating one is an
+    /// `Rc` clone, where the tree walker allocates a fresh `Rc<str>`.
+    Str(Value),
+    Number(f64),
+    Local { slot: u32 },
+    Global { slot: u32 },
+    Index {
+        object: Box<SExpr>,
+        key: SKey,
+        line: u32,
+    },
+    Call {
+        callee: Box<SExpr>,
+        args: Vec<SExpr>,
+        line: u32,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<SExpr>,
+        line: u32,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<SExpr>,
+        rhs: Box<SExpr>,
+        line: u32,
+    },
+    TableCtor {
+        items: Vec<SExpr>,
+        pairs: Vec<(SExpr, SExpr)>,
+        line: u32,
+    },
+}
+
+/// A table key: pre-interned when the source wrote a literal string
+/// (`t.auth` / `t["auth"]`), so the hot `MDSs[i]["load"]` lookups never
+/// allocate.
+#[derive(Debug, Clone)]
+enum SKey {
+    Const {
+        key: Key,
+        /// The literal text, shared with `key`, for error messages.
+        text: Rc<str>,
+    },
+    Expr(Box<SExpr>),
+}
+
+// ---------------------------------------------------------------------------
+// Resolve pass
+// ---------------------------------------------------------------------------
+
+/// A script compiled to slot form: the product of the resolve pass.
+#[derive(Debug, Clone)]
+pub struct SlotProgram {
+    body: Vec<SStmt>,
+    n_locals: u32,
+    globals: Vec<Rc<str>>,
+}
+
+impl SlotProgram {
+    /// Resolve every name in `script` to a slot.
+    pub fn compile(script: &Script) -> SlotProgram {
+        let mut r = Resolver {
+            globals: Vec::new(),
+            by_name: HashMap::new(),
+            scopes: vec![HashMap::new()],
+            n_locals: 0,
+        };
+        let body = r.block(&script.block);
+        SlotProgram {
+            body,
+            n_locals: r.n_locals,
+            globals: r.globals,
+        }
+    }
+
+    /// The global slot a name resolved to, if the script mentions it.
+    pub fn global_slot(&self, name: &str) -> Option<usize> {
+        self.globals.iter().position(|g| &**g == name)
+    }
+
+    /// Names of all global slots, in slot order.
+    pub fn global_names(&self) -> &[Rc<str>] {
+        &self.globals
+    }
+
+    /// Number of global slots.
+    pub fn n_globals(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Size of the local frame.
+    pub fn n_locals(&self) -> usize {
+        self.n_locals as usize
+    }
+}
+
+struct Resolver {
+    globals: Vec<Rc<str>>,
+    by_name: HashMap<String, u32>,
+    scopes: Vec<HashMap<String, u32>>,
+    n_locals: u32,
+}
+
+impl Resolver {
+    fn global(&mut self, name: &str) -> u32 {
+        if let Some(&slot) = self.by_name.get(name) {
+            return slot;
+        }
+        let slot = self.globals.len() as u32;
+        self.globals.push(Rc::from(name));
+        self.by_name.insert(name.to_string(), slot);
+        slot
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<u32> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare_local(&mut self, name: &str) -> u32 {
+        let slot = self.n_locals;
+        self.n_locals += 1;
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), slot);
+        slot
+    }
+
+    fn scoped<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.scopes.push(HashMap::new());
+        let out = f(self);
+        self.scopes.pop();
+        out
+    }
+
+    fn block(&mut self, b: &Block) -> Vec<SStmt> {
+        b.stmts.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> SStmt {
+        match s {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => SStmt::Assign {
+                target: self.lvalue(target),
+                value: self.expr(value),
+                line: *line,
+            },
+            Stmt::Local { name, value, .. } => {
+                // Initializer resolves before the name is in scope, so
+                // `local x = x` reads the outer binding — as at run time.
+                let value = value.as_ref().map(|e| self.expr(e));
+                let slot = self.declare_local(name);
+                SStmt::LocalDecl { slot, value }
+            }
+            Stmt::If {
+                arms, else_block, ..
+            } => SStmt::If {
+                arms: arms
+                    .iter()
+                    .map(|(c, b)| {
+                        let c = self.expr(c);
+                        let b = self.scoped(|r| r.block(b));
+                        (c, b)
+                    })
+                    .collect(),
+                else_block: else_block.as_ref().map(|b| self.scoped(|r| r.block(b))),
+            },
+            Stmt::While { cond, body, .. } => SStmt::While {
+                cond: self.expr(cond),
+                body: self.scoped(|r| r.block(body)),
+            },
+            Stmt::NumericFor {
+                var,
+                start,
+                stop,
+                step,
+                body,
+                line,
+            } => {
+                // Bounds evaluate outside the loop scope.
+                let start = self.expr(start);
+                let stop = self.expr(stop);
+                let step = step.as_ref().map(|e| self.expr(e));
+                let (slot, body) = self.scoped(|r| {
+                    let slot = r.declare_local(var);
+                    (slot, r.block(body))
+                });
+                SStmt::NumericFor {
+                    slot,
+                    start,
+                    stop,
+                    step,
+                    body,
+                    line: *line,
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => SStmt::ExprStmt {
+                expr: self.expr(expr),
+            },
+            Stmt::Do { body } => SStmt::Do {
+                body: self.scoped(|r| r.block(body)),
+            },
+            Stmt::Return { value, .. } => SStmt::Return {
+                value: value.as_ref().map(|e| self.expr(e)),
+            },
+            Stmt::Break { .. } => SStmt::Break,
+        }
+    }
+
+    fn lvalue(&mut self, lv: &LValue) -> SLValue {
+        match lv {
+            LValue::Name(name) => match self.lookup_local(name) {
+                Some(slot) => SLValue::Local(slot),
+                None => SLValue::Global(self.global(name)),
+            },
+            LValue::Index { object, key } => SLValue::Index {
+                object: self.expr(object),
+                key: self.key(key),
+            },
+        }
+    }
+
+    fn key(&mut self, key: &Expr) -> SKey {
+        match key {
+            Expr::Str(s) => {
+                let text: Rc<str> = Rc::from(s.as_str());
+                SKey::Const {
+                    key: Key::Str(Rc::clone(&text)),
+                    text,
+                }
+            }
+            other => SKey::Expr(Box::new(self.expr(other))),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> SExpr {
+        match e {
+            Expr::Nil => SExpr::Nil,
+            Expr::Bool(b) => SExpr::Bool(*b),
+            Expr::Number(n) => SExpr::Number(*n),
+            Expr::Str(s) => SExpr::Str(Value::str(s)),
+            Expr::Name(name, _) => match self.lookup_local(name) {
+                Some(slot) => SExpr::Local { slot },
+                None => SExpr::Global {
+                    slot: self.global(name),
+                },
+            },
+            Expr::Index { object, key, line } => SExpr::Index {
+                object: Box::new(self.expr(object)),
+                key: self.key(key),
+                line: *line,
+            },
+            Expr::Call { callee, args, line } => SExpr::Call {
+                callee: Box::new(self.expr(callee)),
+                args: args.iter().map(|a| self.expr(a)).collect(),
+                line: *line,
+            },
+            Expr::Unary { op, operand, line } => SExpr::Unary {
+                op: *op,
+                operand: Box::new(self.expr(operand)),
+                line: *line,
+            },
+            Expr::Binary { op, lhs, rhs, line } => SExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.expr(lhs)),
+                rhs: Box::new(self.expr(rhs)),
+                line: *line,
+            },
+            Expr::TableCtor { items, pairs, line } => SExpr::TableCtor {
+                items: items.iter().map(|i| self.expr(i)).collect(),
+                pairs: pairs
+                    .iter()
+                    .map(|(k, v)| (self.expr(k), self.expr(v)))
+                    .collect(),
+                line: *line,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+enum Flow {
+    Normal,
+    Break,
+    Return(Value),
+}
+
+/// Executes a [`SlotProgram`] against reusable flat frames.
+///
+/// One `SlotVm` is built per compiled hook and reused across runs: resetting
+/// the environment between runs is `clone_from_slice` over the global frame
+/// (reference-count bumps, no heap allocation) instead of re-building an
+/// interpreter and re-hashing every `set_global`.
+pub struct SlotVm {
+    globals: Vec<Value>,
+    locals: Vec<Value>,
+    steps: u64,
+    budget: StepBudget,
+    /// Handed to native functions, which take `&mut Interpreter` by
+    /// signature. Every in-tree native ignores it; it exists so host
+    /// functions keep one callable type across both evaluators.
+    scratch: Interpreter,
+}
+
+impl SlotVm {
+    /// A fresh VM sized for `prog`.
+    pub fn new(prog: &SlotProgram, budget: StepBudget) -> SlotVm {
+        SlotVm {
+            globals: vec![Value::Nil; prog.n_globals()],
+            locals: vec![Value::Nil; prog.n_locals()],
+            steps: 0,
+            budget,
+            scratch: Interpreter::new().with_budget(budget),
+        }
+    }
+
+    /// Overwrite the whole global frame from a base image. `base` must have
+    /// one entry per global slot of the program this VM was sized for.
+    pub fn reset_globals(&mut self, base: &[Value]) {
+        self.globals.clone_from_slice(base);
+    }
+
+    /// Write one global slot.
+    pub fn set_global(&mut self, slot: usize, value: Value) {
+        self.globals[slot] = value;
+    }
+
+    /// Read one global slot.
+    pub fn get_global(&self, slot: usize) -> &Value {
+        &self.globals[slot]
+    }
+
+    /// Steps consumed by the last run.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Execute a program; returns its `return` value (or `Nil`).
+    ///
+    /// Local slots need no reset between runs: every read of a local slot
+    /// is dominated by its declaration (statements run in source order and
+    /// the subset has no `goto`), and the declaration re-assigns the slot.
+    pub fn run(&mut self, prog: &SlotProgram) -> PolicyResult<Value> {
+        debug_assert_eq!(self.globals.len(), prog.n_globals());
+        debug_assert_eq!(self.locals.len(), prog.n_locals());
+        self.steps = 0;
+        let flow = self.exec_block(&prog.body)?;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => Value::Nil,
+        })
+    }
+
+    fn step(&mut self) -> PolicyResult<()> {
+        self.steps += 1;
+        if self.steps > self.budget.0 {
+            Err(PolicyError::BudgetExhausted {
+                budget: self.budget.0,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[SStmt]) -> PolicyResult<Flow> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &SStmt) -> PolicyResult<Flow> {
+        match stmt {
+            SStmt::Assign {
+                target,
+                value,
+                line,
+            } => {
+                self.step()?;
+                let v = self.eval(value)?;
+                self.assign(target, v, *line)?;
+                Ok(Flow::Normal)
+            }
+            SStmt::LocalDecl { slot, value } => {
+                self.step()?;
+                let v = match value {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Nil,
+                };
+                self.locals[*slot as usize] = v;
+                Ok(Flow::Normal)
+            }
+            SStmt::If { arms, else_block } => {
+                self.step()?;
+                for (cond, body) in arms {
+                    if self.eval(cond)?.truthy() {
+                        return self.exec_block(body);
+                    }
+                }
+                if let Some(body) = else_block {
+                    return self.exec_block(body);
+                }
+                Ok(Flow::Normal)
+            }
+            SStmt::While { cond, body } => {
+                loop {
+                    self.step()?;
+                    if !self.eval(cond)?.truthy() {
+                        break;
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            SStmt::NumericFor {
+                slot,
+                start,
+                stop,
+                step,
+                body,
+                line,
+            } => {
+                self.step()?;
+                let start = self.eval(start)?.as_number(*line)?;
+                let stop = self.eval(stop)?.as_number(*line)?;
+                let step_v = match step {
+                    Some(e) => self.eval(e)?.as_number(*line)?,
+                    None => 1.0,
+                };
+                if step_v == 0.0 {
+                    return Err(PolicyError::runtime(*line, "'for' step is zero"));
+                }
+                let mut i = start;
+                loop {
+                    self.step()?;
+                    let cont = if step_v > 0.0 { i <= stop } else { i >= stop };
+                    if !cont {
+                        break;
+                    }
+                    self.locals[*slot as usize] = Value::Number(i);
+                    match self.exec_block(body)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    i += step_v;
+                }
+                Ok(Flow::Normal)
+            }
+            SStmt::ExprStmt { expr } => {
+                self.step()?;
+                self.eval(expr)?;
+                Ok(Flow::Normal)
+            }
+            SStmt::Do { body } => self.exec_block(body),
+            SStmt::Return { value } => {
+                self.step()?;
+                let v = match value {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+            SStmt::Break => {
+                self.step()?;
+                Ok(Flow::Break)
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &SLValue, value: Value, line: u32) -> PolicyResult<()> {
+        match target {
+            SLValue::Local(slot) => {
+                self.locals[*slot as usize] = value;
+                Ok(())
+            }
+            SLValue::Global(slot) => {
+                self.globals[*slot as usize] = value;
+                Ok(())
+            }
+            SLValue::Index { object, key } => {
+                let obj = self.eval(object)?;
+                let k = match key {
+                    SKey::Const { key, .. } => {
+                        // Step parity: the tree walker evaluates the
+                        // literal key expression here.
+                        self.step()?;
+                        key.clone()
+                    }
+                    SKey::Expr(e) => {
+                        let key_v = self.eval(e)?;
+                        match &obj {
+                            Value::Table(_) => Key::from_value(&key_v, line)?,
+                            _ => Key::Int(0), // unused: the error below wins
+                        }
+                    }
+                };
+                match obj {
+                    Value::Table(t) => {
+                        t.borrow_mut().set(k, value);
+                        Ok(())
+                    }
+                    other => Err(PolicyError::runtime(
+                        line,
+                        format!("cannot index a {} value", other.type_name()),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &SExpr) -> PolicyResult<Value> {
+        self.step()?;
+        match expr {
+            SExpr::Nil => Ok(Value::Nil),
+            SExpr::Bool(b) => Ok(Value::Bool(*b)),
+            SExpr::Number(n) => Ok(Value::Number(*n)),
+            SExpr::Str(v) => Ok(v.clone()),
+            SExpr::Local { slot } => Ok(self.locals[*slot as usize].clone()),
+            SExpr::Global { slot } => Ok(self.globals[*slot as usize].clone()),
+            SExpr::Index { object, key, line } => {
+                let obj = self.eval(object)?;
+                match key {
+                    SKey::Const { key, text } => {
+                        // Step parity with evaluating the literal key.
+                        self.step()?;
+                        match obj {
+                            Value::Table(t) => Ok(t.borrow().get(key)),
+                            Value::Nil => Err(PolicyError::runtime(
+                                *line,
+                                format!("attempt to index a nil value (key '{text}')"),
+                            )),
+                            other => Err(PolicyError::runtime(
+                                *line,
+                                format!("cannot index a {} value", other.type_name()),
+                            )),
+                        }
+                    }
+                    SKey::Expr(e) => {
+                        let key_v = self.eval(e)?;
+                        match obj {
+                            Value::Table(t) => {
+                                let k = Key::from_value(&key_v, *line)?;
+                                Ok(t.borrow().get(&k))
+                            }
+                            Value::Nil => Err(PolicyError::runtime(
+                                *line,
+                                format!(
+                                    "attempt to index a nil value (key '{}')",
+                                    key_v.display_string()
+                                ),
+                            )),
+                            other => Err(PolicyError::runtime(
+                                *line,
+                                format!("cannot index a {} value", other.type_name()),
+                            )),
+                        }
+                    }
+                }
+            }
+            SExpr::Call { callee, args, line } => {
+                let f = self.eval(callee)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                match f {
+                    Value::Native(_, func) => func(&mut self.scratch, &argv),
+                    Value::Nil => Err(PolicyError::runtime(
+                        *line,
+                        "attempt to call a nil value (is the function defined in the Mantle \
+                         environment?)",
+                    )),
+                    other => Err(PolicyError::runtime(
+                        *line,
+                        format!("attempt to call a {} value", other.type_name()),
+                    )),
+                }
+            }
+            SExpr::Unary { op, operand, line } => {
+                let v = self.eval(operand)?;
+                match op {
+                    UnOp::Neg => Ok(Value::Number(-v.as_number(*line)?)),
+                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
+                    UnOp::Len => match v {
+                        Value::Table(t) => Ok(Value::Number(t.borrow().len() as f64)),
+                        Value::Str(s) => Ok(Value::Number(s.len() as f64)),
+                        other => Err(PolicyError::runtime(
+                            *line,
+                            format!("attempt to get length of a {} value", other.type_name()),
+                        )),
+                    },
+                }
+            }
+            SExpr::Binary { op, lhs, rhs, line } => self.eval_binary(*op, lhs, rhs, *line),
+            SExpr::TableCtor { items, pairs, line } => {
+                let mut t = Table::new();
+                for (i, item) in items.iter().enumerate() {
+                    let v = self.eval(item)?;
+                    t.set_int(i as i64 + 1, v);
+                }
+                for (k, v) in pairs {
+                    let key_v = self.eval(k)?;
+                    let val = self.eval(v)?;
+                    t.set(Key::from_value(&key_v, *line)?, val);
+                }
+                Ok(Value::table(t))
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &SExpr,
+        rhs: &SExpr,
+        line: u32,
+    ) -> PolicyResult<Value> {
+        match op {
+            BinOp::And => {
+                let l = self.eval(lhs)?;
+                return if l.truthy() { self.eval(rhs) } else { Ok(l) };
+            }
+            BinOp::Or => {
+                let l = self.eval(lhs)?;
+                return if l.truthy() { Ok(l) } else { self.eval(rhs) };
+            }
+            _ => {}
+        }
+        let l = self.eval(lhs)?;
+        let r = self.eval(rhs)?;
+        match op {
+            BinOp::Add => Ok(Value::Number(l.as_number(line)? + r.as_number(line)?)),
+            BinOp::Sub => Ok(Value::Number(l.as_number(line)? - r.as_number(line)?)),
+            BinOp::Mul => Ok(Value::Number(l.as_number(line)? * r.as_number(line)?)),
+            BinOp::Div => Ok(Value::Number(l.as_number(line)? / r.as_number(line)?)),
+            BinOp::Mod => {
+                let (a, b) = (l.as_number(line)?, r.as_number(line)?);
+                Ok(Value::Number(a - (a / b).floor() * b))
+            }
+            BinOp::Pow => Ok(Value::Number(l.as_number(line)?.powf(r.as_number(line)?))),
+            BinOp::Concat => {
+                let ls = concat_operand(&l, line)?;
+                let rs = concat_operand(&r, line)?;
+                Ok(Value::str(format!("{ls}{rs}")))
+            }
+            BinOp::Eq => Ok(Value::Bool(l.lua_eq(&r))),
+            BinOp::Ne => Ok(Value::Bool(!l.lua_eq(&r))),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = compare(&l, &r, line)?;
+                Ok(Value::Bool(match op {
+                    BinOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinOp::Le => ord != std::cmp::Ordering::Greater,
+                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinOp::Ge => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                }))
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar metaload fast path
+// ---------------------------------------------------------------------------
+
+/// Position of each counter in the 5-vector handed to
+/// [`ScalarMetaload::eval`]: `IRD`, `IWR`, `READDIR`, `FETCH`, `STORE`.
+pub const COUNTER_NAMES: [&str; 5] = ["IRD", "IWR", "READDIR", "FETCH", "STORE"];
+
+fn counter_index(name: &str) -> Option<usize> {
+    COUNTER_NAMES.iter().position(|&n| n == name)
+}
+
+/// One term of a linear `metaload` expression.
+#[derive(Debug, Clone, PartialEq)]
+enum ScalarTerm {
+    /// A bare counter, e.g. `IWR`.
+    Counter(usize),
+    /// `c * COUNTER` (coefficient written first, as in Table 1).
+    CoeffCounter(f64, usize),
+    /// `COUNTER * c`.
+    CounterCoeff(usize, f64),
+    /// A numeric literal.
+    Const(f64),
+    /// Arithmetic negation of a term.
+    Neg(Box<ScalarTerm>),
+}
+
+impl ScalarTerm {
+    fn eval(&self, counters: &[f64; 5]) -> f64 {
+        match self {
+            ScalarTerm::Counter(i) => counters[*i],
+            ScalarTerm::CoeffCounter(c, i) => c * counters[*i],
+            ScalarTerm::CounterCoeff(i, c) => counters[*i] * c,
+            ScalarTerm::Const(c) => *c,
+            ScalarTerm::Neg(t) => -t.eval(counters),
+        }
+    }
+
+    fn is_homogeneous(&self) -> bool {
+        match self {
+            ScalarTerm::Const(_) => false,
+            ScalarTerm::Neg(t) => t.is_homogeneous(),
+            _ => true,
+        }
+    }
+}
+
+/// A `metaload` hook compiled to a coefficient term list — the fast path
+/// for hooks that are pure arithmetic over the five counters, which covers
+/// Table 1 and every shipped policy.
+///
+/// Terms are kept in source order and evaluated as the interpreter's
+/// left-associative `+`/`-` chain would be, so the result is bit-identical
+/// to running the script (same IEEE-754 operations in the same order). For
+/// the common `a*IRD + b*IWR + ...` shape this is exactly a dot product
+/// against the counter vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarMetaload {
+    first: ScalarTerm,
+    /// `(is_subtraction, term)`, applied left to right.
+    rest: Vec<(bool, ScalarTerm)>,
+}
+
+impl ScalarMetaload {
+    /// Try to compile `script` to scalar form. Returns `None` when the hook
+    /// is anything but a single-expression linear combination of the five
+    /// counters (callers fall back to the slot evaluator).
+    pub fn extract(script: &Script) -> Option<ScalarMetaload> {
+        let [Stmt::Return {
+            value: Some(expr), ..
+        }] = script.block.stmts.as_slice()
+        else {
+            return None;
+        };
+        let mut terms = Vec::new();
+        flatten_chain(expr, &mut terms)?;
+        let mut it = terms.into_iter();
+        let (_, first) = it.next()?;
+        Some(ScalarMetaload {
+            first,
+            rest: it.collect(),
+        })
+    }
+
+    /// Evaluate against `[ird, iwr, readdir, fetch, store]`.
+    pub fn eval(&self, counters: &[f64; 5]) -> f64 {
+        let mut acc = self.first.eval(counters);
+        for (sub, term) in &self.rest {
+            let v = term.eval(counters);
+            acc = if *sub { acc - v } else { acc + v };
+        }
+        acc
+    }
+
+    /// True when the expression has no constant term, i.e. it is a linear
+    /// map with `metaload(0) = 0`. Only such hooks distribute over sums of
+    /// counter vectors, which is what lets the cluster evaluate them once
+    /// per MDS on aggregated heat instead of once per dirfrag.
+    pub fn is_homogeneous(&self) -> bool {
+        self.first.is_homogeneous() && self.rest.iter().all(|(_, t)| t.is_homogeneous())
+    }
+}
+
+/// Flatten a left-associative `+`/`-` chain into `(is_sub, term)` pairs.
+fn flatten_chain(e: &Expr, out: &mut Vec<(bool, ScalarTerm)>) -> Option<()> {
+    if let Expr::Binary {
+        op: op @ (BinOp::Add | BinOp::Sub),
+        lhs,
+        rhs,
+        ..
+    } = e
+    {
+        flatten_chain(lhs, out)?;
+        out.push((*op == BinOp::Sub, term_of(rhs)?));
+        Some(())
+    } else {
+        out.push((false, term_of(e)?));
+        Some(())
+    }
+}
+
+fn term_of(e: &Expr) -> Option<ScalarTerm> {
+    match e {
+        Expr::Number(n) => Some(ScalarTerm::Const(*n)),
+        Expr::Name(name, _) => Some(ScalarTerm::Counter(counter_index(name)?)),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => Some(ScalarTerm::Neg(Box::new(term_of(operand)?))),
+        Expr::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+            ..
+        } => match (&**lhs, &**rhs) {
+            (Expr::Number(c), Expr::Name(n, _)) => {
+                Some(ScalarTerm::CoeffCounter(*c, counter_index(n)?))
+            }
+            (Expr::Name(n, _), Expr::Number(c)) => {
+                Some(ScalarTerm::CounterCoeff(counter_index(n)?, *c))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expression_script, parse_script};
+    use crate::stdlib;
+
+    /// Run a script on both evaluators with the given numeric globals and
+    /// assert results (and step counts) agree exactly.
+    fn differential(src: &str, globals: &[(&str, f64)]) -> (Value, Value) {
+        let script = parse_script(src).unwrap();
+
+        let mut interp = Interpreter::new();
+        stdlib::install(&mut interp);
+        for (name, v) in globals {
+            interp.set_global(name, Value::Number(*v));
+        }
+        let tree = interp.run(&script);
+
+        let prog = SlotProgram::compile(&script);
+        let mut vm = SlotVm::new(&prog, StepBudget::default());
+        // Base env: stdlib + numeric globals, written straight to slots.
+        let mut stdlib_interp = Interpreter::new();
+        stdlib::install(&mut stdlib_interp);
+        for (i, name) in prog.global_names().iter().enumerate() {
+            vm.set_global(i, stdlib_interp.get_global(name));
+        }
+        for (name, v) in globals {
+            if let Some(slot) = prog.global_slot(name) {
+                vm.set_global(slot, Value::Number(*v));
+            }
+        }
+        let slot = vm.run(&prog);
+
+        match (&tree, &slot) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    values_identical(a, b),
+                    "mismatch on {src:?}: tree={a:?} slot={b:?}"
+                );
+                assert_eq!(
+                    interp.steps_used(),
+                    vm.steps_used(),
+                    "step divergence on {src:?}"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "error mismatch on {src:?}"),
+            (a, b) => panic!("outcome mismatch on {src:?}: tree={a:?} slot={b:?}"),
+        }
+        (tree.unwrap_or(Value::Nil), slot.unwrap_or(Value::Nil))
+    }
+
+    fn values_identical(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Number(x), Value::Number(y)) => x.to_bits() == y.to_bits(),
+            _ => a.lua_eq(b) || (matches!(a, Value::Nil) && matches!(b, Value::Nil)),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_logic_agree() {
+        differential("return 1 + 2 * 3 - 4 / 8", &[]);
+        differential("return 2 ^ 3 ^ 2", &[]);
+        differential("return -7 % 3", &[]);
+        differential("return (x > 2) and x or -x", &[("x", 5.0)]);
+        differential("return \"n=\" .. 3 .. \"!\"", &[]);
+    }
+
+    #[test]
+    fn locals_and_scoping_agree() {
+        differential("x = 1 local y = 2 x = x + y return x", &[]);
+        differential("local x = 1 do local x = 2 end return x", &[]);
+        differential("local x = x return x", &[("x", 9.0)]);
+        // Read before the `local` in the same block sees the global.
+        differential("g = 10 y = g local g = 1 return y + g", &[]);
+    }
+
+    #[test]
+    fn loops_agree() {
+        differential("s = 0 for i = 1, 10 do s = s + i end return s", &[]);
+        differential("s = 0 for i = 10, 1, -2 do s = s + i end return s", &[]);
+        differential(
+            "i = 0 while true do i = i + 1 if i >= 5 then break end end return i",
+            &[],
+        );
+        // Loop-carried local shadowing: iteration 2 must re-resolve like
+        // the dynamic scope stack (fresh scope per iteration).
+        differential(
+            "y = 0 for i = 1, 3 do y = y + v local v = i end return y",
+            &[("v", 100.0)],
+        );
+    }
+
+    #[test]
+    fn tables_agree() {
+        differential(
+            "t = {10, 20, 30} t[4] = 40 t[\"name\"] = 7 return #t + t[2] + t.name",
+            &[],
+        );
+        differential("m = {a = {1, 2}, b = {x = 9}} return m.a[2] + m.b.x", &[]);
+    }
+
+    #[test]
+    fn natives_agree() {
+        differential("return max(3, min(x, 10)) + math.floor(2.7)", &[("x", 7.0)]);
+    }
+
+    #[test]
+    fn errors_agree() {
+        differential("return nothere[\"load\"]", &[]);
+        differential("return RDstate()", &[]);
+        differential("for i=1,10,0 do end", &[]);
+        differential("return 1 < \"2\"", &[]);
+        differential("return #x", &[("x", 1.0)]);
+    }
+
+    #[test]
+    fn budget_errors_agree_on_step() {
+        let script = parse_script("while 1 do end").unwrap();
+        let mut interp = Interpreter::new().with_budget(StepBudget(10_000));
+        let tree = interp.run(&script).unwrap_err();
+        let prog = SlotProgram::compile(&script);
+        let mut vm = SlotVm::new(&prog, StepBudget(10_000));
+        let slot = vm.run(&prog).unwrap_err();
+        assert_eq!(tree, slot);
+    }
+
+    #[test]
+    fn listing_4_differential() {
+        // The Adaptable Balancer body shape, with table env.
+        let src = r#"
+mymax = 0
+for i=1,#MDSs do
+  if MDSs[i]["load"] > mymax then mymax = MDSs[i]["load"] end
+end
+return mymax
+"#;
+        let script = parse_script(src).unwrap();
+        let mk = |load: f64| Value::table(Table::from_fields([("load", Value::Number(load))]));
+        let mdss = || Value::table(Table::from_array([mk(90.0), mk(5.0), mk(35.0)]));
+
+        let mut interp = Interpreter::new();
+        interp.set_global("MDSs", mdss());
+        let tree = interp.run(&script).unwrap();
+
+        let prog = SlotProgram::compile(&script);
+        let mut vm = SlotVm::new(&prog, StepBudget::default());
+        vm.set_global(prog.global_slot("MDSs").unwrap(), mdss());
+        let slot = vm.run(&prog).unwrap();
+        assert!(values_identical(&tree, &slot));
+        assert_eq!(interp.steps_used(), vm.steps_used());
+    }
+
+    #[test]
+    fn vm_reuse_resets_environment() {
+        let script = parse_script("seen = seen + 1 return seen").unwrap();
+        let prog = SlotProgram::compile(&script);
+        let mut vm = SlotVm::new(&prog, StepBudget::default());
+        let base = vec![Value::Number(0.0); prog.n_globals()];
+        for _ in 0..3 {
+            vm.reset_globals(&base);
+            let v = vm.run(&prog).unwrap();
+            // Each run starts from the base image, as a fresh interpreter
+            // with `set_global` calls would.
+            assert_eq!(v.as_number(0).unwrap(), 1.0);
+        }
+    }
+
+    // ---- scalar fast path ----
+
+    fn scalar_of(src: &str) -> Option<ScalarMetaload> {
+        ScalarMetaload::extract(&parse_expression_script(src).unwrap())
+    }
+
+    fn interp_metaload(src: &str, c: &[f64; 5]) -> f64 {
+        let script = parse_expression_script(src).unwrap();
+        let mut interp = Interpreter::new();
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            interp.set_global(name, Value::Number(c[i]));
+        }
+        interp.run(&script).unwrap().as_number(0).unwrap()
+    }
+
+    #[test]
+    fn table1_compiles_to_scalar() {
+        let s = scalar_of("IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE").unwrap();
+        assert!(s.is_homogeneous());
+        let c = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(s.eval(&c), 36.0);
+    }
+
+    #[test]
+    fn shipped_policy_metaloads_compile_to_scalar() {
+        for src in ["IWR", "IWR + IRD", "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE"] {
+            let s = scalar_of(src).unwrap_or_else(|| panic!("{src} must be scalar"));
+            assert!(s.is_homogeneous(), "{src} must be homogeneous");
+        }
+    }
+
+    #[test]
+    fn scalar_is_bit_identical_to_interpreter() {
+        let cases = [
+            "IWR",
+            "IWR + IRD",
+            "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE",
+            "0.1*IRD + 0.3*IWR - 0.7*STORE",
+            "IWR*2.5 - -FETCH + 1e-3",
+            "3 + IWR - READDIR",
+            "-IRD + IWR",
+        ];
+        let counters = [
+            [0.1, 0.2, 0.3, 0.4, 0.5],
+            [1e9, 1e-9, 3.3333, 7.77, 0.0],
+            [5.5, 2.25, 0.125, 9.0, 1.0 / 3.0],
+        ];
+        for src in cases {
+            let s = scalar_of(src).unwrap_or_else(|| panic!("{src} must be scalar"));
+            for c in &counters {
+                let fast = s.eval(c);
+                let slow = interp_metaload(src, c);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "{src} diverged on {c:?}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_scalar_hooks_fall_back() {
+        for src in [
+            "IRD * IWR",             // nonlinear
+            "max(IRD, IWR)",         // call
+            "IRD + unknown",         // unknown name
+            "x = IWR return x",      // multi-statement
+            "IRD + 2*(IWR + FETCH)", // non-term rhs
+            "(IRD + IWR) * 2",       // chain under a multiply
+        ] {
+            assert!(scalar_of(src).is_none(), "{src} must not compile to scalar");
+        }
+    }
+
+    #[test]
+    fn constant_terms_are_not_homogeneous() {
+        assert!(!scalar_of("IWR + 1").unwrap().is_homogeneous());
+        assert!(!scalar_of("IWR - -3").unwrap().is_homogeneous());
+        assert!(scalar_of("IWR - -FETCH").unwrap().is_homogeneous());
+    }
+}

@@ -4,24 +4,38 @@
 //! measurement noise, each workload generator) derives an independent
 //! stream from `(master seed, label)` so adding a new consumer of
 //! randomness never perturbs the draws of existing ones.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — small, fast,
+//! and dependency-free, with more than enough statistical quality for a
+//! simulator (we never need cryptographic randomness).
 
 /// A deterministic random stream.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Master stream for a run.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { seed, state }
     }
 
     /// The seed this stream was created from.
@@ -48,19 +62,54 @@ impl SimRng {
         self.stream(&format!("{label}#{n}"))
     }
 
-    /// Uniform f64 in `[0, 1)`.
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform f64 in `[0, 1)` (53 mantissa bits).
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform u64 in `[0, n)`; `n` must be nonzero.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0) is meaningless");
+        // Rejection sampling over the top multiple of n avoids modulo bias.
+        let zone = u64::MAX - (u64::MAX % n) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..=hi)
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Gaussian sample via Box–Muller (mean `mu`, std dev `sigma`).
@@ -95,21 +144,6 @@ impl SimRng {
             let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -149,6 +183,32 @@ mod tests {
         let mut a = master.stream_n("client", 0);
         let mut b = master.stream_n("client", 1);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SimRng::new(23);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = SimRng::new(29);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for c in counts {
+            let expected = n / 7;
+            assert!(
+                (c as i64 - expected as i64).abs() < (expected / 10) as i64,
+                "bucket count {c} far from {expected}"
+            );
+        }
     }
 
     #[test]

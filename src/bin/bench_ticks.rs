@@ -1,0 +1,283 @@
+//! Tick-cost tracker: times the heartbeat-snapshot path and the policy
+//! hooks with plain `std::time::Instant` (no external bench harness), and
+//! writes the measurements to `BENCH_ticks.json` at the repo root.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --bin bench_ticks
+//! ```
+//!
+//! What it measures, on a create-shared-style namespace of ≥ 2 000
+//! directories spread over 3 MDSs:
+//!
+//! * `snapshot`: the per-tick metadata-load roll-up — the incremental
+//!   per-MDS aggregate path (`Namespace::mds_load_samples`, O(MDSs))
+//!   against the legacy per-dirfrag walk (O(dirs × frags × hook evals));
+//! * `metaload_hook`: one Table-1 `metaload` evaluation — the
+//!   scalar-compiled fast path against the tree-walking interpreter;
+//! * `decide_hook`: one full when/where decision (adaptable policy) —
+//!   slot-compiled hooks against per-call interpreter setup;
+//! * `end_to_end`: a small create-shared experiment wall-clock, fast vs
+//!   forced-slow hook engine (results are byte-identical; only time may
+//!   differ).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use mantle::core::policies;
+use mantle::namespace::{Namespace, NodeId, NsConfig, OpKind};
+use mantle::policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics};
+use mantle::prelude::*;
+use mantle::sim::SimTime;
+
+const NUM_MDS: usize = 3;
+
+/// Average seconds per call of `f` over `iters` calls.
+fn time_per_call(iters: u32, mut f: impl FnMut()) -> f64 {
+    // One warm-up call keeps lazy initialization out of the window.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+/// A create-shared-style namespace: a few project roots, each packed with
+/// subdirectories that clients hammer with creates and stats. Subtrees are
+/// spread over the MDSs so replica (ancestor) chains are non-trivial.
+fn build_namespace(dirs_per_project: usize, projects: usize) -> Namespace {
+    let mut ns = Namespace::new(NsConfig::default());
+    let now = SimTime::ZERO;
+    let root = ns.root();
+    for p in 0..projects {
+        let proj = ns.mkdir(root, format!("proj{p}"));
+        ns.migrate_subtree(proj, p % NUM_MDS);
+        for d in 0..dirs_per_project {
+            let dir = ns.mkdir(proj, format!("d{d}"));
+            if d % 7 == 0 {
+                // A slice of each project lives on another MDS, so the
+                // ancestor chains replicate load across ranks.
+                ns.migrate_subtree(dir, (p + 1) % NUM_MDS);
+            }
+            let heat = 1 + (d % 5);
+            for _ in 0..heat {
+                ns.record_op(dir, OpKind::Create, now);
+            }
+            ns.record_op(dir, OpKind::Stat, now);
+            if d % 3 == 0 {
+                ns.record_op(dir, OpKind::Readdir, now);
+            }
+        }
+    }
+    ns
+}
+
+/// The legacy snapshot inner loop: evaluate the metaload hook once per
+/// dirfrag and accumulate per-MDS totals (what `snapshot_heartbeats` did
+/// before the incremental aggregates, and still does for non-additive
+/// hooks).
+fn per_frag_walk(ns: &mut Namespace, rt: &MantleRuntime, now: SimTime) -> (Vec<f64>, Vec<f64>) {
+    let mut auth_load = vec![0.0; NUM_MDS];
+    let mut all_load = vec![0.0; NUM_MDS];
+    let dirs: Vec<NodeId> = ns.all_dirs().collect();
+    for d in dirs {
+        let nfrags = ns.dir(d).frags.len();
+        for f in 0..nfrags {
+            let heat = ns.frag_heat(d, f, now);
+            let auth = ns.frag_auth(d, f);
+            let load = rt
+                .eval_metaload(auth, &frag_metrics(heat.ird, heat.iwr, heat.readdir, heat.fetch, heat.store))
+                .unwrap_or_else(|_| heat.cephfs_metaload());
+            auth_load[auth] += load;
+            all_load[auth] += load;
+            for rep in ns.ancestor_auth_chain(d) {
+                if rep != auth {
+                    all_load[rep] += load * 0.2;
+                }
+            }
+        }
+    }
+    (auth_load, all_load)
+}
+
+/// The aggregate snapshot inner loop: per-MDS heat samples from the
+/// incrementally maintained aggregates, one hook evaluation per MDS for
+/// auth heat and one for replicated heat.
+fn aggregate_rollup(ns: &mut Namespace, rt: &MantleRuntime, now: SimTime) -> (Vec<f64>, Vec<f64>) {
+    let (auth_s, rep_s) = ns.mds_load_samples(NUM_MDS, now);
+    let mut auth_load = vec![0.0; NUM_MDS];
+    let mut all_load = vec![0.0; NUM_MDS];
+    for m in 0..NUM_MDS {
+        let a = rt
+            .eval_metaload(m, &frag_metrics(auth_s[m].ird, auth_s[m].iwr, auth_s[m].readdir, auth_s[m].fetch, auth_s[m].store))
+            .unwrap_or_else(|_| auth_s[m].cephfs_metaload());
+        let r = rt
+            .eval_metaload(m, &frag_metrics(rep_s[m].ird, rep_s[m].iwr, rep_s[m].readdir, rep_s[m].fetch, rep_s[m].store))
+            .unwrap_or_else(|_| rep_s[m].cephfs_metaload());
+        auth_load[m] = a;
+        all_load[m] = a + 0.2 * r;
+    }
+    (auth_load, all_load)
+}
+
+fn frag_metrics(ird: f64, iwr: f64, readdir: f64, fetch: f64, store: f64) -> FragMetrics {
+    FragMetrics {
+        ird,
+        iwr,
+        readdir,
+        fetch,
+        store,
+    }
+}
+
+fn decide_inputs() -> BalancerInputs {
+    BalancerInputs {
+        whoami: 0,
+        mds: (0..NUM_MDS)
+            .map(|i| MdsMetrics {
+                auth: 80.0 - 30.0 * i as f64,
+                all: 90.0 - 30.0 * i as f64,
+                cpu: 60.0,
+                mem: 25.0,
+                q: 1.0,
+                req: 40.0,
+            })
+            .collect(),
+        auth_metaload: 80.0,
+        all_metaload: 90.0,
+    }
+}
+
+fn main() {
+    let now = SimTime::from_secs(1);
+    let table1 = MantleRuntime::new(policies::cephfs_original().expect("preset compiles"));
+    let table1_slow = MantleRuntime::new(policies::cephfs_original().expect("preset compiles"))
+        .with_force_slow_path(true);
+
+    // --- snapshot: aggregate roll-up vs per-frag walk -------------------
+    let mut ns = build_namespace(700, 3); // 3 projects × 700 dirs + roots
+    let dirs = ns.dir_count();
+    let frags: usize = (0..NUM_MDS).map(|m| ns.auth_frags(m).len()).sum();
+    assert!(dirs >= 2_000, "bench namespace too small: {dirs} dirs");
+
+    let agg_s = time_per_call(2_000, || {
+        black_box(aggregate_rollup(&mut ns, &table1, now));
+    });
+    let walk_s = time_per_call(30, || {
+        black_box(per_frag_walk(&mut ns, &table1, now));
+    });
+    // Sanity: both paths agree on the totals they feed into heartbeats.
+    let (agg_auth, _) = aggregate_rollup(&mut ns, &table1, now);
+    let (walk_auth, _) = per_frag_walk(&mut ns, &table1, now);
+    for m in 0..NUM_MDS {
+        let diff = (agg_auth[m] - walk_auth[m]).abs();
+        assert!(
+            diff <= 1e-6 * (1.0 + walk_auth[m].abs()),
+            "aggregate and per-frag snapshots disagree on MDS {m}: {} vs {}",
+            agg_auth[m],
+            walk_auth[m]
+        );
+    }
+
+    // --- policy hooks: scalar/slot fast path vs tree-walking ------------
+    let heat = frag_metrics(3.0, 5.0, 1.0, 0.5, 0.25);
+    let meta_fast_s = time_per_call(200_000, || {
+        black_box(table1.eval_metaload(0, &heat).unwrap());
+    });
+    let meta_tree_s = time_per_call(50_000, || {
+        black_box(table1_slow.eval_metaload(0, &heat).unwrap());
+    });
+
+    let adaptable = MantleRuntime::new(policies::adaptable().expect("preset compiles"));
+    let adaptable_slow = MantleRuntime::new(policies::adaptable().expect("preset compiles"))
+        .with_force_slow_path(true);
+    let inputs = decide_inputs();
+    let decide_fast_s = time_per_call(20_000, || {
+        black_box(adaptable.decide(&inputs).unwrap());
+    });
+    let decide_tree_s = time_per_call(5_000, || {
+        black_box(adaptable_slow.decide(&inputs).unwrap());
+    });
+
+    // --- end to end: a small create-shared run, both engines ------------
+    let e2e = |slow: bool| {
+        let policy = policies::adaptable().expect("preset compiles");
+        let spec = Experiment::new(
+            ClusterConfig::default().with_mds(NUM_MDS),
+            WorkloadSpec::CreateShared {
+                clients: 4,
+                files: 4_000,
+            },
+            if slow {
+                BalancerSpec::mantle_slow_path("adaptable", policy)
+            } else {
+                BalancerSpec::mantle("adaptable", policy)
+            },
+        );
+        let t0 = Instant::now();
+        let report = run_experiment(&spec);
+        let secs = t0.elapsed().as_secs_f64();
+        (secs, report.total_ops())
+    };
+    let (e2e_fast_s, ops) = e2e(false);
+    let (e2e_slow_s, ops_slow) = e2e(true);
+    assert_eq!(ops, ops_slow, "engines must do identical work");
+
+    // --- report ---------------------------------------------------------
+    let snapshot_speedup = walk_s / agg_s;
+    let metaload_speedup = meta_tree_s / meta_fast_s;
+    let decide_speedup = decide_tree_s / decide_fast_s;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        r#"{{
+  "generated_by": "cargo run --release --bin bench_ticks",
+  "namespace": {{ "dirs": {dirs}, "frags": {frags}, "num_mds": {NUM_MDS} }},
+  "snapshot_heartbeats": {{
+    "aggregate_us_per_tick": {agg:.3},
+    "per_frag_us_per_tick": {walk:.3},
+    "speedup": {snap:.1}
+  }},
+  "metaload_hook": {{
+    "fast_ns_per_eval": {mf:.1},
+    "tree_ns_per_eval": {mt:.1},
+    "speedup": {ms:.1}
+  }},
+  "decide_hook": {{
+    "fast_us_per_call": {df:.3},
+    "tree_us_per_call": {dt:.3},
+    "speedup": {ds:.1}
+  }},
+  "end_to_end_create_shared": {{
+    "total_ops": {ops},
+    "fast_engine_s": {ef:.3},
+    "slow_engine_s": {es:.3}
+  }}
+}}
+"#,
+        agg = agg_s * 1e6,
+        walk = walk_s * 1e6,
+        snap = snapshot_speedup,
+        mf = meta_fast_s * 1e9,
+        mt = meta_tree_s * 1e9,
+        ms = metaload_speedup,
+        df = decide_fast_s * 1e6,
+        dt = decide_tree_s * 1e6,
+        ds = decide_speedup,
+        ef = e2e_fast_s,
+        es = e2e_slow_s,
+    );
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ticks.json");
+    std::fs::write(out, &json).expect("write BENCH_ticks.json");
+    println!("{json}");
+    println!("wrote {out}");
+    assert!(
+        snapshot_speedup >= 5.0,
+        "aggregate snapshot must be ≥ 5× the per-frag walk, got {snapshot_speedup:.1}×"
+    );
+}

@@ -234,3 +234,41 @@ return chosen
     assert!(r.mds[1].total_ops > 0.0);
     assert_eq!(r.total_ops(), 16_000.0);
 }
+
+#[test]
+fn slot_and_tree_engines_produce_identical_reports() {
+    // The slot-compiled hook engine is pinned byte-identical to the
+    // tree-walking interpreter: same seed, same policy → the full
+    // RunReport (every float, every time series) must match exactly.
+    for (name, policy) in [
+        ("greedy-spill", policies::greedy_spill().unwrap()),
+        ("fill-and-spill", policies::fill_and_spill(0.25).unwrap()),
+        ("adaptable", policies::adaptable().unwrap()),
+    ] {
+        let workload = WorkloadSpec::CreateShared {
+            clients: 3,
+            files: 1_500,
+        };
+        let fast = Experiment::new(
+            quick_cfg(3),
+            workload.clone(),
+            BalancerSpec::mantle(name, policy.clone()),
+        )
+        .with_seed(42);
+        let slow = Experiment::new(
+            quick_cfg(3),
+            workload,
+            BalancerSpec::mantle_slow_path(name, policy),
+        )
+        .with_seed(42);
+        let a = run_experiment(&fast);
+        let b = run_experiment(&slow);
+        // Debug formatting of f64 is shortest-roundtrip, so any numeric
+        // divergence — however small — shows up here.
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{name}: fast and slow evaluation paths diverged"
+        );
+    }
+}

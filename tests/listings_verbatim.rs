@@ -51,7 +51,7 @@ fn listing1_greedy_spill_cascades() {
         .unwrap()
         .expect("spills");
     assert_eq!(plan.targets[1], 30.0);
-    assert_eq!(plan.selectors, vec![DirfragSelector::Half.into()]);
+    assert_eq!(plan.selectors.as_ref(), [DirfragSelector::Half.into()]);
     // The cascade: MDS1 loaded, MDS2 idle → MDS1 spills too.
     let plan2 = b
         .decide(&ctx(1, &[(30.0, 0.0), (30.0, 0.0), (0.0, 0.0), (0.0, 0.0)]))
@@ -133,7 +133,7 @@ fn table1_script_equals_hardcoded_on_a_grid() {
     for n in [2usize, 3, 4, 7] {
         for hot in 0..n {
             for whoami in 0..n {
-                let heartbeats: Vec<Heartbeat> = (0..n)
+                let heartbeats: std::sync::Arc<[Heartbeat]> = (0..n)
                     .map(|i| {
                         let load = if i == hot { 120.0 } else { 12.0 + i as f64 };
                         Heartbeat {
