@@ -14,13 +14,21 @@ fn main() {
 
     r.bench("fig1_heatmap", || repro::fig1_heatmap(ReproOpts::QUICK));
     r.bench("fig3_locality", || repro::fig3_locality(ReproOpts::QUICK));
-    r.bench("fig4_variance", || repro::fig4_unpredictable(ReproOpts::QUICK));
-    r.bench("fig5_saturation", || repro::fig5_saturation(ReproOpts::QUICK));
+    r.bench("fig4_variance", || {
+        repro::fig4_unpredictable(ReproOpts::QUICK)
+    });
+    r.bench("fig5_saturation", || {
+        repro::fig5_saturation(ReproOpts::QUICK)
+    });
     r.bench("table1_policies", repro::table1_policies);
-    r.bench("fig7_spill", || repro::fig7_spill_timelines(ReproOpts::QUICK));
+    r.bench("fig7_spill", || {
+        repro::fig7_spill_timelines(ReproOpts::QUICK)
+    });
     r.bench("fig8_speedup", || repro::fig8_speedups(ReproOpts::QUICK));
     r.bench("sessions_table", || repro::sessions_table(ReproOpts::QUICK));
-    r.bench("fig9_compile", || repro::fig9_compile_speedup(ReproOpts::QUICK));
+    r.bench("fig9_compile", || {
+        repro::fig9_compile_speedup(ReproOpts::QUICK)
+    });
     r.bench("fig10_aggressiveness", || {
         repro::fig10_aggressiveness(ReproOpts::QUICK)
     });

@@ -51,7 +51,9 @@ fn main() {
     let mut r = Runner::from_env();
     r.group("policy_lang");
 
-    r.bench("lex+parse adaptable.lua", || compile(ADAPTABLE_SRC).unwrap());
+    r.bench("lex+parse adaptable.lua", || {
+        compile(ADAPTABLE_SRC).unwrap()
+    });
 
     let script = compile(ADAPTABLE_SRC).unwrap();
     r.bench("pretty_print adaptable.lua", || {

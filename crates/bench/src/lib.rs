@@ -42,9 +42,7 @@ pub mod harness {
         /// Build from `cargo bench` CLI args: flags (`--bench`, `--exact`,
         /// ...) are ignored, the first free argument is a name filter.
         pub fn from_env() -> Self {
-            let filter = std::env::args()
-                .skip(1)
-                .find(|a| !a.starts_with('-'));
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
             Runner {
                 filter,
                 measure_for: Duration::from_millis(300),

@@ -17,7 +17,11 @@ calibrated workload sizes used by EXPERIMENTS.md.";
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let opts = if full { ReproOpts::FULL } else { ReproOpts::QUICK };
+    let opts = if full {
+        ReproOpts::FULL
+    } else {
+        ReproOpts::QUICK
+    };
     let target = args
         .iter()
         .find(|a| !a.starts_with("--"))

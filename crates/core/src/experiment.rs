@@ -178,10 +178,8 @@ impl Experiment {
 
     /// Add a scheduled repartition.
     pub fn repartition_at(mut self, at: SimTime, assignments: Vec<(String, MdsId)>) -> Self {
-        self.scheduled_partitions.push(ScheduledPartition {
-            at,
-            assignments,
-        });
+        self.scheduled_partitions
+            .push(ScheduledPartition { at, assignments });
         self
     }
 
@@ -226,8 +224,7 @@ pub fn run_seeds(spec: &Experiment, seeds: &[u64]) -> Vec<RunReport> {
         .unwrap_or(1)
         .min(seeds.len().max(1));
     let next = AtomicUsize::new(0);
-    let out: Vec<Mutex<Option<RunReport>>> =
-        (0..seeds.len()).map(|_| Mutex::new(None)).collect();
+    let out: Vec<Mutex<Option<RunReport>>> = (0..seeds.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

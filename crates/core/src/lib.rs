@@ -9,8 +9,12 @@
 //! * [`repro`] — one regenerator per table/figure of the paper's
 //!   evaluation section (also driven by `cargo run -p mantle-core --bin
 //!   repro` and by the Criterion benches);
+//! * [`degraded`] — fault-injection scenarios (crash/restart, slow MDS,
+//!   stale heartbeats, poisoned balancer) and their degradation table
+//!   (`cargo run -p mantle-core --bin degraded`);
 //! * [`table`] — dependency-free text-table/CSV output.
 
+pub mod degraded;
 pub mod experiment;
 pub mod policies;
 pub mod repro;
@@ -28,7 +32,8 @@ pub mod prelude {
     pub use crate::policies;
     pub use crate::table::TextTable;
     pub use mantle_mds::{
-        Balancer, CephfsBalancer, Cluster, ClusterConfig, MantleBalancer, RunReport,
+        Balancer, CephfsBalancer, Cluster, ClusterConfig, FaultEvent, FaultKind, FaultPlan,
+        MantleBalancer, RunReport,
     };
     pub use mantle_namespace::{Namespace, NodeId, NsConfig, OpKind};
     pub use mantle_policy::env::PolicySet;

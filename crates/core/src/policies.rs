@@ -20,8 +20,7 @@ pub const FILL_AND_SPILL_LUA: &str = include_str!("../policies/fill_and_spill.lu
 /// Listing 4: the Adaptable balancer.
 pub const ADAPTABLE_LUA: &str = include_str!("../policies/adaptable.lua");
 /// Fig. 10 top: conservative variant (min-offload + 3-tick patience).
-pub const ADAPTABLE_CONSERVATIVE_LUA: &str =
-    include_str!("../policies/adaptable_conservative.lua");
+pub const ADAPTABLE_CONSERVATIVE_LUA: &str = include_str!("../policies/adaptable_conservative.lua");
 /// Fig. 10 bottom: too-aggressive variant (perfect-balance chasing).
 pub const ADAPTABLE_TOO_AGGRESSIVE_LUA: &str =
     include_str!("../policies/adaptable_too_aggressive.lua");

@@ -49,7 +49,10 @@ pub fn fig1_heatmap(opts: ReproOpts) -> String {
                 let heat = ns.subtree_heat(ch, at).cephfs_metaload();
                 row.push((name, heat));
             }
-            sink2.lock().expect("sink lock never poisoned").push((at, row));
+            sink2
+                .lock()
+                .expect("sink lock never poisoned")
+                .push((at, row));
         });
     }
     let report = cluster.run();

@@ -102,13 +102,16 @@ pub fn fig5_saturation(opts: ReproOpts) -> String {
             f(rate, 0),
             f(lat.mean, 3),
             f(lat_p99, 3),
-            f(Summary::of(
-                &r.clients
-                    .iter()
-                    .map(|c| c.latency.stddev)
-                    .collect::<Vec<_>>(),
-            )
-            .mean, 3),
+            f(
+                Summary::of(
+                    &r.clients
+                        .iter()
+                        .map(|c| c.latency.stddev)
+                        .collect::<Vec<_>>(),
+                )
+                .mean,
+                3,
+            ),
         ]);
     }
     out.push_str(&t.render());
@@ -244,7 +247,11 @@ pub fn fig8_speedups(opts: ReproOpts) -> String {
         );
         let r = run_experiment(&spec);
         let mins = r.mean_client_makespan_mins();
-        let used = r.mds.iter().filter(|m| m.total_ops > files as f64 * 0.05).count();
+        let used = r
+            .mds
+            .iter()
+            .filter(|m| m.total_ops > files as f64 * 0.05)
+            .count();
         t.row([
             label.to_string(),
             n.to_string(),
@@ -314,7 +321,12 @@ mod tests {
         let s = fig5_saturation(ReproOpts::QUICK);
         assert!(s.contains("throughput stops improving"));
         // 7 data rows.
-        assert!(s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count() >= 7);
+        assert!(
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count()
+                >= 7
+        );
     }
 
     #[test]

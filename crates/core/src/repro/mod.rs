@@ -10,7 +10,7 @@
 pub mod compile_figs;
 pub mod create_figs;
 
-pub use compile_figs::{fig1_heatmap, fig10_aggressiveness, fig3_locality, fig9_compile_speedup};
+pub use compile_figs::{fig10_aggressiveness, fig1_heatmap, fig3_locality, fig9_compile_speedup};
 pub use create_figs::{
     fig4_unpredictable, fig5_saturation, fig7_spill_timelines, fig8_speedups, sessions_table,
 };
@@ -85,8 +85,14 @@ pub fn table1_policies() -> String {
     t.row(["metaload", crate::policies::CEPHFS_METALOAD]);
     t.row(["MDSload", crate::policies::CEPHFS_MDSLOAD]);
     t.row(["when", crate::policies::CEPHFS_WHEN]);
-    t.row(["where", "top under-average MDSs up to avg ×0.8 (cephfs_where.lua)"]);
-    t.row(["how-much", "export largest dirfrag until target (big_first)"]);
+    t.row([
+        "where",
+        "top under-average MDSs up to avg ×0.8 (cephfs_where.lua)",
+    ]);
+    t.row([
+        "how-much",
+        "export largest dirfrag until target (big_first)",
+    ]);
     out.push_str(&t.render());
 
     // Equivalence grid: hard-coded vs injected script.

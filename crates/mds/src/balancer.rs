@@ -10,12 +10,10 @@
 //! * **when**: should this MDS migrate anything right now?
 //! * **where**: how much load should go to which MDS (`targets[]`)?
 
-use mantle_namespace::MdsId;
-use mantle_policy::{
-    BalancerInputs, MdsMetrics, PolicyError, PolicyResult, PolicyValidator,
-};
-use mantle_policy::env::{FragMetrics, MantleRuntime, PolicySet};
 use mantle_namespace::HeatSample;
+use mantle_namespace::MdsId;
+use mantle_policy::env::{FragMetrics, MantleRuntime, PolicySet};
+use mantle_policy::{BalancerInputs, MdsMetrics, PolicyError, PolicyResult, PolicyValidator};
 
 use crate::metrics::Heartbeat;
 use crate::selector::{DirfragSelector, ScriptedSelector, SelectorKind};
@@ -185,10 +183,7 @@ impl MantleBalancer {
 
     /// Wrap a policy set without dry-run validation (tests of pathological
     /// policies use this; production callers want [`MantleBalancer::new`]).
-    pub fn new_unvalidated(
-        name: impl Into<String>,
-        policy: PolicySet,
-    ) -> PolicyResult<Self> {
+    pub fn new_unvalidated(name: impl Into<String>, policy: PolicySet) -> PolicyResult<Self> {
         let selectors = policy
             .howmuch
             .iter()
@@ -348,8 +343,13 @@ mod tests {
         // avg = 40; self surplus = 20; two cold MDSs "want" 35+25=60.
         let ctx = BalanceContext {
             whoami: 0,
-            heartbeats: vec![hb(60.0, 0.0, 0.0), hb(5.0, 0.0, 0.0), hb(15.0, 0.0, 0.0),
-                             hb(80.0, 0.0, 0.0)].into(),
+            heartbeats: vec![
+                hb(60.0, 0.0, 0.0),
+                hb(5.0, 0.0, 0.0),
+                hb(15.0, 0.0, 0.0),
+                hb(80.0, 0.0, 0.0),
+            ]
+            .into(),
         };
         let plan = b.decide(&ctx).unwrap().unwrap();
         let planned: f64 = plan.targets.iter().sum();
@@ -399,13 +399,9 @@ end
 
     #[test]
     fn mantle_metaload_uses_script() {
-        let policy = PolicySet::from_combined(
-            "IRD + 2*IWR",
-            "MDSs[i][\"all\"]",
-            "x = 1",
-            &["big_first"],
-        )
-        .unwrap();
+        let policy =
+            PolicySet::from_combined("IRD + 2*IWR", "MDSs[i][\"all\"]", "x = 1", &["big_first"])
+                .unwrap();
         let b = MantleBalancer::new_unvalidated("m", policy).unwrap();
         let heat = HeatSample {
             ird: 3.0,

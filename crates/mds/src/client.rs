@@ -45,10 +45,6 @@ pub struct ClientState {
     /// Learned directory→MDS map (built up from replies, exactly as the
     /// client builds "its own mapping of subtrees to MDS nodes", §2).
     cache: HashMap<NodeId, MdsId>,
-    /// Round-robin counter for creates into multi-authority directories
-    /// (§4.1: "each client contacts MDS nodes round robin for each
-    /// create").
-    rr: u64,
     /// This client is done issuing ops.
     pub done: bool,
     /// Ops completed so far.
@@ -60,6 +56,15 @@ pub struct ClientState {
     pub finished_at: SimTime,
     /// Latency samples, ms.
     pub latencies: Vec<f64>,
+    /// Sequence number of the newest request attempt; replies and
+    /// timeouts carrying an older number are stale and ignored.
+    pub seq: u64,
+    /// The logical op currently awaiting a reply (`None` between ops).
+    /// Retries re-issue this op after a timeout.
+    pub pending: Option<ClientOp>,
+    /// Timeouts suffered by the pending op so far (drives the
+    /// exponential backoff).
+    pub attempts: u32,
 }
 
 impl ClientState {
@@ -68,12 +73,14 @@ impl ClientState {
         ClientState {
             id,
             cache: HashMap::new(),
-            rr: 0,
             done: false,
             completed: 0,
             stall_until: SimTime::ZERO,
             finished_at: SimTime::ZERO,
             latencies: Vec::new(),
+            seq: 0,
+            pending: None,
+            attempts: 0,
         }
     }
 
@@ -88,10 +95,14 @@ impl ClientState {
     /// directories use the learned cache, falling back to MDS 0 (the mount
     /// authority) — that cache goes stale when subtrees migrate, which is
     /// what produces forwards.
-    pub fn route(&mut self, ns: &Namespace, op: &ClientOp, frag: mantle_namespace::FragId) -> MdsId {
+    pub fn route(
+        &mut self,
+        ns: &Namespace,
+        op: &ClientOp,
+        frag: mantle_namespace::FragId,
+    ) -> MdsId {
         let owners = ns.frag_owners(op.dir);
         if owners.len() > 1 {
-            self.rr += 1;
             ns.frag_auth(op.dir, frag)
         } else {
             self.cache.get(&op.dir).copied().unwrap_or(0)
@@ -129,11 +140,19 @@ mod tests {
             dir: d,
             kind: OpKind::Stat,
         };
-        assert_eq!(c.route(&ns, &op, ns.peek_frag(d)), 0, "default mount authority");
+        assert_eq!(
+            c.route(&ns, &op, ns.peek_frag(d)),
+            0,
+            "default mount authority"
+        );
         // Even though ground truth moved, the client still uses its cache…
         ns.set_auth(d, Some(2));
         c.learn(d, 1);
-        assert_eq!(c.route(&ns, &op, ns.peek_frag(d)), 1, "stale cache drives routing");
+        assert_eq!(
+            c.route(&ns, &op, ns.peek_frag(d)),
+            1,
+            "stale cache drives routing"
+        );
         c.invalidate(d);
         assert_eq!(c.route(&ns, &op, ns.peek_frag(d)), 0);
     }

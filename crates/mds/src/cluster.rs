@@ -7,9 +7,10 @@ use std::sync::Arc;
 use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig};
 use mantle_sim::{EventQueue, SimRng, SimTime, Summary};
 
-use crate::balancer::{BalanceContext, Balancer};
+use crate::balancer::{BalanceContext, Balancer, CephfsBalancer};
 use crate::client::{ClientOp, ClientState, Workload};
 use crate::config::{ClusterConfig, PlacementPolicy};
+use crate::faults::FaultKind;
 use crate::metrics::{Heartbeat, MdsCounters};
 use crate::partition::{plan_exports, Export, ExportUnit};
 use crate::report::{ClientReport, MdsReport, RunReport};
@@ -24,6 +25,9 @@ struct Request {
     frag: mantle_namespace::FragId,
     issued: SimTime,
     forwarded: bool,
+    /// The issuing client's attempt number; replies for a superseded
+    /// attempt (the client timed out and retried) are dropped.
+    seq: u64,
 }
 
 #[derive(Debug)]
@@ -37,11 +41,21 @@ enum Event {
         mds: MdsId,
         req: Request,
         service_us: f64,
+        /// The MDS's incarnation when service started; a crash bumps the
+        /// incarnation, so completions from before it are ghosts.
+        epoch: u64,
     },
     /// Cluster-wide heartbeat + balancer tick.
     Heartbeat,
     /// A scheduled administrative action (manual repartition etc.).
     Admin(usize),
+    /// A scheduled fault from the [`crate::faults::FaultPlan`] fires.
+    Fault(usize),
+    /// A client's request timeout expires; if the attempt is still
+    /// outstanding the client declares it lost and backs off to retry.
+    Timeout { client: usize, seq: u64 },
+    /// A client re-issues its pending op after a timeout backoff.
+    Retry(usize),
 }
 
 /// A balancer that never migrates — used for static-partition experiments
@@ -93,6 +107,35 @@ pub struct Cluster {
     admin_actions: Vec<Option<AdminAction>>,
     /// Count of balancer hook errors (bad policies surface here).
     pub policy_errors: u64,
+    /// True when the fault plan schedules anything; inert plans skip all
+    /// timeout/retry bookkeeping so healthy runs stay byte-identical.
+    faults_active: bool,
+    /// Liveness per MDS (crashes flip this off, restarts back on).
+    up: Vec<bool>,
+    /// Incarnation per MDS; bumped by crashes to invalidate in-flight
+    /// completions.
+    mds_epoch: Vec<u64>,
+    /// Service-time multiplier per MDS while `now < slow_until`.
+    slow_factor: Vec<f64>,
+    slow_until: Vec<SimTime>,
+    /// Heartbeat outage windows: while dropping, readers see the snapshot
+    /// frozen at the window start; while delaying, the previous tick's.
+    hb_drop_until: Vec<SimTime>,
+    hb_delay_until: Vec<SimTime>,
+    hb_frozen: Vec<Option<Heartbeat>>,
+    hb_published: Vec<Heartbeat>,
+    /// Balancers whose hooks were poisoned mid-run (every decide errors).
+    poisoned: Vec<bool>,
+    /// Consecutive balancer errors per MDS; reaching
+    /// `faults.fallback_after` swaps in the default CephFS balancer.
+    consecutive_policy_errors: Vec<u32>,
+    /// The configured balancer's name, pinned at construction so a
+    /// mid-run fallback doesn't relabel the report.
+    balancer_name: String,
+    timeouts: u64,
+    retries: u64,
+    failovers: u64,
+    balancer_fallbacks: u64,
 }
 
 impl Cluster {
@@ -111,8 +154,13 @@ impl Cluster {
         let n = cfg.num_mds;
         let master = SimRng::new(cfg.seed);
         let clients = (0..workload.num_clients()).map(ClientState::new).collect();
-        let balancers = (0..n).map(&mut make_balancer).collect();
+        let balancers: Vec<Box<dyn Balancer>> = (0..n).map(&mut make_balancer).collect();
+        let balancer_name = balancers
+            .first()
+            .map(|b| b.name().to_string())
+            .unwrap_or_default();
         let num_clients = workload.num_clients();
+        let faults_active = cfg.faults.is_active();
         Cluster {
             ns,
             workload,
@@ -129,6 +177,22 @@ impl Cluster {
             active_clients: num_clients,
             admin_actions: Vec::new(),
             policy_errors: 0,
+            faults_active,
+            up: vec![true; n],
+            mds_epoch: vec![0; n],
+            slow_factor: vec![1.0; n],
+            slow_until: vec![SimTime::ZERO; n],
+            hb_drop_until: vec![SimTime::ZERO; n],
+            hb_delay_until: vec![SimTime::ZERO; n],
+            hb_frozen: vec![None; n],
+            hb_published: vec![Heartbeat::default(); n],
+            poisoned: vec![false; n],
+            consecutive_policy_errors: vec![0; n],
+            balancer_name,
+            timeouts: 0,
+            retries: 0,
+            failovers: 0,
+            balancer_fallbacks: 0,
             cfg,
         }
     }
@@ -161,6 +225,10 @@ impl Cluster {
         }
         self.queue
             .schedule_at(self.cfg.heartbeat_interval, Event::Heartbeat);
+        for i in 0..self.cfg.faults.events.len() {
+            self.queue
+                .schedule_at(self.cfg.faults.events[i].at, Event::Fault(i));
+        }
 
         while let Some((now, event)) = self.queue.pop() {
             if now > self.cfg.max_duration {
@@ -173,13 +241,17 @@ impl Cluster {
                     mds,
                     req,
                     service_us,
-                } => self.on_complete(mds, req, service_us, now),
+                    epoch,
+                } => self.on_complete(mds, req, service_us, epoch, now),
                 Event::Heartbeat => self.on_heartbeat(now),
                 Event::Admin(idx) => {
                     if let Some(action) = self.admin_actions[idx].take() {
                         action(&mut self.ns);
                     }
                 }
+                Event::Fault(idx) => self.on_fault(idx, now),
+                Event::Timeout { client, seq } => self.on_timeout(client, seq, now),
+                Event::Retry(client) => self.on_retry(client, now),
             }
             if self.active_clients == 0 && self.inflight == 0 {
                 break;
@@ -206,29 +278,87 @@ impl Cluster {
                 self.active_clients -= 1;
             }
             Some(op) => {
-                let frag = self.ns.peek_frag(op.dir);
-                let mds = self.clients[c].route(&self.ns, &op, frag);
-                let req = Request {
-                    client: c,
-                    op,
-                    frag,
-                    issued: now,
-                    forwarded: false,
-                };
-                self.inflight += 1;
-                self.queue
-                    .schedule_at(now + self.half_rtt(), Event::Arrive { mds, req });
+                self.clients[c].pending = Some(op);
+                self.clients[c].attempts = 0;
+                self.issue(c, now);
             }
         }
     }
 
+    /// Send the client's pending op to the MDS it routes to, arming the
+    /// request timeout when fault injection is on.
+    fn issue(&mut self, c: usize, now: SimTime) {
+        let op = self.clients[c]
+            .pending
+            .expect("issue() requires a pending op");
+        let frag = self.ns.peek_frag(op.dir);
+        let mds = self.clients[c].route(&self.ns, &op, frag);
+        self.clients[c].seq += 1;
+        let seq = self.clients[c].seq;
+        let req = Request {
+            client: c,
+            op,
+            frag,
+            issued: now,
+            forwarded: false,
+            seq,
+        };
+        self.inflight += 1;
+        self.queue
+            .schedule_at(now + self.half_rtt(), Event::Arrive { mds, req });
+        if self.faults_active {
+            self.queue.schedule_at(
+                now + self.cfg.faults.request_timeout,
+                Event::Timeout { client: c, seq },
+            );
+        }
+    }
+
+    /// A request timeout fired. If the attempt is still outstanding, the
+    /// client declares it lost, forgets its (possibly stale) route for
+    /// the directory, and backs off exponentially before retrying.
+    fn on_timeout(&mut self, c: usize, seq: u64, now: SimTime) {
+        let client = &self.clients[c];
+        if client.seq != seq || client.pending.is_none() {
+            return; // the attempt completed (or was already superseded)
+        }
+        self.timeouts += 1;
+        let dir = client.pending.expect("checked above").dir;
+        let attempt = client.attempts;
+        self.clients[c].attempts += 1;
+        // Re-route: the cached mapping pointed at a dead or unreachable
+        // authority; fall back to the mount authority on the next try.
+        self.clients[c].invalidate(dir);
+        let backoff = self.cfg.faults.backoff_for(attempt);
+        self.queue.schedule_at(now + backoff, Event::Retry(c));
+    }
+
+    /// The backoff elapsed: re-issue the pending op (a late reply may
+    /// have landed in the meantime, in which case there is nothing to do).
+    fn on_retry(&mut self, c: usize, now: SimTime) {
+        if self.clients[c].done || self.clients[c].pending.is_none() {
+            return;
+        }
+        self.retries += 1;
+        self.issue(c, now);
+    }
+
     fn on_arrive(&mut self, mds: MdsId, mut req: Request, now: SimTime) {
+        // A crashed MDS serves nothing: the request is lost on the floor
+        // and the issuing client's timeout recovers it.
+        if !self.up[mds] {
+            self.counters[mds].dropped += 1;
+            self.inflight -= 1;
+            return;
+        }
         // Hash placement pins each directory on first touch.
-        if self.cfg.placement == PlacementPolicy::HashDirs
-            && self.ns.dir(req.op.dir).auth.is_none()
+        if self.cfg.placement == PlacementPolicy::HashDirs && self.ns.dir(req.op.dir).auth.is_none()
         {
-            let target = (req.op.dir.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize
+            let mut target = (req.op.dir.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize
                 % self.cfg.num_mds;
+            if !self.up[target] {
+                target = 0; // never pin fresh metadata on a dead MDS
+            }
             self.ns.set_auth(req.op.dir, Some(target));
         }
         // Frozen subtree (mid-migration): the request waits for the thaw.
@@ -250,11 +380,10 @@ impl Cluster {
             self.counters[mds].busy_window_us += fwd_us;
             req.forwarded = true;
             let hop = SimTime::from_micros_f64(self.cfg.costs.forward_hop_us);
-            self.queue
-                .schedule_at(self.next_free[mds].max(now) + hop, Event::Arrive {
-                    mds: auth,
-                    req,
-                });
+            self.queue.schedule_at(
+                self.next_free[mds].max(now) + hop,
+                Event::Arrive { mds: auth, req },
+            );
             return;
         }
         if req.forwarded {
@@ -286,19 +415,33 @@ impl Cluster {
                 }
             }
         }
+        // An injected slowdown stretches every service time in its window.
+        if self.faults_active && now < self.slow_until[mds] {
+            base *= self.slow_factor[mds];
+        }
         let service_us = (base * self.rng_service.jitter(self.cfg.costs.service_noise)).max(1.0);
         let start = self.next_free[mds].max(now);
         let done = start + SimTime::from_micros_f64(service_us);
         self.next_free[mds] = done;
         self.counters[mds].queued += 1;
-        self.queue.schedule_at(done, Event::Complete {
-            mds,
-            req,
-            service_us,
-        });
+        self.queue.schedule_at(
+            done,
+            Event::Complete {
+                mds,
+                req,
+                service_us,
+                epoch: self.mds_epoch[mds],
+            },
+        );
     }
 
-    fn on_complete(&mut self, mds: MdsId, req: Request, service_us: f64, now: SimTime) {
+    fn on_complete(&mut self, mds: MdsId, req: Request, service_us: f64, epoch: u64, now: SimTime) {
+        // Ghost completion: the MDS crashed (and possibly restarted) after
+        // this request entered service — the reply never left the wire.
+        if !self.up[mds] || epoch != self.mds_epoch[mds] {
+            self.inflight -= 1;
+            return;
+        }
         self.counters[mds].queued = self.counters[mds].queued.saturating_sub(1);
         self.counters[mds].complete_op(now, service_us);
         let (_frag, split) = self.ns.record_op_on(req.op.dir, req.frag, req.op.kind, now);
@@ -311,11 +454,102 @@ impl Cluster {
         let reply_at = now + self.half_rtt();
         let latency_ms = (reply_at - req.issued).as_millis_f64();
         let client = &mut self.clients[req.client];
+        // Stale reply: the client timed out this attempt and has already
+        // retried (or finished via the retry). The server-side work still
+        // happened — it just counted for nothing at the client.
+        if req.seq != client.seq || client.pending.is_none() {
+            self.inflight -= 1;
+            return;
+        }
+        client.pending = None;
         client.learn(req.op.dir, mds);
         client.record_completion(reply_at, latency_ms);
         self.inflight -= 1;
         self.queue
             .schedule_at(reply_at, Event::ClientNext(req.client));
+    }
+
+    /// Apply one scheduled fault.
+    fn on_fault(&mut self, idx: usize, now: SimTime) {
+        match self.cfg.faults.events[idx].kind.clone() {
+            FaultKind::Crash { mds } => {
+                // MDS 0 is the mount authority and the failover target; a
+                // cluster that loses it has no root to serve from.
+                if mds == 0 || mds >= self.cfg.num_mds || !self.up[mds] {
+                    return;
+                }
+                self.up[mds] = false;
+                self.mds_epoch[mds] += 1;
+                self.counters[mds].queued = 0;
+                // Every subtree and dirfrag it served fails over to the
+                // mount authority; the balancers respread load from there.
+                let dirs: Vec<NodeId> = self.ns.all_dirs().collect();
+                for d in dirs {
+                    if self.ns.dir(d).auth == Some(mds) {
+                        self.ns.set_auth(d, Some(0));
+                        self.failovers += 1;
+                    }
+                    for f in 0..self.ns.dir(d).frags.len() {
+                        if self.ns.dir(d).frags[f].auth == Some(mds) {
+                            self.ns.set_frag_auth(d, f, Some(0));
+                            self.failovers += 1;
+                        }
+                    }
+                }
+            }
+            FaultKind::Restart { mds } => {
+                if mds >= self.cfg.num_mds || self.up[mds] {
+                    return;
+                }
+                self.up[mds] = true;
+                // Fresh queue, nothing owed from the previous incarnation.
+                self.next_free[mds] = now;
+            }
+            FaultKind::Slowdown {
+                mds,
+                factor,
+                duration,
+            } => {
+                if mds >= self.cfg.num_mds {
+                    return;
+                }
+                self.slow_factor[mds] = factor.max(0.0);
+                self.slow_until[mds] = now + duration;
+            }
+            FaultKind::DropHeartbeats { mds, duration } => {
+                if mds >= self.cfg.num_mds {
+                    return;
+                }
+                self.hb_drop_until[mds] = now + duration;
+            }
+            FaultKind::DelayHeartbeats { mds, duration } => {
+                if mds >= self.cfg.num_mds {
+                    return;
+                }
+                self.hb_delay_until[mds] = now + duration;
+            }
+            FaultKind::PoisonBalancer { mds } => {
+                if mds >= self.cfg.num_mds {
+                    return;
+                }
+                self.poisoned[mds] = true;
+            }
+        }
+    }
+
+    /// Record a failed balancer tick on `mds`; after
+    /// `faults.fallback_after` consecutive failures the MDS swaps in the
+    /// default CephFS balancer (§3.4's graceful degradation).
+    fn note_policy_error(&mut self, mds: MdsId) {
+        self.policy_errors += 1;
+        self.consecutive_policy_errors[mds] += 1;
+        let k = self.cfg.faults.fallback_after;
+        if k > 0 && self.consecutive_policy_errors[mds] >= k {
+            self.balancers[mds] = Box::new(CephfsBalancer::default());
+            self.poisoned[mds] = false;
+            self.consecutive_policy_errors[mds] = 0;
+            self.balancer_fallbacks += 1;
+        }
     }
 
     fn on_heartbeat(&mut self, now: SimTime) {
@@ -329,15 +563,27 @@ impl Cluster {
         //    slightly stale) snapshots and migrates ("recv HB" →
         //    "rebalance" → "migrate").
         for m in 0..self.cfg.num_mds {
+            // A crashed MDS neither balances nor exports.
+            if !self.up[m] {
+                continue;
+            }
+            // A poisoned balancer errors before reaching a decision.
+            if self.poisoned[m] {
+                self.note_policy_error(m);
+                continue;
+            }
             let ctx = BalanceContext {
                 whoami: m,
                 heartbeats: heartbeats.clone(),
             };
             let plan = match self.balancers[m].decide(&ctx) {
                 Ok(Some(plan)) => plan,
-                Ok(None) => continue,
+                Ok(None) => {
+                    self.consecutive_policy_errors[m] = 0;
+                    continue;
+                }
                 Err(_) => {
-                    self.policy_errors += 1;
+                    self.note_policy_error(m);
                     continue;
                 }
             };
@@ -345,10 +591,11 @@ impl Cluster {
                 match plan_exports(&mut self.ns, m, self.balancers[m].as_ref(), &plan, now) {
                     Ok(e) => e,
                     Err(_) => {
-                        self.policy_errors += 1;
+                        self.note_policy_error(m);
                         continue;
                     }
                 };
+            self.consecutive_policy_errors[m] = 0;
             for export in exports {
                 self.apply_export(m, export, now);
             }
@@ -421,7 +668,7 @@ impl Cluster {
                 }
             }
         }
-        (0..n)
+        let fresh: Vec<Heartbeat> = (0..n)
             .map(|m| {
                 let cpu_raw = self.counters[m].cpu_percent(self.cfg.heartbeat_interval);
                 let cpu = (cpu_raw * self.rng_cpu.jitter(self.cfg.cpu_noise)).clamp(0.0, 100.0);
@@ -438,30 +685,57 @@ impl Cluster {
                     taken_at: now,
                 }
             })
-            .collect()
+            .collect();
+        if !self.faults_active {
+            return fresh.into();
+        }
+        // Heartbeat outages: a dropped MDS's snapshot stays frozen at its
+        // last pre-window value; a delayed one lags a full interval. The
+        // fresh samples are always recorded so the window can end cleanly.
+        let mut view = fresh.clone();
+        for (m, slot) in view.iter_mut().enumerate() {
+            if now < self.hb_drop_until[m] {
+                *slot = *self.hb_frozen[m].get_or_insert(self.hb_published[m]);
+            } else {
+                self.hb_frozen[m] = None;
+                if now < self.hb_delay_until[m] {
+                    *slot = self.hb_published[m];
+                }
+            }
+        }
+        self.hb_published = fresh;
+        view.into()
     }
 
     fn apply_export(&mut self, from: MdsId, export: Export, now: SimTime) {
-        if export.to >= self.cfg.num_mds || export.to == from {
+        if export.to >= self.cfg.num_mds || export.to == from || !self.up[export.to] {
             return;
         }
-        let (dir, moved) = match export.unit {
-            ExportUnit::Subtree(d) => (d, self.ns.migrate_subtree(d, export.to)),
-            ExportUnit::Frag(d, f) => (d, self.ns.migrate_frag(d, f, export.to)),
+        let moved = match export.unit {
+            ExportUnit::Subtree(d) => self.ns.migrate_subtree(d, export.to),
+            ExportUnit::Frag(d, f) => self.ns.migrate_frag(d, f, export.to),
+        };
+        // Every directory the migration touches: the whole (bounded)
+        // subtree for a subtree export, just the fragmented dir otherwise.
+        let moved_dirs = match export.unit {
+            ExportUnit::Subtree(d) => self.ns.subtree_dirs(d, true),
+            ExportUnit::Frag(d, _) => vec![d],
         };
         // Two-phase commit: the subtree freezes while the importer
-        // journals the metadata.
+        // journals the metadata. Requests to *any* directory inside the
+        // moving subtree — not only its root — defer to the thaw.
         let freeze_us = self.cfg.costs.migrate_freeze_us(moved);
         let thaw = now + SimTime::from_micros_f64(freeze_us);
-        let entry = self.frozen.entry(dir).or_insert(thaw);
-        if *entry < thaw {
-            *entry = thaw;
+        for &d in &moved_dirs {
+            let entry = self.frozen.entry(d).or_insert(thaw);
+            if *entry < thaw {
+                *entry = thaw;
+            }
         }
         // Importer and exporter both journal (busy time on each).
         let journal_us = freeze_us / 4.0;
         for &m in &[from, export.to] {
-            self.next_free[m] =
-                self.next_free[m].max(now) + SimTime::from_micros_f64(journal_us);
+            self.next_free[m] = self.next_free[m].max(now) + SimTime::from_micros_f64(journal_us);
             self.counters[m].busy_window_us += journal_us;
         }
         self.counters[from].migrations_out += 1;
@@ -469,19 +743,20 @@ impl Cluster {
         // The importer's ancestor-prefix replicas need to warm up; the
         // exported subtree's own directories are cold too.
         let warm = now + SimTime::from_micros_f64(self.cfg.costs.prefix_warmup_us);
-        self.prefix_cold_until.insert(dir, warm);
-        if let ExportUnit::Subtree(d) = export.unit {
-            for sub in self.ns.subtree_dirs(d, true) {
-                self.prefix_cold_until.insert(sub, warm);
-            }
+        for &d in &moved_dirs {
+            self.prefix_cold_until.insert(d, warm);
         }
         // Session flushes: every active client halts updates on the moved
-        // directory and re-syncs (§4.1).
+        // directories and re-syncs (§4.1). The whole migrated subtree is
+        // forgotten — a cache entry for a child dir is as stale as one for
+        // the root.
         let flush = SimTime::from_micros_f64(self.cfg.costs.session_flush_us);
         let mut flushed = 0;
         for c in &mut self.clients {
             if !c.done {
-                c.invalidate(dir);
+                for &d in &moved_dirs {
+                    c.invalidate(d);
+                }
                 let until = now + flush;
                 if until > c.stall_until {
                     c.stall_until = until;
@@ -501,11 +776,7 @@ impl Cluster {
             .unwrap_or(SimTime::ZERO);
         let sessions: u64 = self.counters.iter().map(|c| c.sessions_flushed).sum();
         RunReport {
-            balancer: self
-                .balancers
-                .first()
-                .map(|b| b.name().to_string())
-                .unwrap_or_default(),
+            balancer: self.balancer_name,
             workload: self.workload.name().to_string(),
             num_mds: self.cfg.num_mds,
             seed: self.cfg.seed,
@@ -524,6 +795,7 @@ impl Cluster {
                     sessions_flushed: c.sessions_flushed,
                     splits: c.splits,
                     remote_prefix: c.remote_prefix,
+                    dropped: c.dropped,
                 })
                 .collect(),
             clients: self
@@ -536,6 +808,10 @@ impl Cluster {
                 })
                 .collect(),
             sessions_flushed: sessions,
+            timeouts: self.timeouts,
+            retries: self.retries,
+            failovers: self.failovers,
+            balancer_fallbacks: self.balancer_fallbacks,
         }
     }
 }
@@ -745,9 +1021,7 @@ mod tests {
         let run_with = |cfg: ClusterConfig| {
             let p = policy.clone();
             Cluster::new(cfg, Box::new(TinyCreate::new(4, 2_000)), move |_| {
-                Box::new(
-                    crate::balancer::MantleBalancer::new_unvalidated("g", p.clone()).unwrap(),
-                )
+                Box::new(crate::balancer::MantleBalancer::new_unvalidated("g", p.clone()).unwrap())
             })
             .run()
         };
@@ -779,9 +1053,13 @@ mod tests {
         )
         .unwrap();
         let p2 = policy.clone();
-        let r = Cluster::new(cfg.clone(), Box::new(TinyCreate::new(2, 1_500)), move |_| {
-            Box::new(crate::balancer::MantleBalancer::new_unvalidated("g", p2.clone()).unwrap())
-        })
+        let r = Cluster::new(
+            cfg.clone(),
+            Box::new(TinyCreate::new(2, 1_500)),
+            move |_| {
+                Box::new(crate::balancer::MantleBalancer::new_unvalidated("g", p2.clone()).unwrap())
+            },
+        )
         .run();
         cfg.costs.session_flush_us = 1_000.0;
         let p3 = policy;
@@ -799,6 +1077,100 @@ mod tests {
     }
 
     #[test]
+    fn subtree_freeze_covers_descendants() {
+        // Regression: the two-phase-commit freeze used to mark only the
+        // subtree *root*, so requests to descendant directories of a
+        // mid-migration subtree were served during the freeze instead of
+        // deferring to the thaw.
+        let cfg = ClusterConfig {
+            num_mds: 2,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cfg, Box::new(TinyCreate::new(1, 1)), |_| {
+            Box::new(NoopBalancer)
+        });
+        let (a, ab) = {
+            let ns = cluster.namespace_mut();
+            (ns.mkdir_p("/a"), ns.mkdir_p("/a/b"))
+        };
+        cluster.apply_export(
+            0,
+            Export {
+                unit: ExportUnit::Subtree(a),
+                to: 1,
+                load: 1.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(cluster.frozen.contains_key(&a), "root frozen");
+        assert!(cluster.frozen.contains_key(&ab), "descendant frozen too");
+        // A request to the descendant during the freeze defers to the
+        // thaw instead of being served.
+        let req = Request {
+            client: 0,
+            op: ClientOp {
+                dir: ab,
+                kind: OpKind::Stat,
+            },
+            frag: 0,
+            issued: SimTime::ZERO,
+            forwarded: false,
+            seq: 1,
+        };
+        let thaw = cluster.frozen[&ab];
+        cluster.on_arrive(1, req, SimTime::ZERO);
+        assert_eq!(
+            cluster.queue.peek_time(),
+            Some(thaw),
+            "descendant request re-scheduled for the thaw, not served"
+        );
+    }
+
+    #[test]
+    fn migration_invalidates_descendant_cache_entries() {
+        // Regression: session flushes used to invalidate only the subtree
+        // root, so clients kept stale cache entries for child dirs and
+        // routed them to the old authority forever.
+        let cfg = ClusterConfig {
+            num_mds: 3,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cfg, Box::new(TinyCreate::new(1, 1)), |_| {
+            Box::new(NoopBalancer)
+        });
+        let (a, ab) = {
+            let ns = cluster.namespace_mut();
+            let a = ns.mkdir_p("/a");
+            let ab = ns.mkdir_p("/a/b");
+            ns.set_auth(a, Some(2));
+            (a, ab)
+        };
+        // The client learned MDS 2 serves both dirs.
+        cluster.clients[0].learn(a, 2);
+        cluster.clients[0].learn(ab, 2);
+        // MDS 2 exports the subtree to MDS 1.
+        cluster.apply_export(
+            2,
+            Export {
+                unit: ExportUnit::Subtree(a),
+                to: 1,
+                load: 1.0,
+            },
+            SimTime::ZERO,
+        );
+        let op = ClientOp {
+            dir: ab,
+            kind: OpKind::Stat,
+        };
+        let frag = cluster.ns.peek_frag(ab);
+        assert_eq!(
+            cluster.clients[0].route(&cluster.ns, &op, frag),
+            0,
+            "descendant cache entry cleared: route falls back to the mount authority"
+        );
+    }
+
+    #[test]
     fn saturation_shape_matches_fig5() {
         // Fig. 5: throughput stops improving around 4-5 clients and
         // latency keeps rising.
@@ -809,10 +1181,7 @@ mod tests {
         let rate4 = t4.mean_throughput();
         let rate7 = t7.mean_throughput();
         assert!(rate4 > rate1 * 2.5, "scales early: {rate1} → {rate4}");
-        assert!(
-            rate7 < rate4 * 1.35,
-            "saturates late: {rate4} → {rate7}"
-        );
+        assert!(rate7 < rate4 * 1.35, "saturates late: {rate4} → {rate7}");
         assert!(
             t7.clients[0].latency.mean > t1.clients[0].latency.mean * 1.3,
             "latency rises under overload"

@@ -6,6 +6,8 @@
 use mantle_namespace::OpKind;
 use mantle_sim::SimTime;
 
+use crate::faults::FaultPlan;
+
 /// How metadata is placed on MDS nodes when no balancer moves it.
 ///
 /// `Subtree` is CephFS's dynamic subtree partitioning (everything starts
@@ -55,6 +57,10 @@ pub struct ClusterConfig {
     /// Hard stop for a run (safety net; most runs end when the workload
     /// drains).
     pub max_duration: SimTime,
+    /// Deterministic fault schedule plus degradation knobs (client
+    /// timeouts, retry backoff, balancer fallback). The default plan is
+    /// inert.
+    pub faults: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -72,6 +78,7 @@ impl Default for ClusterConfig {
             cpu_noise: 0.05,
             metaload_noise: 0.15,
             max_duration: SimTime::from_mins(60),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -86,6 +93,12 @@ impl ClusterConfig {
     /// Convenience: set the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Convenience: install a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

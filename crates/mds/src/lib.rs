@@ -25,6 +25,7 @@ pub mod balancer;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod partition;
 pub mod report;
@@ -34,5 +35,6 @@ pub use balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer, Mig
 pub use client::{ClientOp, Workload};
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, PlacementPolicy};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::RunReport;
 pub use selector::{select_best, DirfragSelector};

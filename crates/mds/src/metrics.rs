@@ -30,6 +30,9 @@ pub struct MdsCounters {
     /// Ops whose path prefix had to be resolved through a remote authority
     /// (counted with forwards in Fig. 3b's traversal breakdown).
     pub remote_prefix: u64,
+    /// Requests lost because they reached this MDS while it was crashed
+    /// (the clients that sent them time out and retry).
+    pub dropped: u64,
     /// Currently queued requests.
     pub queued: u64,
 }
@@ -49,6 +52,7 @@ impl MdsCounters {
             sessions_flushed: 0,
             splits: 0,
             remote_prefix: 0,
+            dropped: 0,
             queued: 0,
         }
     }

@@ -91,7 +91,6 @@ pub fn plan_exports<B: Balancer + ?Sized>(
                         && (0..ns.dir(d).frags.len()).any(|f| ns.frag_auth(d, f) == me))
             })
             .collect();
-        queue.dedup();
         sort_by_load(ns, balancer, &mut queue, now)?;
 
         while remaining > target * TARGET_EPSILON {
@@ -113,8 +112,7 @@ pub fn plan_exports<B: Balancer + ?Sized>(
                     // popular to migrate whole — divide it instead
                     // (§3.2: "subtrees are divided and migrated only if
                     // their ancestors are too popular to migrate").
-                    let divisible =
-                        !ns.dir(*c).children.is_empty() || ns.dir(*c).frags.len() > 1;
+                    let divisible = !ns.dir(*c).children.is_empty() || ns.dir(*c).frags.len() > 1;
                     if divisible && load > remaining * 1.25 {
                         drill.push(*c);
                         continue;
@@ -308,9 +306,7 @@ mod tests {
     #[test]
     fn two_destinations_get_disjoint_units() {
         let mut ns = Namespace::default();
-        let dirs: Vec<NodeId> = (0..6)
-            .map(|i| ns.mkdir_p(&format!("/c{i}")))
-            .collect();
+        let dirs: Vec<NodeId> = (0..6).map(|i| ns.mkdir_p(&format!("/c{i}"))).collect();
         for (i, d) in dirs.iter().enumerate() {
             heat_up(&mut ns, *d, 20 + i * 10);
         }
@@ -343,9 +339,7 @@ mod tests {
         let p = plan(vec![0.0, 1_000.0], vec![DirfragSelector::BigFirst]);
         let exports = plan_exports(&mut ns, 0, &b, &p, SimTime::ZERO).unwrap();
         assert!(
-            exports
-                .iter()
-                .all(|e| e.unit != ExportUnit::Subtree(ab)),
+            exports.iter().all(|e| e.unit != ExportUnit::Subtree(ab)),
             "someone else's subtree must not move"
         );
     }

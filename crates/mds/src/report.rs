@@ -26,6 +26,8 @@ pub struct MdsReport {
     pub splits: u64,
     /// Ops needing remote ancestor metadata for the path traversal.
     pub remote_prefix: u64,
+    /// Requests lost because they reached this MDS while it was crashed.
+    pub dropped: u64,
 }
 
 /// Per-client results.
@@ -59,6 +61,15 @@ pub struct RunReport {
     pub clients: Vec<ClientReport>,
     /// Total client sessions flushed (§4.1's 157/323/…/936 comparison).
     pub sessions_flushed: u64,
+    /// Client-side request timeouts (lost or overdue replies).
+    pub timeouts: u64,
+    /// Request retries issued after timeouts (exponential backoff).
+    pub retries: u64,
+    /// Subtree/dirfrag authorities failed over to MDS 0 by crashes.
+    pub failovers: u64,
+    /// Balancers swapped for the default CephFS balancer after repeated
+    /// policy errors (the §3.4 graceful-degradation path).
+    pub balancer_fallbacks: u64,
 }
 
 impl RunReport {
@@ -92,6 +103,11 @@ impl RunReport {
     /// Cluster-wide migrations.
     pub fn total_migrations(&self) -> u64 {
         self.mds.iter().map(|m| m.migrations_out).sum()
+    }
+
+    /// Requests lost at crashed MDSs across the cluster.
+    pub fn total_dropped(&self) -> u64 {
+        self.mds.iter().map(|m| m.dropped).sum()
     }
 
     /// Mean throughput over the run, ops/s.
@@ -180,6 +196,7 @@ mod tests {
                     sessions_flushed: 4,
                     splits: 0,
                     remote_prefix: 2,
+                    dropped: 3,
                 },
                 MdsReport {
                     throughput: ts1,
@@ -192,6 +209,7 @@ mod tests {
                     sessions_flushed: 0,
                     splits: 1,
                     remote_prefix: 0,
+                    dropped: 0,
                 },
             ],
             clients: vec![
@@ -207,6 +225,10 @@ mod tests {
                 },
             ],
             sessions_flushed: 4,
+            timeouts: 2,
+            retries: 2,
+            failovers: 1,
+            balancer_fallbacks: 0,
         }
     }
 
@@ -219,6 +241,7 @@ mod tests {
         assert_eq!(r.total_requests(), 185.0);
         assert_eq!(r.total_remote_traversals(), 12);
         assert_eq!(r.total_migrations(), 1);
+        assert_eq!(r.total_dropped(), 3);
         assert!((r.mean_throughput() - 87.5).abs() < 1e-9);
     }
 

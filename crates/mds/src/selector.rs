@@ -215,9 +215,7 @@ impl ScriptedSelector {
         mantle_policy::stdlib::install(&mut interp);
         interp.set_global(
             "loads",
-            Value::table(Table::from_array(
-                loads.iter().map(|&l| Value::Number(l)),
-            )),
+            Value::table(Table::from_array(loads.iter().map(|&l| Value::Number(l)))),
         );
         interp.set_global("target", Value::Number(target));
         interp.set_global("total", Value::Number(loads.iter().sum()));
@@ -371,8 +369,7 @@ mod tests {
         // beats big_first (2.9), small_first (10.8) and half (1.8).
         let total: f64 = PAPER_LOADS.iter().sum();
         let target = total / 2.0;
-        let (winner, _, shipped) =
-            select_best(&DirfragSelector::all(), &PAPER_LOADS, target);
+        let (winner, _, shipped) = select_best(&DirfragSelector::all(), &PAPER_LOADS, target);
         assert_eq!(winner, DirfragSelector::BigSmall);
         assert!(
             (shipped - target).abs() <= 1.0,
@@ -405,7 +402,9 @@ mod tests {
 
     #[test]
     fn zero_target_ships_nothing_for_greedy() {
-        assert!(DirfragSelector::BigFirst.select(&[1.0, 2.0], 0.0).is_empty());
+        assert!(DirfragSelector::BigFirst
+            .select(&[1.0, 2.0], 0.0)
+            .is_empty());
     }
 
     #[test]
@@ -448,11 +447,7 @@ return chosen
     #[test]
     fn scripted_selector_via_chosen_global() {
         // Scripts may assign `chosen` instead of returning.
-        let sel = ScriptedSelector::compile(
-            "first_one",
-            "chosen = {} chosen[1] = 1",
-        )
-        .unwrap();
+        let sel = ScriptedSelector::compile("first_one", "chosen = {} chosen[1] = 1").unwrap();
         assert_eq!(sel.select(&[5.0, 6.0], 100.0).unwrap(), vec![0]);
     }
 
@@ -509,8 +504,7 @@ return chosen
     fn select_best_prefers_closest() {
         // target tiny: small_first ships least.
         let loads = [10.0, 1.0, 8.0];
-        let (winner, chosen, shipped) =
-            select_best(&DirfragSelector::all(), &loads, 1.2);
+        let (winner, chosen, shipped) = select_best(&DirfragSelector::all(), &loads, 1.2);
         assert_eq!(winner, DirfragSelector::SmallFirst);
         assert_eq!(chosen, vec![1, 2]); // 1.0 then overshoot minimally? no:
                                         // 1.0 < 1.2 → takes 8.0 too = 9.0.

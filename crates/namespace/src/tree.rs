@@ -299,7 +299,12 @@ impl Namespace {
     /// GIGA+ hashes entries), bumps its counters and every ancestor's
     /// rolled-up subtree heat, updates entry counts, and fragments the
     /// directory when it crosses the split threshold.
-    pub fn record_op(&mut self, id: NodeId, op: OpKind, now: SimTime) -> (FragId, Option<SplitEvent>) {
+    pub fn record_op(
+        &mut self,
+        id: NodeId,
+        op: OpKind,
+        now: SimTime,
+    ) -> (FragId, Option<SplitEvent>) {
         let frag_id = self.pick_frag(id, op);
         self.record_op_on(id, frag_id, op, now)
     }
@@ -971,7 +976,10 @@ mod tests {
         ns.migrate_subtree(d, 1);
         let (auth, rep) = ns.mds_load_samples(2, SimTime::ZERO);
         assert!(auth[1].iwr > 0.0, "heat followed the migration");
-        assert!(rep[0].iwr > 0.0, "old authority still replicates the prefix");
+        assert!(
+            rep[0].iwr > 0.0,
+            "old authority still replicates the prefix"
+        );
         let (bf_auth, bf_rep) = brute_force_loads(&mut ns, 2, SimTime::ZERO);
         for m in 0..2 {
             assert_close(&auth[m], &bf_auth[m], &format!("auth[{m}]"));

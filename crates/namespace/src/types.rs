@@ -86,8 +86,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            OpKind::all().iter().map(|o| o.name()).collect();
+        let names: std::collections::HashSet<_> = OpKind::all().iter().map(|o| o.name()).collect();
         assert_eq!(names.len(), OpKind::all().len());
     }
 }

@@ -415,11 +415,9 @@ impl MantleRuntime {
                     when: Box::new(CompiledHook::compile(when, &host, budget)),
                     where_: Box::new(CompiledHook::compile(where_, &host, budget)),
                 },
-                Decision::Combined(script) => {
-                    CompiledDecision::Combined(Box::new(CompiledHook::compile(
-                        script, &host, budget,
-                    )))
-                }
+                Decision::Combined(script) => CompiledDecision::Combined(Box::new(
+                    CompiledHook::compile(script, &host, budget),
+                )),
             },
         };
         MantleRuntime {
@@ -953,8 +951,8 @@ end
 
     #[test]
     fn when_true_but_empty_targets_is_idle() {
-        let p = PolicySet::from_hooks("IWR", "MDSs[i][\"all\"]", "true", "x = 1", &["half"])
-            .unwrap();
+        let p =
+            PolicySet::from_hooks("IWR", "MDSs[i][\"all\"]", "true", "x = 1", &["half"]).unwrap();
         let rt = MantleRuntime::new(p);
         let out = rt
             .decide(&BalancerInputs {

@@ -133,7 +133,9 @@ fn index_str(out: &mut String, object: &Expr, key: &Expr) {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && crate::token::TokenKind::keyword(s).is_none()
 }

@@ -420,13 +420,17 @@ pub(crate) fn concat_operand(v: &Value, line: u32) -> PolicyResult<String> {
 
 pub(crate) fn compare(l: &Value, r: &Value, line: u32) -> PolicyResult<std::cmp::Ordering> {
     match (l, r) {
-        (Value::Number(a), Value::Number(b)) => a.partial_cmp(b).ok_or_else(|| {
-            PolicyError::runtime(line, "comparison with NaN has no defined order")
-        }),
+        (Value::Number(a), Value::Number(b)) => a
+            .partial_cmp(b)
+            .ok_or_else(|| PolicyError::runtime(line, "comparison with NaN has no defined order")),
         (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
         (a, b) => Err(PolicyError::runtime(
             line,
-            format!("attempt to compare {} with {}", a.type_name(), b.type_name()),
+            format!(
+                "attempt to compare {} with {}",
+                a.type_name(),
+                b.type_name()
+            ),
         )),
     }
 }
@@ -478,7 +482,10 @@ mod tests {
     #[test]
     fn short_circuit_skips_rhs() {
         // rhs would error (call nil), but lhs short-circuits.
-        assert!(matches!(eval_str("false and undefined_fn()"), Value::Bool(false)));
+        assert!(matches!(
+            eval_str("false and undefined_fn()"),
+            Value::Bool(false)
+        ));
         assert_eq!(eval_num("1 or undefined_fn()"), 1.0);
     }
 
@@ -500,9 +507,8 @@ mod tests {
 
     #[test]
     fn block_scoping() {
-        let interp = run_script(
-            "x = 0\nif true then local x2 = 5 x = x2 end\ndo local z = 9 end\nw = 1",
-        );
+        let interp =
+            run_script("x = 0\nif true then local x2 = 5 x = x2 end\ndo local z = 9 end\nw = 1");
         assert_eq!(interp.get_global("x").as_number(0).unwrap(), 5.0);
         assert!(matches!(interp.get_global("z"), Value::Nil));
     }
@@ -637,9 +643,7 @@ end
 "#;
         let script = parse_script(src).unwrap();
         let mut interp = Interpreter::new();
-        let mk = |load: f64| {
-            Value::table(Table::from_fields([("load", Value::Number(load))]))
-        };
+        let mk = |load: f64| Value::table(Table::from_fields([("load", Value::Number(load))]));
         let mdss = Table::from_array([mk(90.0), mk(5.0), mk(5.0)]);
         interp.set_global("MDSs", Value::table(mdss));
         interp.set_global("whoami", Value::Number(1.0));

@@ -217,9 +217,7 @@ impl<'a> Lexer<'a> {
                         b'"' => s.push('"'),
                         b'\'' => s.push('\''),
                         other => {
-                            return Err(
-                                self.err(format!("unknown escape '\\{}'", other as char))
-                            );
+                            return Err(self.err(format!("unknown escape '\\{}'", other as char)));
                         }
                     }
                 }

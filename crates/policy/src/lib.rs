@@ -58,8 +58,8 @@ pub mod value;
 
 pub use env::{BalancerInputs, BalancerOutcome, EnvBuilder, MdsMetrics, StateStore};
 pub use error::{PolicyError, PolicyResult};
-pub use interp::{Interpreter, StepBudget};
 pub use fmt::script_to_source;
+pub use interp::{Interpreter, StepBudget};
 pub use parser::parse_script;
 pub use slots::{ScalarMetaload, SlotProgram, SlotVm};
 pub use validate::PolicyValidator;

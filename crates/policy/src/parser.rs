@@ -637,7 +637,10 @@ mod tests {
     fn parses_numeric_for() {
         let src = "for i=1,#MDSs do targets[i]=0 end";
         let s = parse_script(src).unwrap();
-        assert!(matches!(&s.block.stmts[0], Stmt::NumericFor { step: None, .. }));
+        assert!(matches!(
+            &s.block.stmts[0],
+            Stmt::NumericFor { step: None, .. }
+        ));
         let src2 = "for i=10,1,-1 do x=i end";
         let s2 = parse_script(src2).unwrap();
         assert!(matches!(
@@ -703,7 +706,10 @@ mod tests {
     #[test]
     fn return_statement() {
         let s = parse_script("return MDSs[whoami][\"load\"] > 5").unwrap();
-        assert!(matches!(&s.block.stmts[0], Stmt::Return { value: Some(_), .. }));
+        assert!(matches!(
+            &s.block.stmts[0],
+            Stmt::Return { value: Some(_), .. }
+        ));
         let s2 = parse_script("if a then return end").unwrap();
         assert_eq!(s2.block.stmts.len(), 1);
     }
@@ -728,7 +734,13 @@ mod tests {
         else {
             panic!()
         };
-        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Concat, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinOp::Concat,
+                ..
+            }
+        ));
     }
 
     #[test]

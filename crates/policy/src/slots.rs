@@ -62,7 +62,10 @@ enum SStmt {
         line: u32,
     },
     /// `local` declaration: assigns its slot when executed.
-    LocalDecl { slot: u32, value: Option<SExpr> },
+    LocalDecl {
+        slot: u32,
+        value: Option<SExpr>,
+    },
     If {
         arms: Vec<(SExpr, Vec<SStmt>)>,
         else_block: Option<Vec<SStmt>>,
@@ -79,9 +82,15 @@ enum SStmt {
         body: Vec<SStmt>,
         line: u32,
     },
-    ExprStmt { expr: SExpr },
-    Do { body: Vec<SStmt> },
-    Return { value: Option<SExpr> },
+    ExprStmt {
+        expr: SExpr,
+    },
+    Do {
+        body: Vec<SStmt>,
+    },
+    Return {
+        value: Option<SExpr>,
+    },
     Break,
 }
 
@@ -102,8 +111,12 @@ enum SExpr {
     /// `Rc` clone, where the tree walker allocates a fresh `Rc<str>`.
     Str(Value),
     Number(f64),
-    Local { slot: u32 },
-    Global { slot: u32 },
+    Local {
+        slot: u32,
+    },
+    Global {
+        slot: u32,
+    },
     Index {
         object: Box<SExpr>,
         key: SKey,
@@ -1115,7 +1128,11 @@ return mymax
 
     #[test]
     fn shipped_policy_metaloads_compile_to_scalar() {
-        for src in ["IWR", "IWR + IRD", "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE"] {
+        for src in [
+            "IWR",
+            "IWR + IRD",
+            "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE",
+        ] {
             let s = scalar_of(src).unwrap_or_else(|| panic!("{src} must be scalar"));
             assert!(s.is_homogeneous(), "{src} must be homogeneous");
         }

@@ -53,10 +53,7 @@ pub fn install(interp: &mut Interpreter) {
         Value::Native(
             "tonumber",
             Rc::new(|_, a| match a.first() {
-                Some(v) => Ok(v
-                    .as_number(0)
-                    .map(Value::Number)
-                    .unwrap_or(Value::Nil)),
+                Some(v) => Ok(v.as_number(0).map(Value::Number).unwrap_or(Value::Nil)),
                 None => Ok(Value::Nil),
             }),
         ),
@@ -76,11 +73,17 @@ pub fn install(interp: &mut Interpreter) {
     let mut math = Table::new();
     math.set_str(
         "max",
-        Value::Native("math.max", Rc::new(|_, a| numeric_fold("math.max", a, f64::max))),
+        Value::Native(
+            "math.max",
+            Rc::new(|_, a| numeric_fold("math.max", a, f64::max)),
+        ),
     );
     math.set_str(
         "min",
-        Value::Native("math.min", Rc::new(|_, a| numeric_fold("math.min", a, f64::min))),
+        Value::Native(
+            "math.min",
+            Rc::new(|_, a| numeric_fold("math.min", a, f64::min)),
+        ),
     );
     math.set_str(
         "abs",
@@ -95,11 +98,17 @@ pub fn install(interp: &mut Interpreter) {
     );
     math.set_str(
         "ceil",
-        Value::Native("math.ceil", Rc::new(|_, a| unary("math.ceil", a, f64::ceil))),
+        Value::Native(
+            "math.ceil",
+            Rc::new(|_, a| unary("math.ceil", a, f64::ceil)),
+        ),
     );
     math.set_str(
         "sqrt",
-        Value::Native("math.sqrt", Rc::new(|_, a| unary("math.sqrt", a, f64::sqrt))),
+        Value::Native(
+            "math.sqrt",
+            Rc::new(|_, a| unary("math.sqrt", a, f64::sqrt)),
+        ),
     );
     math.set_str("huge", Value::Number(f64::INFINITY));
     interp.set_global("math", Value::table(math));

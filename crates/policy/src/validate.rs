@@ -115,8 +115,10 @@ impl PolicyValidator {
             .map_err(|e| reject(label, "metaload", e))?;
             // Run the decision twice so WRstate/RDstate interplay is
             // exercised (first tick cold, second tick warm).
-            rt.decide(inputs).map_err(|e| reject(label, "decision", e))?;
-            rt.decide(inputs).map_err(|e| reject(label, "decision", e))?;
+            rt.decide(inputs)
+                .map_err(|e| reject(label, "decision", e))?;
+            rt.decide(inputs)
+                .map_err(|e| reject(label, "decision", e))?;
         }
         Ok(())
     }
@@ -156,10 +158,7 @@ fn synthetic_clusters() -> Vec<(&'static str, BalancerInputs)> {
         ("hot-self", mk(&[95.0, 2.0, 3.0], &[92.0, 5.0, 5.0], 0)),
         ("hot-other", mk(&[2.0, 95.0, 3.0], &[5.0, 92.0, 5.0], 0)),
         ("last-mds", mk(&[10.0, 10.0, 80.0], &[20.0, 20.0, 85.0], 2)),
-        (
-            "even-cluster",
-            mk(&[25.0, 25.0, 25.0, 25.0], &[50.0; 4], 1),
-        ),
+        ("even-cluster", mk(&[25.0, 25.0, 25.0, 25.0], &[50.0; 4], 1)),
     ]
 }
 
@@ -332,13 +331,9 @@ end
 
     #[test]
     fn infinite_loop_is_rejected_dynamically() {
-        let p = PolicySet::from_combined(
-            "IWR",
-            "MDSs[i][\"all\"]",
-            "while 1 do x = 1 end",
-            &["half"],
-        )
-        .unwrap();
+        let p =
+            PolicySet::from_combined("IWR", "MDSs[i][\"all\"]", "while 1 do x = 1 end", &["half"])
+                .unwrap();
         let err = PolicyValidator::new().validate(&p).unwrap_err();
         assert!(err.to_string().contains("step budget"), "{err}");
     }

@@ -290,7 +290,10 @@ mod tests {
     #[test]
     fn lua_equality() {
         assert!(Value::num(2.0).lua_eq(&Value::num(2.0)));
-        assert!(!Value::num(2.0).lua_eq(&Value::str("2")), "no cross-type eq");
+        assert!(
+            !Value::num(2.0).lua_eq(&Value::str("2")),
+            "no cross-type eq"
+        );
         let t1 = Value::table(Table::new());
         let t2 = t1.clone();
         assert!(t1.lua_eq(&t2), "tables compare by identity");

@@ -241,10 +241,7 @@ mod tests {
         let w = Compile::new(1, 1.0, 7);
         assert_eq!(w.phase_of(0), CompilePhase::Untar);
         assert_eq!(w.phase_of(w.untar_ops), CompilePhase::Compile);
-        assert_eq!(
-            w.phase_of(w.untar_ops + w.compile_ops),
-            CompilePhase::Link
-        );
+        assert_eq!(w.phase_of(w.untar_ops + w.compile_ops), CompilePhase::Link);
     }
 
     #[test]

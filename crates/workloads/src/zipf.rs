@@ -61,7 +61,9 @@ impl ZipfMix {
             issued: vec![0; clients],
             nodes: Vec::new(),
             cdf,
-            rngs: (0..clients).map(|c| master.stream_n("zipf-client", c)).collect(),
+            rngs: (0..clients)
+                .map(|c| master.stream_n("zipf-client", c))
+                .collect(),
         }
     }
 

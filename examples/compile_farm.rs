@@ -54,7 +54,11 @@ fn main() {
     for (dir, ops) in [("arch/x86", 400), ("kernel/sched", 300), ("fs/ext4", 150)] {
         let node = ns.mkdir_p(&format!("/linux/{dir}"));
         for i in 0..ops {
-            let kind = if i % 3 == 0 { OpKind::Create } else { OpKind::Stat };
+            let kind = if i % 3 == 0 {
+                OpKind::Create
+            } else {
+                OpKind::Stat
+            };
             ns.record_op(node, kind, SimTime::from_millis(i));
         }
     }

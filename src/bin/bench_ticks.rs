@@ -89,7 +89,10 @@ fn per_frag_walk(ns: &mut Namespace, rt: &MantleRuntime, now: SimTime) -> (Vec<f
             let heat = ns.frag_heat(d, f, now);
             let auth = ns.frag_auth(d, f);
             let load = rt
-                .eval_metaload(auth, &frag_metrics(heat.ird, heat.iwr, heat.readdir, heat.fetch, heat.store))
+                .eval_metaload(
+                    auth,
+                    &frag_metrics(heat.ird, heat.iwr, heat.readdir, heat.fetch, heat.store),
+                )
                 .unwrap_or_else(|_| heat.cephfs_metaload());
             auth_load[auth] += load;
             all_load[auth] += load;
@@ -112,10 +115,28 @@ fn aggregate_rollup(ns: &mut Namespace, rt: &MantleRuntime, now: SimTime) -> (Ve
     let mut all_load = vec![0.0; NUM_MDS];
     for m in 0..NUM_MDS {
         let a = rt
-            .eval_metaload(m, &frag_metrics(auth_s[m].ird, auth_s[m].iwr, auth_s[m].readdir, auth_s[m].fetch, auth_s[m].store))
+            .eval_metaload(
+                m,
+                &frag_metrics(
+                    auth_s[m].ird,
+                    auth_s[m].iwr,
+                    auth_s[m].readdir,
+                    auth_s[m].fetch,
+                    auth_s[m].store,
+                ),
+            )
             .unwrap_or_else(|_| auth_s[m].cephfs_metaload());
         let r = rt
-            .eval_metaload(m, &frag_metrics(rep_s[m].ird, rep_s[m].iwr, rep_s[m].readdir, rep_s[m].fetch, rep_s[m].store))
+            .eval_metaload(
+                m,
+                &frag_metrics(
+                    rep_s[m].ird,
+                    rep_s[m].iwr,
+                    rep_s[m].readdir,
+                    rep_s[m].fetch,
+                    rep_s[m].store,
+                ),
+            )
             .unwrap_or_else(|_| rep_s[m].cephfs_metaload());
         auth_load[m] = a;
         all_load[m] = a + 0.2 * r;

@@ -100,10 +100,7 @@ fn migrations_move_authority_and_traffic() {
         r.mds.iter().map(|m| m.total_ops).collect::<Vec<_>>()
     );
     assert!(r.sessions_flushed > 0, "migrations flush client sessions");
-    assert!(
-        r.mds[0].inodes_exported > 0,
-        "exporter counts moved inodes"
-    );
+    assert!(r.mds[0].inodes_exported > 0, "exporter counts moved inodes");
 }
 
 #[test]

@@ -31,8 +31,10 @@ fn all_paper_policies_validate() {
     let v = PolicyValidator::new();
     v.validate(&policies::greedy_spill().unwrap()).unwrap();
     v.validate(&policies::greedy_spill_even().unwrap()).unwrap();
-    v.validate(&policies::fill_and_spill(0.25).unwrap()).unwrap();
-    v.validate(&policies::fill_and_spill(0.10).unwrap()).unwrap();
+    v.validate(&policies::fill_and_spill(0.25).unwrap())
+        .unwrap();
+    v.validate(&policies::fill_and_spill(0.10).unwrap())
+        .unwrap();
     v.validate(&policies::adaptable().unwrap()).unwrap();
     v.validate(&policies::adaptable_conservative().unwrap())
         .unwrap();
@@ -43,8 +45,7 @@ fn all_paper_policies_validate() {
 
 #[test]
 fn listing1_greedy_spill_cascades() {
-    let mut b =
-        MantleBalancer::new("greedy", policies::greedy_spill().unwrap()).unwrap();
+    let mut b = MantleBalancer::new("greedy", policies::greedy_spill().unwrap()).unwrap();
     // MDS0 loaded, MDS1 idle → spill half of allmetaload to MDS1.
     let plan = b
         .decide(&ctx(0, &[(60.0, 0.0), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0)]))
@@ -67,8 +68,7 @@ fn listing1_greedy_spill_cascades() {
 
 #[test]
 fn listing2_even_spill_partitions_the_cluster() {
-    let mut b =
-        MantleBalancer::new("even", policies::greedy_spill_even().unwrap()).unwrap();
+    let mut b = MantleBalancer::new("even", policies::greedy_spill_even().unwrap()).unwrap();
     // whoami=0 (1-based 1) on a 4-MDS cluster: midpoint target is MDS 3
     // (1-based), i.e. index 2.
     let plan = b
@@ -87,8 +87,7 @@ fn listing2_even_spill_partitions_the_cluster() {
 
 #[test]
 fn listing3_fill_and_spill_waits_three_ticks() {
-    let mut b =
-        MantleBalancer::new("fs", policies::fill_and_spill(0.25).unwrap()).unwrap();
+    let mut b = MantleBalancer::new("fs", policies::fill_and_spill(0.25).unwrap()).unwrap();
     let busy = ctx(0, &[(100.0, 95.0), (0.0, 2.0)]);
     // Cold start fires, then the 3-tick patience counter gates.
     assert!(b.decide(&busy).unwrap().is_some(), "tick 1 (cold) fires");
@@ -147,10 +146,7 @@ fn table1_script_equals_hardcoded_on_a_grid() {
                         }
                     })
                     .collect();
-                let c = BalanceContext {
-                    whoami,
-                    heartbeats,
-                };
+                let c = BalanceContext { whoami, heartbeats };
                 let a = hard.decide(&c).unwrap();
                 let b = script.decide(&c).unwrap();
                 match (a, b) {

@@ -122,7 +122,11 @@ for i = 1, 3 do
   end
 end
 "#);
-    assert_eq!(num(&i, "count"), 3.0, "inner loop breaks at j==2, 1 iteration each");
+    assert_eq!(
+        num(&i, "count"),
+        3.0,
+        "inner loop breaks at j==2, 1 iteration each"
+    );
 }
 
 #[test]

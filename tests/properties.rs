@@ -368,7 +368,10 @@ fn budget_always_terminates_loops() {
         let mut interp = Interpreter::new().with_budget(StepBudget(5_000));
         let err = interp.run(&script).unwrap_err();
         let budget_hit = matches!(err, mantle::policy::PolicyError::BudgetExhausted { .. });
-        assert!(budget_hit, "case {case}: expected budget exhaustion, got {err}");
+        assert!(
+            budget_hit,
+            "case {case}: expected budget exhaustion, got {err}"
+        );
     }
 }
 
