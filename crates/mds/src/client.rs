@@ -95,14 +95,18 @@ impl ClientState {
     /// directories use the learned cache, falling back to MDS 0 (the mount
     /// authority) — that cache goes stale when subtrees migrate, which is
     /// what produces forwards.
+    ///
+    /// `multi_owner` is whether the dir's fragments span several MDSs; the
+    /// cluster computes it once per issue into a reused scratch buffer
+    /// instead of allocating an owner list per request here.
     pub fn route(
         &mut self,
         ns: &Namespace,
         op: &ClientOp,
         frag: mantle_namespace::FragId,
+        multi_owner: bool,
     ) -> MdsId {
-        let owners = ns.frag_owners(op.dir);
-        if owners.len() > 1 {
+        if multi_owner {
             ns.frag_auth(op.dir, frag)
         } else {
             self.cache.get(&op.dir).copied().unwrap_or(0)
@@ -117,6 +121,13 @@ impl ClientState {
     /// Forget everything learned about `dir` (its metadata moved).
     pub fn invalidate(&mut self, dir: NodeId) {
         self.cache.remove(&dir);
+    }
+
+    /// Forget every cached dir for which `stale` returns true — a subtree
+    /// migration invalidates the whole moved region in one pass over the
+    /// cache instead of one lookup per moved directory.
+    pub fn invalidate_matching(&mut self, mut stale: impl FnMut(NodeId) -> bool) {
+        self.cache.retain(|&d, _| !stale(d));
     }
 
     /// Record a completed op.
@@ -141,7 +152,7 @@ mod tests {
             kind: OpKind::Stat,
         };
         assert_eq!(
-            c.route(&ns, &op, ns.peek_frag(d)),
+            c.route(&ns, &op, ns.peek_frag(d), false),
             0,
             "default mount authority"
         );
@@ -149,12 +160,12 @@ mod tests {
         ns.set_auth(d, Some(2));
         c.learn(d, 1);
         assert_eq!(
-            c.route(&ns, &op, ns.peek_frag(d)),
+            c.route(&ns, &op, ns.peek_frag(d), false),
             1,
             "stale cache drives routing"
         );
         c.invalidate(d);
-        assert_eq!(c.route(&ns, &op, ns.peek_frag(d)), 0);
+        assert_eq!(c.route(&ns, &op, ns.peek_frag(d), false), 0);
     }
 
     #[test]
@@ -180,7 +191,7 @@ mod tests {
         // Routing follows the dirfrag map: it lands on a real owner, not
         // on the (stale or default) per-directory cache.
         let frag = ns.peek_frag(d);
-        let target = c.route(&ns, &op, frag);
+        let target = c.route(&ns, &op, frag, owners.len() > 1);
         assert!(owners.contains(&target));
         assert_eq!(target, ns.frag_auth(d, frag));
     }

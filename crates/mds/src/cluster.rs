@@ -1,10 +1,9 @@
 //! The cluster simulation: clients, MDS queues, heartbeats, balancer
 //! ticks, and migrations, driven by one deterministic event loop.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig};
+use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig, SubtreeMigration};
 use mantle_sim::{EventQueue, SimRng, SimTime, Summary};
 
 use crate::balancer::{BalanceContext, Balancer, CephfsBalancer};
@@ -83,6 +82,36 @@ impl Balancer for NoopBalancer {
 
 type AdminAction = Box<dyn FnOnce(&mut Namespace) + Send>;
 
+/// One export's freeze or cold-prefix region. Membership is an
+/// Euler-interval range check against the namespace's current labels plus
+/// the authority holes captured at export time — no per-directory map
+/// entries are materialized, and expired windows are purged eagerly.
+#[derive(Debug, Clone)]
+struct SubtreeWindow {
+    root: NodeId,
+    /// Nested authority bounds inside the exported subtree; directories
+    /// under a hole did not move and are outside the window.
+    holes: Vec<NodeId>,
+    /// `dir_count` at capture: directories created after the export sit
+    /// outside the window even when their Euler label falls inside.
+    watermark: u32,
+    /// Frag exports cover only the fragmented directory itself.
+    root_only: bool,
+    until: SimTime,
+}
+
+impl SubtreeWindow {
+    fn contains(&self, ns: &Namespace, d: NodeId) -> bool {
+        if d.0 >= self.watermark {
+            return false;
+        }
+        if self.root_only {
+            return d == self.root;
+        }
+        ns.in_subtree(d, self.root) && !self.holes.iter().any(|&h| ns.in_subtree(d, h))
+    }
+}
+
 /// The simulated cluster. Build one, optionally schedule admin actions,
 /// then [`Cluster::run`] it to completion.
 pub struct Cluster {
@@ -94,11 +123,14 @@ pub struct Cluster {
     counters: Vec<MdsCounters>,
     /// Absolute µs when each MDS becomes free (single-server queue).
     next_free: Vec<SimTime>,
-    /// Frozen directories (two-phase-commit migrations): dir → thaw time.
-    frozen: HashMap<NodeId, SimTime>,
-    /// Directories whose new authority is still warming up its ancestor
-    /// prefix replicas: dir → warm time.
-    prefix_cold_until: HashMap<NodeId, SimTime>,
+    /// Frozen regions (two-phase-commit migrations); a request inside any
+    /// window defers to the latest covering thaw.
+    frozen: Vec<SubtreeWindow>,
+    /// Regions whose new authority is still warming up its ancestor
+    /// prefix replicas.
+    prefix_cold: Vec<SubtreeWindow>,
+    /// Reused owner-list buffer (per-op span / routing checks).
+    scratch_owners: Vec<MdsId>,
     queue: EventQueue<Event>,
     rng_service: SimRng,
     rng_cpu: SimRng,
@@ -148,6 +180,7 @@ impl Cluster {
         let mut ns = Namespace::new(NsConfig {
             frag_split_threshold: cfg.frag_split_threshold,
             decay_half_life: cfg.decay_half_life,
+            index_mode: cfg.index_mode,
             ..Default::default()
         });
         workload.setup(&mut ns);
@@ -168,8 +201,9 @@ impl Cluster {
             clients,
             counters: (0..n).map(|_| MdsCounters::new()).collect(),
             next_free: vec![SimTime::ZERO; n],
-            frozen: HashMap::new(),
-            prefix_cold_until: HashMap::new(),
+            frozen: Vec::new(),
+            prefix_cold: Vec::new(),
+            scratch_owners: Vec::new(),
             queue: EventQueue::new(),
             rng_service: master.stream("service-noise"),
             rng_cpu: master.stream("cpu-noise"),
@@ -215,6 +249,15 @@ impl Cluster {
 
     fn half_rtt(&self) -> SimTime {
         SimTime::from_micros_f64(self.cfg.costs.rtt_us / 2.0)
+    }
+
+    /// Latest thaw among frozen windows covering `d`, if any.
+    fn frozen_until(&self, d: NodeId) -> Option<SimTime> {
+        self.frozen
+            .iter()
+            .filter(|w| w.contains(&self.ns, d))
+            .map(|w| w.until)
+            .max()
     }
 
     /// Run to completion and produce the report.
@@ -292,7 +335,9 @@ impl Cluster {
             .pending
             .expect("issue() requires a pending op");
         let frag = self.ns.peek_frag(op.dir);
-        let mds = self.clients[c].route(&self.ns, &op, frag);
+        self.ns.frag_owners_into(op.dir, &mut self.scratch_owners);
+        let multi_owner = self.scratch_owners.len() > 1;
+        let mds = self.clients[c].route(&self.ns, &op, frag, multi_owner);
         self.clients[c].seq += 1;
         let seq = self.clients[c].seq;
         let req = Request {
@@ -362,12 +407,11 @@ impl Cluster {
             self.ns.set_auth(req.op.dir, Some(target));
         }
         // Frozen subtree (mid-migration): the request waits for the thaw.
-        if let Some(&thaw) = self.frozen.get(&req.op.dir) {
-            if thaw > now {
-                self.queue.schedule_at(thaw, Event::Arrive { mds, req });
-                return;
-            }
-            self.frozen.remove(&req.op.dir);
+        // Lapsed windows are dropped eagerly so the set never accumulates.
+        self.frozen.retain(|w| w.until > now);
+        if let Some(thaw) = self.frozen_until(req.op.dir) {
+            self.queue.schedule_at(thaw, Event::Arrive { mds, req });
+            return;
         }
         let frag = req.frag.min(self.ns.dir(req.op.dir).frags.len() - 1);
         let auth = self.ns.frag_auth(req.op.dir, frag);
@@ -391,18 +435,23 @@ impl Cluster {
         } else {
             self.counters[mds].hits += 1;
         }
-        let span = self.ns.frag_owners(req.op.dir).len();
+        self.ns
+            .frag_owners_into(req.op.dir, &mut self.scratch_owners);
+        let span = self.scratch_owners.len();
         let mut base = self.cfg.costs.service_with_span(req.op.kind, span)
             * self.cfg.costs.contention_factor(self.counters[mds].queued);
         // Path traversal: right after an import the serving MDS has not
         // yet replicated the directory's ancestor prefix, so traversals
         // resolve remotely (and, once warm, locally again).
-        if let Some(&cold) = self.prefix_cold_until.get(&req.op.dir) {
-            if now < cold && self.ns.dir(req.op.dir).parent.is_some() {
+        self.prefix_cold.retain(|w| w.until > now);
+        let in_cold = {
+            let ns = &self.ns;
+            self.prefix_cold.iter().any(|w| w.contains(ns, req.op.dir))
+        };
+        if in_cold {
+            if self.ns.dir(req.op.dir).parent.is_some() {
                 base *= 1.0 + self.cfg.costs.remote_prefix_penalty;
                 self.counters[mds].remote_prefix += 1;
-            } else if now >= cold {
-                self.prefix_cold_until.remove(&req.op.dir);
             }
         } else if self.cfg.placement == PlacementPolicy::HashDirs {
             // Hash-based placement has no subtree prefix replication
@@ -711,27 +760,41 @@ impl Cluster {
         if export.to >= self.cfg.num_mds || export.to == from || !self.up[export.to] {
             return;
         }
-        let moved = match export.unit {
-            ExportUnit::Subtree(d) => self.ns.migrate_subtree(d, export.to),
-            ExportUnit::Frag(d, f) => self.ns.migrate_frag(d, f, export.to),
+        let watermark = self.ns.dir_count() as u32;
+        // The moved region: the whole (bounded) subtree for a subtree
+        // export, just the fragmented dir otherwise. The migration walk
+        // reports the inode count and the authority holes in one pass.
+        let (root, root_only, migration) = match export.unit {
+            ExportUnit::Subtree(d) => (d, false, self.ns.migrate_subtree(d, export.to)),
+            ExportUnit::Frag(d, f) => {
+                let inodes = self.ns.migrate_frag(d, f, export.to);
+                (
+                    d,
+                    true,
+                    SubtreeMigration {
+                        inodes,
+                        holes: Vec::new(),
+                    },
+                )
+            }
         };
-        // Every directory the migration touches: the whole (bounded)
-        // subtree for a subtree export, just the fragmented dir otherwise.
-        let moved_dirs = match export.unit {
-            ExportUnit::Subtree(d) => self.ns.subtree_dirs(d, true),
-            ExportUnit::Frag(d, _) => vec![d],
+        let moved = migration.inodes;
+        let region = SubtreeWindow {
+            root,
+            holes: migration.holes,
+            watermark,
+            root_only,
+            until: SimTime::ZERO,
         };
         // Two-phase commit: the subtree freezes while the importer
         // journals the metadata. Requests to *any* directory inside the
         // moving subtree — not only its root — defer to the thaw.
         let freeze_us = self.cfg.costs.migrate_freeze_us(moved);
         let thaw = now + SimTime::from_micros_f64(freeze_us);
-        for &d in &moved_dirs {
-            let entry = self.frozen.entry(d).or_insert(thaw);
-            if *entry < thaw {
-                *entry = thaw;
-            }
-        }
+        self.frozen.push(SubtreeWindow {
+            until: thaw,
+            ..region.clone()
+        });
         // Importer and exporter both journal (busy time on each).
         let journal_us = freeze_us / 4.0;
         for &m in &[from, export.to] {
@@ -743,20 +806,20 @@ impl Cluster {
         // The importer's ancestor-prefix replicas need to warm up; the
         // exported subtree's own directories are cold too.
         let warm = now + SimTime::from_micros_f64(self.cfg.costs.prefix_warmup_us);
-        for &d in &moved_dirs {
-            self.prefix_cold_until.insert(d, warm);
-        }
+        self.prefix_cold.push(SubtreeWindow {
+            until: warm,
+            ..region.clone()
+        });
         // Session flushes: every active client halts updates on the moved
         // directories and re-syncs (§4.1). The whole migrated subtree is
         // forgotten — a cache entry for a child dir is as stale as one for
         // the root.
         let flush = SimTime::from_micros_f64(self.cfg.costs.session_flush_us);
         let mut flushed = 0;
+        let ns = &self.ns;
         for c in &mut self.clients {
             if !c.done {
-                for &d in &moved_dirs {
-                    c.invalidate(d);
-                }
+                c.invalidate_matching(|d| region.contains(ns, d));
                 let until = now + flush;
                 if until > c.stall_until {
                     c.stall_until = until;
@@ -1102,8 +1165,8 @@ mod tests {
             },
             SimTime::ZERO,
         );
-        assert!(cluster.frozen.contains_key(&a), "root frozen");
-        assert!(cluster.frozen.contains_key(&ab), "descendant frozen too");
+        assert!(cluster.frozen_until(a).is_some(), "root frozen");
+        assert!(cluster.frozen_until(ab).is_some(), "descendant frozen too");
         // A request to the descendant during the freeze defers to the
         // thaw instead of being served.
         let req = Request {
@@ -1117,7 +1180,7 @@ mod tests {
             forwarded: false,
             seq: 1,
         };
-        let thaw = cluster.frozen[&ab];
+        let thaw = cluster.frozen_until(ab).unwrap();
         cluster.on_arrive(1, req, SimTime::ZERO);
         assert_eq!(
             cluster.queue.peek_time(),
@@ -1163,11 +1226,57 @@ mod tests {
             kind: OpKind::Stat,
         };
         let frag = cluster.ns.peek_frag(ab);
+        let multi = cluster.ns.frag_owners(ab).len() > 1;
         assert_eq!(
-            cluster.clients[0].route(&cluster.ns, &op, frag),
+            cluster.clients[0].route(&cluster.ns, &op, frag, multi),
             0,
             "descendant cache entry cleared: route falls back to the mount authority"
         );
+    }
+
+    #[test]
+    fn expired_windows_are_purged_eagerly() {
+        // Regression: expired freeze/cold entries used to linger until a
+        // request happened to hit the same directory again; now any lapsed
+        // window is dropped on the next arrival, whatever it targets.
+        let cfg = ClusterConfig {
+            num_mds: 2,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cfg, Box::new(TinyCreate::new(1, 1)), |_| {
+            Box::new(NoopBalancer)
+        });
+        let (a, other) = {
+            let ns = cluster.namespace_mut();
+            (ns.mkdir_p("/a"), ns.mkdir_p("/other"))
+        };
+        cluster.apply_export(
+            0,
+            Export {
+                unit: ExportUnit::Subtree(a),
+                to: 1,
+                load: 1.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(!cluster.frozen.is_empty());
+        assert!(!cluster.prefix_cold.is_empty());
+        // Long after both windows lapse, a request to an unrelated dir
+        // clears the whole set — not just entries for its own directory.
+        let req = Request {
+            client: 0,
+            op: ClientOp {
+                dir: other,
+                kind: OpKind::Stat,
+            },
+            frag: 0,
+            issued: SimTime::from_secs(100),
+            forwarded: false,
+            seq: 1,
+        };
+        cluster.on_arrive(0, req, SimTime::from_secs(100));
+        assert!(cluster.frozen.is_empty(), "lapsed freeze windows purged");
+        assert!(cluster.prefix_cold.is_empty(), "lapsed cold windows purged");
     }
 
     #[test]

@@ -80,16 +80,12 @@ pub fn plan_exports<B: Balancer + ?Sized>(
         // own individual fragments (an MDS that only ever *imported*
         // dirfrags — the downstream nodes of a spill cascade — has no
         // bound subtree but must still be able to shed its fragments).
+        // The namespace's ownership index yields these directly instead of
+        // a full-namespace scan.
         let mut queue: Vec<NodeId> = ns
-            .all_dirs()
-            .filter(|&d| {
-                if claimed_subtrees.contains(&d) {
-                    return false;
-                }
-                ns.dir(d).auth == Some(me)
-                    || (ns.resolve_auth(d) != me
-                        && (0..ns.dir(d).frags.len()).any(|f| ns.frag_auth(d, f) == me))
-            })
+            .export_candidate_dirs(me)
+            .into_iter()
+            .filter(|d| !claimed_subtrees.contains(d))
             .collect();
         sort_by_load(ns, balancer, &mut queue, now)?;
 

@@ -117,6 +117,18 @@ impl FragHeat {
         }
     }
 
+    /// Sample all counters at `now` without mutating the decay state (for
+    /// consistency oracles that must not perturb the counters they check).
+    pub fn peek(&self, now: SimTime) -> HeatSample {
+        HeatSample {
+            ird: self.ird.peek_at(now),
+            iwr: self.iwr.peek_at(now),
+            readdir: self.readdir.peek_at(now),
+            fetch: self.fetch.peek_at(now),
+            store: self.store.peek_at(now),
+        }
+    }
+
     /// Split this heat into `n` equal parts (used when a dirfrag splits —
     /// the children inherit the parent's heat evenly, like CephFS).
     pub fn split(&mut self, now: SimTime, n: usize) -> Vec<FragHeat> {

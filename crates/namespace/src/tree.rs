@@ -1,5 +1,7 @@
 //! The directory tree, dirfrags, and the subtree authority map.
 
+use std::collections::BTreeSet;
+
 use mantle_sim::SimTime;
 
 use crate::heat::{FragHeat, HeatSample};
@@ -18,6 +20,10 @@ pub struct NsConfig {
     /// Half life of the popularity counters (the exponential decay of
     /// Fig. 1).
     pub decay_half_life: SimTime,
+    /// Which authority/aggregate machinery the namespace runs on. Must be
+    /// chosen at construction: switching modes on a namespace that has
+    /// already absorbed load would not be bit-exact.
+    pub index_mode: IndexMode,
 }
 
 impl Default for NsConfig {
@@ -27,6 +33,7 @@ impl Default for NsConfig {
             initial_split_ways: 8,
             resplit_ways: 2,
             decay_half_life: SimTime::from_secs(10),
+            index_mode: IndexMode::Incremental,
         }
     }
 }
@@ -77,9 +84,19 @@ pub struct Dir {
     /// Rolled-up decayed heat of the whole subtree (every op on this dir or
     /// any descendant hits this) — the per-directory heat of Fig. 1.
     pub subtree_heat: FragHeat,
-    /// Memoized authority resolution, valid while its epoch matches the
-    /// namespace's [`Namespace::auth_epoch`].
+    /// Memoized authority resolution. In [`IndexMode::Incremental`] it is
+    /// kept eagerly fresh by every mutation; in [`IndexMode::WalkOracle`]
+    /// it is valid only while its epoch matches [`Namespace::auth_epoch`].
     auth_cache: AuthCache,
+    /// Euler-tour label: this dir's own point in the ordering. The subtree
+    /// occupies `[tin, tout)`, so "is `d` inside subtree `s`" is one range
+    /// check on `d.tin`.
+    tin: u64,
+    /// Exclusive end of this dir's subtree interval.
+    tout: u64,
+    /// Next unassigned label inside the interval; children carve their
+    /// intervals from here.
+    cursor: u64,
 }
 
 /// Cached result of `resolve_auth` + `ancestor_auth_chain` for one dir.
@@ -141,6 +158,30 @@ pub struct FragRef {
     pub frag: FragId,
 }
 
+/// Which machinery the namespace uses for authority resolution, ownership
+/// enumeration, and the per-MDS load aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Euler-tour intervals, per-MDS ownership indexes, and aggregates
+    /// maintained by deltas on every authority change (the default).
+    #[default]
+    Incremental,
+    /// The retained pre-index paths: lazily epoch-versioned auth caches,
+    /// dirty-flag full rebuilds, and full-namespace scans. Kept as a
+    /// differential-testing oracle — results must be identical either way.
+    WalkOracle,
+}
+
+/// Result of a subtree migration.
+#[derive(Debug, Clone)]
+pub struct SubtreeMigration {
+    /// Inodes (directories + file entries) whose authority changed.
+    pub inodes: u64,
+    /// Roots of nested subtree bounds inside the migrated region — the
+    /// bounded walk stopped there, so they and their subtrees stayed put.
+    pub holes: Vec<NodeId>,
+}
+
 /// The namespace: a tree of [`Dir`]s with authority annotations.
 ///
 /// Besides the tree itself, the namespace maintains per-MDS decayed heat
@@ -161,6 +202,21 @@ pub struct Namespace {
     /// When set, the aggregates have missed updates (an authority change
     /// moved heat between MDSs) and must be rebuilt before reading.
     agg_dirty: bool,
+    mode: IndexMode,
+    /// High-water mark of every timestamp the namespace has seen.
+    /// Authority mutations carry no timestamp of their own; they move heat
+    /// between aggregates by sampling at this time — exact, because it is
+    /// ≥ every counter's last touch under the shared exponential decay.
+    clock: SimTime,
+    /// Per-MDS set of dirs with `auth == Some(m)` (subtree bound roots).
+    bound_roots: Vec<BTreeSet<NodeId>>,
+    /// Per-MDS set of fragment authority overrides `(dir, frag)`.
+    frag_over: Vec<BTreeSet<(NodeId, FragId)>>,
+    /// Full Euler renumber passes performed (diagnostics).
+    renumbers: u64,
+    /// Full aggregate rebuilds performed. Incremental mode never needs one
+    /// after construction — `bench_ticks --smoke` asserts this stays 0.
+    rebuilds: u64,
 }
 
 impl Namespace {
@@ -175,15 +231,30 @@ impl Namespace {
             frags: vec![Frag::new(cfg.decay_half_life)],
             auth: Some(0),
             subtree_heat: FragHeat::new(cfg.decay_half_life),
-            auth_cache: AuthCache::default(),
+            auth_cache: AuthCache {
+                epoch: 1,
+                auth: 0,
+                chain: vec![0],
+            },
+            tin: 0,
+            tout: u64::MAX,
+            cursor: 1,
         };
         let agg = LoadAggregates::new(cfg.decay_half_life);
+        let mut root_set = BTreeSet::new();
+        root_set.insert(NodeId(0));
         Namespace {
             dirs: vec![root],
+            mode: cfg.index_mode,
             cfg,
             auth_epoch: 1,
             agg,
             agg_dirty: false,
+            clock: SimTime::ZERO,
+            bound_roots: vec![root_set],
+            frag_over: vec![BTreeSet::new()],
+            renumbers: 0,
+            rebuilds: 0,
         }
     }
 
@@ -225,6 +296,21 @@ impl Namespace {
         let id = NodeId(self.dirs.len() as u32);
         let depth = self.dir(parent).depth + 1;
         let half_life = self.cfg.decay_half_life;
+        let (tin, tout) = self.alloc_interval(parent);
+        // In incremental mode a new dir's resolution is its parent's, and
+        // the invariant "every cache is valid" must survive the mkdir. The
+        // walk oracle leaves the cache zeroed (epoch 0 = stale) exactly as
+        // the lazy path expects.
+        let auth_cache = if self.mode == IndexMode::Incremental {
+            let p = &self.dirs[parent.0 as usize].auth_cache;
+            AuthCache {
+                epoch: self.auth_epoch,
+                auth: p.auth,
+                chain: p.chain.clone(),
+            }
+        } else {
+            AuthCache::default()
+        };
         let dir = Dir {
             id,
             parent: Some(parent),
@@ -234,11 +320,91 @@ impl Namespace {
             frags: vec![Frag::new(half_life)],
             auth: None,
             subtree_heat: FragHeat::new(half_life),
-            auth_cache: AuthCache::default(),
+            auth_cache,
+            tin,
+            tout,
+            cursor: tin + 1,
         };
         self.dirs.push(dir);
         self.dir_mut(parent).children.push(id);
         id
+    }
+
+    // ---- Euler-tour intervals ----
+
+    /// Carve a fresh child interval out of `parent`'s remaining label
+    /// space, renumbering the whole tree if the parent has run dry.
+    fn alloc_interval(&mut self, parent: NodeId) -> (u64, u64) {
+        let p = parent.0 as usize;
+        loop {
+            let cursor = self.dirs[p].cursor;
+            let remaining = self.dirs[p].tout - cursor;
+            if remaining >= 2 {
+                // A slice of the remaining space: big enough that siblings
+                // created later still fit, small enough that the child has
+                // headroom of its own.
+                let gap = (remaining / 64).clamp(2, remaining);
+                self.dirs[p].cursor = cursor + gap;
+                return (cursor, cursor + gap);
+            }
+            self.renumber();
+        }
+    }
+
+    /// Reassign every interval, sizing each child's share of its parent's
+    /// space proportionally to its subtree size (plus slack for future
+    /// growth). Rare: label space is u64 and gaps shrink geometrically.
+    fn renumber(&mut self) {
+        self.renumbers += 1;
+        let n = self.dirs.len();
+        // Subtree sizes; children always have higher ids than parents.
+        let mut size = vec![1u64; n];
+        for i in (1..n).rev() {
+            let p = self.dirs[i].parent.expect("non-root has a parent").0 as usize;
+            size[p] += size[i];
+        }
+        self.dirs[0].tin = 0;
+        self.dirs[0].tout = u64::MAX;
+        for i in 0..n {
+            let tin = self.dirs[i].tin;
+            let span = self.dirs[i].tout - tin - 1;
+            let own = size[i];
+            let mut cursor = tin + 1;
+            for ci in 0..self.dirs[i].children.len() {
+                let c = self.dirs[i].children[ci].0 as usize;
+                // share < span because own > Σ size[children]; the
+                // difference is the parent's headroom for future children.
+                let share = ((span as u128 * size[c] as u128) / own as u128).max(2) as u64;
+                self.dirs[c].tin = cursor;
+                self.dirs[c].tout = cursor + share;
+                cursor += share;
+            }
+            self.dirs[i].cursor = cursor;
+        }
+    }
+
+    /// Is `d` inside the subtree rooted at `root` (inclusive)? O(1): one
+    /// range check on the Euler-tour labels.
+    pub fn in_subtree(&self, d: NodeId, root: NodeId) -> bool {
+        let r = &self.dirs[root.0 as usize];
+        let t = self.dirs[d.0 as usize].tin;
+        r.tin <= t && t < r.tout
+    }
+
+    /// Full Euler renumber passes performed so far (diagnostics).
+    pub fn renumbers(&self) -> u64 {
+        self.renumbers
+    }
+
+    /// Full aggregate rebuilds performed so far. Incremental mode never
+    /// rebuilds after construction; `bench_ticks --smoke` asserts this.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The active index mode.
+    pub fn index_mode(&self) -> IndexMode {
+        self.mode
     }
 
     /// Create every component of a `/`-separated path, returning the leaf.
@@ -321,6 +487,7 @@ impl Namespace {
         now: SimTime,
     ) -> (FragId, Option<SplitEvent>) {
         let frag_id = frag.min(self.dir(id).frags.len() - 1);
+        self.touch(now);
         {
             let d = self.dir_mut(id);
             d.frags[frag_id].heat.record(op, now);
@@ -349,11 +516,23 @@ impl Namespace {
                 }
             }
         }
-        for anc in self.ancestors(id) {
-            self.dir_mut(anc).subtree_heat.record(op, now);
+        // Roll up to every ancestor without materializing the chain.
+        let mut anc = self.dirs[id.0 as usize].parent;
+        while let Some(a) = anc {
+            let d = &mut self.dirs[a.0 as usize];
+            d.subtree_heat.record(op, now);
+            anc = d.parent;
         }
         let split = self.maybe_split(id, now);
         (frag_id, split)
+    }
+
+    /// Advance the namespace's high-water clock, the timestamp authority
+    /// mutations move heat at.
+    fn touch(&mut self, now: SimTime) {
+        if now > self.clock {
+            self.clock = now;
+        }
     }
 
     /// Recompute `id`'s memoized authority resolution if an authority
@@ -383,13 +562,21 @@ impl Namespace {
     /// client contact and coherency traffic (§4.1).
     pub fn frag_owners(&self, id: NodeId) -> Vec<MdsId> {
         let mut out = Vec::new();
-        for f in 0..self.dir(id).frags.len() {
-            let a = self.frag_auth(id, f);
+        self.frag_owners_into(id, &mut out);
+        out
+    }
+
+    /// Like [`Namespace::frag_owners`], but filling a caller-owned buffer
+    /// so the per-request hot path allocates nothing.
+    pub fn frag_owners_into(&self, id: NodeId, out: &mut Vec<MdsId>) {
+        out.clear();
+        let resolved = self.resolve_auth(id);
+        for f in &self.dir(id).frags {
+            let a = f.auth.unwrap_or(resolved);
             if !out.contains(&a) {
                 out.push(a);
             }
         }
-        out
     }
 
     /// Deterministic fragment choice: creates hash over fragments by the
@@ -439,6 +626,14 @@ impl Namespace {
     }
 
     fn split_frag(&mut self, id: NodeId, frag: FragId, ways: usize, now: SimTime) {
+        // Splitting removes + appends fragments, shifting every FragId in
+        // this dir: drop all of its entries from the ownership index and
+        // re-insert from the post-split layout below.
+        for (i, f) in self.dirs[id.0 as usize].frags.iter().enumerate() {
+            if let Some(a) = f.auth {
+                self.frag_over[a].remove(&(id, i));
+            }
+        }
         let d = self.dir_mut(id);
         let old = d.frags.remove(frag);
         let mut heats = {
@@ -462,6 +657,11 @@ impl Namespace {
                 auth: old.auth,
             });
         }
+        for (i, f) in self.dirs[id.0 as usize].frags.iter().enumerate() {
+            if let Some(a) = f.auth {
+                self.frag_over[a].insert((id, i));
+            }
+        }
     }
 
     // ---- authority ----
@@ -473,21 +673,92 @@ impl Namespace {
         self.agg_dirty = true;
     }
 
+    /// Grow the per-MDS index vectors so `mds` is a valid index.
+    fn ensure_mds_index(&mut self, mds: MdsId) {
+        while self.bound_roots.len() <= mds {
+            self.bound_roots.push(BTreeSet::new());
+            self.frag_over.push(BTreeSet::new());
+        }
+    }
+
+    /// Keep `bound_roots` in step with a subtree override change at `id`.
+    fn update_bound_index(&mut self, id: NodeId, old: Option<MdsId>, new: Option<MdsId>) {
+        if let Some(o) = old {
+            self.bound_roots[o].remove(&id);
+        }
+        if let Some(n) = new {
+            self.ensure_mds_index(n);
+            self.bound_roots[n].insert(id);
+        }
+    }
+
     /// Install (or clear) a subtree authority override at `id`.
     pub fn set_auth(&mut self, id: NodeId, auth: Option<MdsId>) {
-        self.dir_mut(id).auth = auth;
-        self.note_auth_change();
+        match self.mode {
+            IndexMode::WalkOracle => {
+                let old = self.dir(id).auth;
+                self.update_bound_index(id, old, auth);
+                self.dir_mut(id).auth = auth;
+                self.note_auth_change();
+            }
+            IndexMode::Incremental => {
+                self.apply_auth_change(id, auth, false);
+            }
+        }
     }
 
     /// Install (or clear) a per-fragment authority override.
     pub fn set_frag_auth(&mut self, id: NodeId, frag: FragId, auth: Option<MdsId>) {
+        let old = self.dir(id).frags[frag].auth;
+        if let Some(o) = old {
+            self.frag_over[o].remove(&(id, frag));
+        }
+        if let Some(n) = auth {
+            self.ensure_mds_index(n);
+            self.frag_over[n].insert((id, frag));
+        }
         self.dir_mut(id).frags[frag].auth = auth;
-        self.note_auth_change();
+        match self.mode {
+            IndexMode::WalkOracle => self.note_auth_change(),
+            IndexMode::Incremental => {
+                // One fragment's effective authority moves; the dir's chain
+                // (and every cache) is untouched.
+                let cache = &self.dirs[id.0 as usize].auth_cache;
+                let resolved = cache.auth;
+                let eff_old = old.unwrap_or(resolved);
+                let eff_new = auth.unwrap_or(resolved);
+                if eff_old == eff_new {
+                    return;
+                }
+                let h = self.dirs[id.0 as usize].frags[frag].heat.peek(self.clock);
+                if h == HeatSample::default() {
+                    return;
+                }
+                let clock = self.clock;
+                let in_chain_old = self.dirs[id.0 as usize].auth_cache.chain.contains(&eff_old);
+                let in_chain_new = self.dirs[id.0 as usize].auth_cache.chain.contains(&eff_new);
+                self.agg.ensure(eff_old.max(eff_new));
+                self.agg.auth[eff_old].add_sample(&h, clock, -1.0);
+                self.agg.auth[eff_new].add_sample(&h, clock, 1.0);
+                if in_chain_old {
+                    // Was the authority, now a mere prefix replica.
+                    self.agg.replica[eff_old].add_sample(&h, clock, 1.0);
+                }
+                if in_chain_new {
+                    // Was a prefix replica, now the authority.
+                    self.agg.replica[eff_new].add_sample(&h, clock, -1.0);
+                }
+            }
+        }
     }
 
     /// The MDS serving directory `id` (nearest ancestor override; the root
     /// always has one).
     pub fn resolve_auth(&self, id: NodeId) -> MdsId {
+        if self.mode == IndexMode::Incremental {
+            // Caches are eagerly maintained: O(1).
+            return self.dirs[id.0 as usize].auth_cache.auth;
+        }
         let mut cur = id;
         loop {
             let d = self.dir(cur);
@@ -505,16 +776,56 @@ impl Namespace {
             .unwrap_or_else(|| self.resolve_auth(id))
     }
 
-    /// All fragments currently served by `mds`.
+    /// All fragments currently served by `mds`, in `(dir, frag)` order.
+    ///
+    /// Incremental mode enumerates only what `mds` owns — its subtree
+    /// bound roots' bounded regions plus its fragment overrides — instead
+    /// of scanning the whole namespace; a final sort restores the scan
+    /// order the oracle produces.
     pub fn auth_frags(&self, mds: MdsId) -> Vec<FragRef> {
+        if self.mode == IndexMode::WalkOracle {
+            let mut out = Vec::new();
+            for d in &self.dirs {
+                for (i, _) in d.frags.iter().enumerate() {
+                    if self.frag_auth(d.id, i) == mds {
+                        out.push(FragRef { dir: d.id, frag: i });
+                    }
+                }
+            }
+            return out;
+        }
         let mut out = Vec::new();
-        for d in &self.dirs {
-            for (i, _) in d.frags.iter().enumerate() {
-                if self.frag_auth(d.id, i) == mds {
-                    out.push(FragRef { dir: d.id, frag: i });
+        // Bounded subtrees of this MDS's bound roots: every dir in them
+        // resolves to `mds`, so all frags count except those overridden
+        // away to another MDS.
+        if let Some(roots) = self.bound_roots.get(mds) {
+            let mut stack = Vec::new();
+            for &root in roots {
+                stack.push(root);
+                while let Some(cur) = stack.pop() {
+                    if cur != root && self.dir(cur).auth.is_some() {
+                        continue;
+                    }
+                    let d = self.dir(cur);
+                    for (i, f) in d.frags.iter().enumerate() {
+                        if f.auth.is_none() || f.auth == Some(mds) {
+                            out.push(FragRef { dir: cur, frag: i });
+                        }
+                    }
+                    stack.extend(d.children.iter().copied());
                 }
             }
         }
+        // Fragment overrides on dirs owned by someone else (overrides on
+        // dirs resolving to `mds` were already collected above).
+        if let Some(over) = self.frag_over.get(mds) {
+            for &(d, f) in over {
+                if self.dirs[d.0 as usize].auth_cache.auth != mds {
+                    out.push(FragRef { dir: d, frag: f });
+                }
+            }
+        }
+        out.sort_unstable_by_key(|r| (r.dir, r.frag));
         out
     }
 
@@ -561,38 +872,230 @@ impl Namespace {
             .sum()
     }
 
-    /// Migrate the subtree rooted at `id` to `to`. Returns the number of
-    /// inodes whose authority changed (the migration's size, which the MDS
-    /// charges as freeze/journal cost).
-    pub fn migrate_subtree(&mut self, id: NodeId, to: MdsId) -> u64 {
-        let moved = self.subtree_inodes(id);
-        self.dir_mut(id).auth = Some(to);
-        // Fragment overrides inside the bound subtree now point elsewhere;
-        // migrating the subtree supersedes them.
-        for d in self.subtree_dirs(id, true) {
-            for f in &mut self.dir_mut(d).frags {
-                f.auth = None;
+    /// Migrate the subtree rooted at `id` to `to`: one bounded walk counts
+    /// the moved inodes, clears superseded fragment overrides, and records
+    /// the nested bounds the walk stopped at. Incremental mode additionally
+    /// moves the subtree's heat between the per-MDS aggregates by deltas.
+    pub fn migrate_subtree(&mut self, id: NodeId, to: MdsId) -> SubtreeMigration {
+        match self.mode {
+            IndexMode::Incremental => self.apply_auth_change(id, Some(to), true),
+            IndexMode::WalkOracle => {
+                let mut inodes = 0u64;
+                let mut holes = Vec::new();
+                let mut stack = vec![id];
+                while let Some(cur) = stack.pop() {
+                    if cur != id && self.dir(cur).auth.is_some() {
+                        holes.push(cur);
+                        continue;
+                    }
+                    let ci = cur.0 as usize;
+                    inodes += 1;
+                    for f in 0..self.dirs[ci].frags.len() {
+                        inodes += self.dirs[ci].frags[f].files;
+                        // Migrating the subtree supersedes inner overrides.
+                        if let Some(a) = self.dirs[ci].frags[f].auth.take() {
+                            self.frag_over[a].remove(&(cur, f));
+                        }
+                    }
+                    stack.extend(self.dirs[ci].children.iter().copied());
+                }
+                let old = self.dir(id).auth;
+                self.update_bound_index(id, old, Some(to));
+                self.dir_mut(id).auth = Some(to);
+                self.note_auth_change();
+                SubtreeMigration { inodes, holes }
             }
         }
-        self.note_auth_change();
-        moved
     }
 
     /// Migrate one fragment to `to`. Returns the entries moved.
     pub fn migrate_frag(&mut self, id: NodeId, frag: FragId, to: MdsId) -> u64 {
         let moved = self.dir(id).frags[frag].files;
-        self.dir_mut(id).frags[frag].auth = Some(to);
-        self.note_auth_change();
+        self.set_frag_auth(id, frag, Some(to));
         moved + 1
+    }
+
+    /// The engine behind `set_auth` and `migrate_subtree` in incremental
+    /// mode: change `id`'s subtree override to `new_auth` (clearing inner
+    /// fragment overrides when `clear_frag_overrides`, as a migration does)
+    /// in ONE preorder walk of `id`'s full subtree, which
+    ///
+    /// * refreshes every walked dir's eager auth cache (resolution +
+    ///   replica chain),
+    /// * moves each affected frag's heat between the per-MDS auth
+    ///   aggregates (sampled non-destructively at the high-water clock, so
+    ///   the move is exact under the shared exponential decay),
+    /// * fixes the replica aggregates of every MDS whose chain membership
+    ///   or authority/replica role flipped, and
+    /// * counts the bounded region's inodes and the nested bounds
+    ///   ("holes") exactly like the walk-based migration.
+    ///
+    /// The walk must cover the *full* subtree (through nested bounds):
+    /// replica chains below a hole still gain/lose the old/new authority.
+    fn apply_auth_change(
+        &mut self,
+        id: NodeId,
+        new_auth: Option<MdsId>,
+        clear_frag_overrides: bool,
+    ) -> SubtreeMigration {
+        let old_auth = self.dir(id).auth;
+        if old_auth == new_auth && !clear_frag_overrides {
+            return SubtreeMigration {
+                inodes: 0,
+                holes: Vec::new(),
+            };
+        }
+        if let Some(n) = new_auth {
+            self.ensure_mds_index(n);
+            self.agg.ensure(n);
+        }
+        self.update_bound_index(id, old_auth, new_auth);
+        // Resolution of the bounded region before/after the change.
+        let a_old = self.dirs[id.0 as usize].auth_cache.auth;
+        let parent = self.dirs[id.0 as usize].parent;
+        let a_new = new_auth.unwrap_or_else(|| {
+            let p = parent.expect("root always has an authority");
+            self.dirs[p.0 as usize].auth_cache.auth
+        });
+        // Does the new authority already replicate the prefix *above* `id`?
+        // (Membership below is tracked per-path during the walk.)
+        let n_above = match (new_auth, parent) {
+            (Some(n), Some(p)) => self.dirs[p.0 as usize].auth_cache.chain.contains(&n),
+            _ => false,
+        };
+        self.dirs[id.0 as usize].auth = new_auth;
+        let clock = self.clock;
+        let epoch = self.auth_epoch;
+
+        let mut inodes = 0u64;
+        let mut holes = Vec::new();
+        // (node, inside the bounded region?, occurrences of `new_auth` as
+        // an override on the path from `id` (exclusive) down to the node).
+        let mut stack: Vec<(NodeId, bool, u32)> = vec![(id, true, 0)];
+        let mut cands: Vec<MdsId> = Vec::with_capacity(4);
+        while let Some((x, bounded, n_below)) = stack.pop() {
+            let xi = x.0 as usize;
+            // New chain: own override (nearest) + parent's already-updated
+            // chain, deduplicated. `id`'s parent is outside the walk and
+            // its cache is untouched — correct before and after.
+            let mut chain: Vec<MdsId> = Vec::new();
+            if let Some(a) = self.dirs[xi].auth {
+                chain.push(a);
+            }
+            if let Some(p) = self.dirs[xi].parent {
+                for &m in &self.dirs[p.0 as usize].auth_cache.chain {
+                    if !chain.contains(&m) {
+                        chain.push(m);
+                    }
+                }
+            }
+            let resolved_new = self.dirs[xi].auth.unwrap_or(if bounded {
+                a_new
+            } else {
+                // Under a hole the nearest override is below `id`; only
+                // reachable when the hole itself has the override, so a
+                // dir here without one resolves via its parent's cache.
+                self.dirs[self.dirs[xi]
+                    .parent
+                    .expect("hole descendants have parents")
+                    .0 as usize]
+                    .auth_cache
+                    .auth
+            });
+            let resolved_old = if bounded || x == id {
+                a_old
+            } else {
+                resolved_new
+            };
+            if bounded {
+                inodes += 1;
+            }
+            for f in 0..self.dirs[xi].frags.len() {
+                let over = self.dirs[xi].frags[f].auth;
+                if bounded {
+                    inodes += self.dirs[xi].frags[f].files;
+                }
+                let eff_old = over.unwrap_or(resolved_old);
+                let cleared = clear_frag_overrides && bounded && over.is_some();
+                let eff_new = if cleared {
+                    resolved_new
+                } else {
+                    over.unwrap_or(resolved_new)
+                };
+                if cleared {
+                    let a = over.expect("cleared implies an override");
+                    self.frag_over[a].remove(&(x, f));
+                    self.dirs[xi].frags[f].auth = None;
+                }
+                let h = self.dirs[xi].frags[f].heat.peek(clock);
+                if h == HeatSample::default() {
+                    continue;
+                }
+                if eff_old != eff_new {
+                    self.agg.ensure(eff_old.max(eff_new));
+                    self.agg.auth[eff_old].add_sample(&h, clock, -1.0);
+                    self.agg.auth[eff_new].add_sample(&h, clock, 1.0);
+                }
+                // Replica membership can only change for the old/new
+                // override holders; the authority-exclusion can only flip
+                // for the old/new effective authorities.
+                cands.clear();
+                for r in [Some(eff_old), Some(eff_new), old_auth, new_auth]
+                    .into_iter()
+                    .flatten()
+                {
+                    if !cands.contains(&r) {
+                        cands.push(r);
+                    }
+                }
+                for &r in &cands {
+                    let member_new = chain.contains(&r);
+                    let member_old = if old_auth == new_auth {
+                        member_new
+                    } else if Some(r) == old_auth {
+                        // The walk never leaves `id`'s subtree, and `id`
+                        // carried the old override.
+                        true
+                    } else if Some(r) == new_auth {
+                        n_above || n_below > 0
+                    } else {
+                        member_new
+                    };
+                    let was = member_old && r != eff_old;
+                    let is = member_new && r != eff_new;
+                    if was != is {
+                        self.agg.ensure(r);
+                        self.agg.replica[r].add_sample(&h, clock, if is { 1.0 } else { -1.0 });
+                    }
+                }
+            }
+            self.dirs[xi].auth_cache = AuthCache {
+                epoch,
+                auth: resolved_new,
+                chain,
+            };
+            for ci in 0..self.dirs[xi].children.len() {
+                let c = self.dirs[xi].children[ci];
+                let c_auth = self.dirs[c.0 as usize].auth;
+                if bounded && c_auth.is_some() {
+                    holes.push(c);
+                }
+                let c_below = n_below + u32::from(c_auth.is_some() && c_auth == new_auth);
+                stack.push((c, bounded && c_auth.is_none(), c_below));
+            }
+        }
+        SubtreeMigration { inodes, holes }
     }
 
     /// Sample a fragment's heat at `now`.
     pub fn frag_heat(&mut self, id: NodeId, frag: FragId, now: SimTime) -> HeatSample {
+        self.touch(now);
         self.dir_mut(id).frags[frag].heat.sample(now)
     }
 
     /// Sample a directory's rolled-up subtree heat at `now` (Fig. 1).
     pub fn subtree_heat(&mut self, id: NodeId, now: SimTime) -> HeatSample {
+        self.touch(now);
         self.dir_mut(id).subtree_heat.sample(now)
     }
 
@@ -611,8 +1114,10 @@ impl Namespace {
         num_mds: usize,
         now: SimTime,
     ) -> (Vec<HeatSample>, Vec<HeatSample>) {
+        self.touch(now);
         if self.agg_dirty {
             self.rebuild_aggregates(now);
+            self.rebuilds += 1;
         }
         if num_mds > 0 {
             self.agg.ensure(num_mds - 1);
@@ -676,6 +1181,92 @@ impl Namespace {
     /// Iterate all directory ids.
     pub fn all_dirs(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.dirs.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Directories from which `mds` can export load: its subtree bound
+    /// roots, plus dirs where it owns individual fragments without owning
+    /// the directory — in ascending id order, exactly the order the
+    /// full-namespace scan produces. Incremental mode reads the ownership
+    /// indexes (O(dirs owned)); the oracle scans.
+    pub fn export_candidate_dirs(&self, mds: MdsId) -> Vec<NodeId> {
+        if self.mode == IndexMode::WalkOracle {
+            return self
+                .all_dirs()
+                .filter(|&d| {
+                    self.dir(d).auth == Some(mds)
+                        || (self.resolve_auth(d) != mds
+                            && (0..self.dir(d).frags.len()).any(|f| self.frag_auth(d, f) == mds))
+                })
+                .collect();
+        }
+        let mut out: Vec<NodeId> = self
+            .bound_roots
+            .get(mds)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        if let Some(over) = self.frag_over.get(mds) {
+            let mut last = None;
+            for &(d, _) in over {
+                if last == Some(d) {
+                    continue;
+                }
+                last = Some(d);
+                // Dirs this MDS resolves are already in via their bound
+                // root; a frag override only adds foreign dirs.
+                if self.dirs[d.0 as usize].auth_cache.auth != mds {
+                    out.push(d);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Non-mutating reference implementation of
+    /// [`Namespace::mds_load_samples`]: a full per-frag walk using peeked
+    /// samples, so checking the delta-maintained aggregates against it
+    /// perturbs no decay state. Kept as the differential-testing oracle.
+    pub fn oracle_load_samples(
+        &self,
+        num_mds: usize,
+        now: SimTime,
+    ) -> (Vec<HeatSample>, Vec<HeatSample>) {
+        let mut auth = vec![HeatSample::default(); num_mds];
+        let mut rep = vec![HeatSample::default(); num_mds];
+        for d in &self.dirs {
+            // Resolve by upward walk — independent of caches and mode.
+            let mut resolved = None;
+            let mut chain: Vec<MdsId> = Vec::new();
+            let mut cur = Some(d.id);
+            while let Some(c) = cur {
+                let dc = &self.dirs[c.0 as usize];
+                if let Some(a) = dc.auth {
+                    if resolved.is_none() {
+                        resolved = Some(a);
+                    }
+                    if !chain.contains(&a) {
+                        chain.push(a);
+                    }
+                }
+                cur = dc.parent;
+            }
+            let resolved = resolved.expect("root always has an authority");
+            for f in &d.frags {
+                let s = f.heat.peek(now);
+                let eff = f.auth.unwrap_or(resolved);
+                if eff < num_mds {
+                    auth[eff] = auth[eff].add(&s);
+                }
+                for &r in &chain {
+                    if r != eff && r < num_mds {
+                        rep[r] = rep[r].add(&s);
+                    }
+                }
+            }
+        }
+        (auth, rep)
     }
 }
 
@@ -814,9 +1405,45 @@ mod tests {
         ns.set_auth(abd, Some(2));
         let moved = ns.migrate_subtree(a, 1);
         // dirs a, b, c (3) + 4 files; d is excluded (own bound).
-        assert_eq!(moved, 7);
+        assert_eq!(moved.inodes, 7);
+        assert_eq!(moved.holes, vec![abd], "the walk stopped at /a/b/d");
         assert_eq!(ns.resolve_auth(ab), 1);
         assert_eq!(ns.resolve_auth(abd), 2, "nested subtree untouched");
+    }
+
+    #[test]
+    fn euler_intervals_answer_subtree_membership() {
+        let mut ns = Namespace::default();
+        let a = ns.mkdir_p("/a");
+        let ab = ns.mkdir_p("/a/b");
+        let abc = ns.mkdir_p("/a/b/c");
+        let x = ns.mkdir_p("/x");
+        assert!(ns.in_subtree(a, a), "inclusive at the root of the subtree");
+        assert!(ns.in_subtree(ab, a));
+        assert!(ns.in_subtree(abc, a));
+        assert!(ns.in_subtree(abc, ab));
+        assert!(!ns.in_subtree(x, a));
+        assert!(!ns.in_subtree(a, ab), "ancestors are outside");
+        assert!(ns.in_subtree(x, ns.root()));
+    }
+
+    #[test]
+    fn euler_renumber_preserves_membership() {
+        let mut ns = Namespace::default();
+        // Gaps shrink ~64x per level from 2^64, so a chain ~11 deep drains
+        // its labels; a 2000-deep chain forces many renumbers.
+        let mut cur = ns.root();
+        let mut chain = vec![cur];
+        for i in 0..2_000 {
+            cur = ns.mkdir(cur, format!("d{i}"));
+            chain.push(cur);
+        }
+        assert!(ns.renumbers() > 0, "the deep chain forced a renumber");
+        for w in chain.windows(2) {
+            assert!(ns.in_subtree(w[1], w[0]));
+            assert!(!ns.in_subtree(w[0], w[1]));
+        }
+        assert!(ns.in_subtree(cur, ns.root()));
     }
 
     #[test]

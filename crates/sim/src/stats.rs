@@ -299,6 +299,17 @@ impl DecayCounter {
         self.value
     }
 
+    /// Decayed value as of `now`, computed without mutating the counter
+    /// (for consistency oracles that must not perturb the decay state).
+    pub fn peek_at(&self, now: SimTime) -> f64 {
+        if now > self.last {
+            let dt = (now - self.last).as_millis() as f64;
+            self.value * 0.5_f64.powf(dt / self.half_life_ms)
+        } else {
+            self.value
+        }
+    }
+
     /// Reset to zero.
     pub fn reset(&mut self, now: SimTime) {
         self.value = 0.0;

@@ -8,6 +8,15 @@
 //! cargo run --release --bin bench_ticks
 //! ```
 //!
+//! or, for a seconds-long CI smoke that skips the timing loops and the
+//! JSON write but still checks that every fast path produces the same
+//! numbers as its walk-based oracle — and that the incremental index
+//! never fell back to a full aggregate rebuild:
+//!
+//! ```text
+//! cargo run --release --bin bench_ticks -- --smoke
+//! ```
+//!
 //! What it measures, on a create-shared-style namespace of ≥ 2 000
 //! directories spread over 3 MDSs:
 //!
@@ -20,14 +29,18 @@
 //!   slot-compiled hooks against per-call interpreter setup;
 //! * `end_to_end`: a small create-shared experiment wall-clock, fast vs
 //!   forced-slow hook engine (results are byte-identical; only time may
-//!   differ).
+//!   differ);
+//! * `migration_tick`: the cost of one balancer-driven migration plus the
+//!   following load snapshot on a ~10 000-directory namespace — the
+//!   incremental index (bounded subtree walk + delta aggregates) against
+//!   the walk-oracle path (full-namespace aggregate rebuild per tick).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 use mantle::core::policies;
-use mantle::namespace::{Namespace, NodeId, NsConfig, OpKind};
+use mantle::namespace::{IndexMode, Namespace, NodeId, NsConfig, OpKind};
 use mantle::policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics};
 use mantle::prelude::*;
 use mantle::sim::SimTime;
@@ -48,8 +61,11 @@ fn time_per_call(iters: u32, mut f: impl FnMut()) -> f64 {
 /// A create-shared-style namespace: a few project roots, each packed with
 /// subdirectories that clients hammer with creates and stats. Subtrees are
 /// spread over the MDSs so replica (ancestor) chains are non-trivial.
-fn build_namespace(dirs_per_project: usize, projects: usize) -> Namespace {
-    let mut ns = Namespace::new(NsConfig::default());
+fn build_namespace(dirs_per_project: usize, projects: usize, mode: IndexMode) -> Namespace {
+    let mut ns = Namespace::new(NsConfig {
+        index_mode: mode,
+        ..Default::default()
+    });
     let now = SimTime::ZERO;
     let root = ns.root();
     for p in 0..projects {
@@ -154,6 +170,77 @@ fn frag_metrics(ird: f64, iwr: f64, readdir: f64, fetch: f64, store: f64) -> Fra
     }
 }
 
+/// The first `count` leaf directories of project 0 — the small hot dirs a
+/// Greedy Spill tick exports one at a time.
+fn project_leaves(ns: &Namespace, count: usize) -> Vec<NodeId> {
+    let proj = ns
+        .lookup_child(ns.root(), "proj0")
+        .expect("bench namespace has proj0");
+    (0..count)
+        .map(|d| {
+            ns.lookup_child(proj, &format!("d{d}"))
+                .expect("bench namespace leaf")
+        })
+        .collect()
+}
+
+/// One migration-heavy balancer tick: export a small subtree, then take
+/// the load snapshot the next heartbeat needs. In incremental mode both
+/// steps are bounded by the moved subtree; on the walk-oracle path the
+/// snapshot rebuilds every per-MDS aggregate from per-frag truth.
+fn migration_tick(ns: &mut Namespace, leaves: &[NodeId], i: &mut usize, now: SimTime) {
+    let leaf = leaves[*i % leaves.len()];
+    let to = *i % NUM_MDS;
+    *i += 1;
+    ns.migrate_subtree(leaf, to);
+    black_box(ns.mds_load_samples(NUM_MDS, now));
+}
+
+/// `--smoke`: tiny namespaces, no timing loops, no JSON — just assert
+/// that the fast paths run (and agree with their oracles) without the
+/// incremental index ever falling back to a full rebuild.
+fn run_smoke() {
+    let now = SimTime::from_secs(1);
+    let table1 = MantleRuntime::new(policies::cephfs_original().expect("preset compiles"));
+    let mut inc = build_namespace(40, 3, IndexMode::Incremental);
+    let mut ora = build_namespace(40, 3, IndexMode::WalkOracle);
+
+    let (agg_auth, _) = aggregate_rollup(&mut inc, &table1, now);
+    let (walk_auth, _) = per_frag_walk(&mut inc, &table1, now);
+    for m in 0..NUM_MDS {
+        let diff = (agg_auth[m] - walk_auth[m]).abs();
+        assert!(
+            diff <= 1e-6 * (1.0 + walk_auth[m].abs()),
+            "smoke: snapshot paths disagree on MDS {m}: {} vs {}",
+            agg_auth[m],
+            walk_auth[m]
+        );
+    }
+
+    let leaves_inc = project_leaves(&inc, 8);
+    let leaves_ora = project_leaves(&ora, 8);
+    let (mut ii, mut io) = (0, 0);
+    for _ in 0..16 {
+        migration_tick(&mut inc, &leaves_inc, &mut ii, now);
+        migration_tick(&mut ora, &leaves_ora, &mut io, now);
+    }
+    assert_eq!(
+        inc.rebuilds(),
+        0,
+        "smoke: incremental index fell back to a full aggregate rebuild"
+    );
+    assert!(
+        ora.rebuilds() > 0,
+        "smoke: walk-oracle mode never exercised the rebuild path"
+    );
+    println!(
+        "smoke ok: {} dirs, {} migration ticks, incremental rebuilds = 0, oracle rebuilds = {}",
+        inc.dir_count(),
+        ii,
+        ora.rebuilds()
+    );
+}
+
 fn decide_inputs() -> BalancerInputs {
     BalancerInputs {
         whoami: 0,
@@ -173,13 +260,18 @@ fn decide_inputs() -> BalancerInputs {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
     let now = SimTime::from_secs(1);
     let table1 = MantleRuntime::new(policies::cephfs_original().expect("preset compiles"));
     let table1_slow = MantleRuntime::new(policies::cephfs_original().expect("preset compiles"))
         .with_force_slow_path(true);
 
     // --- snapshot: aggregate roll-up vs per-frag walk -------------------
-    let mut ns = build_namespace(700, 3); // 3 projects × 700 dirs + roots
+    // 3 projects × 700 dirs + roots
+    let mut ns = build_namespace(700, 3, IndexMode::Incremental);
     let dirs = ns.dir_count();
     let frags: usize = (0..NUM_MDS).map(|m| ns.auth_frags(m).len()).sum();
     assert!(dirs >= 2_000, "bench namespace too small: {dirs} dirs");
@@ -223,6 +315,30 @@ fn main() {
         black_box(adaptable_slow.decide(&inputs).unwrap());
     });
 
+    // --- migration-heavy ticks at ~10k dirs, both index modes -----------
+    // Greedy-Spill-style exports of small hot subtrees: the per-migration
+    // balancer cost is the export itself plus the next load snapshot.
+    let mut mig_inc = build_namespace(3_400, 3, IndexMode::Incremental);
+    let mut mig_ora = build_namespace(3_400, 3, IndexMode::WalkOracle);
+    let mig_dirs = mig_inc.dir_count();
+    assert!(mig_dirs >= 10_000, "migration bench too small: {mig_dirs}");
+    let leaves_inc = project_leaves(&mig_inc, 64);
+    let leaves_ora = project_leaves(&mig_ora, 64);
+    let mut ii = 0;
+    let mig_inc_s = time_per_call(2_000, || {
+        migration_tick(&mut mig_inc, &leaves_inc, &mut ii, now);
+    });
+    let mut io = 0;
+    let mig_ora_s = time_per_call(40, || {
+        migration_tick(&mut mig_ora, &leaves_ora, &mut io, now);
+    });
+    assert_eq!(
+        mig_inc.rebuilds(),
+        0,
+        "incremental index fell back to a full aggregate rebuild"
+    );
+    assert!(mig_ora.rebuilds() > 0, "oracle mode must rebuild per tick");
+
     // --- end to end: a small create-shared run, both engines ------------
     let e2e = |slow: bool| {
         let policy = policies::adaptable().expect("preset compiles");
@@ -251,6 +367,7 @@ fn main() {
     let snapshot_speedup = walk_s / agg_s;
     let metaload_speedup = meta_tree_s / meta_fast_s;
     let decide_speedup = decide_tree_s / decide_fast_s;
+    let migration_speedup = mig_ora_s / mig_inc_s;
 
     let mut json = String::new();
     let _ = write!(
@@ -273,6 +390,12 @@ fn main() {
     "tree_us_per_call": {dt:.3},
     "speedup": {ds:.1}
   }},
+  "migration_tick": {{
+    "dirs": {mig_dirs},
+    "incremental_us_per_migration": {mi:.3},
+    "walk_oracle_us_per_migration": {mo:.3},
+    "speedup": {msp:.1}
+  }},
   "end_to_end_create_shared": {{
     "total_ops": {ops},
     "fast_engine_s": {ef:.3},
@@ -289,6 +412,9 @@ fn main() {
         df = decide_fast_s * 1e6,
         dt = decide_tree_s * 1e6,
         ds = decide_speedup,
+        mi = mig_inc_s * 1e6,
+        mo = mig_ora_s * 1e6,
+        msp = migration_speedup,
         ef = e2e_fast_s,
         es = e2e_slow_s,
     );
@@ -300,5 +426,10 @@ fn main() {
     assert!(
         snapshot_speedup >= 5.0,
         "aggregate snapshot must be ≥ 5× the per-frag walk, got {snapshot_speedup:.1}×"
+    );
+    assert!(
+        migration_speedup >= 10.0,
+        "incremental migration ticks must be ≥ 10× the walk-oracle path, \
+         got {migration_speedup:.1}×"
     );
 }

@@ -6,7 +6,7 @@
 //! test — the failing case index is in the assertion message.
 
 use mantle::mds::{select_best, DirfragSelector};
-use mantle::namespace::{Namespace, NamespaceStats, NsConfig, OpKind};
+use mantle::namespace::{IndexMode, Namespace, NamespaceStats, NodeId, NsConfig, OpKind};
 use mantle::policy::env::{BalancerInputs, MantleRuntime, MdsMetrics, PolicySet};
 use mantle::policy::{parse_script, script_to_source, Interpreter, StepBudget, Value};
 use mantle::policy::{SlotProgram, SlotVm};
@@ -265,6 +265,170 @@ fn namespace_invariants_hold_under_random_ops() {
         for &dir in &dirs {
             assert!(!ns.dir(dir).frags.is_empty(), "case {case}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental index layer ≡ walk-based oracles
+// ---------------------------------------------------------------------------
+
+/// Apply one random action to a namespace at `now`, growing `dirs` as
+/// mkdirs land. The same (action, dirs) stream applied to two namespaces
+/// drives them through identical structural histories.
+fn apply_ns_action(
+    ns: &mut Namespace,
+    dirs: &mut Vec<NodeId>,
+    action: &NsAction,
+    now: mantle::sim::SimTime,
+) {
+    match *action {
+        NsAction::Mkdir(p) => {
+            let parent = dirs[p as usize % dirs.len()];
+            let name = format!("d{}", dirs.len());
+            dirs.push(ns.mkdir(parent, name));
+        }
+        NsAction::Create(d) => {
+            let dir = dirs[d as usize % dirs.len()];
+            ns.record_op(dir, OpKind::Create, now);
+        }
+        NsAction::Unlink(d) => {
+            let dir = dirs[d as usize % dirs.len()];
+            ns.record_op(dir, OpKind::Unlink, now);
+        }
+        NsAction::Stat(d) => {
+            let dir = dirs[d as usize % dirs.len()];
+            ns.record_op(dir, OpKind::Stat, now);
+        }
+        NsAction::Migrate(d, m) => {
+            let dir = dirs[d as usize % dirs.len()];
+            ns.migrate_subtree(dir, m as usize);
+        }
+        NsAction::MigrateFrag(d, m) => {
+            let dir = dirs[d as usize % dirs.len()];
+            let frag = ns.peek_frag(dir);
+            ns.migrate_frag(dir, frag, m as usize);
+        }
+    }
+}
+
+/// (a) Euler-interval membership answers exactly the recursive walk after
+/// any sequence of mkdirs, splits, and migrations.
+#[test]
+fn euler_membership_matches_recursive_walk() {
+    let mut rng = cases_rng("euler-membership");
+    for case in 0..32 {
+        let n_actions = rng.range_inclusive(1, 300) as usize;
+        let mut ns = Namespace::new(NsConfig {
+            frag_split_threshold: 6,
+            ..Default::default()
+        });
+        let mut dirs = vec![ns.root()];
+        for step in 0..n_actions {
+            let action = ns_action(&mut rng);
+            let now = mantle::sim::SimTime::from_millis(step as u64 * 20);
+            apply_ns_action(&mut ns, &mut dirs, &action, now);
+        }
+        for &root in &dirs {
+            let walk: std::collections::HashSet<NodeId> =
+                ns.subtree_dirs(root, false).into_iter().collect();
+            for &d in &dirs {
+                assert_eq!(
+                    ns.in_subtree(d, root),
+                    walk.contains(&d),
+                    "case {case}: membership of {d:?} under {root:?}"
+                );
+            }
+        }
+    }
+}
+
+/// (b) The per-MDS ownership indexes answer exactly what a full-namespace
+/// scan answers: twin namespaces driven through an identical action
+/// sequence — one incremental, one on the walk-oracle paths — agree on
+/// `auth_frags`, `export_candidate_dirs`, and `resolve_auth` everywhere.
+#[test]
+fn indexed_ownership_matches_walk_oracle() {
+    let mut rng = cases_rng("index-ownership");
+    for case in 0..32 {
+        let n_actions = rng.range_inclusive(1, 300) as usize;
+        let mk = |mode| {
+            Namespace::new(NsConfig {
+                frag_split_threshold: 6,
+                index_mode: mode,
+                ..Default::default()
+            })
+        };
+        let mut inc = mk(IndexMode::Incremental);
+        let mut ora = mk(IndexMode::WalkOracle);
+        let mut dirs_inc = vec![inc.root()];
+        let mut dirs_ora = vec![ora.root()];
+        for step in 0..n_actions {
+            let action = ns_action(&mut rng);
+            let now = mantle::sim::SimTime::from_millis(step as u64 * 20);
+            apply_ns_action(&mut inc, &mut dirs_inc, &action, now);
+            apply_ns_action(&mut ora, &mut dirs_ora, &action, now);
+        }
+        assert_eq!(dirs_inc, dirs_ora, "case {case}: structural divergence");
+        for m in 0..4 {
+            assert_eq!(
+                inc.auth_frags(m),
+                ora.auth_frags(m),
+                "case {case}: auth_frags({m})"
+            );
+            assert_eq!(
+                inc.export_candidate_dirs(m),
+                ora.export_candidate_dirs(m),
+                "case {case}: export_candidate_dirs({m})"
+            );
+        }
+        for &d in &dirs_inc {
+            assert_eq!(
+                inc.resolve_auth(d),
+                ora.resolve_auth(d),
+                "case {case}: resolve_auth({d:?})"
+            );
+        }
+    }
+}
+
+/// (c) Delta-maintained per-MDS aggregates track a from-scratch recompute
+/// off per-frag truth. Migrations move heat between aggregates by sampled
+/// deltas, so agreement is to floating-point tolerance, not bitwise — and
+/// the incremental path must never have fallen back to a full rebuild.
+#[test]
+fn delta_aggregates_match_full_recompute() {
+    let mut rng = cases_rng("delta-aggregates");
+    for case in 0..24 {
+        let n_actions = rng.range_inclusive(1, 300) as usize;
+        let mut ns = Namespace::new(NsConfig {
+            frag_split_threshold: 6,
+            ..Default::default()
+        });
+        let mut dirs = vec![ns.root()];
+        let mut now = mantle::sim::SimTime::ZERO;
+        for step in 0..n_actions {
+            let action = ns_action(&mut rng);
+            now = mantle::sim::SimTime::from_millis(step as u64 * 20);
+            apply_ns_action(&mut ns, &mut dirs, &action, now);
+        }
+        let (auth, rep) = ns.mds_load_samples(4, now);
+        let (auth_o, rep_o) = ns.oracle_load_samples(4, now);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * (1.0 + b.abs());
+        for m in 0..4 {
+            assert!(
+                close(auth[m].cephfs_metaload(), auth_o[m].cephfs_metaload()),
+                "case {case}: auth aggregate of MDS {m}: {:?} vs {:?}",
+                auth[m],
+                auth_o[m]
+            );
+            assert!(
+                close(rep[m].cephfs_metaload(), rep_o[m].cephfs_metaload()),
+                "case {case}: replica aggregate of MDS {m}: {:?} vs {:?}",
+                rep[m],
+                rep_o[m]
+            );
+        }
+        assert_eq!(ns.rebuilds(), 0, "case {case}: incremental path fell back");
     }
 }
 
