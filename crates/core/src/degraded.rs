@@ -55,8 +55,9 @@ fn reactions(hb: SimTime) -> FaultPlan {
     }
 }
 
-/// The base experiment every scenario perturbs.
-fn base_experiment(opts: ReproOpts, seed: u64) -> Experiment {
+/// The base experiment every scenario perturbs. Public so the invariant
+/// suite can trace the exact setup with other balancers swapped in.
+pub fn base_experiment(opts: ReproOpts, seed: u64) -> Experiment {
     let config = ClusterConfig {
         num_mds: 3,
         seed,
@@ -114,6 +115,22 @@ pub fn run_scenario(opts: ReproOpts, name: &str, seed: u64) -> Option<RunReport>
     let mut spec = base_experiment(opts, seed);
     spec.config.faults = plan;
     Some(run_experiment(&spec))
+}
+
+/// Like [`run_scenario`], but with a trace sink attached at `level`.
+pub fn run_scenario_traced(
+    opts: ReproOpts,
+    name: &str,
+    seed: u64,
+    level: mantle_mds::TraceLevel,
+) -> Option<(RunReport, mantle_mds::TraceBuffer)> {
+    let plan = scenario_plans(opts)
+        .into_iter()
+        .find(|(n, _)| *n == name)?
+        .1;
+    let mut spec = base_experiment(opts, seed);
+    spec.config.faults = plan;
+    Some(crate::experiment::run_experiment_traced(&spec, level))
 }
 
 /// Run every scenario and render the degradation table.

@@ -210,6 +210,28 @@ pub fn run_experiment(spec: &Experiment) -> RunReport {
     cluster.run()
 }
 
+/// Run one experiment with a trace sink attached, returning the report
+/// together with the captured event stream and timeline.
+pub fn run_experiment_traced(
+    spec: &Experiment,
+    level: mantle_mds::TraceLevel,
+) -> (RunReport, mantle_mds::TraceBuffer) {
+    let workload = spec.workload.build(spec.config.seed);
+    let balancer_spec = spec.balancer.clone();
+    let mut cluster = Cluster::new(spec.config.clone(), workload, |m| balancer_spec.build(m));
+    let handle = cluster.enable_tracing(level);
+    apply_assignments(cluster.namespace_mut(), &spec.initial_partition);
+    for sched in &spec.scheduled_partitions {
+        let assignments = sched.assignments.clone();
+        cluster.schedule_admin(sched.at, move |ns| apply_assignments(ns, &assignments));
+    }
+    let report = cluster.run();
+    let buffer = std::rc::Rc::try_unwrap(handle)
+        .expect("run consumed the cluster; the handle is the sole owner")
+        .into_inner();
+    (report, buffer)
+}
+
 /// Run the experiment once per seed, in parallel across OS threads.
 ///
 /// Fan-out is capped at [`std::thread::available_parallelism`]: spawning

@@ -21,19 +21,21 @@ pub mod repro;
 pub mod table;
 
 pub use experiment::{
-    run_experiment, run_seeds, BalancerSpec, Experiment, ScheduledPartition, WorkloadSpec,
+    run_experiment, run_experiment_traced, run_seeds, BalancerSpec, Experiment, ScheduledPartition,
+    WorkloadSpec,
 };
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::experiment::{
-        run_experiment, run_seeds, BalancerSpec, Experiment, WorkloadSpec,
+        run_experiment, run_experiment_traced, run_seeds, BalancerSpec, Experiment, WorkloadSpec,
     };
     pub use crate::policies;
     pub use crate::table::TextTable;
     pub use mantle_mds::{
-        Balancer, CephfsBalancer, Cluster, ClusterConfig, FaultEvent, FaultKind, FaultPlan,
-        MantleBalancer, RunReport,
+        assert_invariants, check_trace, Balancer, CephfsBalancer, Cluster, ClusterConfig,
+        FaultEvent, FaultKind, FaultPlan, MantleBalancer, RunReport, Timeline, TraceBuffer,
+        TraceEvent, TraceLevel, TraceRecord, Violation,
     };
     pub use mantle_namespace::{Namespace, NodeId, NsConfig, OpKind};
     pub use mantle_policy::env::PolicySet;

@@ -358,6 +358,55 @@ mod tests {
     }
 
     #[test]
+    fn cephfs_when_is_quiet_at_the_zero_load_boundary() {
+        // An entirely idle cluster: every load is 0, so the average is 0
+        // and `loads[whoami] <= avg` holds on every rank — the `when`
+        // predicate must not fire (and must not divide by the zero total).
+        let mut b = CephfsBalancer::default();
+        for whoami in 0..3 {
+            let ctx = BalanceContext {
+                whoami,
+                heartbeats: vec![hb(0.0, 0.0, 0.0); 3].into(),
+            };
+            assert!(
+                b.decide(&ctx).unwrap().is_none(),
+                "idle MDS {whoami} must stay put"
+            );
+        }
+    }
+
+    #[test]
+    fn cephfs_when_is_quiet_exactly_at_average() {
+        // Perfectly balanced load: everyone sits exactly on the average,
+        // and the strict `>` keeps every rank quiet — no migration storms
+        // from rounding a flat cluster.
+        let mut b = CephfsBalancer::default();
+        let ctx = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(40.0, 0.0, 0.0); 4].into(),
+        };
+        assert!(b.decide(&ctx).unwrap().is_none());
+    }
+
+    #[test]
+    fn cephfs_barely_above_average_exports_a_sliver() {
+        // Just past the boundary: an epsilon of surplus produces a plan
+        // whose total never exceeds that surplus.
+        let mut b = CephfsBalancer { need_min: 1.0 };
+        let ctx = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(40.1, 0.0, 0.0), hb(39.9, 0.0, 0.0)].into(),
+        };
+        let plan = b.decide(&ctx).unwrap().expect("above average fires");
+        let planned: f64 = plan.targets.iter().sum();
+        let surplus = 0.1; // load 40.1 (×0.8 auth + 0.2 all) vs avg 40.0
+        assert!(
+            planned > 0.0 && planned <= surplus + 1e-9,
+            "planned {planned}"
+        );
+    }
+
+    #[test]
     fn cephfs_single_mds_never_migrates() {
         let mut b = CephfsBalancer::default();
         let ctx = BalanceContext {

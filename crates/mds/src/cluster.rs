@@ -1,9 +1,11 @@
 //! The cluster simulation: clients, MDS queues, heartbeats, balancer
 //! ticks, and migrations, driven by one deterministic event loop.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::Arc;
 
-use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig, SubtreeMigration};
+use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig, SplitEvent, SubtreeMigration};
 use mantle_sim::{EventQueue, SimRng, SimTime, Summary};
 
 use crate::balancer::{BalanceContext, Balancer, CephfsBalancer};
@@ -13,6 +15,7 @@ use crate::faults::FaultKind;
 use crate::metrics::{Heartbeat, MdsCounters};
 use crate::partition::{plan_exports, Export, ExportUnit};
 use crate::report::{ClientReport, MdsReport, RunReport};
+use crate::trace::{TraceBuffer, TraceEvent, TraceLevel, TraceRecord};
 
 /// A request in flight.
 #[derive(Debug, Clone, Copy)]
@@ -168,6 +171,16 @@ pub struct Cluster {
     retries: u64,
     failovers: u64,
     balancer_fallbacks: u64,
+    /// Optional trace sink ([`Cluster::enable_tracing`]). `None` costs one
+    /// branch per emission site and never builds event payloads, so
+    /// untraced fixed-seed runs stay byte-identical.
+    trace: Option<Rc<RefCell<TraceBuffer>>>,
+    /// Heartbeat epoch: balancer ticks completed so far (stamps records).
+    hb_epoch: u64,
+    /// Directories already announced to the trace (`DirAdded` watermark).
+    traced_dirs: u32,
+    /// Migration counter: ids shared by the freeze→…→unfreeze phases.
+    mig_seq: u64,
 }
 
 impl Cluster {
@@ -227,8 +240,116 @@ impl Cluster {
             retries: 0,
             failovers: 0,
             balancer_fallbacks: 0,
+            trace: None,
+            hb_epoch: 0,
+            traced_dirs: 0,
+            mig_seq: 0,
             cfg,
         }
+    }
+
+    /// Attach a trace sink at `level` and return a handle to it. Call
+    /// before [`Cluster::run`]; after the run (which consumes the
+    /// cluster) the handle is the only owner and can be unwrapped.
+    pub fn enable_tracing(&mut self, level: TraceLevel) -> Rc<RefCell<TraceBuffer>> {
+        let buf = Rc::new(RefCell::new(TraceBuffer::new(
+            level,
+            self.cfg.num_mds,
+            self.cfg.heartbeat_interval,
+        )));
+        self.trace = Some(Rc::clone(&buf));
+        buf
+    }
+
+    /// Emit a control-plane event (recorded at every trace level). The
+    /// payload closure only runs when a sink is attached.
+    #[inline]
+    fn emit(&self, at: SimTime, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.trace {
+            let record = TraceRecord {
+                at,
+                epoch: self.hb_epoch,
+                event: make(),
+            };
+            t.borrow_mut().push(record);
+        }
+    }
+
+    /// Emit a data-plane event (recorded only at [`TraceLevel::Full`]).
+    #[inline]
+    fn emit_full(&self, at: SimTime, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.trace {
+            if t.borrow().level == TraceLevel::Full {
+                let record = TraceRecord {
+                    at,
+                    epoch: self.hb_epoch,
+                    event: make(),
+                };
+                t.borrow_mut().push(record);
+            }
+        }
+    }
+
+    /// Emit `FragSplit` for a completed op that fragmented its directory.
+    fn emit_split(&self, at: SimTime, split: Option<SplitEvent>) {
+        if let Some(se) = split {
+            self.emit(at, || TraceEvent::FragSplit {
+                dir: se.dir,
+                frag: se.frag,
+                ways: se.ways,
+                resulting_frags: se.resulting_frags,
+            });
+        }
+    }
+
+    /// Announce directories created since the last sync (workload setup,
+    /// mid-run mkdirs, admin repartitions) so the checker's tree model
+    /// stays complete.
+    fn sync_dirs(&mut self, at: SimTime) {
+        if self.trace.is_none() {
+            return;
+        }
+        let total = self.ns.dir_count() as u32;
+        while self.traced_dirs < total {
+            let id = NodeId(self.traced_dirs);
+            let (parent, files) = {
+                let d = self.ns.dir(id);
+                (
+                    d.parent,
+                    d.frags.iter().map(|f| f.files).collect::<Vec<_>>(),
+                )
+            };
+            self.emit(at, || TraceEvent::DirAdded {
+                dir: id,
+                parent,
+                files,
+            });
+            self.traced_dirs += 1;
+        }
+    }
+
+    /// Emit the complete explicit-authority state. Used at the preamble
+    /// and after admin actions, which mutate authority outside the traced
+    /// event flow.
+    fn emit_auth_snapshot(&self, at: SimTime) {
+        if self.trace.is_none() {
+            return;
+        }
+        let mut dirs = Vec::new();
+        let mut frags = Vec::new();
+        let all: Vec<NodeId> = self.ns.all_dirs().collect();
+        for d in all {
+            let dir = self.ns.dir(d);
+            if let Some(m) = dir.auth {
+                dirs.push((d, m));
+            }
+            for (f, frag) in dir.frags.iter().enumerate() {
+                if let Some(m) = frag.auth {
+                    frags.push((d, f, m));
+                }
+            }
+        }
+        self.emit(at, || TraceEvent::AuthSnapshot { dirs, frags });
     }
 
     /// Mutable access to the namespace before the run (static partitions).
@@ -262,6 +383,26 @@ impl Cluster {
 
     /// Run to completion and produce the report.
     pub fn run(mut self) -> RunReport {
+        // Trace preamble: stream header, the setup-time tree, and the
+        // explicit authority state (static partitions applied before run).
+        if self.trace.is_some() {
+            let num_mds = self.cfg.num_mds;
+            let fallback_after = self.cfg.faults.fallback_after;
+            let level = self
+                .trace
+                .as_ref()
+                .map(|t| t.borrow().level)
+                .expect("trace checked above");
+            let heartbeat_us = self.cfg.heartbeat_interval.as_micros();
+            self.emit(SimTime::ZERO, || TraceEvent::RunStart {
+                num_mds,
+                fallback_after,
+                level,
+                heartbeat_us,
+            });
+            self.sync_dirs(SimTime::ZERO);
+            self.emit_auth_snapshot(SimTime::ZERO);
+        }
         // Kick off every client and the heartbeat cycle.
         for c in 0..self.clients.len() {
             self.queue.schedule_at(SimTime::ZERO, Event::ClientNext(c));
@@ -273,10 +414,12 @@ impl Cluster {
                 .schedule_at(self.cfg.faults.events[i].at, Event::Fault(i));
         }
 
+        let mut last_now = SimTime::ZERO;
         while let Some((now, event)) = self.queue.pop() {
             if now > self.cfg.max_duration {
                 break;
             }
+            last_now = now;
             match event {
                 Event::ClientNext(c) => self.on_client_next(c, now),
                 Event::Arrive { mds, req } => self.on_arrive(mds, req, now),
@@ -290,6 +433,10 @@ impl Cluster {
                 Event::Admin(idx) => {
                     if let Some(action) = self.admin_actions[idx].take() {
                         action(&mut self.ns);
+                        // Admin actions mutate the namespace wholesale;
+                        // re-announce new dirs and the authority state.
+                        self.sync_dirs(now);
+                        self.emit_auth_snapshot(now);
                     }
                 }
                 Event::Fault(idx) => self.on_fault(idx, now),
@@ -300,6 +447,8 @@ impl Cluster {
                 break;
             }
         }
+        let inflight = self.inflight;
+        self.emit(last_now, || TraceEvent::RunEnd { inflight });
         self.into_report()
     }
 
@@ -312,7 +461,10 @@ impl Cluster {
             self.queue.schedule_at(stall, Event::ClientNext(c));
             return;
         }
-        match self.workload.next(c, &mut self.ns, now) {
+        let nxt = self.workload.next(c, &mut self.ns, now);
+        // The workload may have mkdir'd; keep the traced tree complete.
+        self.sync_dirs(now);
+        match nxt {
             None => {
                 self.clients[c].done = true;
                 if self.clients[c].finished_at == SimTime::ZERO {
@@ -348,6 +500,12 @@ impl Cluster {
             forwarded: false,
             seq,
         };
+        self.emit_full(now, || TraceEvent::RequestIssued {
+            client: c,
+            dir: op.dir,
+            mds,
+            seq,
+        });
         self.inflight += 1;
         self.queue
             .schedule_at(now + self.half_rtt(), Event::Arrive { mds, req });
@@ -368,6 +526,8 @@ impl Cluster {
             return; // the attempt completed (or was already superseded)
         }
         self.timeouts += 1;
+        self.emit_full(now, || TraceEvent::RequestTimeout { client: c, seq });
+        let client = &self.clients[c];
         let dir = client.pending.expect("checked above").dir;
         let attempt = client.attempts;
         self.clients[c].attempts += 1;
@@ -385,6 +545,8 @@ impl Cluster {
             return;
         }
         self.retries += 1;
+        let attempt = self.clients[c].attempts;
+        self.emit_full(now, || TraceEvent::RequestRetry { client: c, attempt });
         self.issue(c, now);
     }
 
@@ -394,6 +556,10 @@ impl Cluster {
         if !self.up[mds] {
             self.counters[mds].dropped += 1;
             self.inflight -= 1;
+            self.emit_full(now, || TraceEvent::Dropped {
+                mds,
+                client: req.client,
+            });
             return;
         }
         // Hash placement pins each directory on first touch.
@@ -405,11 +571,20 @@ impl Cluster {
                 target = 0; // never pin fresh metadata on a dead MDS
             }
             self.ns.set_auth(req.op.dir, Some(target));
+            self.emit(now, || TraceEvent::HashPin {
+                dir: req.op.dir,
+                mds: target,
+            });
         }
         // Frozen subtree (mid-migration): the request waits for the thaw.
         // Lapsed windows are dropped eagerly so the set never accumulates.
         self.frozen.retain(|w| w.until > now);
         if let Some(thaw) = self.frozen_until(req.op.dir) {
+            self.emit_full(now, || TraceEvent::Deferred {
+                mds,
+                dir: req.op.dir,
+                until: thaw,
+            });
             self.queue.schedule_at(thaw, Event::Arrive { mds, req });
             return;
         }
@@ -423,6 +598,13 @@ impl Cluster {
             self.next_free[mds] = start + SimTime::from_micros_f64(fwd_us);
             self.counters[mds].busy_window_us += fwd_us;
             req.forwarded = true;
+            self.emit_full(now, || TraceEvent::Forwarded {
+                from: mds,
+                to: auth,
+                dir: req.op.dir,
+                frag,
+                client: req.client,
+            });
             let hop = SimTime::from_micros_f64(self.cfg.costs.forward_hop_us);
             self.queue.schedule_at(
                 self.next_free[mds].max(now) + hop,
@@ -435,6 +617,14 @@ impl Cluster {
         } else {
             self.counters[mds].hits += 1;
         }
+        self.emit_full(now, || TraceEvent::Served {
+            mds,
+            client: req.client,
+            dir: req.op.dir,
+            frag,
+            kind: req.op.kind,
+            seq: req.seq,
+        });
         self.ns
             .frag_owners_into(req.op.dir, &mut self.scratch_owners);
         let span = self.scratch_owners.len();
@@ -489,11 +679,12 @@ impl Cluster {
         // this request entered service — the reply never left the wire.
         if !self.up[mds] || epoch != self.mds_epoch[mds] {
             self.inflight -= 1;
+            self.emit_full(now, || TraceEvent::GhostReply { mds });
             return;
         }
         self.counters[mds].queued = self.counters[mds].queued.saturating_sub(1);
         self.counters[mds].complete_op(now, service_us);
-        let (_frag, split) = self.ns.record_op_on(req.op.dir, req.frag, req.op.kind, now);
+        let (frag_used, split) = self.ns.record_op_on(req.op.dir, req.frag, req.op.kind, now);
         if split.is_some() {
             self.counters[mds].splits += 1;
             let cost = SimTime::from_micros_f64(self.cfg.costs.split_us);
@@ -502,14 +693,34 @@ impl Cluster {
         }
         let reply_at = now + self.half_rtt();
         let latency_ms = (reply_at - req.issued).as_millis_f64();
-        let client = &mut self.clients[req.client];
         // Stale reply: the client timed out this attempt and has already
         // retried (or finished via the retry). The server-side work still
         // happened — it just counted for nothing at the client.
-        if req.seq != client.seq || client.pending.is_none() {
+        let stale = {
+            let client = &self.clients[req.client];
+            req.seq != client.seq || client.pending.is_none()
+        };
+        if stale {
+            self.emit_full(now, || TraceEvent::StaleReply {
+                mds,
+                client: req.client,
+                dir: req.op.dir,
+                frag: frag_used,
+                kind: req.op.kind,
+            });
+            self.emit_split(now, split);
             self.inflight -= 1;
             return;
         }
+        self.emit_full(now, || TraceEvent::Completed {
+            mds,
+            client: req.client,
+            dir: req.op.dir,
+            frag: frag_used,
+            kind: req.op.kind,
+        });
+        self.emit_split(now, split);
+        let client = &mut self.clients[req.client];
         client.pending = None;
         client.learn(req.op.dir, mds);
         client.record_completion(reply_at, latency_ms);
@@ -530,6 +741,8 @@ impl Cluster {
                 self.up[mds] = false;
                 self.mds_epoch[mds] += 1;
                 self.counters[mds].queued = 0;
+                self.sync_dirs(now);
+                self.emit(now, || TraceEvent::MdsCrash { mds });
                 // Every subtree and dirfrag it served fails over to the
                 // mount authority; the balancers respread load from there.
                 let dirs: Vec<NodeId> = self.ns.all_dirs().collect();
@@ -551,6 +764,7 @@ impl Cluster {
                     return;
                 }
                 self.up[mds] = true;
+                self.emit(now, || TraceEvent::MdsRestart { mds });
                 // Fresh queue, nothing owed from the previous incarnation.
                 self.next_free[mds] = now;
             }
@@ -564,24 +778,40 @@ impl Cluster {
                 }
                 self.slow_factor[mds] = factor.max(0.0);
                 self.slow_until[mds] = now + duration;
+                self.emit(now, || TraceEvent::FaultInjected {
+                    mds,
+                    kind: "slowdown",
+                });
             }
             FaultKind::DropHeartbeats { mds, duration } => {
                 if mds >= self.cfg.num_mds {
                     return;
                 }
                 self.hb_drop_until[mds] = now + duration;
+                self.emit(now, || TraceEvent::FaultInjected {
+                    mds,
+                    kind: "drop-heartbeats",
+                });
             }
             FaultKind::DelayHeartbeats { mds, duration } => {
                 if mds >= self.cfg.num_mds {
                     return;
                 }
                 self.hb_delay_until[mds] = now + duration;
+                self.emit(now, || TraceEvent::FaultInjected {
+                    mds,
+                    kind: "delay-heartbeats",
+                });
             }
             FaultKind::PoisonBalancer { mds } => {
                 if mds >= self.cfg.num_mds {
                     return;
                 }
                 self.poisoned[mds] = true;
+                self.emit(now, || TraceEvent::FaultInjected {
+                    mds,
+                    kind: "poison-balancer",
+                });
             }
         }
     }
@@ -589,21 +819,49 @@ impl Cluster {
     /// Record a failed balancer tick on `mds`; after
     /// `faults.fallback_after` consecutive failures the MDS swaps in the
     /// default CephFS balancer (§3.4's graceful degradation).
-    fn note_policy_error(&mut self, mds: MdsId) {
+    fn note_policy_error(&mut self, mds: MdsId, now: SimTime) {
         self.policy_errors += 1;
         self.consecutive_policy_errors[mds] += 1;
+        let consecutive = self.consecutive_policy_errors[mds];
+        self.emit(now, || TraceEvent::PolicyError { mds, consecutive });
         let k = self.cfg.faults.fallback_after;
         if k > 0 && self.consecutive_policy_errors[mds] >= k {
             self.balancers[mds] = Box::new(CephfsBalancer::default());
             self.poisoned[mds] = false;
             self.consecutive_policy_errors[mds] = 0;
             self.balancer_fallbacks += 1;
+            self.emit(now, || TraceEvent::BalancerFallback { mds });
         }
     }
 
     fn on_heartbeat(&mut self, now: SimTime) {
+        // Catch the trace's namespace model up under the *old* epoch —
+        // every record carries `epoch == ticks seen so far` except the tick
+        // itself, which announces the increment.
+        self.sync_dirs(now);
+        self.hb_epoch += 1;
         // 1. Every MDS packages up its metrics ("send HB").
         let heartbeats = self.snapshot_heartbeats(now);
+        // Timeline + tick record before the windows roll, so the sampled
+        // queue depth / throughput are the ones the balancers will act on.
+        if let Some(t) = &self.trace {
+            let mut b = t.borrow_mut();
+            for m in 0..self.cfg.num_mds {
+                b.timeline.sample(
+                    now,
+                    m,
+                    heartbeats[m].auth_metaload,
+                    self.counters[m].queued as f64,
+                    self.counters[m].window_ops as f64,
+                );
+            }
+            let loads: Vec<f64> = heartbeats.iter().map(|h| h.auth_metaload).collect();
+            b.push(TraceRecord {
+                at: now,
+                epoch: self.hb_epoch,
+                event: TraceEvent::HeartbeatTick { loads },
+            });
+        }
         // 2. Roll the measurement windows.
         for c in &mut self.counters {
             c.roll_window();
@@ -618,7 +876,7 @@ impl Cluster {
             }
             // A poisoned balancer errors before reaching a decision.
             if self.poisoned[m] {
-                self.note_policy_error(m);
+                self.note_policy_error(m, now);
                 continue;
             }
             let ctx = BalanceContext {
@@ -629,10 +887,11 @@ impl Cluster {
                 Ok(Some(plan)) => plan,
                 Ok(None) => {
                     self.consecutive_policy_errors[m] = 0;
+                    self.emit(now, || TraceEvent::BalancerTick { mds: m });
                     continue;
                 }
                 Err(_) => {
-                    self.note_policy_error(m);
+                    self.note_policy_error(m, now);
                     continue;
                 }
             };
@@ -640,11 +899,26 @@ impl Cluster {
                 match plan_exports(&mut self.ns, m, self.balancers[m].as_ref(), &plan, now) {
                     Ok(e) => e,
                     Err(_) => {
-                        self.note_policy_error(m);
+                        self.note_policy_error(m, now);
                         continue;
                     }
                 };
             self.consecutive_policy_errors[m] = 0;
+            if self.trace.is_some() {
+                let targets = plan.targets.clone();
+                let selectors: Vec<String> = plan
+                    .selectors
+                    .iter()
+                    .map(|s| s.name().to_string())
+                    .collect();
+                let n_exports = exports.len();
+                self.emit(now, || TraceEvent::BalancerPlan {
+                    mds: m,
+                    targets,
+                    selectors,
+                    exports: n_exports,
+                });
+            }
             for export in exports {
                 self.apply_export(m, export, now);
             }
@@ -757,17 +1031,25 @@ impl Cluster {
     }
 
     fn apply_export(&mut self, from: MdsId, export: Export, now: SimTime) {
-        if export.to >= self.cfg.num_mds || export.to == from || !self.up[export.to] {
+        let to = export.to;
+        if to >= self.cfg.num_mds || to == from || !self.up[to] {
             return;
         }
+        // The checker replays migrations against its namespace model; make
+        // sure every directory the walk can touch is already in the trace.
+        self.sync_dirs(now);
         let watermark = self.ns.dir_count() as u32;
+        let frag_unit = match export.unit {
+            ExportUnit::Frag(_, f) => Some(f),
+            ExportUnit::Subtree(_) => None,
+        };
         // The moved region: the whole (bounded) subtree for a subtree
         // export, just the fragmented dir otherwise. The migration walk
         // reports the inode count and the authority holes in one pass.
         let (root, root_only, migration) = match export.unit {
-            ExportUnit::Subtree(d) => (d, false, self.ns.migrate_subtree(d, export.to)),
+            ExportUnit::Subtree(d) => (d, false, self.ns.migrate_subtree(d, to)),
             ExportUnit::Frag(d, f) => {
-                let inodes = self.ns.migrate_frag(d, f, export.to);
+                let inodes = self.ns.migrate_frag(d, f, to);
                 (
                     d,
                     true,
@@ -797,6 +1079,40 @@ impl Cluster {
         });
         // Importer and exporter both journal (busy time on each).
         let journal_us = freeze_us / 4.0;
+        if self.trace.is_some() {
+            self.mig_seq += 1;
+            let mig = self.mig_seq;
+            let holes = region.holes.clone();
+            self.emit(now, || TraceEvent::MigrationFreeze {
+                mig,
+                from,
+                to,
+                root,
+                frag: frag_unit,
+                holes,
+                watermark,
+                until: thaw,
+            });
+            self.emit(now, || TraceEvent::MigrationJournal {
+                mig,
+                mds: from,
+                micros: journal_us,
+            });
+            self.emit(now, || TraceEvent::MigrationJournal {
+                mig,
+                mds: to,
+                micros: journal_us,
+            });
+            self.emit(now, || TraceEvent::MigrationCommit {
+                mig,
+                from,
+                to,
+                root,
+                frag: frag_unit,
+                inodes: moved,
+            });
+            self.emit(now, || TraceEvent::MigrationUnfreeze { mig, root, thaw });
+        }
         for &m in &[from, export.to] {
             self.next_free[m] = self.next_free[m].max(now) + SimTime::from_micros_f64(journal_us);
             self.counters[m].busy_window_us += journal_us;
@@ -828,6 +1144,10 @@ impl Cluster {
             }
         }
         self.counters[from].sessions_flushed += flushed;
+        self.emit(now, || TraceEvent::SessionFlush {
+            mds: from,
+            clients: flushed,
+        });
     }
 
     fn into_report(self) -> RunReport {

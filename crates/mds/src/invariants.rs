@@ -1,0 +1,1454 @@
+//! Trace-driven invariant checking: replay a [`TraceRecord`] stream
+//! against a small namespace/cluster model and assert cluster-wide safety
+//! properties, independently of the live simulation that produced it.
+//!
+//! The checked catalogue (DESIGN.md §12):
+//!
+//! * **authority** — every served/forwarded request lands on the unique
+//!   MDS the replayed authority map assigns to its dirfrag, migrations
+//!   move units their exporter actually owns, and crashed MDSs serve
+//!   nothing;
+//! * **freeze-discipline** — no request is served inside a frozen
+//!   (mid-migration) region before its thaw;
+//! * **conservation** — every issued request terminates exactly once
+//!   (completed, stale, ghost, or dropped) or is still in flight at
+//!   [`TraceEvent::RunEnd`]; migrations move exactly the inodes the model
+//!   says the region holds (inodes are neither created nor lost);
+//! * **epoch-monotonicity** — heartbeat epochs increase by exactly one
+//!   per tick and every record is stamped with the tick count at emission;
+//! * **fallback-after-k** — a balancer fallback happens only after
+//!   exactly `fallback_after` consecutive policy errors;
+//! * **migration-phases** — every migration id runs freeze → journal
+//!   (exporter + importer) → commit → unfreeze, completely;
+//! * **structure** — the stream itself is well-formed (header first,
+//!   known dirs, in-range fragments and MDS ids).
+//!
+//! Some rules need the data plane: conservation and freeze-discipline are
+//! only checked when the stream was captured at [`TraceLevel::Full`]
+//! (announced in [`TraceEvent::RunStart`]); inode conservation degrades to
+//! a structural lower bound at [`TraceLevel::Decisions`], where per-op
+//! file-count changes are not in the stream.
+
+use mantle_namespace::{FragId, MdsId, NodeId, OpKind};
+use mantle_sim::SimTime;
+
+use crate::trace::{TraceEvent, TraceLevel, TraceRecord};
+
+/// One invariant violation found while replaying a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Index of the offending record in the stream (stream length for
+    /// end-of-stream violations).
+    pub index: usize,
+    /// Virtual time of the offending record.
+    pub at: SimTime,
+    /// Which rule broke: `authority`, `freeze-discipline`, `conservation`,
+    /// `inode-conservation`, `epoch-monotonicity`, `fallback-after-k`,
+    /// `migration-phases`, or `structure`.
+    pub rule: &'static str,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] record {} at {:?}: {}",
+            self.rule, self.index, self.at, self.detail
+        )
+    }
+}
+
+/// Modelled fragment: explicit override + file count.
+#[derive(Debug, Clone, Default)]
+struct FragState {
+    over: Option<MdsId>,
+    files: u64,
+}
+
+/// Modelled directory.
+#[derive(Debug, Clone)]
+struct DirState {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    over: Option<MdsId>,
+    frags: Vec<FragState>,
+}
+
+/// A frozen region captured from a [`TraceEvent::MigrationFreeze`].
+#[derive(Debug, Clone)]
+struct FreezeWindow {
+    root: NodeId,
+    root_only: bool,
+    holes: Vec<NodeId>,
+    watermark: u32,
+    until: SimTime,
+}
+
+/// In-flight migration phase, per migration id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MigPhase {
+    Frozen { journals: u8 },
+    Committed,
+    Done,
+}
+
+/// The replay state.
+struct Checker {
+    violations: Vec<Violation>,
+    level: TraceLevel,
+    num_mds: usize,
+    fallback_after: u32,
+    started: bool,
+    ended: bool,
+    dirs: Vec<DirState>,
+    up: Vec<bool>,
+    /// Heartbeat ticks seen so far; every record's `epoch` stamp is
+    /// checked against it.
+    epochs_seen: u64,
+    /// Per-MDS consecutive policy errors, replayed from the stream.
+    consecutive: Vec<u32>,
+    frozen: Vec<FreezeWindow>,
+    /// `(mig id, exporter, importer, phase)`.
+    migrations: Vec<(u64, MdsId, MdsId, MigPhase)>,
+    issued: u64,
+    completed: u64,
+    stale: u64,
+    ghost: u64,
+    dropped: u64,
+    end_inflight: Option<usize>,
+}
+
+impl Checker {
+    fn new() -> Self {
+        Checker {
+            violations: Vec::new(),
+            level: TraceLevel::Decisions,
+            num_mds: 0,
+            fallback_after: 0,
+            started: false,
+            ended: false,
+            dirs: Vec::new(),
+            up: Vec::new(),
+            epochs_seen: 0,
+            consecutive: Vec::new(),
+            frozen: Vec::new(),
+            migrations: Vec::new(),
+            issued: 0,
+            completed: 0,
+            stale: 0,
+            ghost: 0,
+            dropped: 0,
+            end_inflight: None,
+        }
+    }
+
+    fn flag(&mut self, index: usize, at: SimTime, rule: &'static str, detail: String) {
+        self.violations.push(Violation {
+            index,
+            at,
+            rule,
+            detail,
+        });
+    }
+
+    // ---- namespace model ----
+
+    fn dir(&self, d: NodeId) -> Option<&DirState> {
+        self.dirs.get(d.0 as usize)
+    }
+
+    /// Nearest explicit override walking up from `d` (the model's
+    /// `resolve_auth`). `None` only for malformed streams.
+    fn resolve(&self, d: NodeId) -> Option<MdsId> {
+        let mut cur = Some(d);
+        while let Some(c) = cur {
+            let ds = self.dir(c)?;
+            if let Some(m) = ds.over {
+                return Some(m);
+            }
+            cur = ds.parent;
+        }
+        None
+    }
+
+    /// The model's `frag_auth`: fragment override, else the dir's
+    /// resolution.
+    fn frag_auth(&self, d: NodeId, f: FragId) -> Option<MdsId> {
+        let ds = self.dir(d)?;
+        match ds.frags.get(f) {
+            Some(fs) => fs.over.or_else(|| self.resolve(d)),
+            None => None,
+        }
+    }
+
+    /// Is `d` inside the subtree rooted at `root` (inclusive)? Parent
+    /// walk — the model has no Euler labels, and traces are small.
+    fn in_subtree(&self, d: NodeId, root: NodeId) -> bool {
+        let mut cur = Some(d);
+        while let Some(c) = cur {
+            if c == root {
+                return true;
+            }
+            cur = self.dir(c).and_then(|ds| ds.parent);
+        }
+        false
+    }
+
+    /// The bounded migrated region below `root`: preorder dirs stopping at
+    /// (but not descending into) explicit overrides strictly below the
+    /// root. Returns `(region dirs, holes)`.
+    fn bounded_region(&self, root: NodeId) -> (Vec<NodeId>, Vec<NodeId>) {
+        let mut region = Vec::new();
+        let mut holes = Vec::new();
+        let mut stack = vec![root];
+        while let Some(cur) = stack.pop() {
+            let Some(ds) = self.dir(cur) else { continue };
+            if cur != root && ds.over.is_some() {
+                holes.push(cur);
+                continue;
+            }
+            region.push(cur);
+            stack.extend(ds.children.iter().copied());
+        }
+        (region, holes)
+    }
+
+    /// Does any live frozen window cover `d` at time `t`? Windows expire
+    /// exactly when the simulation purges them (`until > now`).
+    fn frozen_covers(&mut self, d: NodeId, t: SimTime) -> bool {
+        self.frozen.retain(|w| w.until > t);
+        self.frozen.iter().any(|w| {
+            if d.0 >= w.watermark {
+                return false;
+            }
+            if w.root_only {
+                return d == w.root;
+            }
+            self.in_subtree(d, w.root) && !w.holes.iter().any(|&h| self.in_subtree(d, h))
+        })
+    }
+
+    fn mds_ok(&mut self, i: usize, at: SimTime, mds: MdsId, what: &str) -> bool {
+        if mds >= self.num_mds {
+            self.flag(
+                i,
+                at,
+                "structure",
+                format!("{what}: MDS {mds} out of range (num_mds {})", self.num_mds),
+            );
+            return false;
+        }
+        true
+    }
+
+    fn dir_ok(&mut self, i: usize, at: SimTime, d: NodeId, what: &str) -> bool {
+        if self.dir(d).is_none() {
+            self.flag(
+                i,
+                at,
+                "structure",
+                format!("{what}: directory {} unknown to the stream", d.0),
+            );
+            return false;
+        }
+        true
+    }
+
+    // ---- per-record replay ----
+
+    fn step(&mut self, i: usize, r: &TraceRecord) {
+        let at = r.at;
+        // Epoch stamping: HeartbeatTick announces `epochs_seen + 1`;
+        // everything else carries the current count.
+        match &r.event {
+            TraceEvent::HeartbeatTick { .. } => {
+                if r.epoch != self.epochs_seen + 1 {
+                    self.flag(
+                        i,
+                        at,
+                        "epoch-monotonicity",
+                        format!(
+                            "heartbeat tick stamped epoch {} after {} ticks (want {})",
+                            r.epoch,
+                            self.epochs_seen,
+                            self.epochs_seen + 1
+                        ),
+                    );
+                }
+                self.epochs_seen = self.epochs_seen.max(r.epoch);
+            }
+            _ => {
+                if r.epoch != self.epochs_seen {
+                    self.flag(
+                        i,
+                        at,
+                        "epoch-monotonicity",
+                        format!(
+                            "{} stamped epoch {} during epoch {}",
+                            r.event.name(),
+                            r.epoch,
+                            self.epochs_seen
+                        ),
+                    );
+                }
+            }
+        }
+        if !self.started && !matches!(r.event, TraceEvent::RunStart { .. }) {
+            self.flag(
+                i,
+                at,
+                "structure",
+                format!("{} before run_start", r.event.name()),
+            );
+        }
+        if self.ended {
+            self.flag(
+                i,
+                at,
+                "structure",
+                format!("{} after run_end", r.event.name()),
+            );
+        }
+        match &r.event {
+            TraceEvent::RunStart {
+                num_mds,
+                fallback_after,
+                level,
+                ..
+            } => {
+                if self.started {
+                    self.flag(i, at, "structure", "duplicate run_start".into());
+                    return;
+                }
+                self.started = true;
+                self.level = *level;
+                self.num_mds = *num_mds;
+                self.fallback_after = *fallback_after;
+                self.up = vec![true; *num_mds];
+                self.consecutive = vec![0; *num_mds];
+            }
+            TraceEvent::DirAdded { dir, parent, files } => {
+                if dir.0 as usize != self.dirs.len() {
+                    self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!(
+                            "dir_added {} out of order (model has {} dirs)",
+                            dir.0,
+                            self.dirs.len()
+                        ),
+                    );
+                    return;
+                }
+                if let Some(p) = parent {
+                    if !self.dir_ok(i, at, *p, "dir_added parent") {
+                        return;
+                    }
+                    self.dirs[p.0 as usize].children.push(*dir);
+                } else if dir.0 != 0 {
+                    self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!("non-root dir {} without a parent", dir.0),
+                    );
+                }
+                self.dirs.push(DirState {
+                    parent: *parent,
+                    children: Vec::new(),
+                    over: None,
+                    frags: files
+                        .iter()
+                        .map(|&f| FragState {
+                            over: None,
+                            files: f,
+                        })
+                        .collect(),
+                });
+            }
+            TraceEvent::AuthSnapshot { dirs, frags } => {
+                for ds in &mut self.dirs {
+                    ds.over = None;
+                    for fs in &mut ds.frags {
+                        fs.over = None;
+                    }
+                }
+                for &(d, m) in dirs {
+                    if self.dir_ok(i, at, d, "auth_snapshot dir")
+                        && self.mds_ok(i, at, m, "auth_snapshot dir")
+                    {
+                        self.dirs[d.0 as usize].over = Some(m);
+                    }
+                }
+                for &(d, f, m) in frags {
+                    if !self.dir_ok(i, at, d, "auth_snapshot frag")
+                        || !self.mds_ok(i, at, m, "auth_snapshot frag")
+                    {
+                        continue;
+                    }
+                    match self.dirs[d.0 as usize].frags.get_mut(f) {
+                        Some(fs) => fs.over = Some(m),
+                        None => self.flag(
+                            i,
+                            at,
+                            "structure",
+                            format!("auth_snapshot frag {f} of dir {} out of range", d.0),
+                        ),
+                    }
+                }
+                if self.resolve(NodeId(0)).is_none() {
+                    self.flag(
+                        i,
+                        at,
+                        "authority",
+                        "auth_snapshot leaves the root unowned".into(),
+                    );
+                }
+            }
+            TraceEvent::HeartbeatTick { loads } => {
+                if loads.len() != self.num_mds {
+                    self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!(
+                            "tick carries {} loads for {} MDSs",
+                            loads.len(),
+                            self.num_mds
+                        ),
+                    );
+                }
+            }
+            TraceEvent::BalancerTick { mds } | TraceEvent::BalancerPlan { mds, .. } => {
+                if self.mds_ok(i, at, *mds, "balancer tick") {
+                    if !self.up[*mds] {
+                        self.flag(
+                            i,
+                            at,
+                            "authority",
+                            format!("crashed MDS {mds} ran its balancer"),
+                        );
+                    }
+                    // A successful tick resets the error streak.
+                    self.consecutive[*mds] = 0;
+                }
+            }
+            TraceEvent::PolicyError { mds, consecutive } => {
+                if self.mds_ok(i, at, *mds, "policy error") {
+                    self.consecutive[*mds] += 1;
+                    if *consecutive != self.consecutive[*mds] {
+                        self.flag(
+                            i,
+                            at,
+                            "fallback-after-k",
+                            format!(
+                                "MDS {mds} reported {consecutive} consecutive errors, replay says {}",
+                                self.consecutive[*mds]
+                            ),
+                        );
+                        self.consecutive[*mds] = *consecutive;
+                    }
+                }
+            }
+            TraceEvent::BalancerFallback { mds } => {
+                if self.mds_ok(i, at, *mds, "fallback") {
+                    if self.fallback_after == 0 {
+                        self.flag(
+                            i,
+                            at,
+                            "fallback-after-k",
+                            format!("MDS {mds} fell back with fallback disabled (K = 0)"),
+                        );
+                    } else if self.consecutive[*mds] < self.fallback_after {
+                        self.flag(
+                            i,
+                            at,
+                            "fallback-after-k",
+                            format!(
+                                "MDS {mds} fell back after {} consecutive errors (K = {})",
+                                self.consecutive[*mds], self.fallback_after
+                            ),
+                        );
+                    }
+                    self.consecutive[*mds] = 0;
+                }
+            }
+            TraceEvent::MigrationFreeze {
+                mig,
+                from,
+                to,
+                root,
+                frag,
+                holes,
+                watermark,
+                until,
+            } => {
+                if !self.mds_ok(i, at, *from, "freeze exporter")
+                    || !self.mds_ok(i, at, *to, "freeze importer")
+                    || !self.dir_ok(i, at, *root, "freeze root")
+                {
+                    return;
+                }
+                if self.migrations.iter().any(|&(m, ..)| m == *mig) {
+                    self.flag(
+                        i,
+                        at,
+                        "migration-phases",
+                        format!("migration {mig} frozen twice"),
+                    );
+                }
+                if frag.is_none() {
+                    // The freeze's holes must be exactly the model's nested
+                    // bounds under the root (order-insensitive).
+                    let (_, mut expect) = self.bounded_region(*root);
+                    expect.sort_unstable();
+                    let mut got = holes.clone();
+                    got.sort_unstable();
+                    if got != expect {
+                        self.flag(
+                            i,
+                            at,
+                            "authority",
+                            format!(
+                                "freeze of {} lists holes {:?}, model has {:?}",
+                                root.0,
+                                got.iter().map(|h| h.0).collect::<Vec<_>>(),
+                                expect.iter().map(|h| h.0).collect::<Vec<_>>()
+                            ),
+                        );
+                    }
+                }
+                self.frozen.push(FreezeWindow {
+                    root: *root,
+                    root_only: frag.is_some(),
+                    holes: holes.clone(),
+                    watermark: *watermark,
+                    until: *until,
+                });
+                self.migrations
+                    .push((*mig, *from, *to, MigPhase::Frozen { journals: 0 }));
+            }
+            TraceEvent::MigrationJournal { mig, mds, micros } => {
+                if *micros < 0.0 {
+                    self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!("migration {mig} journals negative time"),
+                    );
+                }
+                let problem = match self.migrations.iter_mut().find(|(m, ..)| m == mig) {
+                    Some((_, from, to, MigPhase::Frozen { journals })) => {
+                        let expect = if *journals == 0 { *from } else { *to };
+                        let p = (*mds != expect).then(|| {
+                            format!(
+                                "migration {mig} journal {} on MDS {mds}, want {expect}",
+                                *journals + 1
+                            )
+                        });
+                        *journals += 1;
+                        p
+                    }
+                    Some(_) => Some(format!("migration {mig} journaled after commit")),
+                    None => Some(format!("migration {mig} journaled before freeze")),
+                };
+                if let Some(detail) = problem {
+                    self.flag(i, at, "migration-phases", detail);
+                }
+            }
+            TraceEvent::MigrationCommit {
+                mig,
+                from,
+                to,
+                root,
+                frag,
+                inodes,
+            } => {
+                if !self.mds_ok(i, at, *from, "commit exporter")
+                    || !self.mds_ok(i, at, *to, "commit importer")
+                    || !self.dir_ok(i, at, *root, "commit root")
+                {
+                    return;
+                }
+                let problem = match self.migrations.iter_mut().find(|(m, ..)| m == mig) {
+                    Some((_, f, t, phase @ MigPhase::Frozen { journals: 2 })) => {
+                        let p = ((*f, *t) != (*from, *to)).then(|| {
+                            format!("migration {mig} committed {from}→{to}, froze {f}→{t}")
+                        });
+                        *phase = MigPhase::Committed;
+                        p
+                    }
+                    Some((_, _, _, phase)) => {
+                        let detail = match phase {
+                            MigPhase::Frozen { journals } => {
+                                format!("migration {mig} committed after {journals} journals")
+                            }
+                            _ => format!("migration {mig} committed twice"),
+                        };
+                        *phase = MigPhase::Committed;
+                        Some(detail)
+                    }
+                    None => Some(format!("migration {mig} committed before freeze")),
+                };
+                if let Some(detail) = problem {
+                    self.flag(i, at, "migration-phases", detail);
+                }
+                if !self.up[*from] || !self.up[*to] {
+                    self.flag(
+                        i,
+                        at,
+                        "authority",
+                        format!("migration {mig}: {from}→{to} with a crashed endpoint"),
+                    );
+                }
+                match frag {
+                    None => {
+                        // Subtree export: the exporter must own the root,
+                        // and the moved-inode count must match the model's
+                        // bounded region (1 per dir + its files).
+                        if self.resolve(*root) != Some(*from) {
+                            self.flag(
+                                i,
+                                at,
+                                "authority",
+                                format!(
+                                    "migration {mig} exports subtree {} from MDS {from}, model owner {:?}",
+                                    root.0,
+                                    self.resolve(*root)
+                                ),
+                            );
+                        }
+                        let (region, _) = self.bounded_region(*root);
+                        let model: u64 = region
+                            .iter()
+                            .map(|&d| {
+                                1 + self.dirs[d.0 as usize]
+                                    .frags
+                                    .iter()
+                                    .map(|f| f.files)
+                                    .sum::<u64>()
+                            })
+                            .sum();
+                        let exact = self.level == TraceLevel::Full;
+                        if (exact && *inodes != model) || (!exact && *inodes < region.len() as u64)
+                        {
+                            self.flag(
+                                i,
+                                at,
+                                "inode-conservation",
+                                format!(
+                                    "migration {mig} claims {inodes} inodes moved from subtree {}, model holds {model}",
+                                    root.0
+                                ),
+                            );
+                        }
+                        // Apply: clear superseded fragment overrides inside
+                        // the region, then bind the root to the importer.
+                        for &d in &region {
+                            for fs in &mut self.dirs[d.0 as usize].frags {
+                                fs.over = None;
+                            }
+                        }
+                        self.dirs[root.0 as usize].over = Some(*to);
+                    }
+                    Some(f) => {
+                        match self.frag_auth(*root, *f) {
+                            Some(owner) if owner == *from => {}
+                            owner => self.flag(
+                                i,
+                                at,
+                                "authority",
+                                format!(
+                                    "migration {mig} exports frag {f} of dir {} from MDS {from}, model owner {owner:?}",
+                                    root.0
+                                ),
+                            ),
+                        }
+                        let exact = self.level == TraceLevel::Full;
+                        let problem = match self.dirs[root.0 as usize].frags.get_mut(*f) {
+                            Some(fs) => {
+                                let model = fs.files + 1;
+                                let p = ((exact && *inodes != model) || (!exact && *inodes < 1))
+                                    .then(|| {
+                                        (
+                                            "inode-conservation",
+                                            format!(
+                                                "migration {mig} claims {inodes} inodes moved from frag {f} of dir {}, model holds {model}",
+                                                root.0
+                                            ),
+                                        )
+                                    });
+                                fs.over = Some(*to);
+                                p
+                            }
+                            None => Some((
+                                "structure",
+                                format!("migration {mig}: frag {f} of dir {} out of range", root.0),
+                            )),
+                        };
+                        if let Some((rule, detail)) = problem {
+                            self.flag(i, at, rule, detail);
+                        }
+                    }
+                }
+            }
+            TraceEvent::MigrationUnfreeze { mig, .. } => {
+                let problem = match self.migrations.iter_mut().find(|(m, ..)| m == mig) {
+                    Some((_, _, _, phase @ MigPhase::Committed)) => {
+                        *phase = MigPhase::Done;
+                        None
+                    }
+                    Some((_, _, _, phase)) => {
+                        let detail = format!("migration {mig} unfroze in phase {phase:?}");
+                        *phase = MigPhase::Done;
+                        Some(detail)
+                    }
+                    None => Some(format!("migration {mig} unfroze before freeze")),
+                };
+                if let Some(detail) = problem {
+                    self.flag(i, at, "migration-phases", detail);
+                }
+            }
+            TraceEvent::SessionFlush { mds, .. } => {
+                self.mds_ok(i, at, *mds, "session flush");
+            }
+            TraceEvent::FragSplit {
+                dir,
+                frag,
+                ways,
+                resulting_frags,
+            } => {
+                if !self.dir_ok(i, at, *dir, "frag split") {
+                    return;
+                }
+                let nfrags = self.dirs[dir.0 as usize].frags.len();
+                if *frag >= nfrags || *ways < 2 {
+                    self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!(
+                            "split of frag {frag} ({ways} ways) in dir {} with {nfrags} frags",
+                            dir.0
+                        ),
+                    );
+                    return;
+                }
+                let ds = &mut self.dirs[dir.0 as usize];
+                // Replay exactly what the namespace does: remove, then
+                // append `ways` children splitting the files (+1 for the
+                // first `old % ways`), inheriting the override.
+                let old = ds.frags.remove(*frag);
+                let each = old.files / *ways as u64;
+                let mut rem = old.files % *ways as u64;
+                for _ in 0..*ways {
+                    let extra = u64::from(rem > 0);
+                    rem = rem.saturating_sub(1);
+                    ds.frags.push(FragState {
+                        over: old.over,
+                        files: each + extra,
+                    });
+                }
+                let got = ds.frags.len();
+                if got != *resulting_frags {
+                    self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!(
+                            "split of dir {} reports {resulting_frags} resulting frags, model has {got}",
+                            dir.0
+                        ),
+                    );
+                }
+            }
+            TraceEvent::HashPin { dir, mds } => {
+                if self.dir_ok(i, at, *dir, "hash pin") && self.mds_ok(i, at, *mds, "hash pin") {
+                    if !self.up[*mds] {
+                        self.flag(
+                            i,
+                            at,
+                            "authority",
+                            format!("dir {} pinned on crashed MDS {mds}", dir.0),
+                        );
+                    }
+                    self.dirs[dir.0 as usize].over = Some(*mds);
+                }
+            }
+            TraceEvent::MdsCrash { mds } => {
+                if !self.mds_ok(i, at, *mds, "crash") {
+                    return;
+                }
+                if *mds == 0 {
+                    self.flag(i, at, "structure", "MDS 0 (mount authority) crashed".into());
+                }
+                if !self.up[*mds] {
+                    self.flag(i, at, "structure", format!("MDS {mds} crashed twice"));
+                }
+                self.up[*mds] = false;
+                // Failover: everything it served moves to the mount
+                // authority.
+                for ds in &mut self.dirs {
+                    if ds.over == Some(*mds) {
+                        ds.over = Some(0);
+                    }
+                    for fs in &mut ds.frags {
+                        if fs.over == Some(*mds) {
+                            fs.over = Some(0);
+                        }
+                    }
+                }
+            }
+            TraceEvent::MdsRestart { mds } => {
+                if self.mds_ok(i, at, *mds, "restart") {
+                    if self.up[*mds] {
+                        self.flag(i, at, "structure", format!("MDS {mds} restarted while up"));
+                    }
+                    self.up[*mds] = true;
+                }
+            }
+            TraceEvent::FaultInjected { mds, .. } => {
+                self.mds_ok(i, at, *mds, "fault");
+            }
+            TraceEvent::RequestIssued { dir, mds, .. } => {
+                self.issued += 1;
+                self.dir_ok(i, at, *dir, "issue");
+                self.mds_ok(i, at, *mds, "issue");
+            }
+            TraceEvent::RequestTimeout { .. } | TraceEvent::RequestRetry { .. } => {}
+            TraceEvent::Dropped { mds, .. } => {
+                self.dropped += 1;
+                if self.mds_ok(i, at, *mds, "drop") && self.up[*mds] {
+                    self.flag(
+                        i,
+                        at,
+                        "conservation",
+                        format!("MDS {mds} dropped a request while up"),
+                    );
+                }
+            }
+            TraceEvent::Deferred { dir, until, .. } => {
+                if self.dir_ok(i, at, *dir, "defer") && !self.frozen_covers(*dir, at) {
+                    self.flag(
+                        i,
+                        at,
+                        "freeze-discipline",
+                        format!(
+                            "request to dir {} deferred until {until:?} with no live freeze",
+                            dir.0
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Forwarded {
+                from,
+                to,
+                dir,
+                frag,
+                ..
+            } => {
+                if !self.mds_ok(i, at, *from, "forward")
+                    || !self.mds_ok(i, at, *to, "forward")
+                    || !self.dir_ok(i, at, *dir, "forward")
+                {
+                    return;
+                }
+                match self.frag_auth(*dir, *frag) {
+                    Some(owner) if owner == *to => {}
+                    owner => self.flag(
+                        i,
+                        at,
+                        "authority",
+                        format!(
+                            "frag {frag} of dir {} forwarded to MDS {to}, model owner {owner:?}",
+                            dir.0
+                        ),
+                    ),
+                }
+            }
+            TraceEvent::Served { mds, dir, frag, .. } => {
+                if !self.mds_ok(i, at, *mds, "serve") || !self.dir_ok(i, at, *dir, "serve") {
+                    return;
+                }
+                if !self.up[*mds] {
+                    self.flag(
+                        i,
+                        at,
+                        "authority",
+                        format!("crashed MDS {mds} served a request"),
+                    );
+                }
+                match self.frag_auth(*dir, *frag) {
+                    Some(owner) if owner == *mds => {}
+                    owner => self.flag(
+                        i,
+                        at,
+                        "authority",
+                        format!(
+                            "frag {frag} of dir {} served by MDS {mds}, model owner {owner:?}",
+                            dir.0
+                        ),
+                    ),
+                }
+                if self.frozen_covers(*dir, at) {
+                    self.flag(
+                        i,
+                        at,
+                        "freeze-discipline",
+                        format!("dir {} served while frozen", dir.0),
+                    );
+                }
+            }
+            TraceEvent::GhostReply { mds } => {
+                self.ghost += 1;
+                self.mds_ok(i, at, *mds, "ghost");
+            }
+            TraceEvent::StaleReply {
+                dir, frag, kind, ..
+            }
+            | TraceEvent::Completed {
+                dir, frag, kind, ..
+            } => {
+                if matches!(r.event, TraceEvent::StaleReply { .. }) {
+                    self.stale += 1;
+                } else {
+                    self.completed += 1;
+                }
+                if !self.dir_ok(i, at, *dir, "complete") {
+                    return;
+                }
+                // Server-side work happened either way: replay the file
+                // count change so migrations keep balancing.
+                let ds = &mut self.dirs[dir.0 as usize];
+                match ds.frags.get_mut(*frag) {
+                    Some(fs) => match kind {
+                        OpKind::Create => fs.files += 1,
+                        OpKind::Unlink => fs.files = fs.files.saturating_sub(1),
+                        _ => {}
+                    },
+                    None => self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!("completion on frag {frag} of dir {} out of range", dir.0),
+                    ),
+                }
+            }
+            TraceEvent::RunEnd { inflight } => {
+                self.ended = true;
+                self.end_inflight = Some(*inflight);
+            }
+        }
+    }
+
+    fn finish(mut self, total: usize, last_at: SimTime) -> Vec<Violation> {
+        if !self.started {
+            self.flag(
+                total,
+                last_at,
+                "structure",
+                "stream has no run_start".into(),
+            );
+            return self.violations;
+        }
+        if self.end_inflight.is_none() {
+            self.flag(total, last_at, "structure", "stream has no run_end".into());
+        }
+        let stuck: Vec<(u64, MigPhase)> = self
+            .migrations
+            .iter()
+            .filter(|&&(_, _, _, phase)| phase != MigPhase::Done)
+            .map(|&(mig, _, _, phase)| (mig, phase))
+            .collect();
+        for (mig, phase) in stuck {
+            self.flag(
+                total,
+                last_at,
+                "migration-phases",
+                format!("migration {mig} never completed (stuck in {phase:?})"),
+            );
+        }
+        // Conservation needs the data plane.
+        if self.level == TraceLevel::Full {
+            let inflight = self.end_inflight.unwrap_or(0) as u64;
+            let accounted = self.completed + self.stale + self.ghost + self.dropped + inflight;
+            if self.issued != accounted {
+                self.flag(
+                    total,
+                    last_at,
+                    "conservation",
+                    format!(
+                        "{} issued ≠ {} completed + {} stale + {} ghost + {} dropped + {} in flight",
+                        self.issued, self.completed, self.stale, self.ghost, self.dropped, inflight
+                    ),
+                );
+            }
+        }
+        self.violations
+    }
+}
+
+/// Replay `records` and return every invariant violation found (empty =
+/// the trace is internally consistent).
+pub fn check_trace(records: &[TraceRecord]) -> Vec<Violation> {
+    let mut c = Checker::new();
+    for (i, r) in records.iter().enumerate() {
+        c.step(i, r);
+    }
+    let last_at = records.last().map(|r| r.at).unwrap_or(SimTime::ZERO);
+    c.finish(records.len(), last_at)
+}
+
+/// [`check_trace`], panicking with a readable report on the first failure.
+/// The assertion form the test suite leans on.
+pub fn assert_invariants(records: &[TraceRecord]) {
+    let violations = check_trace(records);
+    if !violations.is_empty() {
+        let mut msg = format!("{} invariant violation(s):\n", violations.len());
+        for v in violations.iter().take(20) {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        if violations.len() > 20 {
+            msg.push_str(&format!("  … and {} more\n", violations.len() - 20));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ms: u64, epoch: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_millis(at_ms),
+            epoch,
+            event,
+        }
+    }
+
+    /// A minimal healthy stream: 2 MDSs, root + one dir, one tick, one
+    /// complete subtree migration, one served + completed request.
+    fn healthy() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                0,
+                TraceEvent::RunStart {
+                    num_mds: 2,
+                    fallback_after: 3,
+                    level: TraceLevel::Full,
+                    heartbeat_us: 400_000,
+                },
+            ),
+            rec(
+                0,
+                0,
+                TraceEvent::DirAdded {
+                    dir: NodeId(0),
+                    parent: None,
+                    files: vec![0],
+                },
+            ),
+            rec(
+                0,
+                0,
+                TraceEvent::DirAdded {
+                    dir: NodeId(1),
+                    parent: Some(NodeId(0)),
+                    files: vec![2],
+                },
+            ),
+            rec(
+                0,
+                0,
+                TraceEvent::AuthSnapshot {
+                    dirs: vec![(NodeId(0), 0)],
+                    frags: vec![],
+                },
+            ),
+            rec(
+                1,
+                0,
+                TraceEvent::RequestIssued {
+                    client: 0,
+                    dir: NodeId(1),
+                    mds: 0,
+                    seq: 0,
+                },
+            ),
+            rec(
+                2,
+                0,
+                TraceEvent::Served {
+                    mds: 0,
+                    client: 0,
+                    dir: NodeId(1),
+                    frag: 0,
+                    kind: OpKind::Create,
+                    seq: 0,
+                },
+            ),
+            rec(
+                3,
+                0,
+                TraceEvent::Completed {
+                    mds: 0,
+                    client: 0,
+                    dir: NodeId(1),
+                    frag: 0,
+                    kind: OpKind::Create,
+                },
+            ),
+            rec(
+                400,
+                1,
+                TraceEvent::HeartbeatTick {
+                    loads: vec![3.0, 0.0],
+                },
+            ),
+            rec(
+                400,
+                1,
+                TraceEvent::MigrationFreeze {
+                    mig: 1,
+                    from: 0,
+                    to: 1,
+                    root: NodeId(1),
+                    frag: None,
+                    holes: vec![],
+                    watermark: 2,
+                    until: SimTime::from_millis(450),
+                },
+            ),
+            rec(
+                400,
+                1,
+                TraceEvent::MigrationJournal {
+                    mig: 1,
+                    mds: 0,
+                    micros: 100.0,
+                },
+            ),
+            rec(
+                400,
+                1,
+                TraceEvent::MigrationJournal {
+                    mig: 1,
+                    mds: 1,
+                    micros: 100.0,
+                },
+            ),
+            rec(
+                400,
+                1,
+                TraceEvent::MigrationCommit {
+                    mig: 1,
+                    from: 0,
+                    to: 1,
+                    root: NodeId(1),
+                    frag: None,
+                    // dir 1 itself + 2 setup files + 1 traced create
+                    inodes: 4,
+                },
+            ),
+            rec(
+                400,
+                1,
+                TraceEvent::MigrationUnfreeze {
+                    mig: 1,
+                    root: NodeId(1),
+                    thaw: SimTime::from_millis(450),
+                },
+            ),
+            rec(400, 1, TraceEvent::SessionFlush { mds: 0, clients: 1 }),
+            rec(
+                500,
+                1,
+                TraceEvent::Served {
+                    mds: 1,
+                    client: 0,
+                    dir: NodeId(1),
+                    frag: 0,
+                    kind: OpKind::Stat,
+                    seq: 1,
+                },
+            ),
+            rec(500, 1, TraceEvent::RunEnd { inflight: 0 }),
+        ]
+    }
+
+    /// An unissued completion slipped in just before run_end.
+    fn unbalanced() -> Vec<TraceRecord> {
+        let mut t = healthy();
+        let end = t.len() - 1;
+        t.insert(
+            end,
+            rec(
+                501,
+                1,
+                TraceEvent::Completed {
+                    mds: 1,
+                    client: 0,
+                    dir: NodeId(1),
+                    frag: 0,
+                    kind: OpKind::Stat,
+                },
+            ),
+        );
+        t
+    }
+
+    #[test]
+    fn healthy_stream_passes() {
+        // The post-migration serve at 500 ms never terminates in the base
+        // stream; balance the books by issuing and completing it.
+        let mut t = healthy();
+        t.insert(
+            14,
+            rec(
+                460,
+                1,
+                TraceEvent::RequestIssued {
+                    client: 0,
+                    dir: NodeId(1),
+                    mds: 1,
+                    seq: 1,
+                },
+            ),
+        );
+        t.insert(
+            16,
+            rec(
+                501,
+                1,
+                TraceEvent::Completed {
+                    mds: 1,
+                    client: 0,
+                    dir: NodeId(1),
+                    frag: 0,
+                    kind: OpKind::Stat,
+                },
+            ),
+        );
+        assert_eq!(check_trace(&t), vec![]);
+    }
+
+    #[test]
+    fn conservation_catches_unissued_completion() {
+        let v = check_trace(&unbalanced());
+        assert!(
+            v.iter().any(|v| v.rule == "conservation"),
+            "2 completions, 1 issue: {v:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_authority_is_flagged() {
+        let mut t = healthy();
+        // The first serve claims MDS 1, but dir 1 resolves to MDS 0.
+        t[5] = rec(
+            2,
+            0,
+            TraceEvent::Served {
+                mds: 1,
+                client: 0,
+                dir: NodeId(1),
+                frag: 0,
+                kind: OpKind::Create,
+                seq: 0,
+            },
+        );
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "authority"), "{v:?}");
+    }
+
+    #[test]
+    fn serving_frozen_region_is_flagged() {
+        let mut t = healthy();
+        // A serve at 420 ms, inside the 400–450 ms freeze of dir 1.
+        t.insert(
+            13,
+            rec(
+                420,
+                1,
+                TraceEvent::Served {
+                    mds: 0,
+                    client: 0,
+                    dir: NodeId(1),
+                    frag: 0,
+                    kind: OpKind::Stat,
+                    seq: 9,
+                },
+            ),
+        );
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "freeze-discipline"), "{v:?}");
+    }
+
+    #[test]
+    fn inflated_migration_inodes_are_flagged() {
+        let mut t = healthy();
+        let TraceEvent::MigrationCommit { inodes, .. } = &mut t[11].event else {
+            panic!("record 11 is the commit");
+        };
+        *inodes += 1;
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "inode-conservation"), "{v:?}");
+    }
+
+    #[test]
+    fn epoch_regression_is_flagged() {
+        let mut t = healthy();
+        t[7].epoch = 0; // the tick must announce epoch 1
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "epoch-monotonicity"), "{v:?}");
+    }
+
+    #[test]
+    fn premature_fallback_is_flagged() {
+        let mut t = healthy();
+        t.insert(
+            8,
+            rec(
+                400,
+                1,
+                TraceEvent::PolicyError {
+                    mds: 0,
+                    consecutive: 1,
+                },
+            ),
+        );
+        t.insert(9, rec(400, 1, TraceEvent::BalancerFallback { mds: 0 }));
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "fallback-after-k"), "{v:?}");
+    }
+
+    #[test]
+    fn exact_fallback_passes() {
+        let mut t = healthy();
+        for k in 1..=3u32 {
+            t.insert(
+                7 + k as usize,
+                rec(
+                    400,
+                    1,
+                    TraceEvent::PolicyError {
+                        mds: 0,
+                        consecutive: k,
+                    },
+                ),
+            );
+        }
+        t.insert(11, rec(400, 1, TraceEvent::BalancerFallback { mds: 0 }));
+        let v = check_trace(&t);
+        assert!(
+            !v.iter().any(|v| v.rule == "fallback-after-k"),
+            "3 errors then fallback is legal: {v:?}"
+        );
+    }
+
+    #[test]
+    fn incomplete_migration_is_flagged() {
+        let mut t = healthy();
+        // Drop the unfreeze.
+        t.retain(|r| !matches!(r.event, TraceEvent::MigrationUnfreeze { .. }));
+        let v = check_trace(&t);
+        assert!(v.iter().any(|v| v.rule == "migration-phases"), "{v:?}");
+    }
+
+    #[test]
+    fn crash_failover_updates_model() {
+        let mut t = healthy();
+        t.truncate(14); // keep through session_flush (dir 1 now on MDS 1)
+        t.push(rec(450, 1, TraceEvent::MdsCrash { mds: 1 }));
+        // After the crash, dir 1 failed over to MDS 0 — a serve by 0 is
+        // legal, a serve by 1 is not.
+        t.push(rec(
+            460,
+            1,
+            TraceEvent::Served {
+                mds: 0,
+                client: 0,
+                dir: NodeId(1),
+                frag: 0,
+                kind: OpKind::Stat,
+                seq: 1,
+            },
+        ));
+        t.push(rec(470, 1, TraceEvent::RunEnd { inflight: 0 }));
+        let v = check_trace(&t);
+        assert!(
+            !v.iter().any(|v| v.rule == "authority"),
+            "failover must be replayed: {v:?}"
+        );
+    }
+
+    #[test]
+    fn split_replay_redistributes_files() {
+        let t = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::RunStart {
+                    num_mds: 1,
+                    fallback_after: 0,
+                    level: TraceLevel::Decisions,
+                    heartbeat_us: 400_000,
+                },
+            ),
+            rec(
+                0,
+                0,
+                TraceEvent::DirAdded {
+                    dir: NodeId(0),
+                    parent: None,
+                    files: vec![11],
+                },
+            ),
+            rec(
+                0,
+                0,
+                TraceEvent::AuthSnapshot {
+                    dirs: vec![(NodeId(0), 0)],
+                    frags: vec![],
+                },
+            ),
+            rec(
+                1,
+                0,
+                TraceEvent::FragSplit {
+                    dir: NodeId(0),
+                    frag: 0,
+                    ways: 8,
+                    resulting_frags: 8,
+                },
+            ),
+            rec(1, 0, TraceEvent::RunEnd { inflight: 0 }),
+        ];
+        assert_eq!(check_trace(&t), vec![]);
+        // A wrong resulting_frags count is structural corruption.
+        let mut bad = t.clone();
+        let TraceEvent::FragSplit {
+            resulting_frags, ..
+        } = &mut bad[3].event
+        else {
+            panic!("record 3 is the split");
+        };
+        *resulting_frags = 9;
+        assert!(check_trace(&bad).iter().any(|v| v.rule == "structure"));
+    }
+
+    #[test]
+    fn assert_invariants_panics_with_report() {
+        let err = std::panic::catch_unwind(|| assert_invariants(&unbalanced()))
+            .expect_err("unbalanced books must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("conservation"), "{msg}");
+    }
+}

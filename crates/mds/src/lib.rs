@@ -26,15 +26,19 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod faults;
+pub mod invariants;
 pub mod metrics;
 pub mod partition;
 pub mod report;
 pub mod selector;
+pub mod trace;
 
 pub use balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer, MigrationPlan};
 pub use client::{ClientOp, Workload};
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, PlacementPolicy};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use invariants::{assert_invariants, check_trace, Violation};
 pub use report::RunReport;
 pub use selector::{select_best, DirfragSelector};
+pub use trace::{Timeline, TraceBuffer, TraceEvent, TraceLevel, TraceRecord};

@@ -501,6 +501,95 @@ return chosen
     }
 
     #[test]
+    fn equidistant_tie_goes_to_the_earlier_selector() {
+        // loads {5, 1}, target 3: big_first, big_small, and half all ship
+        // exactly {5} (distance 2); small_first ships {1, 5} = 6
+        // (distance 3). `select_best` keeps a strictly better distance
+        // only, so among equidistant candidates the earliest listed wins
+        // — the configured order is the tie-break, as in CephFS where the
+        // first howmuch strategy is the default.
+        let loads = [5.0, 1.0];
+        let target = 3.0;
+        for sel in [
+            DirfragSelector::BigFirst,
+            DirfragSelector::BigSmall,
+            DirfragSelector::Half,
+        ] {
+            assert_eq!(sel.select(&loads, target), vec![0], "{sel}");
+        }
+        assert_eq!(
+            DirfragSelector::SmallFirst.select(&loads, target),
+            vec![1, 0]
+        );
+
+        let (winner, _, shipped) = select_best(&DirfragSelector::all(), &loads, target);
+        assert_eq!(winner, DirfragSelector::BigFirst, "first in `all()` wins");
+        assert_eq!(shipped, 5.0);
+
+        let (winner, _, _) = select_best(
+            &[DirfragSelector::Half, DirfragSelector::BigFirst],
+            &loads,
+            target,
+        );
+        assert_eq!(winner, DirfragSelector::Half, "listed order decides ties");
+        let (winner, _, _) = select_best(
+            &[DirfragSelector::BigFirst, DirfragSelector::Half],
+            &loads,
+            target,
+        );
+        assert_eq!(winner, DirfragSelector::BigFirst);
+    }
+
+    #[test]
+    fn all_zero_loads_with_positive_target_take_everything() {
+        // Degenerate boundary: every unit ships zero load, so greedy
+        // `sent >= target` never trips and the whole list is taken. The
+        // balancer guards against this upstream (no exports when the
+        // candidate load is zero), but the selector itself must stay
+        // total: valid unique indices, no panic, no infinite loop.
+        let loads = [0.0, 0.0, 0.0];
+        assert_eq!(DirfragSelector::BigFirst.select(&loads, 1.0), vec![0, 1, 2]);
+        assert_eq!(
+            DirfragSelector::SmallFirst.select(&loads, 1.0),
+            vec![0, 1, 2]
+        );
+        // big_small alternates head and tail of the descending order.
+        assert_eq!(DirfragSelector::BigSmall.select(&loads, 1.0), vec![0, 2, 1]);
+        assert_eq!(DirfragSelector::Half.select(&loads, 1.0), vec![0]);
+    }
+
+    #[test]
+    fn zero_and_negative_targets_ship_nothing_except_half() {
+        // The `when` side decides *whether* to migrate; by the time a
+        // selector runs the target should be positive. At the boundary
+        // (target ≤ 0) every greedy selector ships nothing, while `half`
+        // ignores the target by design.
+        let loads = [1.0, 2.0];
+        for sel in [
+            DirfragSelector::BigFirst,
+            DirfragSelector::SmallFirst,
+            DirfragSelector::BigSmall,
+        ] {
+            assert!(sel.select(&loads, 0.0).is_empty(), "{sel} at zero");
+            assert!(sel.select(&loads, -4.0).is_empty(), "{sel} below zero");
+        }
+        assert_eq!(DirfragSelector::Half.select(&loads, 0.0), vec![0]);
+        assert_eq!(DirfragSelector::Half.select(&loads, -4.0), vec![0]);
+    }
+
+    #[test]
+    fn single_zero_unit_is_still_selected_by_greedy() {
+        // One unit of zero load, positive target: greedy takes it (sent
+        // stays 0 < target, one iteration) — the "something must move"
+        // rule degenerates to shipping a weightless unit, never a panic.
+        assert_eq!(DirfragSelector::BigFirst.select(&[0.0], 2.0), vec![0]);
+        let (winner, chosen, shipped) = select_best(&DirfragSelector::all(), &[0.0], 2.0);
+        assert_eq!(winner, DirfragSelector::BigFirst);
+        assert_eq!(chosen, vec![0]);
+        assert_eq!(shipped, 0.0);
+    }
+
+    #[test]
     fn select_best_prefers_closest() {
         // target tiny: small_first ships least.
         let loads = [10.0, 1.0, 8.0];

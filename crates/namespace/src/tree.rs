@@ -145,7 +145,11 @@ impl LoadAggregates {
 pub struct SplitEvent {
     /// The directory that fragmented.
     pub dir: NodeId,
-    /// Number of fragments it now has.
+    /// The fragment that split, as an index into the *pre-split* layout.
+    pub frag: FragId,
+    /// How many fragments it split into.
+    pub ways: usize,
+    /// Number of fragments the directory now has.
     pub resulting_frags: usize,
 }
 
@@ -611,6 +615,8 @@ impl Namespace {
             self.split_frag(id, 0, ways, now);
             return Some(SplitEvent {
                 dir: id,
+                frag: 0,
+                ways,
                 resulting_frags: ways,
             });
         }
@@ -619,6 +625,8 @@ impl Namespace {
             self.split_frag(id, biggest, ways, now);
             return Some(SplitEvent {
                 dir: id,
+                frag: biggest,
+                ways,
                 resulting_frags: self.dir(id).frags.len(),
             });
         }

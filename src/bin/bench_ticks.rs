@@ -233,11 +233,51 @@ fn run_smoke() {
         ora.rebuilds() > 0,
         "smoke: walk-oracle mode never exercised the rebuild path"
     );
+
+    // Trace overhead guard: attaching a sink must not change the
+    // simulation (fixed-seed reports stay byte-identical) or push any
+    // balancer onto the oracle fallback, and the captured stream must
+    // replay cleanly through the invariant checker.
+    let spec = Experiment::new(
+        ClusterConfig {
+            num_mds: NUM_MDS,
+            heartbeat_interval: SimTime::from_millis(400),
+            frag_split_threshold: 300,
+            ..Default::default()
+        },
+        WorkloadSpec::CreateShared {
+            clients: 4,
+            files: 2_000,
+        },
+        BalancerSpec::mantle(
+            "greedy-spill",
+            policies::greedy_spill().expect("preset compiles"),
+        ),
+    );
+    let plain = format!("{:?}", run_experiment(&spec));
+    let (traced, trace) = run_experiment_traced(&spec, TraceLevel::Full);
+    assert_eq!(
+        plain,
+        format!("{traced:?}"),
+        "smoke: tracing changed the simulation"
+    );
+    assert_eq!(
+        traced.balancer_fallbacks, 0,
+        "smoke: traced run fell back to the built-in balancer"
+    );
+    assert!(
+        trace.records().len() > 100,
+        "smoke: trace captured almost nothing"
+    );
+    assert_invariants(trace.records());
+
     println!(
-        "smoke ok: {} dirs, {} migration ticks, incremental rebuilds = 0, oracle rebuilds = {}",
+        "smoke ok: {} dirs, {} migration ticks, incremental rebuilds = 0, \
+         oracle rebuilds = {}, {} trace records invariant-clean",
         inc.dir_count(),
         ii,
-        ora.rebuilds()
+        ora.rebuilds(),
+        trace.records().len()
     );
 }
 
