@@ -1,0 +1,31 @@
+//! Run the scale-mode scenarios and print the heap-vs-wheel table.
+//!
+//! ```text
+//! cargo run --release -p mantle-core --bin scale            # full rows
+//! cargo run --release -p mantle-core --bin scale -- --smoke # CI-sized
+//! ```
+
+use mantle_core::scale::scale_table;
+
+const USAGE: &str = "\
+usage: scale [--smoke]
+
+Runs the scale-mode scenarios (zipf-mix workloads at 10/64/128 MDSs) on
+both event-queue backends, asserts the RunReports are byte-identical, and
+prints the heap-vs-wheel wall-clock table recorded in EXPERIMENTS.md.
+--smoke runs a single CI-sized row instead of the full (multi-minute)
+sweep.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    if let Some(other) = args.iter().find(|a| *a != "--smoke") {
+        eprintln!("unknown argument '{other}'\n{USAGE}");
+        std::process::exit(2);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    println!("{}", scale_table(smoke));
+}

@@ -11,7 +11,7 @@ use mantle_mds::{Balancer, CephfsBalancer, Cluster, ClusterConfig, MantleBalance
 use mantle_namespace::{MdsId, Namespace};
 use mantle_policy::env::PolicySet;
 use mantle_sim::SimTime;
-use mantle_workloads::{Compile, CreateSeparateDirs, CreateSharedDir};
+use mantle_workloads::{Compile, CreateSeparateDirs, CreateSharedDir, ZipfMix};
 
 /// Which workload to run.
 #[derive(Debug, Clone)]
@@ -37,6 +37,20 @@ pub enum WorkloadSpec {
         /// Op-count scale (1.0 ≈ 7 700 ops/client).
         scale: f64,
     },
+    /// Zipf-skewed mixed metadata ops over a large directory population
+    /// (the scale-mode workload: ≥100k dirs, multi-million request runs).
+    ZipfMix {
+        /// Number of clients.
+        clients: usize,
+        /// Directory population size.
+        dirs: usize,
+        /// Ops each client issues.
+        ops_per_client: u64,
+        /// Zipf exponent (1.0 ≈ classic web skew).
+        exponent: f64,
+        /// Fraction of metadata writes.
+        write_fraction: f64,
+    },
 }
 
 impl WorkloadSpec {
@@ -51,6 +65,20 @@ impl WorkloadSpec {
             WorkloadSpec::Compile { clients, scale } => {
                 Box::new(Compile::new(clients, scale, seed ^ 0x00c0_ffee))
             }
+            WorkloadSpec::ZipfMix {
+                clients,
+                dirs,
+                ops_per_client,
+                exponent,
+                write_fraction,
+            } => Box::new(ZipfMix::new(
+                clients,
+                dirs,
+                ops_per_client,
+                exponent,
+                write_fraction,
+                seed ^ 0x0000_21bf,
+            )),
         }
     }
 
@@ -59,7 +87,8 @@ impl WorkloadSpec {
         match *self {
             WorkloadSpec::CreateSeparate { clients, .. }
             | WorkloadSpec::CreateShared { clients, .. }
-            | WorkloadSpec::Compile { clients, .. } => clients,
+            | WorkloadSpec::Compile { clients, .. }
+            | WorkloadSpec::ZipfMix { clients, .. } => clients,
         }
     }
 }

@@ -12,12 +12,16 @@
 //! * [`degraded`] — fault-injection scenarios (crash/restart, slow MDS,
 //!   stale heartbeats, poisoned balancer) and their degradation table
 //!   (`cargo run -p mantle-core --bin degraded`);
+//! * [`scale`] — scale-mode scenarios (≥64 MDSs, ≥100k dirs) comparing
+//!   the heap and timing-wheel event-queue backends (`cargo run -p
+//!   mantle-core --bin scale`);
 //! * [`table`] — dependency-free text-table/CSV output.
 
 pub mod degraded;
 pub mod experiment;
 pub mod policies;
 pub mod repro;
+pub mod scale;
 pub mod table;
 
 pub use experiment::{
@@ -34,8 +38,8 @@ pub mod prelude {
     pub use crate::table::TextTable;
     pub use mantle_mds::{
         assert_invariants, check_trace, Balancer, CephfsBalancer, Cluster, ClusterConfig,
-        FaultEvent, FaultKind, FaultPlan, MantleBalancer, RunReport, Timeline, TraceBuffer,
-        TraceEvent, TraceLevel, TraceRecord, Violation,
+        FaultEvent, FaultKind, FaultPlan, MantleBalancer, RunReport, SchedulerKind, Timeline,
+        TraceBuffer, TraceEvent, TraceLevel, TraceRecord, Violation,
     };
     pub use mantle_namespace::{Namespace, NodeId, NsConfig, OpKind};
     pub use mantle_policy::env::PolicySet;

@@ -53,6 +53,52 @@ impl MigrationPlan {
 }
 
 /// A metadata load balancer living on one MDS.
+///
+/// Implement this to plug arbitrary balancing logic into the cluster —
+/// the two shipped implementations are [`CephfsBalancer`] (Table 1,
+/// hard-coded) and [`MantleBalancer`] (injected policy scripts). A toy
+/// balancer that always sheds one unit of load to MDS 0:
+///
+/// ```
+/// use std::rc::Rc;
+/// use std::sync::Arc;
+/// use mantle_mds::balancer::{BalanceContext, Balancer, MigrationPlan};
+/// use mantle_mds::metrics::Heartbeat;
+/// use mantle_mds::selector::{DirfragSelector, SelectorKind};
+/// use mantle_namespace::HeatSample;
+/// use mantle_policy::PolicyResult;
+///
+/// struct ShedToZero;
+///
+/// impl Balancer for ShedToZero {
+///     fn name(&self) -> &str {
+///         "shed-to-zero"
+///     }
+///     fn metaload(&self, heat: &HeatSample) -> PolicyResult<f64> {
+///         Ok(heat.cephfs_metaload())
+///     }
+///     fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>> {
+///         if ctx.whoami == 0 {
+///             return Ok(None);
+///         }
+///         let mut targets = vec![0.0; ctx.heartbeats.len()];
+///         targets[0] = 1.0;
+///         Ok(Some(MigrationPlan {
+///             targets,
+///             selectors: Rc::from([SelectorKind::Builtin(DirfragSelector::Half)].as_slice()),
+///         }))
+///     }
+/// }
+///
+/// let mut b = ShedToZero;
+/// let ctx = BalanceContext {
+///     whoami: 1,
+///     heartbeats: Arc::from([Heartbeat::default(), Heartbeat::default()].as_slice()),
+/// };
+/// let plan = b.decide(&ctx)?.expect("MDS 1 always sheds");
+/// assert_eq!(plan.targets, vec![1.0, 0.0]);
+/// # Ok::<(), mantle_policy::PolicyError>(())
+/// ```
 pub trait Balancer {
     /// Human-readable name (for reports).
     fn name(&self) -> &str;

@@ -134,6 +134,11 @@ pub struct Cluster {
     prefix_cold: Vec<SubtreeWindow>,
     /// Reused owner-list buffer (per-op span / routing checks).
     scratch_owners: Vec<MdsId>,
+    /// Reused per-tick load accumulators (heartbeat snapshots).
+    scratch_auth_load: Vec<f64>,
+    scratch_all_load: Vec<f64>,
+    /// Reused directory-list buffer (non-additive metaload walks).
+    scratch_dirs: Vec<NodeId>,
     queue: EventQueue<Event>,
     rng_service: SimRng,
     rng_cpu: SimRng,
@@ -217,7 +222,10 @@ impl Cluster {
             frozen: Vec::new(),
             prefix_cold: Vec::new(),
             scratch_owners: Vec::new(),
-            queue: EventQueue::new(),
+            scratch_auth_load: Vec::new(),
+            scratch_all_load: Vec::new(),
+            scratch_dirs: Vec::new(),
+            queue: EventQueue::with_scheduler(cfg.scheduler),
             rng_service: master.stream("service-noise"),
             rng_cpu: master.stream("cpu-noise"),
             inflight: 0,
@@ -932,8 +940,14 @@ impl Cluster {
 
     fn snapshot_heartbeats(&mut self, now: SimTime) -> Arc<[Heartbeat]> {
         let n = self.cfg.num_mds;
-        let mut auth_load = vec![0.0; n];
-        let mut all_load = vec![0.0; n];
+        // Recycled accumulators: at 64+ MDSs this runs every tick and the
+        // per-tick allocations would dominate the balancer path.
+        let mut auth_load = std::mem::take(&mut self.scratch_auth_load);
+        let mut all_load = std::mem::take(&mut self.scratch_all_load);
+        auth_load.clear();
+        auth_load.resize(n, 0.0);
+        all_load.clear();
+        all_load.resize(n, 0.0);
         // Metadata loads from the decayed counters, via each MDS's own
         // metaload policy (evaluated on that MDS's authoritative heat).
         if self.balancers.iter().all(|b| b.metaload_is_additive()) {
@@ -966,8 +980,10 @@ impl Cluster {
             // Some hook is non-linear (or has a constant term), so sums of
             // heat don't commute with the hook: fall back to evaluating it
             // per dirfrag.
-            let dirs: Vec<_> = self.ns.all_dirs().collect();
-            for d in dirs {
+            let mut dirs = std::mem::take(&mut self.scratch_dirs);
+            dirs.clear();
+            dirs.extend(self.ns.all_dirs());
+            for d in dirs.drain(..) {
                 let nfrags = self.ns.dir(d).frags.len();
                 for f in 0..nfrags {
                     let heat = self.ns.frag_heat(d, f, now);
@@ -990,6 +1006,7 @@ impl Cluster {
                     }
                 }
             }
+            self.scratch_dirs = dirs;
         }
         let fresh: Vec<Heartbeat> = (0..n)
             .map(|m| {
@@ -1009,6 +1026,8 @@ impl Cluster {
                 }
             })
             .collect();
+        self.scratch_auth_load = auth_load;
+        self.scratch_all_load = all_load;
         if !self.faults_active {
             return fresh.into();
         }

@@ -4,7 +4,7 @@
 //! overheads make spilling to 2 MDSs a win and to 4 a loss, Fig. 8).
 
 use mantle_namespace::{IndexMode, OpKind};
-use mantle_sim::SimTime;
+use mantle_sim::{SchedulerKind, SimTime};
 
 use crate::faults::FaultPlan;
 
@@ -66,6 +66,10 @@ pub struct ClusterConfig {
     /// testing — a fixed seed must produce an identical `RunReport` in
     /// either mode.
     pub index_mode: IndexMode,
+    /// Event-queue backend: the binary heap (default, the differential
+    /// oracle) or the hierarchical timing wheel for scale-mode runs. A
+    /// fixed seed must produce an identical `RunReport` on either.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ClusterConfig {
@@ -85,6 +89,7 @@ impl Default for ClusterConfig {
             max_duration: SimTime::from_mins(60),
             faults: FaultPlan::default(),
             index_mode: IndexMode::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -111,6 +116,12 @@ impl ClusterConfig {
     /// Convenience: pick the namespace index machinery.
     pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
         self.index_mode = mode;
+        self
+    }
+
+    /// Convenience: pick the event-queue backend.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }

@@ -21,6 +21,8 @@
 //!   migrate; migrations freeze the moved subtree for a two-phase commit
 //!   and flush client sessions (§4.1).
 
+#![warn(missing_docs)]
+
 pub mod balancer;
 pub mod client;
 pub mod cluster;
@@ -39,6 +41,7 @@ pub use cluster::Cluster;
 pub use config::{ClusterConfig, PlacementPolicy};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use invariants::{assert_invariants, check_trace, Violation};
+pub use mantle_sim::SchedulerKind;
 pub use report::RunReport;
 pub use selector::{select_best, DirfragSelector};
 pub use trace::{Timeline, TraceBuffer, TraceEvent, TraceLevel, TraceRecord};

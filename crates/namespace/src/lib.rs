@@ -19,6 +19,8 @@
 //!   inherits from its nearest ancestor. Dynamic subtree partitioning is
 //!   the act of installing/removing these overrides.
 
+#![warn(missing_docs)]
+
 pub mod heat;
 pub mod stats;
 pub mod tree;

@@ -43,6 +43,8 @@
 //! # Ok::<(), mantle_policy::PolicyError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod env;
 pub mod error;

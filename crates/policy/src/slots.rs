@@ -1,6 +1,6 @@
 //! Slot-compiled policy hooks: a resolve pass + flat-frame evaluator.
 //!
-//! The tree-walking [`Interpreter`](crate::interp::Interpreter) resolves
+//! The tree-walking [`Interpreter`] resolves
 //! every variable read and write by hashing its name against a stack of
 //! `HashMap<String, Value>` scopes. For the `metaload` hook — which runs
 //! once per dirfrag per balancer tick — that hash traffic (plus building a
@@ -163,6 +163,27 @@ enum SKey {
 // ---------------------------------------------------------------------------
 
 /// A script compiled to slot form: the product of the resolve pass.
+///
+/// Compile once, then run any number of times through a [`SlotVm`],
+/// writing the environment into integer slots instead of re-binding
+/// names:
+///
+/// ```
+/// use mantle_policy::{compile, SlotProgram, SlotVm, StepBudget, Value};
+///
+/// let script = compile("score = 0 for i = 1, n do score = score + i end return score")?;
+/// let prog = SlotProgram::compile(&script);
+/// let n_slot = prog.global_slot("n").expect("script reads `n`");
+///
+/// let mut vm = SlotVm::new(&prog, StepBudget::default());
+/// let base: Vec<Value> = prog.global_names().iter().map(|_| Value::Nil).collect();
+/// for (n, expected) in [(3.0, 6.0), (10.0, 55.0)] {
+///     vm.reset_globals(&base);
+///     vm.set_global(n_slot, Value::Number(n));
+///     assert_eq!(vm.run(&prog)?.as_number(0)?, expected);
+/// }
+/// # Ok::<(), mantle_policy::PolicyError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct SlotProgram {
     body: Vec<SStmt>,

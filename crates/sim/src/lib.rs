@@ -13,13 +13,20 @@
 //! reproducible — an explicit contrast with the measurement noise the paper
 //! describes in §2.2.2 (which we re-introduce *deliberately*, as seeded
 //! noise, in the MDS crate).
+//!
+//! The queue has two backends ([`SchedulerKind`]): a binary heap (default,
+//! the differential oracle) and a hierarchical timing wheel for
+//! scale-mode runs; both honor the same pop-order contract.
+
+#![warn(missing_docs)]
 
 pub mod events;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use events::{EventQueue, Scheduled};
+pub use events::{EventQueue, Scheduled, SchedulerKind};
 pub use rng::SimRng;
 pub use stats::{DecayCounter, OnlineStats, Summary, TimeSeries};
 pub use time::SimTime;

@@ -1,0 +1,355 @@
+//! Hierarchical timing wheel — the scale-mode event-queue backend.
+//!
+//! A [`BinaryHeap`](std::collections::BinaryHeap) costs O(log n) per
+//! push/pop; with ≥100k pending events (64+ MDSs, thousands of clients)
+//! the comparisons and pointer-chasing in `sift_up`/`sift_down` dominate
+//! the per-event budget. The classic fix (Varghese & Lauck, SOSP '87) is a
+//! hierarchical timing wheel: events hash into time-indexed slots, so
+//! push is O(1) and pop is O(1) amortized.
+//!
+//! Layout: `LEVELS` levels of `SLOTS` slots each, `BITS` bits per
+//! level. Level `l` spans `64^(l+1)` µs per full rotation; slot `s` at
+//! level `l` holds events whose timestamp agrees with the cursor on all
+//! digits above `l` and has digit `s` at level `l`. Six levels cover
+//! `2^36` µs ≈ 19.1 h of virtual time — far past the default 60-minute
+//! run cap — and anything further lands in an unsorted **overflow list**
+//! that is re-homed into the wheel only once the wheel itself drains
+//! (overflow events provably fire after every wheel event, because they
+//! differ from the cursor in a higher digit).
+//!
+//! # Determinism
+//!
+//! The simulator's contract is *exact* `(time, insertion-seq)` pop order
+//! (see [`EventQueue`](crate::EventQueue)). Naive timing wheels only
+//! guarantee time order per slot granularity. Two mechanisms restore the
+//! exact order:
+//!
+//! * **absolute slot indexing** — a level-0 slot can only ever hold events
+//!   for a single timestamp (the cursor never crosses a 64 µs window while
+//!   an event in it is pending), so draining one slot yields exactly one
+//!   instant;
+//! * **seq-sorted drain** — a level-0 slot's events may have been inserted
+//!   out of seq order (an event can cascade down from level 2 after a
+//!   direct level-0 insertion), so the drain buffer is sorted by insertion
+//!   seq before events are handed out. Same-instant FIFO follows.
+//!
+//! Cascades are allocation-free in steady state: slot `Vec`s and the drain
+//! buffer are recycled, so the per-event hot path does not touch the
+//! allocator once capacities have warmed up.
+
+use std::collections::VecDeque;
+
+/// Bits per wheel level (6 → 64 slots).
+const BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Number of hierarchical levels; together they span `2^(BITS*LEVELS)` µs.
+const LEVELS: usize = 6;
+/// Low-`BITS` mask for slot extraction.
+const MASK: u64 = (SLOTS as u64) - 1;
+
+/// A pending event: absolute firing time, insertion seq, payload.
+#[derive(Debug)]
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+/// Which wheel level an event at `at` belongs to, given cursor `cur`.
+///
+/// The level is the position of the highest digit in which `at` and `cur`
+/// differ; `>= LEVELS` means the event is out of wheel range (overflow).
+#[inline]
+fn level_of(cur: u64, at: u64) -> usize {
+    let diff = cur ^ at;
+    if diff == 0 {
+        0
+    } else {
+        ((63 - diff.leading_zeros()) / BITS) as usize
+    }
+}
+
+/// Hierarchical timing wheel holding events of type `E`.
+///
+/// Internal backend of [`EventQueue`](crate::EventQueue); the queue owns
+/// the `(now, seq)` bookkeeping and this type owns placement. All times
+/// are raw microseconds.
+#[derive(Debug)]
+pub(crate) struct TimingWheel<E> {
+    /// `LEVELS × SLOTS` buckets of pending entries, flattened
+    /// (`level * SLOTS + slot`) so a bucket access is one indirection.
+    buckets: Box<[Vec<Entry<E>>]>,
+    /// Per-level bitmap of non-empty slots (bit `s` ⇔ slot `s` occupied).
+    occupied: [u64; LEVELS],
+    /// Events beyond the wheel's span, unsorted.
+    overflow: Vec<Entry<E>>,
+    /// Minimum firing time in `overflow` (`u64::MAX` when empty).
+    overflow_min: u64,
+    /// Cursor: never exceeds any pending event's time.
+    cur: u64,
+    /// Total pending events (wheel + overflow + ready).
+    len: usize,
+    /// Drain buffer: the current instant's events, sorted by seq.
+    ready: VecDeque<Entry<E>>,
+    /// The instant `ready` holds events for (valid while non-empty).
+    ready_time: u64,
+}
+
+impl<E> TimingWheel<E> {
+    pub(crate) fn new() -> Self {
+        TimingWheel {
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            cur: 0,
+            len: 0,
+            ready: VecDeque::new(),
+            ready_time: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an event. `at` must be `>= cur` (the queue clamps).
+    #[inline]
+    pub(crate) fn push(&mut self, at: u64, seq: u64, event: E) {
+        debug_assert!(at >= self.cur, "wheel push into the past");
+        self.len += 1;
+        let e = Entry { at, seq, event };
+        // Same-instant push while that instant is being drained: seq is
+        // monotonically increasing, so appending keeps `ready` sorted.
+        if !self.ready.is_empty() && at == self.ready_time {
+            self.ready.push_back(e);
+            return;
+        }
+        self.place(e);
+    }
+
+    fn place(&mut self, e: Entry<E>) {
+        if level_of(self.cur, e.at) >= LEVELS {
+            self.overflow_min = self.overflow_min.min(e.at);
+            self.overflow.push(e);
+        } else {
+            self.place_in_wheel(e);
+        }
+    }
+
+    /// Bucket an event known to be within wheel range.
+    #[inline]
+    fn place_in_wheel(&mut self, e: Entry<E>) {
+        let level = level_of(self.cur, e.at);
+        let slot = ((e.at >> (BITS * level as u32)) & MASK) as usize;
+        self.occupied[level] |= 1 << slot;
+        self.buckets[level * SLOTS + slot].push(e);
+    }
+
+    /// Remove and return the earliest `(time, event)` in `(time, seq)`
+    /// order, advancing the cursor.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(u64, E)> {
+        if let Some(e) = self.ready.pop_front() {
+            self.len -= 1;
+            return Some((e.at, e.event));
+        }
+        self.pop_scan()
+    }
+
+    /// `ready` is empty: find the lowest occupied slot, cascading and
+    /// re-homing as needed, and hand out its earliest entry.
+    fn pop_scan(&mut self) -> Option<(u64, E)> {
+        loop {
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                self.rehome_overflow();
+                continue;
+            };
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1u64 << slot);
+            if level == 0 {
+                // A level-0 slot holds exactly one instant: every entry in
+                // it agrees with the cursor above bit 6 (the cursor cannot
+                // have left that 64 µs window while the entry was pending)
+                // and shares the slot's low digit.
+                let t = (self.cur & !MASK) | slot as u64;
+                self.cur = t;
+                // Most instants hold a single event — hand it out without
+                // touching the drain buffer at all.
+                if self.buckets[slot].len() == 1 {
+                    let e = self.buckets[slot].pop().expect("occupied slot");
+                    self.len -= 1;
+                    return Some((e.at, e.event));
+                }
+                let mut bucket = std::mem::take(&mut self.buckets[slot]);
+                self.ready.extend(bucket.drain(..));
+                self.buckets[slot] = bucket; // keep the capacity warm
+                self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+                self.ready_time = t;
+                let e = self.ready.pop_front().expect("occupied slot");
+                self.len -= 1;
+                return Some((e.at, e.event));
+            }
+            // Advance the cursor to the base of this slot's window; all
+            // remaining events at this level sit in higher slots, so
+            // the cursor stays ≤ every pending time, and each cascaded
+            // entry now lands at a strictly lower level.
+            let shift = BITS * level as u32;
+            let window = 1u64 << (shift + BITS);
+            self.cur = (self.cur & !(window - 1)) | ((slot as u64) << shift);
+            let base = level * SLOTS;
+            let mut bucket = std::mem::take(&mut self.buckets[base + slot]);
+            for e in bucket.drain(..) {
+                self.place_in_wheel(e);
+            }
+            self.buckets[base + slot] = bucket;
+        }
+    }
+
+    /// Wheel is empty but overflow is not: jump the cursor to the earliest
+    /// overflow event and pull everything now in range into the wheel.
+    fn rehome_overflow(&mut self) {
+        self.cur = self.overflow_min;
+        self.overflow_min = u64::MAX;
+        let mut keep = std::mem::take(&mut self.overflow);
+        let mut i = 0;
+        while i < keep.len() {
+            if level_of(self.cur, keep[i].at) < LEVELS {
+                let e = keep.swap_remove(i);
+                self.place_in_wheel(e);
+            } else {
+                self.overflow_min = self.overflow_min.min(keep[i].at);
+                i += 1;
+            }
+        }
+        self.overflow = keep;
+    }
+
+    /// Earliest pending firing time, without popping.
+    pub(crate) fn peek(&self) -> Option<u64> {
+        if let Some(e) = self.ready.front() {
+            return Some(e.at);
+        }
+        for l in 0..LEVELS {
+            if self.occupied[l] != 0 {
+                let slot = self.occupied[l].trailing_zeros() as usize;
+                if l == 0 {
+                    // Single-instant slot: the time is implied by the index.
+                    return Some((self.cur & !MASK) | slot as u64);
+                }
+                // Higher-level slots mix instants; scan for the minimum.
+                return self.buckets[l * SLOTS + slot].iter().map(|e| e.at).min();
+            }
+        }
+        if !self.overflow.is_empty() {
+            return Some(self.overflow_min);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimingWheel<u64>) -> Vec<(u64, u64)> {
+        std::iter::from_fn(|| w.pop()).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = TimingWheel::new();
+        for (i, t) in [900u64, 5, 63, 64, 4096, 70, 0].iter().enumerate() {
+            w.push(*t, i as u64, *t);
+        }
+        let times: Vec<u64> = drain(&mut w).iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0, 5, 63, 64, 70, 900, 4096]);
+    }
+
+    #[test]
+    fn same_instant_fifo_across_cascades() {
+        let mut w = TimingWheel::new();
+        // Event 0 goes in at level 2 (t=5000), event 1 directly at level 0
+        // after the cursor advances — the cascade must not reorder them.
+        w.push(5000, 0, 0);
+        w.push(10, 1, 1);
+        assert_eq!(w.pop(), Some((10, 1)));
+        w.push(5000, 2, 2); // same instant as event 0, later seq
+        assert_eq!(w.pop(), Some((5000, 0)));
+        assert_eq!(w.pop(), Some((5000, 2)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn push_while_draining_same_instant() {
+        let mut w = TimingWheel::new();
+        w.push(50, 0, 0);
+        w.push(50, 1, 1);
+        assert_eq!(w.pop(), Some((50, 0)));
+        // The instant 50 is mid-drain; a push at 50 must queue behind seq 1.
+        w.push(50, 2, 2);
+        assert_eq!(w.pop(), Some((50, 1)));
+        assert_eq!(w.pop(), Some((50, 2)));
+    }
+
+    #[test]
+    fn far_future_goes_to_overflow_and_comes_back() {
+        let mut w = TimingWheel::new();
+        let far = 1u64 << 40; // beyond the 2^36 µs wheel span
+        w.push(far + 3, 0, 0);
+        w.push(far, 1, 1);
+        w.push(7, 2, 2);
+        assert_eq!(w.pop(), Some((7, 2)));
+        assert_eq!(w.pop(), Some((far, 1)));
+        assert_eq!(w.pop(), Some((far + 3, 0)));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_rehomes_in_waves() {
+        let mut w = TimingWheel::new();
+        let far = 1u64 << 40;
+        // Two overflow events so distant from each other that the second
+        // stays in overflow after the first re-homing.
+        w.push(far, 0, 0);
+        w.push(far + (1 << 50), 1, 1);
+        assert_eq!(w.pop(), Some((far, 0)));
+        assert_eq!(w.pop(), Some((far + (1 << 50), 1)));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut w = TimingWheel::new();
+        for (i, t) in [300u64, 2, 1 << 38, 4097, 64].iter().enumerate() {
+            w.push(*t, i as u64, *t);
+        }
+        while !w.is_empty() {
+            let peeked = w.peek().unwrap();
+            let (t, _) = w.pop().unwrap();
+            assert_eq!(peeked, t);
+        }
+        assert_eq!(w.peek(), None);
+    }
+
+    #[test]
+    fn len_tracks_everything() {
+        let mut w = TimingWheel::new();
+        w.push(1, 0, 0);
+        w.push(1 << 40, 1, 1);
+        w.push(1, 2, 2);
+        assert_eq!(w.len(), 3);
+        w.pop();
+        assert_eq!(w.len(), 2);
+        drain(&mut w);
+        assert_eq!(w.len(), 0);
+    }
+}

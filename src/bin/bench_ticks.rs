@@ -33,17 +33,22 @@
 //! * `migration_tick`: the cost of one balancer-driven migration plus the
 //!   following load snapshot on a ~10 000-directory namespace — the
 //!   incremental index (bounded subtree walk + delta aggregates) against
-//!   the walk-oracle path (full-namespace aggregate rebuild per tick).
+//!   the walk-oracle path (full-namespace aggregate rebuild per tick);
+//! * `scale`: the event-queue backends — steady-state push+pop throughput
+//!   at ≥100k pending events (timing wheel vs binary heap), plus
+//!   whole-cluster wall-clock rows at 10/64/128 MDSs on both backends
+//!   (reports asserted byte-identical).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 use mantle::core::policies;
+use mantle::core::scale::{run_scale, ScaleSpec};
 use mantle::namespace::{IndexMode, Namespace, NodeId, NsConfig, OpKind};
 use mantle::policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics};
 use mantle::prelude::*;
-use mantle::sim::SimTime;
+use mantle::sim::{EventQueue, SimRng, SimTime};
 
 const NUM_MDS: usize = 3;
 
@@ -271,6 +276,28 @@ fn run_smoke() {
     );
     assert_invariants(trace.records());
 
+    // Scheduler smoke: both queue backends drain an identical randomized
+    // schedule in the identical order (no timing, just the contract).
+    let mut heap_q = EventQueue::with_scheduler(SchedulerKind::Heap);
+    let mut wheel_q = EventQueue::with_scheduler(SchedulerKind::Wheel);
+    let mut rng = SimRng::new(0xBEEF).stream("queue-smoke");
+    for i in 0..2_000u64 {
+        let d = event_delay(&mut rng);
+        heap_q.schedule_in(d, i);
+        wheel_q.schedule_in(d, i);
+        if i % 3 == 0 {
+            assert_eq!(
+                heap_q.pop(),
+                wheel_q.pop(),
+                "smoke: queue backends diverged"
+            );
+        }
+    }
+    while let Some(a) = heap_q.pop() {
+        assert_eq!(Some(a), wheel_q.pop(), "smoke: queue backends diverged");
+    }
+    assert!(wheel_q.is_empty());
+
     println!(
         "smoke ok: {} dirs, {} migration ticks, incremental rebuilds = 0, \
          oracle rebuilds = {}, {} trace records invariant-clean",
@@ -279,6 +306,74 @@ fn run_smoke() {
         ora.rebuilds(),
         trace.records().len()
     );
+}
+
+/// A cluster-shaped delay: mostly sub-ms service/RTT hops, some
+/// multi-ms stragglers, and the occasional heartbeat-scale timer.
+fn event_delay(rng: &mut SimRng) -> SimTime {
+    let us = match rng.below(10) {
+        0..=7 => rng.below(1_000),
+        8 => rng.below(100_000),
+        _ => 2_000_000 + rng.below(8_000_000),
+    };
+    SimTime::from_micros(us)
+}
+
+/// Steady-state push+pop cost with `pending` events in flight: pop the
+/// earliest event, reschedule it at a fresh delay, repeat. The pop order
+/// is identical across backends (the queue contract), so both consume the
+/// same delay stream — which is drawn up front so the timed loop measures
+/// queue operations, not the RNG.
+fn queue_steady_state(kind: SchedulerKind, pending: usize, ops: u32) -> f64 {
+    let mut rng = SimRng::new(0xBEEF).stream("queue-bench");
+    let delays: Vec<SimTime> = (0..pending + ops as usize)
+        .map(|_| event_delay(&mut rng))
+        .collect();
+    let mut delays = delays.iter().cycle();
+    let mut q = EventQueue::with_scheduler(kind);
+    for i in 0..pending {
+        q.schedule_in(*delays.next().unwrap(), i as u64);
+    }
+    // Warm through one full queue turnover before timing.
+    for _ in 0..pending {
+        let (_, e) = q.pop().expect("queue stays full");
+        q.schedule_in(*delays.next().unwrap(), e);
+    }
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let (_, e) = q.pop().expect("queue stays full");
+        q.schedule_in(*delays.next().unwrap(), e);
+    }
+    t0.elapsed().as_secs_f64() / ops as f64
+}
+
+/// The bench-sized cluster rows: the scale family's 10/64/128 MDS shapes
+/// shrunk to bench-friendly op counts (the full sizes live in the `scale`
+/// bin and EXPERIMENTS.md).
+fn bench_scale_specs() -> Vec<ScaleSpec> {
+    vec![
+        ScaleSpec {
+            name: "mds-10",
+            num_mds: 10,
+            clients: 16,
+            dirs: 20_000,
+            ops_per_client: 2_000,
+        },
+        ScaleSpec {
+            name: "mds-64",
+            num_mds: 64,
+            clients: 64,
+            dirs: 20_000,
+            ops_per_client: 2_000,
+        },
+        ScaleSpec {
+            name: "mds-128",
+            num_mds: 128,
+            clients: 128,
+            dirs: 20_000,
+            ops_per_client: 2_000,
+        },
+    ]
 }
 
 fn decide_inputs() -> BalancerInputs {
@@ -302,6 +397,18 @@ fn decide_inputs() -> BalancerInputs {
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         run_smoke();
+        return;
+    }
+    if std::env::args().any(|a| a == "--queue") {
+        // Just the queue-backend comparison, for iterating on the wheel.
+        let heap = queue_steady_state(SchedulerKind::Heap, 100_000, 400_000);
+        let wheel = queue_steady_state(SchedulerKind::Wheel, 100_000, 400_000);
+        println!(
+            "queue @100k pending: heap {:.1} ns, wheel {:.1} ns, {:.1}x",
+            heap * 1e9,
+            wheel * 1e9,
+            heap / wheel
+        );
         return;
     }
     let now = SimTime::from_secs(1);
@@ -403,6 +510,36 @@ fn main() {
     let (e2e_slow_s, ops_slow) = e2e(true);
     assert_eq!(ops, ops_slow, "engines must do identical work");
 
+    // --- scale: queue backends at ≥100k pending events ------------------
+    const PENDING: usize = 100_000;
+    let heap_pp_s = queue_steady_state(SchedulerKind::Heap, PENDING, 400_000);
+    let wheel_pp_s = queue_steady_state(SchedulerKind::Wheel, PENDING, 400_000);
+    let queue_speedup = heap_pp_s / wheel_pp_s;
+
+    // --- scale: whole-cluster rows at 10/64/128 MDSs --------------------
+    let mut cluster_rows = String::new();
+    for (i, spec) in bench_scale_specs().iter().enumerate() {
+        let heap = run_scale(spec, SchedulerKind::Heap, 42);
+        let wheel = run_scale(spec, SchedulerKind::Wheel, 42);
+        assert_eq!(
+            format!("{:?}", heap.report),
+            format!("{:?}", wheel.report),
+            "{}: scheduler backends must be byte-identical",
+            spec.name
+        );
+        let _ = write!(
+            cluster_rows,
+            "{}{{ \"num_mds\": {}, \"clients\": {}, \"total_ops\": {}, \
+             \"heap_s\": {:.3}, \"wheel_s\": {:.3} }}",
+            if i == 0 { "" } else { ",\n      " },
+            spec.num_mds,
+            spec.clients,
+            spec.total_ops(),
+            heap.wall_secs,
+            wheel.wall_secs,
+        );
+    }
+
     // --- report ---------------------------------------------------------
     let snapshot_speedup = walk_s / agg_s;
     let metaload_speedup = meta_tree_s / meta_fast_s;
@@ -440,6 +577,17 @@ fn main() {
     "total_ops": {ops},
     "fast_engine_s": {ef:.3},
     "slow_engine_s": {es:.3}
+  }},
+  "scale": {{
+    "queue_backend": {{
+      "pending_events": {pend},
+      "heap_ns_per_push_pop": {hq:.1},
+      "wheel_ns_per_push_pop": {wq:.1},
+      "speedup": {qs:.1}
+    }},
+    "clusters": [
+      {cluster_rows}
+    ]
   }}
 }}
 "#,
@@ -457,6 +605,10 @@ fn main() {
         msp = migration_speedup,
         ef = e2e_fast_s,
         es = e2e_slow_s,
+        pend = PENDING,
+        hq = heap_pp_s * 1e9,
+        wq = wheel_pp_s * 1e9,
+        qs = queue_speedup,
     );
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ticks.json");
@@ -471,5 +623,10 @@ fn main() {
         migration_speedup >= 10.0,
         "incremental migration ticks must be ≥ 10× the walk-oracle path, \
          got {migration_speedup:.1}×"
+    );
+    assert!(
+        queue_speedup >= 5.0,
+        "timing wheel must give ≥ 5× push+pop throughput over the heap at \
+         {PENDING} pending events, got {queue_speedup:.1}×"
     );
 }

@@ -1,0 +1,149 @@
+//! Every fenced code block in POLICY.md must parse and run.
+//!
+//! The reference document promises that its examples are live: each
+//! fence's info string names the hook environment it belongs to
+//! (`lua`, `lua metaload`, `lua mdsload`, `lua when`, `lua selector`)
+//! or marks it as a deliberately-invalid example the validator must
+//! refuse (`lua reject`). This test extracts every fence, builds a
+//! policy set around it, and pushes it through [`PolicyValidator`] —
+//! the same static-global check plus synthetic-cluster dry run that
+//! gates real injection. If the language, the Table 2 environment, or
+//! the document drifts, this fails.
+
+use mantle::mds::selector::ScriptedSelector;
+use mantle::policy::env::PolicySet;
+use mantle::policy::PolicyValidator;
+
+const POLICY_MD: &str = include_str!("../POLICY.md");
+
+/// Hooks that surround a snippet so the rest of the policy set is
+/// trivially valid and the snippet under test is the only variable.
+const METALOAD: &str = "IWR + IRD";
+const MDSLOAD: &str = "MDSs[i][\"all\"]";
+const NOOP_DECISION: &str = "x = 1";
+const NOOP_WHERE: &str = "targets[1] = 0";
+
+#[derive(Debug)]
+struct Fence {
+    /// The fence info string, e.g. `lua metaload`.
+    tag: String,
+    /// Snippet source.
+    body: String,
+    /// 1-based line of the opening fence, for failure messages.
+    line: usize,
+}
+
+/// Extract every fenced code block, failing on unterminated fences.
+fn fences(md: &str) -> Vec<Fence> {
+    let mut out = Vec::new();
+    let mut open: Option<(String, usize, Vec<&str>)> = None;
+    for (idx, raw) in md.lines().enumerate() {
+        let line = raw.trim_end();
+        match &mut open {
+            None => {
+                if let Some(tag) = line.strip_prefix("```") {
+                    open = Some((tag.trim().to_string(), idx + 1, Vec::new()));
+                }
+            }
+            Some((tag, start, body)) => {
+                if line == "```" {
+                    out.push(Fence {
+                        tag: std::mem::take(tag),
+                        body: body.join("\n"),
+                        line: *start,
+                    });
+                    open = None;
+                } else {
+                    body.push(raw);
+                }
+            }
+        }
+    }
+    assert!(open.is_none(), "unterminated fence in POLICY.md");
+    out
+}
+
+/// Build the policy set a snippet belongs in, given its tag.
+fn build(tag: &str, body: &str) -> Result<PolicySet, mantle::policy::PolicyError> {
+    match tag {
+        "lua" | "lua reject" => PolicySet::from_combined(METALOAD, MDSLOAD, body, &["half"]),
+        "lua metaload" => PolicySet::from_combined(body, MDSLOAD, NOOP_DECISION, &["half"]),
+        "lua mdsload" => PolicySet::from_combined(METALOAD, body, NOOP_DECISION, &["half"]),
+        "lua when" => PolicySet::from_hooks(METALOAD, MDSLOAD, body, NOOP_WHERE, &["half"]),
+        other => panic!("unknown fence tag `{other}` — document it and teach this harness"),
+    }
+}
+
+#[test]
+fn every_policy_md_fence_is_checked() {
+    let all = fences(POLICY_MD);
+
+    // Belt and braces: the extraction itself must have seen every fence
+    // delimiter in the file (an odd count would already have panicked).
+    let delimiters = POLICY_MD
+        .lines()
+        .filter(|l| l.trim_end().starts_with("```"))
+        .count();
+    assert_eq!(delimiters, all.len() * 2, "extraction missed a fence");
+    assert!(
+        all.len() >= 15,
+        "POLICY.md shrank to {} examples — the reference should stay comprehensive",
+        all.len()
+    );
+
+    let validator = PolicyValidator::new();
+    let mut seen_reject = 0;
+    let mut seen_selector = 0;
+    for fence in &all {
+        let at = format!("POLICY.md:{} (`{}`)", fence.line, fence.tag);
+        match fence.tag.as_str() {
+            "lua selector" => {
+                seen_selector += 1;
+                let sel = ScriptedSelector::compile("doc-example", &fence.body)
+                    .unwrap_or_else(|e| panic!("{at} does not compile: {e}"));
+                let chosen = sel
+                    .select(&[10.0, 20.0, 30.0, 40.0, 50.0], 35.0)
+                    .unwrap_or_else(|e| panic!("{at} failed to select: {e}"));
+                assert!(!chosen.is_empty(), "{at} selected nothing");
+            }
+            "lua reject" => {
+                seen_reject += 1;
+                // Reject examples must still *parse* — they demonstrate
+                // validation, not syntax errors…
+                let policy = build(&fence.tag, &fence.body).unwrap_or_else(|e| panic!("{at}: {e}"));
+                // …and the validator must refuse them.
+                assert!(
+                    validator.validate(&policy).is_err(),
+                    "{at} is documented as rejected but validated cleanly"
+                );
+            }
+            _ => {
+                let policy = build(&fence.tag, &fence.body).unwrap_or_else(|e| panic!("{at}: {e}"));
+                validator
+                    .validate(&policy)
+                    .unwrap_or_else(|e| panic!("{at} failed validation: {e}"));
+            }
+        }
+    }
+    assert!(
+        seen_reject >= 2,
+        "the safety section lost its counterexamples"
+    );
+    assert!(
+        seen_selector >= 1,
+        "the howmuch section lost its scripted example"
+    );
+}
+
+/// The document's claims about specific outcomes, pinned: the worked
+/// selector example really does choose every other unit.
+#[test]
+fn selector_example_behaves_as_documented() {
+    let snippet = fences(POLICY_MD)
+        .into_iter()
+        .find(|f| f.tag == "lua selector")
+        .expect("POLICY.md documents a scripted selector");
+    let sel = ScriptedSelector::compile("every_other", &snippet.body).unwrap();
+    let chosen = sel.select(&[10.0, 20.0, 30.0, 40.0, 50.0], 35.0).unwrap();
+    assert_eq!(chosen, vec![0, 2], "indices 1,3 (1-based) → 0,2");
+}

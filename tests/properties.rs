@@ -10,7 +10,7 @@ use mantle::namespace::{IndexMode, Namespace, NamespaceStats, NodeId, NsConfig, 
 use mantle::policy::env::{BalancerInputs, MantleRuntime, MdsMetrics, PolicySet};
 use mantle::policy::{parse_script, script_to_source, Interpreter, StepBudget, Value};
 use mantle::policy::{SlotProgram, SlotVm};
-use mantle::sim::{DecayCounter, EventQueue, OnlineStats, SimRng, SimTime, Summary};
+use mantle::sim::{DecayCounter, EventQueue, OnlineStats, SchedulerKind, SimRng, SimTime, Summary};
 
 /// Per-test RNG: independent stream per property, fixed master seed.
 fn cases_rng(label: &str) -> SimRng {
@@ -48,6 +48,71 @@ fn event_queue_pops_in_nondecreasing_time() {
             popped += 1;
         }
         assert_eq!(popped, times.len(), "case {case}");
+    }
+}
+
+/// Differential property for the scheduler backends: a randomized
+/// interleaving of pushes, pops, and pop-and-reschedule steps produces
+/// the exact same `(time, payload)` stream on the heap and the wheel —
+/// including same-instant FIFO ties and far-future events that overflow
+/// the wheel's 2^36 µs span.
+#[test]
+fn heap_and_wheel_pop_identically_under_random_interleavings() {
+    let mut rng = cases_rng("scheduler-differential");
+    for case in 0..48 {
+        let mut heap = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let mut wheel = EventQueue::with_scheduler(SchedulerKind::Wheel);
+        let mut next_id = 0u64;
+        let steps = rng.range_inclusive(1, 400);
+        for step in 0..steps {
+            match rng.below(4) {
+                // Push a burst; coarse delays force same-instant ties.
+                0 | 1 => {
+                    for _ in 0..rng.range_inclusive(1, 5) {
+                        let delay = match rng.below(8) {
+                            0 => 0,                              // now
+                            1..=4 => rng.below(500) * 10,        // sub-5ms, coarse
+                            5 | 6 => rng.below(30_000_000),      // ≤ 30 s
+                            _ => (1 << 37) + rng.below(1 << 20), // overflow range
+                        };
+                        let at = heap.now() + SimTime::from_micros(delay);
+                        heap.schedule_at(at, next_id);
+                        wheel.schedule_at(at, next_id);
+                        next_id += 1;
+                    }
+                }
+                // Pop.
+                2 => {
+                    assert_eq!(heap.pop(), wheel.pop(), "case {case} step {step}");
+                    assert_eq!(heap.now(), wheel.now(), "case {case} step {step}");
+                }
+                // Pop and reschedule the payload at a fresh delay (the
+                // retry/heartbeat pattern).
+                _ => {
+                    let (a, b) = (heap.pop(), wheel.pop());
+                    assert_eq!(a, b, "case {case} step {step}");
+                    if let Some((_, id)) = a {
+                        let delay = SimTime::from_micros(rng.below(5_000_000));
+                        heap.schedule_in(delay, id);
+                        wheel.schedule_in(delay, id);
+                    }
+                }
+            }
+            assert_eq!(heap.len(), wheel.len(), "case {case} step {step}");
+            assert_eq!(
+                heap.peek_time(),
+                wheel.peek_time(),
+                "case {case} step {step}"
+            );
+        }
+        // Drain fully; order must match to the last event.
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            assert_eq!(a, b, "case {case}: drain divergence");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }
 
