@@ -228,6 +228,14 @@ fn apply_assignments(ns: &mut Namespace, assignments: &[(String, MdsId)]) {
 
 /// Run one experiment to completion.
 pub fn run_experiment(spec: &Experiment) -> RunReport {
+    run_experiment_with_stats(spec).0
+}
+
+/// Run one experiment, also returning the engine's execution statistics
+/// (windows, per-shard event/message/barrier breakdown). The report is
+/// identical in every [`mantle_mds::ExecMode`]; the stats are a
+/// wall-clock side channel for the `scale --threads` breakdown.
+pub fn run_experiment_with_stats(spec: &Experiment) -> (RunReport, mantle_mds::ExecStats) {
     let workload = spec.workload.build(spec.config.seed);
     let balancer_spec = spec.balancer.clone();
     let mut cluster = Cluster::new(spec.config.clone(), workload, |m| balancer_spec.build(m));
@@ -236,7 +244,7 @@ pub fn run_experiment(spec: &Experiment) -> RunReport {
         let assignments = sched.assignments.clone();
         cluster.schedule_admin(sched.at, move |ns| apply_assignments(ns, &assignments));
     }
-    cluster.run()
+    cluster.run_with_stats()
 }
 
 /// Run one experiment with a trace sink attached, returning the report

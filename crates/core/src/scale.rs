@@ -17,10 +17,12 @@
 
 use std::time::Instant;
 
-use crate::experiment::{run_experiment, BalancerSpec, Experiment, WorkloadSpec};
+use crate::experiment::{
+    run_experiment, run_experiment_with_stats, BalancerSpec, Experiment, WorkloadSpec,
+};
 use crate::policies;
 use crate::table::TextTable;
-use mantle_mds::{ClusterConfig, RunReport, SchedulerKind};
+use mantle_mds::{ClusterConfig, ExecMode, ExecStats, RunReport, SchedulerKind};
 use mantle_sim::SimTime;
 
 /// One scale-mode cluster shape.
@@ -172,6 +174,83 @@ pub fn scale_table(smoke: bool) -> String {
     )
 }
 
+/// Run one row in the given execution mode (wheel scheduler), timing it
+/// and capturing the engine's execution stats.
+pub fn run_scale_mode(spec: &ScaleSpec, mode: ExecMode, seed: u64) -> (ScaleRun, ExecStats) {
+    let mut exp = scale_experiment(spec, SchedulerKind::Wheel, seed);
+    exp.config = exp.config.with_exec_mode(mode);
+    let start = Instant::now();
+    let (report, stats) = run_experiment_with_stats(&exp);
+    (
+        ScaleRun {
+            report,
+            wall_secs: start.elapsed().as_secs_f64(),
+        },
+        stats,
+    )
+}
+
+/// Run every row single-threaded and sharded across `threads` workers,
+/// assert the reports are byte-identical, and render the wall-clock
+/// comparison plus the per-shard breakdown (events drained, cross-shard
+/// messages sent, wall-clock spent stalled at window barriers).
+pub fn parallel_scale_table(smoke: bool, threads: usize) -> String {
+    let seed = 42;
+    let mut table = TextTable::new([
+        "scenario", "mds", "clients", "ops", "1t s", "kt s", "speedup", "windows",
+    ]);
+    let mut breakdown = String::new();
+    for spec in scale_specs(smoke) {
+        let (single, _) = run_scale_mode(&spec, ExecMode::Single, seed);
+        let (sharded, stats) = run_scale_mode(&spec, ExecMode::Sharded { threads }, seed);
+        assert_eq!(
+            format!("{:?}", single.report),
+            format!("{:?}", sharded.report),
+            "{}: sharded run must be byte-identical to the single-threaded oracle",
+            spec.name
+        );
+        table.row([
+            spec.name.to_string(),
+            spec.num_mds.to_string(),
+            spec.clients.to_string(),
+            format!("{:.0}", single.report.total_ops()),
+            format!("{:.2}", single.wall_secs),
+            format!("{:.2}", sharded.wall_secs),
+            format!("{:.2}x", single.wall_secs / sharded.wall_secs.max(1e-9)),
+            stats.windows.to_string(),
+        ]);
+        breakdown.push_str(&format!("\n{} per-shard breakdown:\n", spec.name));
+        let mut shard_table = TextTable::new([
+            "shard",
+            "mds",
+            "clients",
+            "events",
+            "msgs sent",
+            "barrier ms",
+        ]);
+        for (i, s) in stats.shards.iter().enumerate() {
+            shard_table.row([
+                i.to_string(),
+                format!("{}..{}", s.mds_range.0, s.mds_range.0 + s.mds_range.1),
+                format!(
+                    "{}..{}",
+                    s.client_range.0,
+                    s.client_range.0 + s.client_range.1
+                ),
+                s.events.to_string(),
+                s.msgs_sent.to_string(),
+                format!("{:.1}", s.barrier_wait_ns as f64 / 1e6),
+            ]);
+        }
+        breakdown.push_str(&shard_table.render());
+    }
+    format!(
+        "Parallel scale (zipf-mix, greedy-spill-even; 1 thread vs {threads} shard threads)\n{}{}",
+        table.render(),
+        breakdown
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +281,23 @@ mod tests {
         let wheel = run_scale(&spec, SchedulerKind::Wheel, 7);
         assert_eq!(format!("{:?}", heap.report), format!("{:?}", wheel.report));
         assert_eq!(heap.report.total_ops(), spec.total_ops() as f64);
+    }
+
+    #[test]
+    fn smoke_sharded_matches_oracle() {
+        let spec = scale_specs(true).remove(0);
+        let (single, _) = run_scale_mode(&spec, ExecMode::Single, 7);
+        let (sharded, stats) = run_scale_mode(&spec, ExecMode::Sharded { threads: 4 }, 7);
+        assert_eq!(
+            format!("{:?}", single.report),
+            format!("{:?}", sharded.report),
+            "4-shard run must be byte-identical to the single-threaded oracle"
+        );
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.shards.len(), 4);
+        assert!(
+            stats.shards.iter().map(|s| s.msgs_sent).sum::<u64>() > 0,
+            "the smoke row must actually exercise cross-shard messaging"
+        );
     }
 }

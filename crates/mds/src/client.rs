@@ -19,9 +19,13 @@ pub struct ClientOp {
 /// A workload drives every client: the cluster asks it for each client's
 /// next operation whenever that client's previous one completes.
 ///
-/// Implementations may mutate the namespace in [`Workload::next`] (e.g. an
-/// untar phase creating directories as it goes).
-pub trait Workload {
+/// The namespace is read-only during the run — all directory structure is
+/// built in [`Workload::setup`]. This is what lets the sharded engine hand
+/// each worker thread its own fork of the workload ([`Workload::fork`])
+/// and drive disjoint client slices concurrently: per-client generator
+/// state advances independently, so a fork driving only its own clients
+/// produces exactly the ops the original would have produced for them.
+pub trait Workload: Send {
     /// Number of clients this workload drives.
     fn num_clients(&self) -> usize;
 
@@ -29,7 +33,12 @@ pub trait Workload {
     fn setup(&mut self, ns: &mut Namespace);
 
     /// The next op for `client`, or `None` when that client is finished.
-    fn next(&mut self, client: usize, ns: &mut Namespace, now: SimTime) -> Option<ClientOp>;
+    fn next(&mut self, client: usize, ns: &Namespace, now: SimTime) -> Option<ClientOp>;
+
+    /// A boxed copy with identical per-client generator state. Each shard
+    /// gets one fork and only ever calls [`Workload::next`] for the
+    /// clients it owns.
+    fn fork(&self) -> Box<dyn Workload>;
 
     /// Workload name for reports.
     fn name(&self) -> &str {

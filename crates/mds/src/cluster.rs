@@ -1,64 +1,51 @@
 //! The cluster simulation: clients, MDS queues, heartbeats, balancer
-//! ticks, and migrations, driven by one deterministic event loop.
+//! ticks, and migrations, driven by a conservative windowed event loop
+//! that runs single-threaded or sharded across worker threads
+//! ([`crate::config::ExecMode`]) with byte-identical results.
+//!
+//! # Engine shape
+//!
+//! The data plane (clients, requests, per-MDS service queues) lives in
+//! [`Shard`]s — see [`crate::shard`] for the partitioning and determinism
+//! story. This module owns the **coordinator**: the control plane
+//! (heartbeats, balancer ticks, migrations, faults, admin actions) plus
+//! the window scheduler that alternates between
+//!
+//! 1. **windows** — every shard concurrently drains its events inside
+//!    `[base, base + lookahead)`, then a barrier applies deferred
+//!    namespace mutations in global `(time, key)` order and exchanges
+//!    cross-shard messages, and
+//! 2. **exclusive steps** — global events (heartbeat ticks, faults,
+//!    admin actions) run alone between windows with write access to
+//!    everything, exactly like the old sequential engine.
+//!
+//! Both [`ExecMode::Single`] and [`ExecMode::Sharded`] drive the *same*
+//! loop; `Single` simply runs the one shard inline on the calling thread.
+//! Window boundaries, event keys, and barrier effects are all
+//! shard-count-invariant, so a fixed seed produces byte-identical
+//! [`RunReport`]s and traces at any thread count.
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig, SplitEvent, SubtreeMigration};
+use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig, SubtreeMigration};
 use mantle_sim::{EventQueue, SimRng, SimTime, Summary};
 
 use crate::balancer::{BalanceContext, Balancer, CephfsBalancer};
-use crate::client::{ClientOp, ClientState, Workload};
-use crate::config::{ClusterConfig, PlacementPolicy};
+use crate::client::{ClientState, Workload};
+use crate::config::{ClusterConfig, ExecMode};
 use crate::faults::FaultKind;
 use crate::metrics::{Heartbeat, MdsCounters};
 use crate::partition::{plan_exports, Export, ExportUnit};
 use crate::report::{ClientReport, MdsReport, RunReport};
+use crate::shard::{
+    DeferredNsOp, Event, ExecStats, NsOp, Shard, ShardRouter, SharedSim, SpinBarrier,
+    SubtreeWindow, TraceKey,
+};
 use crate::trace::{TraceBuffer, TraceEvent, TraceLevel, TraceRecord};
-
-/// A request in flight.
-#[derive(Debug, Clone, Copy)]
-struct Request {
-    client: usize,
-    op: ClientOp,
-    /// The dirfrag the client routed to (picked at issue time and carried
-    /// with the request, like the frag bits in a real CephFS request).
-    frag: mantle_namespace::FragId,
-    issued: SimTime,
-    forwarded: bool,
-    /// The issuing client's attempt number; replies for a superseded
-    /// attempt (the client timed out and retried) are dropped.
-    seq: u64,
-}
-
-#[derive(Debug)]
-enum Event {
-    /// A client is ready to issue its next op.
-    ClientNext(usize),
-    /// A request arrives at an MDS.
-    Arrive { mds: MdsId, req: Request },
-    /// An MDS finishes serving a request.
-    Complete {
-        mds: MdsId,
-        req: Request,
-        service_us: f64,
-        /// The MDS's incarnation when service started; a crash bumps the
-        /// incarnation, so completions from before it are ghosts.
-        epoch: u64,
-    },
-    /// Cluster-wide heartbeat + balancer tick.
-    Heartbeat,
-    /// A scheduled administrative action (manual repartition etc.).
-    Admin(usize),
-    /// A scheduled fault from the [`crate::faults::FaultPlan`] fires.
-    Fault(usize),
-    /// A client's request timeout expires; if the attempt is still
-    /// outstanding the client declares it lost and backs off to retry.
-    Timeout { client: usize, seq: u64 },
-    /// A client re-issues its pending op after a timeout backoff.
-    Retry(usize),
-}
 
 /// A balancer that never migrates — used for static-partition experiments
 /// (the "high locality" / "spread" setups of Fig. 3).
@@ -85,243 +72,112 @@ impl Balancer for NoopBalancer {
 
 type AdminAction = Box<dyn FnOnce(&mut Namespace) + Send>;
 
-/// One export's freeze or cold-prefix region. Membership is an
-/// Euler-interval range check against the namespace's current labels plus
-/// the authority holes captured at export time — no per-directory map
-/// entries are materialized, and expired windows are purged eagerly.
-#[derive(Debug, Clone)]
-struct SubtreeWindow {
-    root: NodeId,
-    /// Nested authority bounds inside the exported subtree; directories
-    /// under a hole did not move and are outside the window.
-    holes: Vec<NodeId>,
-    /// `dir_count` at capture: directories created after the export sit
-    /// outside the window even when their Euler label falls inside.
-    watermark: u32,
-    /// Frag exports cover only the fragmented directory itself.
-    root_only: bool,
-    until: SimTime,
+/// A control-plane event. Globals always run in exclusive steps — never
+/// concurrently with a window — because they read and write cluster-wide
+/// state (the namespace, every shard's counters, liveness).
+#[derive(Debug)]
+enum GlobalEvent {
+    /// Cluster-wide heartbeat + balancer tick.
+    Heartbeat,
+    /// A scheduled administrative action (manual repartition etc.).
+    Admin(usize),
+    /// A scheduled fault from the [`crate::faults::FaultPlan`] fires.
+    Fault(usize),
 }
 
-impl SubtreeWindow {
-    fn contains(&self, ns: &Namespace, d: NodeId) -> bool {
-        if d.0 >= self.watermark {
-            return false;
-        }
-        if self.root_only {
-            return d == self.root;
-        }
-        ns.in_subtree(d, self.root) && !self.holes.iter().any(|&h| ns.in_subtree(d, h))
-    }
-}
-
-/// The simulated cluster. Build one, optionally schedule admin actions,
-/// then [`Cluster::run`] it to completion.
-pub struct Cluster {
+/// The control plane. Lives on the coordinating thread for the whole
+/// run; worker threads never touch it (balancers and the trace handle
+/// are deliberately not `Sync`).
+struct Coordinator {
     cfg: ClusterConfig,
-    ns: Namespace,
-    workload: Box<dyn Workload>,
     balancers: Vec<Box<dyn Balancer>>,
-    clients: Vec<ClientState>,
-    counters: Vec<MdsCounters>,
-    /// Absolute µs when each MDS becomes free (single-server queue).
-    next_free: Vec<SimTime>,
-    /// Frozen regions (two-phase-commit migrations); a request inside any
-    /// window defers to the latest covering thaw.
-    frozen: Vec<SubtreeWindow>,
-    /// Regions whose new authority is still warming up its ancestor
-    /// prefix replicas.
-    prefix_cold: Vec<SubtreeWindow>,
-    /// Reused owner-list buffer (per-op span / routing checks).
-    scratch_owners: Vec<MdsId>,
-    /// Reused per-tick load accumulators (heartbeat snapshots).
-    scratch_auth_load: Vec<f64>,
-    scratch_all_load: Vec<f64>,
-    /// Reused directory-list buffer (non-additive metaload walks).
-    scratch_dirs: Vec<NodeId>,
-    queue: EventQueue<Event>,
-    rng_service: SimRng,
+    /// CPU/metaload measurement noise. Coordinator-only, consumed in MDS
+    /// order once per tick — identical in every execution mode.
     rng_cpu: SimRng,
-    inflight: usize,
-    active_clients: usize,
+    globals: EventQueue<GlobalEvent>,
     admin_actions: Vec<Option<AdminAction>>,
     /// Count of balancer hook errors (bad policies surface here).
-    pub policy_errors: u64,
-    /// True when the fault plan schedules anything; inert plans skip all
-    /// timeout/retry bookkeeping so healthy runs stay byte-identical.
-    faults_active: bool,
-    /// Liveness per MDS (crashes flip this off, restarts back on).
-    up: Vec<bool>,
-    /// Incarnation per MDS; bumped by crashes to invalidate in-flight
-    /// completions.
-    mds_epoch: Vec<u64>,
-    /// Service-time multiplier per MDS while `now < slow_until`.
-    slow_factor: Vec<f64>,
-    slow_until: Vec<SimTime>,
+    policy_errors: u64,
+    /// Balancers whose hooks were poisoned mid-run (every decide errors).
+    poisoned: Vec<bool>,
+    /// Consecutive balancer errors per MDS; reaching
+    /// `faults.fallback_after` swaps in the default CephFS balancer.
+    consecutive_policy_errors: Vec<u32>,
     /// Heartbeat outage windows: while dropping, readers see the snapshot
     /// frozen at the window start; while delaying, the previous tick's.
     hb_drop_until: Vec<SimTime>,
     hb_delay_until: Vec<SimTime>,
     hb_frozen: Vec<Option<Heartbeat>>,
     hb_published: Vec<Heartbeat>,
-    /// Balancers whose hooks were poisoned mid-run (every decide errors).
-    poisoned: Vec<bool>,
-    /// Consecutive balancer errors per MDS; reaching
-    /// `faults.fallback_after` swaps in the default CephFS balancer.
-    consecutive_policy_errors: Vec<u32>,
     /// The configured balancer's name, pinned at construction so a
     /// mid-run fallback doesn't relabel the report.
     balancer_name: String,
-    timeouts: u64,
-    retries: u64,
+    workload_name: String,
     failovers: u64,
     balancer_fallbacks: u64,
     /// Optional trace sink ([`Cluster::enable_tracing`]). `None` costs one
     /// branch per emission site and never builds event payloads, so
     /// untraced fixed-seed runs stay byte-identical.
     trace: Option<Rc<RefCell<TraceBuffer>>>,
-    /// Heartbeat epoch: balancer ticks completed so far (stamps records).
+    /// Coordinator-side trace records with their merge keys. Coordinator
+    /// emissions carry origin rank 0, so at equal timestamps they sort
+    /// before every shard emission — matching the exclusive-step /
+    /// barrier ordering that produced them.
+    ctrace: Vec<(TraceKey, TraceRecord)>,
+    /// Monotonic rank-0 key counter.
+    coord_ctr: u64,
+    /// Latest timestamp the coordinator emitted at (barrier emissions can
+    /// postdate the last processed event; `RunEnd` must not precede them).
+    last_emit_at: SimTime,
+    /// Heartbeat epoch: balancer ticks completed so far (stamps records;
+    /// mirrored into [`SharedSim`] for the shards).
     hb_epoch: u64,
     /// Directories already announced to the trace (`DirAdded` watermark).
     traced_dirs: u32,
     /// Migration counter: ids shared by the freeze→…→unfreeze phases.
     mig_seq: u64,
+    faults_active: bool,
+    /// Reused per-tick load accumulators (heartbeat snapshots).
+    scratch_auth_load: Vec<f64>,
+    scratch_all_load: Vec<f64>,
+    /// Reused directory-list buffer (non-additive metaload walks).
+    scratch_dirs: Vec<NodeId>,
+    /// Reused barrier buffers (merged deferred ops, split-check worklist).
+    scratch_deferred: Vec<DeferredNsOp>,
+    scratch_touched: Vec<NodeId>,
+    touched_seen: HashSet<NodeId>,
 }
 
-impl Cluster {
-    /// Build a cluster. `make_balancer` is invoked once per MDS — each MDS
-    /// runs its own independent balancer instance, as in the paper.
-    pub fn new<F>(cfg: ClusterConfig, mut workload: Box<dyn Workload>, mut make_balancer: F) -> Self
-    where
-        F: FnMut(MdsId) -> Box<dyn Balancer>,
-    {
-        let mut ns = Namespace::new(NsConfig {
-            frag_split_threshold: cfg.frag_split_threshold,
-            decay_half_life: cfg.decay_half_life,
-            index_mode: cfg.index_mode,
-            ..Default::default()
-        });
-        workload.setup(&mut ns);
-        let n = cfg.num_mds;
-        let master = SimRng::new(cfg.seed);
-        let clients = (0..workload.num_clients()).map(ClientState::new).collect();
-        let balancers: Vec<Box<dyn Balancer>> = (0..n).map(&mut make_balancer).collect();
-        let balancer_name = balancers
-            .first()
-            .map(|b| b.name().to_string())
-            .unwrap_or_default();
-        let num_clients = workload.num_clients();
-        let faults_active = cfg.faults.is_active();
-        Cluster {
-            ns,
-            workload,
-            balancers,
-            clients,
-            counters: (0..n).map(|_| MdsCounters::new()).collect(),
-            next_free: vec![SimTime::ZERO; n],
-            frozen: Vec::new(),
-            prefix_cold: Vec::new(),
-            scratch_owners: Vec::new(),
-            scratch_auth_load: Vec::new(),
-            scratch_all_load: Vec::new(),
-            scratch_dirs: Vec::new(),
-            queue: EventQueue::with_scheduler(cfg.scheduler),
-            rng_service: master.stream("service-noise"),
-            rng_cpu: master.stream("cpu-noise"),
-            inflight: 0,
-            active_clients: num_clients,
-            admin_actions: Vec::new(),
-            policy_errors: 0,
-            faults_active,
-            up: vec![true; n],
-            mds_epoch: vec![0; n],
-            slow_factor: vec![1.0; n],
-            slow_until: vec![SimTime::ZERO; n],
-            hb_drop_until: vec![SimTime::ZERO; n],
-            hb_delay_until: vec![SimTime::ZERO; n],
-            hb_frozen: vec![None; n],
-            hb_published: vec![Heartbeat::default(); n],
-            poisoned: vec![false; n],
-            consecutive_policy_errors: vec![0; n],
-            balancer_name,
-            timeouts: 0,
-            retries: 0,
-            failovers: 0,
-            balancer_fallbacks: 0,
-            trace: None,
-            hb_epoch: 0,
-            traced_dirs: 0,
-            mig_seq: 0,
-            cfg,
-        }
-    }
-
-    /// Attach a trace sink at `level` and return a handle to it. Call
-    /// before [`Cluster::run`]; after the run (which consumes the
-    /// cluster) the handle is the only owner and can be unwrapped.
-    pub fn enable_tracing(&mut self, level: TraceLevel) -> Rc<RefCell<TraceBuffer>> {
-        let buf = Rc::new(RefCell::new(TraceBuffer::new(
-            level,
-            self.cfg.num_mds,
-            self.cfg.heartbeat_interval,
-        )));
-        self.trace = Some(Rc::clone(&buf));
-        buf
-    }
-
+impl Coordinator {
     /// Emit a control-plane event (recorded at every trace level). The
     /// payload closure only runs when a sink is attached.
-    #[inline]
-    fn emit(&self, at: SimTime, make: impl FnOnce() -> TraceEvent) {
-        if let Some(t) = &self.trace {
-            let record = TraceRecord {
-                at,
-                epoch: self.hb_epoch,
-                event: make(),
-            };
-            t.borrow_mut().push(record);
+    fn emit(&mut self, at: SimTime, make: impl FnOnce() -> TraceEvent) {
+        if self.trace.is_none() {
+            return;
         }
-    }
-
-    /// Emit a data-plane event (recorded only at [`TraceLevel::Full`]).
-    #[inline]
-    fn emit_full(&self, at: SimTime, make: impl FnOnce() -> TraceEvent) {
-        if let Some(t) = &self.trace {
-            if t.borrow().level == TraceLevel::Full {
-                let record = TraceRecord {
-                    at,
-                    epoch: self.hb_epoch,
-                    event: make(),
-                };
-                t.borrow_mut().push(record);
-            }
-        }
-    }
-
-    /// Emit `FragSplit` for a completed op that fragmented its directory.
-    fn emit_split(&self, at: SimTime, split: Option<SplitEvent>) {
-        if let Some(se) = split {
-            self.emit(at, || TraceEvent::FragSplit {
-                dir: se.dir,
-                frag: se.frag,
-                ways: se.ways,
-                resulting_frags: se.resulting_frags,
-            });
+        let record = TraceRecord {
+            at,
+            epoch: self.hb_epoch,
+            event: make(),
+        };
+        self.ctrace.push(((at, self.coord_ctr, 0), record));
+        self.coord_ctr += 1;
+        if at > self.last_emit_at {
+            self.last_emit_at = at;
         }
     }
 
     /// Announce directories created since the last sync (workload setup,
-    /// mid-run mkdirs, admin repartitions) so the checker's tree model
-    /// stays complete.
-    fn sync_dirs(&mut self, at: SimTime) {
+    /// admin repartitions) so the checker's tree model stays complete.
+    fn sync_dirs(&mut self, ns: &Namespace, at: SimTime) {
         if self.trace.is_none() {
             return;
         }
-        let total = self.ns.dir_count() as u32;
+        let total = ns.dir_count() as u32;
         while self.traced_dirs < total {
             let id = NodeId(self.traced_dirs);
             let (parent, files) = {
-                let d = self.ns.dir(id);
+                let d = ns.dir(id);
                 (
                     d.parent,
                     d.frags.iter().map(|f| f.files).collect::<Vec<_>>(),
@@ -339,15 +195,15 @@ impl Cluster {
     /// Emit the complete explicit-authority state. Used at the preamble
     /// and after admin actions, which mutate authority outside the traced
     /// event flow.
-    fn emit_auth_snapshot(&self, at: SimTime) {
+    fn emit_auth_snapshot(&mut self, ns: &Namespace, at: SimTime) {
         if self.trace.is_none() {
             return;
         }
         let mut dirs = Vec::new();
         let mut frags = Vec::new();
-        let all: Vec<NodeId> = self.ns.all_dirs().collect();
+        let all: Vec<NodeId> = ns.all_dirs().collect();
         for d in all {
-            let dir = self.ns.dir(d);
+            let dir = ns.dir(d);
             if let Some(m) = dir.auth {
                 dirs.push((d, m));
             }
@@ -358,470 +214,6 @@ impl Cluster {
             }
         }
         self.emit(at, || TraceEvent::AuthSnapshot { dirs, frags });
-    }
-
-    /// Mutable access to the namespace before the run (static partitions).
-    pub fn namespace_mut(&mut self) -> &mut Namespace {
-        &mut self.ns
-    }
-
-    /// Schedule an administrative action (e.g. a manual repartition) at a
-    /// point in virtual time.
-    pub fn schedule_admin<F>(&mut self, at: SimTime, action: F)
-    where
-        F: FnOnce(&mut Namespace) + Send + 'static,
-    {
-        let idx = self.admin_actions.len();
-        self.admin_actions.push(Some(Box::new(action)));
-        self.queue.schedule_at(at, Event::Admin(idx));
-    }
-
-    fn half_rtt(&self) -> SimTime {
-        SimTime::from_micros_f64(self.cfg.costs.rtt_us / 2.0)
-    }
-
-    /// Latest thaw among frozen windows covering `d`, if any.
-    fn frozen_until(&self, d: NodeId) -> Option<SimTime> {
-        self.frozen
-            .iter()
-            .filter(|w| w.contains(&self.ns, d))
-            .map(|w| w.until)
-            .max()
-    }
-
-    /// Run to completion and produce the report.
-    pub fn run(mut self) -> RunReport {
-        // Trace preamble: stream header, the setup-time tree, and the
-        // explicit authority state (static partitions applied before run).
-        if self.trace.is_some() {
-            let num_mds = self.cfg.num_mds;
-            let fallback_after = self.cfg.faults.fallback_after;
-            let level = self
-                .trace
-                .as_ref()
-                .map(|t| t.borrow().level)
-                .expect("trace checked above");
-            let heartbeat_us = self.cfg.heartbeat_interval.as_micros();
-            self.emit(SimTime::ZERO, || TraceEvent::RunStart {
-                num_mds,
-                fallback_after,
-                level,
-                heartbeat_us,
-            });
-            self.sync_dirs(SimTime::ZERO);
-            self.emit_auth_snapshot(SimTime::ZERO);
-        }
-        // Kick off every client and the heartbeat cycle.
-        for c in 0..self.clients.len() {
-            self.queue.schedule_at(SimTime::ZERO, Event::ClientNext(c));
-        }
-        self.queue
-            .schedule_at(self.cfg.heartbeat_interval, Event::Heartbeat);
-        for i in 0..self.cfg.faults.events.len() {
-            self.queue
-                .schedule_at(self.cfg.faults.events[i].at, Event::Fault(i));
-        }
-
-        let mut last_now = SimTime::ZERO;
-        while let Some((now, event)) = self.queue.pop() {
-            if now > self.cfg.max_duration {
-                break;
-            }
-            last_now = now;
-            match event {
-                Event::ClientNext(c) => self.on_client_next(c, now),
-                Event::Arrive { mds, req } => self.on_arrive(mds, req, now),
-                Event::Complete {
-                    mds,
-                    req,
-                    service_us,
-                    epoch,
-                } => self.on_complete(mds, req, service_us, epoch, now),
-                Event::Heartbeat => self.on_heartbeat(now),
-                Event::Admin(idx) => {
-                    if let Some(action) = self.admin_actions[idx].take() {
-                        action(&mut self.ns);
-                        // Admin actions mutate the namespace wholesale;
-                        // re-announce new dirs and the authority state.
-                        self.sync_dirs(now);
-                        self.emit_auth_snapshot(now);
-                    }
-                }
-                Event::Fault(idx) => self.on_fault(idx, now),
-                Event::Timeout { client, seq } => self.on_timeout(client, seq, now),
-                Event::Retry(client) => self.on_retry(client, now),
-            }
-            if self.active_clients == 0 && self.inflight == 0 {
-                break;
-            }
-        }
-        let inflight = self.inflight;
-        self.emit(last_now, || TraceEvent::RunEnd { inflight });
-        self.into_report()
-    }
-
-    fn on_client_next(&mut self, c: usize, now: SimTime) {
-        if self.clients[c].done {
-            return;
-        }
-        let stall = self.clients[c].stall_until;
-        if stall > now {
-            self.queue.schedule_at(stall, Event::ClientNext(c));
-            return;
-        }
-        let nxt = self.workload.next(c, &mut self.ns, now);
-        // The workload may have mkdir'd; keep the traced tree complete.
-        self.sync_dirs(now);
-        match nxt {
-            None => {
-                self.clients[c].done = true;
-                if self.clients[c].finished_at == SimTime::ZERO {
-                    self.clients[c].finished_at = now;
-                }
-                self.active_clients -= 1;
-            }
-            Some(op) => {
-                self.clients[c].pending = Some(op);
-                self.clients[c].attempts = 0;
-                self.issue(c, now);
-            }
-        }
-    }
-
-    /// Send the client's pending op to the MDS it routes to, arming the
-    /// request timeout when fault injection is on.
-    fn issue(&mut self, c: usize, now: SimTime) {
-        let op = self.clients[c]
-            .pending
-            .expect("issue() requires a pending op");
-        let frag = self.ns.peek_frag(op.dir);
-        self.ns.frag_owners_into(op.dir, &mut self.scratch_owners);
-        let multi_owner = self.scratch_owners.len() > 1;
-        let mds = self.clients[c].route(&self.ns, &op, frag, multi_owner);
-        self.clients[c].seq += 1;
-        let seq = self.clients[c].seq;
-        let req = Request {
-            client: c,
-            op,
-            frag,
-            issued: now,
-            forwarded: false,
-            seq,
-        };
-        self.emit_full(now, || TraceEvent::RequestIssued {
-            client: c,
-            dir: op.dir,
-            mds,
-            seq,
-        });
-        self.inflight += 1;
-        self.queue
-            .schedule_at(now + self.half_rtt(), Event::Arrive { mds, req });
-        if self.faults_active {
-            self.queue.schedule_at(
-                now + self.cfg.faults.request_timeout,
-                Event::Timeout { client: c, seq },
-            );
-        }
-    }
-
-    /// A request timeout fired. If the attempt is still outstanding, the
-    /// client declares it lost, forgets its (possibly stale) route for
-    /// the directory, and backs off exponentially before retrying.
-    fn on_timeout(&mut self, c: usize, seq: u64, now: SimTime) {
-        let client = &self.clients[c];
-        if client.seq != seq || client.pending.is_none() {
-            return; // the attempt completed (or was already superseded)
-        }
-        self.timeouts += 1;
-        self.emit_full(now, || TraceEvent::RequestTimeout { client: c, seq });
-        let client = &self.clients[c];
-        let dir = client.pending.expect("checked above").dir;
-        let attempt = client.attempts;
-        self.clients[c].attempts += 1;
-        // Re-route: the cached mapping pointed at a dead or unreachable
-        // authority; fall back to the mount authority on the next try.
-        self.clients[c].invalidate(dir);
-        let backoff = self.cfg.faults.backoff_for(attempt);
-        self.queue.schedule_at(now + backoff, Event::Retry(c));
-    }
-
-    /// The backoff elapsed: re-issue the pending op (a late reply may
-    /// have landed in the meantime, in which case there is nothing to do).
-    fn on_retry(&mut self, c: usize, now: SimTime) {
-        if self.clients[c].done || self.clients[c].pending.is_none() {
-            return;
-        }
-        self.retries += 1;
-        let attempt = self.clients[c].attempts;
-        self.emit_full(now, || TraceEvent::RequestRetry { client: c, attempt });
-        self.issue(c, now);
-    }
-
-    fn on_arrive(&mut self, mds: MdsId, mut req: Request, now: SimTime) {
-        // A crashed MDS serves nothing: the request is lost on the floor
-        // and the issuing client's timeout recovers it.
-        if !self.up[mds] {
-            self.counters[mds].dropped += 1;
-            self.inflight -= 1;
-            self.emit_full(now, || TraceEvent::Dropped {
-                mds,
-                client: req.client,
-            });
-            return;
-        }
-        // Hash placement pins each directory on first touch.
-        if self.cfg.placement == PlacementPolicy::HashDirs && self.ns.dir(req.op.dir).auth.is_none()
-        {
-            let mut target = (req.op.dir.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize
-                % self.cfg.num_mds;
-            if !self.up[target] {
-                target = 0; // never pin fresh metadata on a dead MDS
-            }
-            self.ns.set_auth(req.op.dir, Some(target));
-            self.emit(now, || TraceEvent::HashPin {
-                dir: req.op.dir,
-                mds: target,
-            });
-        }
-        // Frozen subtree (mid-migration): the request waits for the thaw.
-        // Lapsed windows are dropped eagerly so the set never accumulates.
-        self.frozen.retain(|w| w.until > now);
-        if let Some(thaw) = self.frozen_until(req.op.dir) {
-            self.emit_full(now, || TraceEvent::Deferred {
-                mds,
-                dir: req.op.dir,
-                until: thaw,
-            });
-            self.queue.schedule_at(thaw, Event::Arrive { mds, req });
-            return;
-        }
-        let frag = req.frag.min(self.ns.dir(req.op.dir).frags.len() - 1);
-        let auth = self.ns.frag_auth(req.op.dir, frag);
-        if auth != mds {
-            // Wrong MDS: pay a forward (wasted service here + a hop).
-            self.counters[mds].forwards_out += 1;
-            let fwd_us = self.cfg.costs.forward_us;
-            let start = self.next_free[mds].max(now);
-            self.next_free[mds] = start + SimTime::from_micros_f64(fwd_us);
-            self.counters[mds].busy_window_us += fwd_us;
-            req.forwarded = true;
-            self.emit_full(now, || TraceEvent::Forwarded {
-                from: mds,
-                to: auth,
-                dir: req.op.dir,
-                frag,
-                client: req.client,
-            });
-            let hop = SimTime::from_micros_f64(self.cfg.costs.forward_hop_us);
-            self.queue.schedule_at(
-                self.next_free[mds].max(now) + hop,
-                Event::Arrive { mds: auth, req },
-            );
-            return;
-        }
-        if req.forwarded {
-            self.counters[mds].forwards_in += 1;
-        } else {
-            self.counters[mds].hits += 1;
-        }
-        self.emit_full(now, || TraceEvent::Served {
-            mds,
-            client: req.client,
-            dir: req.op.dir,
-            frag,
-            kind: req.op.kind,
-            seq: req.seq,
-        });
-        self.ns
-            .frag_owners_into(req.op.dir, &mut self.scratch_owners);
-        let span = self.scratch_owners.len();
-        let mut base = self.cfg.costs.service_with_span(req.op.kind, span)
-            * self.cfg.costs.contention_factor(self.counters[mds].queued);
-        // Path traversal: right after an import the serving MDS has not
-        // yet replicated the directory's ancestor prefix, so traversals
-        // resolve remotely (and, once warm, locally again).
-        self.prefix_cold.retain(|w| w.until > now);
-        let in_cold = {
-            let ns = &self.ns;
-            self.prefix_cold.iter().any(|w| w.contains(ns, req.op.dir))
-        };
-        if in_cold {
-            if self.ns.dir(req.op.dir).parent.is_some() {
-                base *= 1.0 + self.cfg.costs.remote_prefix_penalty;
-                self.counters[mds].remote_prefix += 1;
-            }
-        } else if self.cfg.placement == PlacementPolicy::HashDirs {
-            // Hash-based placement has no subtree prefix replication
-            // (§5 "Compute it — Hashing"): every traversal whose parent
-            // lives elsewhere resolves remotely, permanently.
-            if let Some(parent) = self.ns.dir(req.op.dir).parent {
-                if self.ns.resolve_auth(parent) != mds {
-                    base *= 1.0 + self.cfg.costs.remote_prefix_penalty;
-                    self.counters[mds].remote_prefix += 1;
-                }
-            }
-        }
-        // An injected slowdown stretches every service time in its window.
-        if self.faults_active && now < self.slow_until[mds] {
-            base *= self.slow_factor[mds];
-        }
-        let service_us = (base * self.rng_service.jitter(self.cfg.costs.service_noise)).max(1.0);
-        let start = self.next_free[mds].max(now);
-        let done = start + SimTime::from_micros_f64(service_us);
-        self.next_free[mds] = done;
-        self.counters[mds].queued += 1;
-        self.queue.schedule_at(
-            done,
-            Event::Complete {
-                mds,
-                req,
-                service_us,
-                epoch: self.mds_epoch[mds],
-            },
-        );
-    }
-
-    fn on_complete(&mut self, mds: MdsId, req: Request, service_us: f64, epoch: u64, now: SimTime) {
-        // Ghost completion: the MDS crashed (and possibly restarted) after
-        // this request entered service — the reply never left the wire.
-        if !self.up[mds] || epoch != self.mds_epoch[mds] {
-            self.inflight -= 1;
-            self.emit_full(now, || TraceEvent::GhostReply { mds });
-            return;
-        }
-        self.counters[mds].queued = self.counters[mds].queued.saturating_sub(1);
-        self.counters[mds].complete_op(now, service_us);
-        let (frag_used, split) = self.ns.record_op_on(req.op.dir, req.frag, req.op.kind, now);
-        if split.is_some() {
-            self.counters[mds].splits += 1;
-            let cost = SimTime::from_micros_f64(self.cfg.costs.split_us);
-            self.next_free[mds] = self.next_free[mds].max(now) + cost;
-            self.counters[mds].busy_window_us += self.cfg.costs.split_us;
-        }
-        let reply_at = now + self.half_rtt();
-        let latency_ms = (reply_at - req.issued).as_millis_f64();
-        // Stale reply: the client timed out this attempt and has already
-        // retried (or finished via the retry). The server-side work still
-        // happened — it just counted for nothing at the client.
-        let stale = {
-            let client = &self.clients[req.client];
-            req.seq != client.seq || client.pending.is_none()
-        };
-        if stale {
-            self.emit_full(now, || TraceEvent::StaleReply {
-                mds,
-                client: req.client,
-                dir: req.op.dir,
-                frag: frag_used,
-                kind: req.op.kind,
-            });
-            self.emit_split(now, split);
-            self.inflight -= 1;
-            return;
-        }
-        self.emit_full(now, || TraceEvent::Completed {
-            mds,
-            client: req.client,
-            dir: req.op.dir,
-            frag: frag_used,
-            kind: req.op.kind,
-        });
-        self.emit_split(now, split);
-        let client = &mut self.clients[req.client];
-        client.pending = None;
-        client.learn(req.op.dir, mds);
-        client.record_completion(reply_at, latency_ms);
-        self.inflight -= 1;
-        self.queue
-            .schedule_at(reply_at, Event::ClientNext(req.client));
-    }
-
-    /// Apply one scheduled fault.
-    fn on_fault(&mut self, idx: usize, now: SimTime) {
-        match self.cfg.faults.events[idx].kind.clone() {
-            FaultKind::Crash { mds } => {
-                // MDS 0 is the mount authority and the failover target; a
-                // cluster that loses it has no root to serve from.
-                if mds == 0 || mds >= self.cfg.num_mds || !self.up[mds] {
-                    return;
-                }
-                self.up[mds] = false;
-                self.mds_epoch[mds] += 1;
-                self.counters[mds].queued = 0;
-                self.sync_dirs(now);
-                self.emit(now, || TraceEvent::MdsCrash { mds });
-                // Every subtree and dirfrag it served fails over to the
-                // mount authority; the balancers respread load from there.
-                let dirs: Vec<NodeId> = self.ns.all_dirs().collect();
-                for d in dirs {
-                    if self.ns.dir(d).auth == Some(mds) {
-                        self.ns.set_auth(d, Some(0));
-                        self.failovers += 1;
-                    }
-                    for f in 0..self.ns.dir(d).frags.len() {
-                        if self.ns.dir(d).frags[f].auth == Some(mds) {
-                            self.ns.set_frag_auth(d, f, Some(0));
-                            self.failovers += 1;
-                        }
-                    }
-                }
-            }
-            FaultKind::Restart { mds } => {
-                if mds >= self.cfg.num_mds || self.up[mds] {
-                    return;
-                }
-                self.up[mds] = true;
-                self.emit(now, || TraceEvent::MdsRestart { mds });
-                // Fresh queue, nothing owed from the previous incarnation.
-                self.next_free[mds] = now;
-            }
-            FaultKind::Slowdown {
-                mds,
-                factor,
-                duration,
-            } => {
-                if mds >= self.cfg.num_mds {
-                    return;
-                }
-                self.slow_factor[mds] = factor.max(0.0);
-                self.slow_until[mds] = now + duration;
-                self.emit(now, || TraceEvent::FaultInjected {
-                    mds,
-                    kind: "slowdown",
-                });
-            }
-            FaultKind::DropHeartbeats { mds, duration } => {
-                if mds >= self.cfg.num_mds {
-                    return;
-                }
-                self.hb_drop_until[mds] = now + duration;
-                self.emit(now, || TraceEvent::FaultInjected {
-                    mds,
-                    kind: "drop-heartbeats",
-                });
-            }
-            FaultKind::DelayHeartbeats { mds, duration } => {
-                if mds >= self.cfg.num_mds {
-                    return;
-                }
-                self.hb_delay_until[mds] = now + duration;
-                self.emit(now, || TraceEvent::FaultInjected {
-                    mds,
-                    kind: "delay-heartbeats",
-                });
-            }
-            FaultKind::PoisonBalancer { mds } => {
-                if mds >= self.cfg.num_mds {
-                    return;
-                }
-                self.poisoned[mds] = true;
-                self.emit(now, || TraceEvent::FaultInjected {
-                    mds,
-                    kind: "poison-balancer",
-                });
-            }
-        }
     }
 
     /// Record a failed balancer tick on `mds`; after
@@ -841,318 +233,980 @@ impl Cluster {
             self.emit(now, || TraceEvent::BalancerFallback { mds });
         }
     }
+}
 
-    fn on_heartbeat(&mut self, now: SimTime) {
-        // Catch the trace's namespace model up under the *old* epoch —
-        // every record carries `epoch == ticks seen so far` except the tick
-        // itself, which announces the increment.
-        self.sync_dirs(now);
-        self.hb_epoch += 1;
-        // 1. Every MDS packages up its metrics ("send HB").
-        let heartbeats = self.snapshot_heartbeats(now);
-        // Timeline + tick record before the windows roll, so the sampled
-        // queue depth / throughput are the ones the balancers will act on.
-        if let Some(t) = &self.trace {
-            let mut b = t.borrow_mut();
-            for m in 0..self.cfg.num_mds {
-                b.timeline.sample(
-                    now,
-                    m,
-                    heartbeats[m].auth_metaload,
-                    self.counters[m].queued as f64,
-                    self.counters[m].window_ops as f64,
-                );
-            }
-            let loads: Vec<f64> = heartbeats.iter().map(|h| h.auth_metaload).collect();
-            b.push(TraceRecord {
-                at: now,
-                epoch: self.hb_epoch,
-                event: TraceEvent::HeartbeatTick { loads },
-            });
-        }
-        // 2. Roll the measurement windows.
-        for c in &mut self.counters {
-            c.roll_window();
-        }
-        // 3. Every MDS runs its balancer against the (shared, already
-        //    slightly stale) snapshots and migrates ("recv HB" →
-        //    "rebalance" → "migrate").
-        for m in 0..self.cfg.num_mds {
-            // A crashed MDS neither balances nor exports.
-            if !self.up[m] {
-                continue;
-            }
-            // A poisoned balancer errors before reaching a decision.
-            if self.poisoned[m] {
-                self.note_policy_error(m, now);
-                continue;
-            }
-            let ctx = BalanceContext {
-                whoami: m,
-                heartbeats: heartbeats.clone(),
-            };
-            let plan = match self.balancers[m].decide(&ctx) {
-                Ok(Some(plan)) => plan,
-                Ok(None) => {
-                    self.consecutive_policy_errors[m] = 0;
-                    self.emit(now, || TraceEvent::BalancerTick { mds: m });
-                    continue;
-                }
-                Err(_) => {
-                    self.note_policy_error(m, now);
-                    continue;
-                }
-            };
-            let exports =
-                match plan_exports(&mut self.ns, m, self.balancers[m].as_ref(), &plan, now) {
-                    Ok(e) => e,
-                    Err(_) => {
-                        self.note_policy_error(m, now);
-                        continue;
-                    }
-                };
-            self.consecutive_policy_errors[m] = 0;
-            if self.trace.is_some() {
-                let targets = plan.targets.clone();
-                let selectors: Vec<String> = plan
-                    .selectors
-                    .iter()
-                    .map(|s| s.name().to_string())
-                    .collect();
-                let n_exports = exports.len();
-                self.emit(now, || TraceEvent::BalancerPlan {
-                    mds: m,
-                    targets,
-                    selectors,
-                    exports: n_exports,
-                });
-            }
-            for export in exports {
-                self.apply_export(m, export, now);
-            }
-        }
-        // 4. Next tick, while clients are still running.
-        if self.active_clients > 0 {
-            self.queue
-                .schedule_at(now + self.cfg.heartbeat_interval, Event::Heartbeat);
-        }
-    }
+/// The simulated cluster. Build one, optionally schedule admin actions,
+/// then [`Cluster::run`] it to completion.
+pub struct Cluster {
+    co: Coordinator,
+    shared: SharedSim,
+    shards: Vec<Mutex<Shard>>,
+    router: ShardRouter,
+    /// Conservative window width: no simulated interaction crosses shards
+    /// faster than this (the minimum of half an RTT and a forward hop).
+    lookahead: SimTime,
+}
 
-    fn snapshot_heartbeats(&mut self, now: SimTime) -> Arc<[Heartbeat]> {
-        let n = self.cfg.num_mds;
-        // Recycled accumulators: at 64+ MDSs this runs every tick and the
-        // per-tick allocations would dominate the balancer path.
-        let mut auth_load = std::mem::take(&mut self.scratch_auth_load);
-        let mut all_load = std::mem::take(&mut self.scratch_all_load);
-        auth_load.clear();
-        auth_load.resize(n, 0.0);
-        all_load.clear();
-        all_load.resize(n, 0.0);
-        // Metadata loads from the decayed counters, via each MDS's own
-        // metaload policy (evaluated on that MDS's authoritative heat).
-        if self.balancers.iter().all(|b| b.metaload_is_additive()) {
-            // Every metaload hook is linear with no constant term, so the
-            // per-MDS decayed aggregates the namespace maintains
-            // incrementally stand in for the frag-by-frag walk: O(MDSs)
-            // per tick instead of O(dirs × frags × hook evaluations).
-            let (auth_s, rep_s) = self.ns.mds_load_samples(n, now);
-            for m in 0..n {
-                let auth = match self.balancers[m].metaload(&auth_s[m]) {
-                    Ok(l) => l,
-                    Err(_) => {
-                        self.policy_errors += 1;
-                        auth_s[m].cephfs_metaload()
-                    }
-                };
-                let rep = match self.balancers[m].metaload(&rep_s[m]) {
-                    Ok(l) => l,
-                    Err(_) => {
-                        self.policy_errors += 1;
-                        rep_s[m].cephfs_metaload()
-                    }
-                };
-                auth_load[m] = auth;
-                // Replicated ancestor heat counts at the usual 0.2
-                // discount.
-                all_load[m] = auth + 0.2 * rep;
-            }
-        } else {
-            // Some hook is non-linear (or has a constant term), so sums of
-            // heat don't commute with the hook: fall back to evaluating it
-            // per dirfrag.
-            let mut dirs = std::mem::take(&mut self.scratch_dirs);
-            dirs.clear();
-            dirs.extend(self.ns.all_dirs());
-            for d in dirs.drain(..) {
-                let nfrags = self.ns.dir(d).frags.len();
-                for f in 0..nfrags {
-                    let heat = self.ns.frag_heat(d, f, now);
-                    let auth = self.ns.frag_auth(d, f);
-                    let load = match self.balancers[auth].metaload(&heat) {
-                        Ok(l) => l,
-                        Err(_) => {
-                            self.policy_errors += 1;
-                            heat.cephfs_metaload()
-                        }
-                    };
-                    auth_load[auth] += load;
-                    all_load[auth] += load;
-                    // Every MDS replicating this path prefix also "knows"
-                    // about this load.
-                    for rep in self.ns.ancestor_auth_chain(d) {
-                        if rep != auth {
-                            all_load[rep] += load * 0.2;
-                        }
-                    }
-                }
-            }
-            self.scratch_dirs = dirs;
-        }
-        let fresh: Vec<Heartbeat> = (0..n)
-            .map(|m| {
-                let cpu_raw = self.counters[m].cpu_percent(self.cfg.heartbeat_interval);
-                let cpu = (cpu_raw * self.rng_cpu.jitter(self.cfg.cpu_noise)).clamp(0.0, 100.0);
-                // Loads are instantaneous samples shipped over the wire —
-                // every reader sees them with sampling error (§2.2.2).
-                let load_jitter = self.rng_cpu.jitter(self.cfg.metaload_noise);
-                Heartbeat {
-                    auth_metaload: auth_load[m] * load_jitter,
-                    all_metaload: all_load[m] * load_jitter,
-                    cpu,
-                    mem: 20.0 + 0.5 * auth_load[m].min(100.0),
-                    queue_len: self.counters[m].queued as f64,
-                    req_rate: self.counters[m].req_rate(self.cfg.heartbeat_interval),
-                    taken_at: now,
-                }
+impl Cluster {
+    /// Build a cluster. `make_balancer` is invoked once per MDS — each MDS
+    /// runs its own independent balancer instance, as in the paper.
+    pub fn new<F>(cfg: ClusterConfig, mut workload: Box<dyn Workload>, mut make_balancer: F) -> Self
+    where
+        F: FnMut(MdsId) -> Box<dyn Balancer>,
+    {
+        let mut ns = Namespace::new(NsConfig {
+            frag_split_threshold: cfg.frag_split_threshold,
+            decay_half_life: cfg.decay_half_life,
+            index_mode: cfg.index_mode,
+            ..Default::default()
+        });
+        workload.setup(&mut ns);
+        let n = cfg.num_mds;
+        let num_clients = workload.num_clients();
+        let shards_wanted = cfg.exec_mode.shards();
+        let router = ShardRouter::new(n, num_clients, shards_wanted);
+        let master = SimRng::new(cfg.seed);
+        let balancers: Vec<Box<dyn Balancer>> = (0..n).map(&mut make_balancer).collect();
+        let balancer_name = balancers
+            .first()
+            .map(|b| b.name().to_string())
+            .unwrap_or_default();
+        let faults_active = cfg.faults.is_active();
+        // Every shard gets a fork of the post-setup workload and the
+        // contiguous slice of clients it owns; forks only ever see their
+        // own clients, so per-client op streams are partition-invariant.
+        let mut rest: Vec<ClientState> = (0..num_clients).map(ClientState::new).collect();
+        let shards: Vec<Mutex<Shard>> = (0..router.num_shards())
+            .map(|s| {
+                let take = router.clients_of_shard(s).len();
+                let remaining = rest.split_off(take);
+                let mine = std::mem::replace(&mut rest, remaining);
+                Mutex::new(Shard::new(
+                    s,
+                    &router,
+                    cfg.clone(),
+                    workload.fork(),
+                    mine,
+                    &master,
+                    false,
+                ))
             })
             .collect();
-        self.scratch_auth_load = auth_load;
-        self.scratch_all_load = all_load;
-        if !self.faults_active {
-            return fresh.into();
+        let half_rtt = SimTime::from_micros_f64(cfg.costs.rtt_us / 2.0);
+        let hop = SimTime::from_micros_f64(cfg.costs.forward_hop_us);
+        // Degenerate zero-latency configs still need forward progress.
+        let lookahead = half_rtt.min(hop).max(SimTime::from_micros(1));
+        let co = Coordinator {
+            balancers,
+            rng_cpu: master.stream("cpu-noise"),
+            globals: EventQueue::with_scheduler(cfg.scheduler),
+            admin_actions: Vec::new(),
+            policy_errors: 0,
+            poisoned: vec![false; n],
+            consecutive_policy_errors: vec![0; n],
+            hb_drop_until: vec![SimTime::ZERO; n],
+            hb_delay_until: vec![SimTime::ZERO; n],
+            hb_frozen: vec![None; n],
+            hb_published: vec![Heartbeat::default(); n],
+            balancer_name,
+            workload_name: workload.name().to_string(),
+            failovers: 0,
+            balancer_fallbacks: 0,
+            trace: None,
+            ctrace: Vec::new(),
+            coord_ctr: 0,
+            last_emit_at: SimTime::ZERO,
+            hb_epoch: 0,
+            traced_dirs: 0,
+            mig_seq: 0,
+            faults_active,
+            scratch_auth_load: Vec::new(),
+            scratch_all_load: Vec::new(),
+            scratch_dirs: Vec::new(),
+            scratch_deferred: Vec::new(),
+            scratch_touched: Vec::new(),
+            touched_seen: HashSet::new(),
+            cfg,
+        };
+        let shared = SharedSim {
+            ns,
+            up: vec![true; n],
+            mds_epoch: vec![0; n],
+            slow_factor: vec![1.0; n],
+            slow_until: vec![SimTime::ZERO; n],
+            frozen: Vec::new(),
+            prefix_cold: Vec::new(),
+            hb_epoch: 0,
+        };
+        Cluster {
+            co,
+            shared,
+            shards,
+            router,
+            lookahead,
         }
-        // Heartbeat outages: a dropped MDS's snapshot stays frozen at its
-        // last pre-window value; a delayed one lags a full interval. The
-        // fresh samples are always recorded so the window can end cleanly.
-        let mut view = fresh.clone();
-        for (m, slot) in view.iter_mut().enumerate() {
-            if now < self.hb_drop_until[m] {
-                *slot = *self.hb_frozen[m].get_or_insert(self.hb_published[m]);
-            } else {
-                self.hb_frozen[m] = None;
-                if now < self.hb_delay_until[m] {
-                    *slot = self.hb_published[m];
+    }
+
+    /// Attach a trace sink at `level` and return a handle to it. Call
+    /// before [`Cluster::run`]; after the run (which consumes the
+    /// cluster) the handle is the only owner and can be unwrapped.
+    pub fn enable_tracing(&mut self, level: TraceLevel) -> Rc<RefCell<TraceBuffer>> {
+        let buf = Rc::new(RefCell::new(TraceBuffer::new(
+            level,
+            self.co.cfg.num_mds,
+            self.co.cfg.heartbeat_interval,
+        )));
+        self.co.trace = Some(Rc::clone(&buf));
+        let full = level == TraceLevel::Full;
+        for m in &self.shards {
+            m.lock()
+                .expect("no running workers before run()")
+                .trace_full = full;
+        }
+        buf
+    }
+
+    /// Mutable access to the namespace before the run (static partitions).
+    pub fn namespace_mut(&mut self) -> &mut Namespace {
+        &mut self.shared.ns
+    }
+
+    /// Balancer hook errors recorded so far (meaningful after the run).
+    pub fn policy_errors(&self) -> u64 {
+        self.co.policy_errors
+    }
+
+    /// Schedule an administrative action (e.g. a manual repartition) at a
+    /// point in virtual time.
+    pub fn schedule_admin<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Namespace) + Send + 'static,
+    {
+        let idx = self.co.admin_actions.len();
+        self.co.admin_actions.push(Some(Box::new(action)));
+        self.co.globals.schedule_at(at, GlobalEvent::Admin(idx));
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(self) -> RunReport {
+        self.run_with_stats().0
+    }
+
+    /// Run to completion, also returning execution statistics (thread
+    /// count, windows, per-shard event/message/barrier-stall breakdown).
+    /// The [`RunReport`] is identical in every [`ExecMode`]; the
+    /// [`ExecStats`] are a wall-clock side channel.
+    pub fn run_with_stats(mut self) -> (RunReport, ExecStats) {
+        let k = self.router.num_shards();
+        let trace_on = self.co.trace.is_some();
+        // Trace preamble: stream header, the setup-time tree, and the
+        // explicit authority state (static partitions applied before run).
+        if trace_on {
+            let num_mds = self.co.cfg.num_mds;
+            let fallback_after = self.co.cfg.faults.fallback_after;
+            let level = self
+                .co
+                .trace
+                .as_ref()
+                .map(|t| t.borrow().level)
+                .expect("trace checked above");
+            let heartbeat_us = self.co.cfg.heartbeat_interval.as_micros();
+            self.co.emit(SimTime::ZERO, || TraceEvent::RunStart {
+                num_mds,
+                fallback_after,
+                level,
+                heartbeat_us,
+            });
+            let ns = std::mem::take(&mut self.shared.ns);
+            self.co.sync_dirs(&ns, SimTime::ZERO);
+            self.co.emit_auth_snapshot(&ns, SimTime::ZERO);
+            self.shared.ns = ns;
+        }
+        // Kick off every client (client-rank keys preserve global client
+        // order for the time-zero ties) and the heartbeat cycle.
+        for m in &self.shards {
+            let mut g = m.lock().expect("no workers yet");
+            for c in self.router.clients_of_shard(g.id) {
+                let key = g.client_key(c);
+                g.queue
+                    .schedule_at_key(SimTime::ZERO, key, Event::ClientNext(c));
+            }
+        }
+        self.co
+            .globals
+            .schedule_at(self.co.cfg.heartbeat_interval, GlobalEvent::Heartbeat);
+        for i in 0..self.co.cfg.faults.events.len() {
+            let at = self.co.cfg.faults.events[i].at;
+            self.co.globals.schedule_at(at, GlobalEvent::Fault(i));
+        }
+
+        let mut stats = ExecStats {
+            threads: k,
+            windows: 0,
+            exclusive_events: 0,
+            shards: Vec::new(),
+        };
+        let shared = RwLock::new(self.shared);
+        let last_now = {
+            let co = &mut self.co;
+            let shards = &self.shards[..];
+            let router = &self.router;
+            let lookahead = self.lookahead;
+            match co.cfg.exec_mode {
+                ExecMode::Single => {
+                    let mut run_window = |window_end: SimTime| {
+                        let sh = shared.read().expect("sim lock");
+                        for m in shards {
+                            m.lock()
+                                .expect("shard lock")
+                                .process_window(&sh, router, window_end);
+                        }
+                    };
+                    run_loop(
+                        co,
+                        &shared,
+                        shards,
+                        router,
+                        lookahead,
+                        &mut stats,
+                        &mut run_window,
+                    )
+                }
+                ExecMode::Sharded { .. } => {
+                    // Thread-per-shard: workers park on a start barrier,
+                    // read the window command, drain their slice, and park
+                    // on the end barrier while the coordinator applies the
+                    // barrier effects. `u64::MAX` terminates.
+                    let cmd = AtomicU64::new(0);
+                    let start = SpinBarrier::new(k + 1);
+                    let end = SpinBarrier::new(k + 1);
+                    std::thread::scope(|scope| {
+                        for m in shards {
+                            let (shared, cmd, start, end) = (&shared, &cmd, &start, &end);
+                            scope.spawn(move || loop {
+                                let t0 = std::time::Instant::now();
+                                start.wait();
+                                let wait_ns = t0.elapsed().as_nanos() as u64;
+                                let c = cmd.load(Ordering::Acquire);
+                                if c == u64::MAX {
+                                    break;
+                                }
+                                let sh = shared.read().expect("sim lock");
+                                let mut g = m.lock().expect("shard lock");
+                                g.stats.barrier_wait_ns += wait_ns;
+                                g.process_window(&sh, router, SimTime::from_micros(c));
+                                drop(g);
+                                drop(sh);
+                                end.wait();
+                            });
+                        }
+                        let mut run_window = |window_end: SimTime| {
+                            cmd.store(window_end.as_micros(), Ordering::Release);
+                            start.wait();
+                            end.wait();
+                        };
+                        let res = run_loop(
+                            co,
+                            &shared,
+                            shards,
+                            router,
+                            lookahead,
+                            &mut stats,
+                            &mut run_window,
+                        );
+                        cmd.store(u64::MAX, Ordering::Release);
+                        start.wait();
+                        res
+                    })
+                }
+            }
+        };
+        let _shared = shared.into_inner().expect("workers joined");
+        let mut shard_objs: Vec<Shard> = self
+            .shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("workers joined"))
+            .collect();
+        let inflight: i64 = shard_objs.iter().map(|s| s.inflight).sum();
+        let mut co = self.co;
+        if trace_on {
+            // RunEnd is the stream trailer: it must sort after everything,
+            // including barrier emissions stamped past the last event.
+            let end_at = last_now.max(co.last_emit_at);
+            let inflight = inflight.max(0) as usize;
+            co.ctrace.push((
+                (end_at, u64::MAX, 0),
+                TraceRecord {
+                    at: end_at,
+                    epoch: co.hb_epoch,
+                    event: TraceEvent::RunEnd { inflight },
+                },
+            ));
+            // Merge every per-shard slice with the coordinator's records.
+            // Keys are globally unique, so the sort is a total order — the
+            // exact sequence a sequential engine would have emitted.
+            let mut all = std::mem::take(&mut co.ctrace);
+            for s in &mut shard_objs {
+                all.append(&mut s.trace);
+            }
+            all.sort_unstable_by_key(|(k, _)| *k);
+            let sink = co.trace.as_ref().expect("trace checked above");
+            let mut buf = sink.borrow_mut();
+            for (_, r) in all {
+                buf.push(r);
+            }
+        }
+        stats.shards = shard_objs.iter().map(|s| s.stats).collect();
+        (into_report(co, shard_objs), stats)
+    }
+}
+
+/// The shared window scheduler. `run_window` executes one window over
+/// every shard (inline or via worker threads); everything else — gather,
+/// exclusive global steps, barriers — is identical in both modes.
+/// Returns the timestamp of the last processed event.
+fn run_loop(
+    co: &mut Coordinator,
+    shared: &RwLock<SharedSim>,
+    shards: &[Mutex<Shard>],
+    router: &ShardRouter,
+    lookahead: SimTime,
+    stats: &mut ExecStats,
+    run_window: &mut dyn FnMut(SimTime),
+) -> SimTime {
+    let max_d = co.cfg.max_duration;
+    // Events at exactly `max_duration` still run (strict-less windows).
+    let hard_end = max_d + SimTime::from_micros(1);
+    let mut last_now = SimTime::ZERO;
+    loop {
+        // Gather: next event time, liveness, and conservation counts.
+        let mut t_shard: Option<SimTime> = None;
+        let mut active = 0usize;
+        let mut inflight = 0i64;
+        for m in shards {
+            let g = m.lock().expect("shard lock");
+            if let Some(t) = g.queue.peek_time() {
+                t_shard = Some(t_shard.map_or(t, |x: SimTime| x.min(t)));
+            }
+            active += g.active;
+            inflight += g.inflight;
+            if g.last_event > last_now {
+                last_now = g.last_event;
+            }
+        }
+        if active == 0 && inflight == 0 {
+            break;
+        }
+        let t_glob = co.globals.peek_time();
+        let t_min = match (t_shard, t_glob) {
+            (None, None) => break,
+            (a, b) => a.into_iter().chain(b).min().expect("one is Some"),
+        };
+        if t_min > max_d {
+            break;
+        }
+        // Globals run exclusively, winning same-instant ties — the
+        // heartbeat at T sees the world as of T, before events at T.
+        let global_first = match (t_glob, t_shard) {
+            (Some(tg), Some(ts)) => tg <= ts,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if global_first {
+            let (tg, gev) = co.globals.pop().expect("peeked above");
+            last_now = last_now.max(tg);
+            let mut sh = shared.write().expect("sim lock");
+            let mut guards: Vec<MutexGuard<Shard>> = shards
+                .iter()
+                .map(|m| m.lock().expect("shard lock"))
+                .collect();
+            exclusive_step(co, &mut sh, &mut guards, router, gev, tg);
+            stats.exclusive_events += 1;
+        } else {
+            let base = t_shard.expect("not global_first");
+            let mut window_end = (base + lookahead).min(hard_end);
+            if let Some(tg) = t_glob {
+                window_end = window_end.min(tg);
+            }
+            run_window(window_end);
+            stats.windows += 1;
+            let mut sh = shared.write().expect("sim lock");
+            let mut guards: Vec<MutexGuard<Shard>> = shards
+                .iter()
+                .map(|m| m.lock().expect("shard lock"))
+                .collect();
+            barrier_apply(co, &mut sh, &mut guards, router, window_end);
+        }
+    }
+    last_now
+}
+
+/// Resolve the shard owning MDS `m` out of the full guard set.
+fn mds_shard<'a, 'g>(
+    shards: &'a mut [MutexGuard<'g, Shard>],
+    router: &ShardRouter,
+    m: MdsId,
+) -> &'a mut Shard {
+    &mut shards[router.shard_of_mds(m)]
+}
+
+/// Window barrier: apply the window's deferred namespace mutations in
+/// global `(time, key)` order, run fragment splits, deliver cross-shard
+/// messages, and purge lapsed freeze/cold windows. Runs with every shard
+/// locked and exclusive access to [`SharedSim`]; its effects are a pure
+/// function of the merged per-shard outputs, so they are identical no
+/// matter how many shards produced them.
+fn barrier_apply(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    window_end: SimTime,
+) {
+    // Phase A — heat/size charges and hash pins, in the order a
+    // sequential engine would have applied them. Splits are deliberately
+    // excluded (phase B) so every charge in this window lands on the
+    // fragment layout the shards routed against.
+    let mut ops = std::mem::take(&mut co.scratch_deferred);
+    ops.clear();
+    for g in shards.iter_mut() {
+        ops.append(&mut g.deferred);
+    }
+    ops.sort_unstable_by_key(|d| (d.at, d.key));
+    let mut touched = std::mem::take(&mut co.scratch_touched);
+    let mut seen = std::mem::take(&mut co.touched_seen);
+    touched.clear();
+    seen.clear();
+    for d in ops.drain(..) {
+        match d.op {
+            NsOp::Record { dir, frag, kind } => {
+                sh.ns.record_op_no_split(dir, frag, kind, d.at);
+                if seen.insert(dir) {
+                    touched.push(dir);
+                }
+            }
+            NsOp::Pin { dir, mds } => {
+                // First arrival (in key order) wins; later deferred pins
+                // for the same dir are no-ops, exactly like the second
+                // arrival in a sequential run.
+                if sh.ns.dir(dir).auth.is_none() {
+                    sh.ns.set_auth(dir, Some(mds));
+                    co.emit(window_end, || TraceEvent::HashPin { dir, mds });
                 }
             }
         }
-        self.hb_published = fresh;
-        view.into()
     }
-
-    fn apply_export(&mut self, from: MdsId, export: Export, now: SimTime) {
-        let to = export.to;
-        if to >= self.cfg.num_mds || to == from || !self.up[to] {
-            return;
+    co.scratch_deferred = ops;
+    // Phase B — fragment splits for every directory charged this window.
+    // The split work is billed to the fragment's authority, which is the
+    // MDS that was serving those ops.
+    for dir in touched.drain(..) {
+        while let Some(se) = sh.ns.check_split(dir, window_end) {
+            co.emit(window_end, || TraceEvent::FragSplit {
+                dir,
+                frag: se.frag,
+                ways: se.ways,
+                resulting_frags: se.resulting_frags,
+            });
+            let auth = sh.ns.frag_auth(dir, se.resulting_frags - 1);
+            let split_us = co.cfg.costs.split_us;
+            let g = mds_shard(shards, router, auth);
+            let c = g.counters_mut(auth);
+            c.splits += 1;
+            c.busy_window_us += split_us;
+            let l = auth - g.mds_lo;
+            g.next_free[l] = g.next_free[l].max(window_end) + SimTime::from_micros_f64(split_us);
         }
-        // The checker replays migrations against its namespace model; make
-        // sure every directory the walk can touch is already in the trace.
-        self.sync_dirs(now);
-        let watermark = self.ns.dir_count() as u32;
-        let frag_unit = match export.unit {
-            ExportUnit::Frag(_, f) => Some(f),
-            ExportUnit::Subtree(_) => None,
+    }
+    co.scratch_touched = touched;
+    co.touched_seen = seen;
+    // Deliver cross-shard messages. Order is irrelevant — every message
+    // carries its total-order `(at, key)` and queues sort on it.
+    let mut bin: Vec<crate::shard::CrossShardMsg> = Vec::new();
+    for s in 0..shards.len() {
+        for t in 0..shards.len() {
+            if t == s || shards[s].outbox[t].is_empty() {
+                continue;
+            }
+            std::mem::swap(&mut bin, &mut shards[s].outbox[t]);
+            for msg in bin.drain(..) {
+                shards[t].queue.schedule_at_key(msg.at, msg.key, msg.event);
+            }
+            std::mem::swap(&mut bin, &mut shards[s].outbox[t]);
+        }
+    }
+    // Lapsed freeze / cold-prefix windows can only be purged here —
+    // in-window readers filter by `until` and never mutate the shared set.
+    sh.frozen.retain(|w| w.until > window_end);
+    sh.prefix_cold.retain(|w| w.until > window_end);
+}
+
+/// Run one global (control-plane) event with exclusive access to the
+/// whole simulation. Globals never overlap windows, so everything here
+/// reads and writes as freely as the old sequential engine did.
+fn exclusive_step(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    ev: GlobalEvent,
+    now: SimTime,
+) {
+    match ev {
+        GlobalEvent::Heartbeat => on_heartbeat(co, sh, shards, router, now),
+        GlobalEvent::Admin(idx) => {
+            if let Some(action) = co.admin_actions[idx].take() {
+                action(&mut sh.ns);
+                // Admin actions mutate the namespace wholesale;
+                // re-announce new dirs and the authority state.
+                co.sync_dirs(&sh.ns, now);
+                co.emit_auth_snapshot(&sh.ns, now);
+            }
+        }
+        GlobalEvent::Fault(idx) => on_fault(co, sh, shards, router, idx, now),
+    }
+}
+
+/// Apply one scheduled fault.
+fn on_fault(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    idx: usize,
+    now: SimTime,
+) {
+    match co.cfg.faults.events[idx].kind.clone() {
+        FaultKind::Crash { mds } => {
+            // MDS 0 is the mount authority and the failover target; a
+            // cluster that loses it has no root to serve from.
+            if mds == 0 || mds >= co.cfg.num_mds || !sh.up[mds] {
+                return;
+            }
+            sh.up[mds] = false;
+            sh.mds_epoch[mds] += 1;
+            mds_shard(shards, router, mds).counters_mut(mds).queued = 0;
+            co.sync_dirs(&sh.ns, now);
+            co.emit(now, || TraceEvent::MdsCrash { mds });
+            // Every subtree and dirfrag it served fails over to the
+            // mount authority; the balancers respread load from there.
+            let dirs: Vec<NodeId> = sh.ns.all_dirs().collect();
+            for d in dirs {
+                if sh.ns.dir(d).auth == Some(mds) {
+                    sh.ns.set_auth(d, Some(0));
+                    co.failovers += 1;
+                }
+                for f in 0..sh.ns.dir(d).frags.len() {
+                    if sh.ns.dir(d).frags[f].auth == Some(mds) {
+                        sh.ns.set_frag_auth(d, f, Some(0));
+                        co.failovers += 1;
+                    }
+                }
+            }
+        }
+        FaultKind::Restart { mds } => {
+            if mds >= co.cfg.num_mds || sh.up[mds] {
+                return;
+            }
+            sh.up[mds] = true;
+            co.emit(now, || TraceEvent::MdsRestart { mds });
+            // Fresh queue, nothing owed from the previous incarnation.
+            let g = mds_shard(shards, router, mds);
+            let l = mds - g.mds_lo;
+            g.next_free[l] = now;
+        }
+        FaultKind::Slowdown {
+            mds,
+            factor,
+            duration,
+        } => {
+            if mds >= co.cfg.num_mds {
+                return;
+            }
+            sh.slow_factor[mds] = factor.max(0.0);
+            sh.slow_until[mds] = now + duration;
+            co.emit(now, || TraceEvent::FaultInjected {
+                mds,
+                kind: "slowdown",
+            });
+        }
+        FaultKind::DropHeartbeats { mds, duration } => {
+            if mds >= co.cfg.num_mds {
+                return;
+            }
+            co.hb_drop_until[mds] = now + duration;
+            co.emit(now, || TraceEvent::FaultInjected {
+                mds,
+                kind: "drop-heartbeats",
+            });
+        }
+        FaultKind::DelayHeartbeats { mds, duration } => {
+            if mds >= co.cfg.num_mds {
+                return;
+            }
+            co.hb_delay_until[mds] = now + duration;
+            co.emit(now, || TraceEvent::FaultInjected {
+                mds,
+                kind: "delay-heartbeats",
+            });
+        }
+        FaultKind::PoisonBalancer { mds } => {
+            if mds >= co.cfg.num_mds {
+                return;
+            }
+            co.poisoned[mds] = true;
+            co.emit(now, || TraceEvent::FaultInjected {
+                mds,
+                kind: "poison-balancer",
+            });
+        }
+    }
+}
+
+/// Cluster-wide heartbeat + balancer tick.
+fn on_heartbeat(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    now: SimTime,
+) {
+    // Catch the trace's namespace model up under the *old* epoch —
+    // every record carries `epoch == ticks seen so far` except the tick
+    // itself, which announces the increment.
+    co.sync_dirs(&sh.ns, now);
+    co.hb_epoch += 1;
+    sh.hb_epoch = co.hb_epoch;
+    // 1. Every MDS packages up its metrics ("send HB").
+    let heartbeats = snapshot_heartbeats(co, sh, shards, router, now);
+    // Timeline + tick record before the windows roll, so the sampled
+    // queue depth / throughput are the ones the balancers will act on.
+    if let Some(t) = &co.trace {
+        let mut b = t.borrow_mut();
+        for m in 0..co.cfg.num_mds {
+            let g = &shards[router.shard_of_mds(m)];
+            let c = &g.counters[m - g.mds_lo];
+            b.timeline.sample(
+                now,
+                m,
+                heartbeats[m].auth_metaload,
+                c.queued as f64,
+                c.window_ops as f64,
+            );
+        }
+    }
+    if co.trace.is_some() {
+        let loads: Vec<f64> = heartbeats.iter().map(|h| h.auth_metaload).collect();
+        co.emit(now, || TraceEvent::HeartbeatTick { loads });
+    }
+    // 2. Roll the measurement windows.
+    for g in shards.iter_mut() {
+        for c in &mut g.counters {
+            c.roll_window();
+        }
+    }
+    // 3. Every MDS runs its balancer against the (shared, already
+    //    slightly stale) snapshots and migrates ("recv HB" →
+    //    "rebalance" → "migrate").
+    for m in 0..co.cfg.num_mds {
+        // A crashed MDS neither balances nor exports.
+        if !sh.up[m] {
+            continue;
+        }
+        // A poisoned balancer errors before reaching a decision.
+        if co.poisoned[m] {
+            co.note_policy_error(m, now);
+            continue;
+        }
+        let ctx = BalanceContext {
+            whoami: m,
+            heartbeats: heartbeats.clone(),
         };
-        // The moved region: the whole (bounded) subtree for a subtree
-        // export, just the fragmented dir otherwise. The migration walk
-        // reports the inode count and the authority holes in one pass.
-        let (root, root_only, migration) = match export.unit {
-            ExportUnit::Subtree(d) => (d, false, self.ns.migrate_subtree(d, to)),
-            ExportUnit::Frag(d, f) => {
-                let inodes = self.ns.migrate_frag(d, f, to);
-                (
-                    d,
-                    true,
-                    SubtreeMigration {
-                        inodes,
-                        holes: Vec::new(),
-                    },
-                )
+        let plan = match co.balancers[m].decide(&ctx) {
+            Ok(Some(plan)) => plan,
+            Ok(None) => {
+                co.consecutive_policy_errors[m] = 0;
+                co.emit(now, || TraceEvent::BalancerTick { mds: m });
+                continue;
+            }
+            Err(_) => {
+                co.note_policy_error(m, now);
+                continue;
             }
         };
-        let moved = migration.inodes;
-        let region = SubtreeWindow {
-            root,
-            holes: migration.holes,
-            watermark,
-            root_only,
-            until: SimTime::ZERO,
+        let exports = match plan_exports(&mut sh.ns, m, co.balancers[m].as_ref(), &plan, now) {
+            Ok(e) => e,
+            Err(_) => {
+                co.note_policy_error(m, now);
+                continue;
+            }
         };
-        // Two-phase commit: the subtree freezes while the importer
-        // journals the metadata. Requests to *any* directory inside the
-        // moving subtree — not only its root — defer to the thaw.
-        let freeze_us = self.cfg.costs.migrate_freeze_us(moved);
-        let thaw = now + SimTime::from_micros_f64(freeze_us);
-        self.frozen.push(SubtreeWindow {
+        co.consecutive_policy_errors[m] = 0;
+        if co.trace.is_some() {
+            let targets = plan.targets.clone();
+            let selectors: Vec<String> = plan
+                .selectors
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect();
+            let n_exports = exports.len();
+            co.emit(now, || TraceEvent::BalancerPlan {
+                mds: m,
+                targets,
+                selectors,
+                exports: n_exports,
+            });
+        }
+        for export in exports {
+            apply_export(co, sh, shards, router, m, export, now);
+        }
+    }
+    // 4. Next tick, while clients are still running.
+    let active: usize = shards.iter().map(|g| g.active).sum();
+    if active > 0 {
+        co.globals
+            .schedule_at(now + co.cfg.heartbeat_interval, GlobalEvent::Heartbeat);
+    }
+}
+
+fn snapshot_heartbeats(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    now: SimTime,
+) -> Arc<[Heartbeat]> {
+    let n = co.cfg.num_mds;
+    // Recycled accumulators: at 64+ MDSs this runs every tick and the
+    // per-tick allocations would dominate the balancer path.
+    let mut auth_load = std::mem::take(&mut co.scratch_auth_load);
+    let mut all_load = std::mem::take(&mut co.scratch_all_load);
+    auth_load.clear();
+    auth_load.resize(n, 0.0);
+    all_load.clear();
+    all_load.resize(n, 0.0);
+    // Metadata loads from the decayed counters, via each MDS's own
+    // metaload policy (evaluated on that MDS's authoritative heat).
+    if co.balancers.iter().all(|b| b.metaload_is_additive()) {
+        // Every metaload hook is linear with no constant term, so the
+        // per-MDS decayed aggregates the namespace maintains
+        // incrementally stand in for the frag-by-frag walk: O(MDSs)
+        // per tick instead of O(dirs × frags × hook evaluations).
+        let (auth_s, rep_s) = sh.ns.mds_load_samples(n, now);
+        for m in 0..n {
+            let auth = match co.balancers[m].metaload(&auth_s[m]) {
+                Ok(l) => l,
+                Err(_) => {
+                    co.policy_errors += 1;
+                    auth_s[m].cephfs_metaload()
+                }
+            };
+            let rep = match co.balancers[m].metaload(&rep_s[m]) {
+                Ok(l) => l,
+                Err(_) => {
+                    co.policy_errors += 1;
+                    rep_s[m].cephfs_metaload()
+                }
+            };
+            auth_load[m] = auth;
+            // Replicated ancestor heat counts at the usual 0.2
+            // discount.
+            all_load[m] = auth + 0.2 * rep;
+        }
+    } else {
+        // Some hook is non-linear (or has a constant term), so sums of
+        // heat don't commute with the hook: fall back to evaluating it
+        // per dirfrag.
+        let mut dirs = std::mem::take(&mut co.scratch_dirs);
+        dirs.clear();
+        dirs.extend(sh.ns.all_dirs());
+        for d in dirs.drain(..) {
+            let nfrags = sh.ns.dir(d).frags.len();
+            for f in 0..nfrags {
+                let heat = sh.ns.frag_heat(d, f, now);
+                let auth = sh.ns.frag_auth(d, f);
+                let load = match co.balancers[auth].metaload(&heat) {
+                    Ok(l) => l,
+                    Err(_) => {
+                        co.policy_errors += 1;
+                        heat.cephfs_metaload()
+                    }
+                };
+                auth_load[auth] += load;
+                all_load[auth] += load;
+                // Every MDS replicating this path prefix also "knows"
+                // about this load.
+                for rep in sh.ns.ancestor_auth_chain(d) {
+                    if rep != auth {
+                        all_load[rep] += load * 0.2;
+                    }
+                }
+            }
+        }
+        co.scratch_dirs = dirs;
+    }
+    let fresh: Vec<Heartbeat> = (0..n)
+        .map(|m| {
+            let g = &shards[router.shard_of_mds(m)];
+            let c = &g.counters[m - g.mds_lo];
+            let cpu_raw = c.cpu_percent(co.cfg.heartbeat_interval);
+            let cpu = (cpu_raw * co.rng_cpu.jitter(co.cfg.cpu_noise)).clamp(0.0, 100.0);
+            // Loads are instantaneous samples shipped over the wire —
+            // every reader sees them with sampling error (§2.2.2).
+            let load_jitter = co.rng_cpu.jitter(co.cfg.metaload_noise);
+            Heartbeat {
+                auth_metaload: auth_load[m] * load_jitter,
+                all_metaload: all_load[m] * load_jitter,
+                cpu,
+                mem: 20.0 + 0.5 * auth_load[m].min(100.0),
+                queue_len: c.queued as f64,
+                req_rate: c.req_rate(co.cfg.heartbeat_interval),
+                taken_at: now,
+            }
+        })
+        .collect();
+    co.scratch_auth_load = auth_load;
+    co.scratch_all_load = all_load;
+    if !co.faults_active {
+        return fresh.into();
+    }
+    // Heartbeat outages: a dropped MDS's snapshot stays frozen at its
+    // last pre-window value; a delayed one lags a full interval. The
+    // fresh samples are always recorded so the window can end cleanly.
+    let mut view = fresh.clone();
+    for (m, slot) in view.iter_mut().enumerate() {
+        if now < co.hb_drop_until[m] {
+            *slot = *co.hb_frozen[m].get_or_insert(co.hb_published[m]);
+        } else {
+            co.hb_frozen[m] = None;
+            if now < co.hb_delay_until[m] {
+                *slot = co.hb_published[m];
+            }
+        }
+    }
+    co.hb_published = fresh;
+    view.into()
+}
+
+fn apply_export(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    from: MdsId,
+    export: Export,
+    now: SimTime,
+) {
+    let to = export.to;
+    if to >= co.cfg.num_mds || to == from || !sh.up[to] {
+        return;
+    }
+    // The checker replays migrations against its namespace model; make
+    // sure every directory the walk can touch is already in the trace.
+    co.sync_dirs(&sh.ns, now);
+    let watermark = sh.ns.dir_count() as u32;
+    let frag_unit = match export.unit {
+        ExportUnit::Frag(_, f) => Some(f),
+        ExportUnit::Subtree(_) => None,
+    };
+    // The moved region: the whole (bounded) subtree for a subtree
+    // export, just the fragmented dir otherwise. The migration walk
+    // reports the inode count and the authority holes in one pass.
+    let (root, root_only, migration) = match export.unit {
+        ExportUnit::Subtree(d) => (d, false, sh.ns.migrate_subtree(d, to)),
+        ExportUnit::Frag(d, f) => {
+            let inodes = sh.ns.migrate_frag(d, f, to);
+            (
+                d,
+                true,
+                SubtreeMigration {
+                    inodes,
+                    holes: Vec::new(),
+                },
+            )
+        }
+    };
+    let moved = migration.inodes;
+    let region = SubtreeWindow {
+        root,
+        holes: migration.holes,
+        watermark,
+        root_only,
+        until: SimTime::ZERO,
+    };
+    // Two-phase commit: the subtree freezes while the importer
+    // journals the metadata. Requests to *any* directory inside the
+    // moving subtree — not only its root — defer to the thaw.
+    let freeze_us = co.cfg.costs.migrate_freeze_us(moved);
+    let thaw = now + SimTime::from_micros_f64(freeze_us);
+    sh.frozen.push(SubtreeWindow {
+        until: thaw,
+        ..region.clone()
+    });
+    // Importer and exporter both journal (busy time on each).
+    let journal_us = freeze_us / 4.0;
+    if co.trace.is_some() {
+        co.mig_seq += 1;
+        let mig = co.mig_seq;
+        let holes = region.holes.clone();
+        co.emit(now, || TraceEvent::MigrationFreeze {
+            mig,
+            from,
+            to,
+            root,
+            frag: frag_unit,
+            holes,
+            watermark,
             until: thaw,
-            ..region.clone()
         });
-        // Importer and exporter both journal (busy time on each).
-        let journal_us = freeze_us / 4.0;
-        if self.trace.is_some() {
-            self.mig_seq += 1;
-            let mig = self.mig_seq;
-            let holes = region.holes.clone();
-            self.emit(now, || TraceEvent::MigrationFreeze {
-                mig,
-                from,
-                to,
-                root,
-                frag: frag_unit,
-                holes,
-                watermark,
-                until: thaw,
-            });
-            self.emit(now, || TraceEvent::MigrationJournal {
-                mig,
-                mds: from,
-                micros: journal_us,
-            });
-            self.emit(now, || TraceEvent::MigrationJournal {
-                mig,
-                mds: to,
-                micros: journal_us,
-            });
-            self.emit(now, || TraceEvent::MigrationCommit {
-                mig,
-                from,
-                to,
-                root,
-                frag: frag_unit,
-                inodes: moved,
-            });
-            self.emit(now, || TraceEvent::MigrationUnfreeze { mig, root, thaw });
-        }
-        for &m in &[from, export.to] {
-            self.next_free[m] = self.next_free[m].max(now) + SimTime::from_micros_f64(journal_us);
-            self.counters[m].busy_window_us += journal_us;
-        }
-        self.counters[from].migrations_out += 1;
-        self.counters[from].inodes_exported += moved;
-        // The importer's ancestor-prefix replicas need to warm up; the
-        // exported subtree's own directories are cold too.
-        let warm = now + SimTime::from_micros_f64(self.cfg.costs.prefix_warmup_us);
-        self.prefix_cold.push(SubtreeWindow {
-            until: warm,
-            ..region.clone()
+        co.emit(now, || TraceEvent::MigrationJournal {
+            mig,
+            mds: from,
+            micros: journal_us,
         });
-        // Session flushes: every active client halts updates on the moved
-        // directories and re-syncs (§4.1). The whole migrated subtree is
-        // forgotten — a cache entry for a child dir is as stale as one for
-        // the root.
-        let flush = SimTime::from_micros_f64(self.cfg.costs.session_flush_us);
-        let mut flushed = 0;
-        let ns = &self.ns;
-        for c in &mut self.clients {
+        co.emit(now, || TraceEvent::MigrationJournal {
+            mig,
+            mds: to,
+            micros: journal_us,
+        });
+        co.emit(now, || TraceEvent::MigrationCommit {
+            mig,
+            from,
+            to,
+            root,
+            frag: frag_unit,
+            inodes: moved,
+        });
+        co.emit(now, || TraceEvent::MigrationUnfreeze { mig, root, thaw });
+    }
+    for &m in &[from, to] {
+        let g = mds_shard(shards, router, m);
+        let l = m - g.mds_lo;
+        g.next_free[l] = g.next_free[l].max(now) + SimTime::from_micros_f64(journal_us);
+        g.counters[l].busy_window_us += journal_us;
+    }
+    {
+        let g = mds_shard(shards, router, from);
+        let l = from - g.mds_lo;
+        g.counters[l].migrations_out += 1;
+        g.counters[l].inodes_exported += moved;
+    }
+    // The importer's ancestor-prefix replicas need to warm up; the
+    // exported subtree's own directories are cold too.
+    let warm = now + SimTime::from_micros_f64(co.cfg.costs.prefix_warmup_us);
+    sh.prefix_cold.push(SubtreeWindow {
+        until: warm,
+        ..region.clone()
+    });
+    // Session flushes: every active client halts updates on the moved
+    // directories and re-syncs (§4.1). The whole migrated subtree is
+    // forgotten — a cache entry for a child dir is as stale as one for
+    // the root.
+    let flush = SimTime::from_micros_f64(co.cfg.costs.session_flush_us);
+    let mut flushed = 0;
+    let ns = &sh.ns;
+    for g in shards.iter_mut() {
+        for c in &mut g.clients {
             if !c.done {
                 c.invalidate_matching(|d| region.contains(ns, d));
                 let until = now + flush;
@@ -1162,69 +1216,84 @@ impl Cluster {
                 flushed += 1;
             }
         }
-        self.counters[from].sessions_flushed += flushed;
-        self.emit(now, || TraceEvent::SessionFlush {
-            mds: from,
-            clients: flushed,
-        });
     }
+    mds_shard(shards, router, from)
+        .counters_mut(from)
+        .sessions_flushed += flushed;
+    co.emit(now, || TraceEvent::SessionFlush {
+        mds: from,
+        clients: flushed,
+    });
+}
 
-    fn into_report(self) -> RunReport {
-        let makespan = self
-            .clients
-            .iter()
-            .map(|c| c.finished_at)
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let sessions: u64 = self.counters.iter().map(|c| c.sessions_flushed).sum();
-        RunReport {
-            balancer: self.balancer_name,
-            workload: self.workload.name().to_string(),
-            num_mds: self.cfg.num_mds,
-            seed: self.cfg.seed,
-            makespan,
-            mds: self
-                .counters
-                .into_iter()
-                .map(|c| MdsReport {
-                    total_ops: c.completed.total(),
-                    throughput: c.completed,
-                    hits: c.hits,
-                    forwards_out: c.forwards_out,
-                    forwards_in: c.forwards_in,
-                    migrations_out: c.migrations_out,
-                    inodes_exported: c.inodes_exported,
-                    sessions_flushed: c.sessions_flushed,
-                    splits: c.splits,
-                    remote_prefix: c.remote_prefix,
-                    dropped: c.dropped,
-                })
-                .collect(),
-            clients: self
-                .clients
-                .into_iter()
-                .map(|c| ClientReport {
-                    completed: c.completed,
-                    finished_at: c.finished_at,
-                    latency: Summary::of(&c.latencies),
-                })
-                .collect(),
-            sessions_flushed: sessions,
-            timeouts: self.timeouts,
-            retries: self.retries,
-            failovers: self.failovers,
-            balancer_fallbacks: self.balancer_fallbacks,
-        }
+/// Assemble the report from the coordinator and the drained shards.
+/// Shards own contiguous id slices in order, so concatenating their
+/// counters/clients reproduces the global id order.
+fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
+    let mut counters: Vec<MdsCounters> = Vec::new();
+    let mut clients: Vec<ClientState> = Vec::new();
+    let mut timeouts = 0u64;
+    let mut retries = 0u64;
+    for s in shards {
+        counters.extend(s.counters);
+        clients.extend(s.clients);
+        timeouts += s.timeouts;
+        retries += s.retries;
+    }
+    let makespan = clients
+        .iter()
+        .map(|c| c.finished_at)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let sessions: u64 = counters.iter().map(|c| c.sessions_flushed).sum();
+    RunReport {
+        balancer: co.balancer_name,
+        workload: co.workload_name,
+        num_mds: co.cfg.num_mds,
+        seed: co.cfg.seed,
+        makespan,
+        mds: counters
+            .into_iter()
+            .map(|c| MdsReport {
+                total_ops: c.completed.total(),
+                throughput: c.completed,
+                hits: c.hits,
+                forwards_out: c.forwards_out,
+                forwards_in: c.forwards_in,
+                migrations_out: c.migrations_out,
+                inodes_exported: c.inodes_exported,
+                sessions_flushed: c.sessions_flushed,
+                splits: c.splits,
+                remote_prefix: c.remote_prefix,
+                dropped: c.dropped,
+            })
+            .collect(),
+        clients: clients
+            .into_iter()
+            .map(|c| ClientReport {
+                completed: c.completed,
+                finished_at: c.finished_at,
+                latency: Summary::of(&c.latencies),
+            })
+            .collect(),
+        sessions_flushed: sessions,
+        timeouts,
+        retries,
+        failovers: co.failovers,
+        balancer_fallbacks: co.balancer_fallbacks,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::ClientOp;
+    use crate::shard::{frozen_until, Request};
     use mantle_namespace::OpKind;
 
     /// A trivial workload: each client creates `count` files in its own
     /// directory.
+    #[derive(Clone)]
     struct TinyCreate {
         clients: usize,
         count: u64,
@@ -1252,7 +1321,7 @@ mod tests {
                 .map(|c| ns.mkdir_p(&format!("/client{c}")))
                 .collect();
         }
-        fn next(&mut self, client: usize, _ns: &mut Namespace, _now: SimTime) -> Option<ClientOp> {
+        fn next(&mut self, client: usize, _ns: &Namespace, _now: SimTime) -> Option<ClientOp> {
             if self.issued[client] >= self.count {
                 return None;
             }
@@ -1261,6 +1330,9 @@ mod tests {
                 dir: self.dirs[client],
                 kind: OpKind::Create,
             })
+        }
+        fn fork(&self) -> Box<dyn Workload> {
+            Box::new(self.clone())
         }
         fn name(&self) -> &str {
             "tiny-create"
@@ -1300,6 +1372,34 @@ mod tests {
         assert_ne!(
             a.makespan, c.makespan,
             "different seeds give different noise"
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_single_threaded_oracle() {
+        // The full matrix (all balancers × fault scenarios × 2/4/8
+        // threads) lives in tests/shard_equivalence.rs; this is the
+        // fast in-crate smoke check of the same property.
+        let run = |mode: ExecMode| {
+            let cfg = ClusterConfig {
+                num_mds: 3,
+                seed: 11,
+                heartbeat_interval: SimTime::from_millis(400),
+                frag_split_threshold: 500,
+                exec_mode: mode,
+                ..Default::default()
+            };
+            Cluster::new(cfg, Box::new(TinyCreate::new(4, 500)), |_| {
+                Box::new(NoopBalancer)
+            })
+            .run()
+        };
+        let single = run(ExecMode::Single);
+        let sharded = run(ExecMode::Sharded { threads: 2 });
+        assert_eq!(
+            format!("{single:?}"),
+            format!("{sharded:?}"),
+            "2-shard run must be byte-identical to the single-threaded oracle"
         );
     }
 
@@ -1495,17 +1595,28 @@ mod tests {
             let ns = cluster.namespace_mut();
             (ns.mkdir_p("/a"), ns.mkdir_p("/a/b"))
         };
-        cluster.apply_export(
-            0,
-            Export {
-                unit: ExportUnit::Subtree(a),
-                to: 1,
-                load: 1.0,
-            },
-            SimTime::ZERO,
+        {
+            let mut guards: Vec<MutexGuard<Shard>> =
+                cluster.shards.iter().map(|m| m.lock().unwrap()).collect();
+            apply_export(
+                &mut cluster.co,
+                &mut cluster.shared,
+                &mut guards,
+                &cluster.router,
+                0,
+                Export {
+                    unit: ExportUnit::Subtree(a),
+                    to: 1,
+                    load: 1.0,
+                },
+                SimTime::ZERO,
+            );
+        }
+        assert!(
+            frozen_until(&cluster.shared, a, SimTime::ZERO).is_some(),
+            "root frozen"
         );
-        assert!(cluster.frozen_until(a).is_some(), "root frozen");
-        assert!(cluster.frozen_until(ab).is_some(), "descendant frozen too");
+        let thaw = frozen_until(&cluster.shared, ab, SimTime::ZERO).expect("descendant frozen too");
         // A request to the descendant during the freeze defers to the
         // thaw instead of being served.
         let req = Request {
@@ -1518,11 +1629,15 @@ mod tests {
             issued: SimTime::ZERO,
             forwarded: false,
             seq: 1,
+            attempts: 0,
         };
-        let thaw = cluster.frozen_until(ab).unwrap();
-        cluster.on_arrive(1, req, SimTime::ZERO);
+        let mut g = cluster.shards[0].lock().unwrap();
+        let key = g.client_key(0);
+        g.queue
+            .schedule_at_key(SimTime::ZERO, key, Event::Arrive { mds: 1, req });
+        g.process_window(&cluster.shared, &cluster.router, SimTime::from_micros(1));
         assert_eq!(
-            cluster.queue.peek_time(),
+            g.queue.peek_time(),
             Some(thaw),
             "descendant request re-scheduled for the thaw, not served"
         );
@@ -1548,36 +1663,48 @@ mod tests {
             (a, ab)
         };
         // The client learned MDS 2 serves both dirs.
-        cluster.clients[0].learn(a, 2);
-        cluster.clients[0].learn(ab, 2);
+        {
+            let mut g = cluster.shards[0].lock().unwrap();
+            g.clients[0].learn(a, 2);
+            g.clients[0].learn(ab, 2);
+        }
         // MDS 2 exports the subtree to MDS 1.
-        cluster.apply_export(
-            2,
-            Export {
-                unit: ExportUnit::Subtree(a),
-                to: 1,
-                load: 1.0,
-            },
-            SimTime::ZERO,
-        );
+        {
+            let mut guards: Vec<MutexGuard<Shard>> =
+                cluster.shards.iter().map(|m| m.lock().unwrap()).collect();
+            apply_export(
+                &mut cluster.co,
+                &mut cluster.shared,
+                &mut guards,
+                &cluster.router,
+                2,
+                Export {
+                    unit: ExportUnit::Subtree(a),
+                    to: 1,
+                    load: 1.0,
+                },
+                SimTime::ZERO,
+            );
+        }
         let op = ClientOp {
             dir: ab,
             kind: OpKind::Stat,
         };
-        let frag = cluster.ns.peek_frag(ab);
-        let multi = cluster.ns.frag_owners(ab).len() > 1;
+        let frag = cluster.shared.ns.peek_frag(ab);
+        let multi = cluster.shared.ns.frag_owners(ab).len() > 1;
+        let mut g = cluster.shards[0].lock().unwrap();
         assert_eq!(
-            cluster.clients[0].route(&cluster.ns, &op, frag, multi),
+            g.clients[0].route(&cluster.shared.ns, &op, frag, multi),
             0,
             "descendant cache entry cleared: route falls back to the mount authority"
         );
     }
 
     #[test]
-    fn expired_windows_are_purged_eagerly() {
-        // Regression: expired freeze/cold entries used to linger until a
-        // request happened to hit the same directory again; now any lapsed
-        // window is dropped on the next arrival, whatever it targets.
+    fn lapsed_windows_are_purged_at_barriers() {
+        // Freeze/cold windows are shared state, so in-window readers only
+        // filter by `until`; the purge that keeps the sets from
+        // accumulating runs at the next barrier after the lapse.
         let cfg = ClusterConfig {
             num_mds: 2,
             ..Default::default()
@@ -1585,37 +1712,48 @@ mod tests {
         let mut cluster = Cluster::new(cfg, Box::new(TinyCreate::new(1, 1)), |_| {
             Box::new(NoopBalancer)
         });
-        let (a, other) = {
-            let ns = cluster.namespace_mut();
-            (ns.mkdir_p("/a"), ns.mkdir_p("/other"))
-        };
-        cluster.apply_export(
-            0,
-            Export {
-                unit: ExportUnit::Subtree(a),
-                to: 1,
-                load: 1.0,
-            },
-            SimTime::ZERO,
+        let a = cluster.namespace_mut().mkdir_p("/a");
+        {
+            let mut guards: Vec<MutexGuard<Shard>> =
+                cluster.shards.iter().map(|m| m.lock().unwrap()).collect();
+            apply_export(
+                &mut cluster.co,
+                &mut cluster.shared,
+                &mut guards,
+                &cluster.router,
+                0,
+                Export {
+                    unit: ExportUnit::Subtree(a),
+                    to: 1,
+                    load: 1.0,
+                },
+                SimTime::ZERO,
+            );
+        }
+        assert!(!cluster.shared.frozen.is_empty());
+        assert!(!cluster.shared.prefix_cold.is_empty());
+        // Long after the lapse, readers already ignore the windows…
+        assert!(frozen_until(&cluster.shared, a, SimTime::from_secs(100)).is_none());
+        // …and the next barrier drops them wholesale.
+        {
+            let mut guards: Vec<MutexGuard<Shard>> =
+                cluster.shards.iter().map(|m| m.lock().unwrap()).collect();
+            barrier_apply(
+                &mut cluster.co,
+                &mut cluster.shared,
+                &mut guards,
+                &cluster.router,
+                SimTime::from_secs(100),
+            );
+        }
+        assert!(
+            cluster.shared.frozen.is_empty(),
+            "lapsed freeze windows purged"
         );
-        assert!(!cluster.frozen.is_empty());
-        assert!(!cluster.prefix_cold.is_empty());
-        // Long after both windows lapse, a request to an unrelated dir
-        // clears the whole set — not just entries for its own directory.
-        let req = Request {
-            client: 0,
-            op: ClientOp {
-                dir: other,
-                kind: OpKind::Stat,
-            },
-            frag: 0,
-            issued: SimTime::from_secs(100),
-            forwarded: false,
-            seq: 1,
-        };
-        cluster.on_arrive(0, req, SimTime::from_secs(100));
-        assert!(cluster.frozen.is_empty(), "lapsed freeze windows purged");
-        assert!(cluster.prefix_cold.is_empty(), "lapsed cold windows purged");
+        assert!(
+            cluster.shared.prefix_cold.is_empty(),
+            "lapsed cold windows purged"
+        );
     }
 
     #[test]

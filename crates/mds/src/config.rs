@@ -24,6 +24,39 @@ pub enum PlacementPolicy {
     HashDirs,
 }
 
+/// How the event loop executes a run.
+///
+/// Both modes drive the *same* windowed engine (conservative lookahead
+/// windows separated by deterministic barriers — see [`crate::shard`]);
+/// `Single` runs the one resulting shard inline on the calling thread,
+/// `Sharded` partitions MDSs and clients across `threads` worker threads.
+/// Window boundaries, event keys, and barrier application order are all
+/// shard-count-invariant, so a fixed seed produces a byte-identical
+/// [`crate::report::RunReport`] (and trace) in every mode — `Single` is
+/// the differential oracle for `Sharded { .. }`, exactly as the heap
+/// scheduler is for the timing wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One shard, driven inline — no threads, no locks contended.
+    #[default]
+    Single,
+    /// Thread-per-shard execution with deterministic tick barriers.
+    Sharded {
+        /// Number of worker threads (shards). Clamped to ≥ 1.
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// Number of shards this mode partitions the cluster into.
+    pub fn shards(self) -> usize {
+        match self {
+            ExecMode::Single => 1,
+            ExecMode::Sharded { threads } => threads.max(1),
+        }
+    }
+}
+
 /// Full configuration of one simulated cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -70,6 +103,10 @@ pub struct ClusterConfig {
     /// oracle) or the hierarchical timing wheel for scale-mode runs. A
     /// fixed seed must produce an identical `RunReport` on either.
     pub scheduler: SchedulerKind,
+    /// Execution mode: single-threaded (default, the differential oracle)
+    /// or thread-per-shard. A fixed seed must produce an identical
+    /// `RunReport` in either mode, at any thread count.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for ClusterConfig {
@@ -90,6 +127,7 @@ impl Default for ClusterConfig {
             faults: FaultPlan::default(),
             index_mode: IndexMode::default(),
             scheduler: SchedulerKind::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -122,6 +160,23 @@ impl ClusterConfig {
     /// Convenience: pick the event-queue backend.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Convenience: pick the execution mode.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Convenience: run sharded across `threads` worker threads
+    /// (`threads <= 1` selects the inline single-threaded driver).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.exec_mode = if threads <= 1 {
+            ExecMode::Single
+        } else {
+            ExecMode::Sharded { threads }
+        };
         self
     }
 }

@@ -33,15 +33,17 @@ pub mod metrics;
 pub mod partition;
 pub mod report;
 pub mod selector;
+pub mod shard;
 pub mod trace;
 
 pub use balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer, MigrationPlan};
 pub use client::{ClientOp, Workload};
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, PlacementPolicy};
+pub use config::{ClusterConfig, ExecMode, PlacementPolicy};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use invariants::{assert_invariants, check_trace, Violation};
 pub use mantle_sim::SchedulerKind;
 pub use report::RunReport;
 pub use selector::{select_best, DirfragSelector};
+pub use shard::{ExecStats, ShardStats};
 pub use trace::{Timeline, TraceBuffer, TraceEvent, TraceLevel, TraceRecord};

@@ -1,0 +1,1028 @@
+//! Sharded data plane: the per-thread slice of the cluster simulation.
+//!
+//! The cluster is partitioned into [`Shard`]s — contiguous slices of MDS
+//! ids and client ids, each owning its members' event queue, counters,
+//! RNG streams, and client state. Shards run **conservative lookahead
+//! windows**: the coordinator (in [`crate::cluster`]) picks a window
+//! `[base, end)` no wider than the minimum cross-shard latency, every
+//! shard drains its own events inside the window concurrently, and a
+//! barrier then applies the window's deferred namespace mutations and
+//! routes cross-shard messages. Because no simulated interaction can
+//! cross shards faster than the lookahead, no shard can ever receive a
+//! message dated inside a window it already processed.
+//!
+//! # Determinism
+//!
+//! Every scheduled event carries an explicit 64-bit **key**:
+//!
+//! ```text
+//!   key = origin_rank << 40 | per-origin counter
+//!   origin_rank: coordinator = 0, MDS m = 1 + m, client c = 1 + num_mds + c
+//! ```
+//!
+//! Queues order same-instant events by key, so tie-breaking depends only
+//! on *which simulated entity* generated the event and *how many* events
+//! it generated before — never on which thread ran it or in what order
+//! shards happened to drain. Deferred namespace mutations are applied at
+//! each barrier in global `(time, key)` order, and per-shard trace
+//! buffers are merged at run end by `(time, key, emission index)`. The
+//! result: window boundaries, event keys, and barrier effects are all
+//! shard-count-invariant, and a fixed seed produces byte-identical runs
+//! at any thread count — including the single-threaded oracle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use mantle_namespace::{FragId, MdsId, Namespace, NodeId, OpKind};
+use mantle_sim::{EventQueue, SimRng, SimTime};
+
+use crate::client::{ClientOp, ClientState, Workload};
+use crate::config::{ClusterConfig, PlacementPolicy};
+use crate::metrics::MdsCounters;
+use crate::trace::{TraceEvent, TraceRecord};
+
+/// Index of a shard (worker thread) within a run.
+pub type ShardId = usize;
+
+/// Bits reserved for the per-origin counter in an event key.
+pub(crate) const KEY_CTR_BITS: u32 = 40;
+
+/// Sort key of one trace record: `(time, generating event's key,
+/// emission index within that event)`. Merging all per-shard buffers by
+/// this key reproduces the exact sequential emission order.
+pub(crate) type TraceKey = (SimTime, u64, u32);
+
+/// A request in flight.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Request {
+    pub(crate) client: usize,
+    pub(crate) op: ClientOp,
+    /// The dirfrag the client routed to (picked at issue time and carried
+    /// with the request, like the frag bits in a real CephFS request).
+    pub(crate) frag: FragId,
+    pub(crate) issued: SimTime,
+    pub(crate) forwarded: bool,
+    /// The issuing client's attempt number; replies for a superseded
+    /// attempt (the client timed out and retried) are dropped.
+    pub(crate) seq: u64,
+    /// The client's timeout count when this attempt was issued — lets the
+    /// serving MDS compute, locally, whether the attempt has already been
+    /// superseded by the time service finishes (see `Shard::on_complete`).
+    pub(crate) attempts: u32,
+}
+
+/// A data-plane event, always processed by the shard owning its target.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A client is ready to issue its next op.
+    ClientNext(usize),
+    /// A request arrives at an MDS.
+    Arrive { mds: MdsId, req: Request },
+    /// An MDS finishes serving a request.
+    Complete {
+        mds: MdsId,
+        req: Request,
+        service_us: f64,
+        /// The MDS's incarnation when service started; a crash bumps the
+        /// incarnation, so completions from before it are ghosts.
+        epoch: u64,
+    },
+    /// A served reply reaches the issuing client (half an RTT after the
+    /// MDS finished); the client absorbs it and issues its next op.
+    Reply { mds: MdsId, req: Request },
+    /// A client's request timeout expires; if the attempt is still
+    /// outstanding the client declares it lost and backs off to retry.
+    Timeout { client: usize, seq: u64 },
+    /// A client re-issues its pending op after a timeout backoff.
+    Retry(usize),
+}
+
+/// A sequenced message crossing a shard boundary: an event for
+/// another shard's queue, stamped with its simulated delivery time and
+/// its origin key. Messages are exchanged only at barriers; `(at, key)`
+/// is a total order, so delivery order is deterministic regardless of
+/// which thread sent first in wall-clock time.
+#[derive(Debug)]
+pub struct CrossShardMsg {
+    pub(crate) at: SimTime,
+    pub(crate) key: u64,
+    pub(crate) event: Event,
+}
+
+/// A namespace mutation deferred to the window barrier, keyed so the
+/// coordinator can apply all shards' mutations in global `(at, key)`
+/// order — exactly the order a sequential run would have applied them.
+#[derive(Debug)]
+pub(crate) struct DeferredNsOp {
+    pub(crate) at: SimTime,
+    pub(crate) key: u64,
+    pub(crate) op: NsOp,
+}
+
+/// The mutation itself.
+#[derive(Debug)]
+pub(crate) enum NsOp {
+    /// Charge one completed op's heat/size to a dirfrag (no splits —
+    /// splits run in a second barrier phase so in-window fragment
+    /// layouts stay fixed).
+    Record {
+        dir: NodeId,
+        frag: FragId,
+        kind: OpKind,
+    },
+    /// First-touch hash placement: pin `dir` to `mds` unless an earlier
+    /// (in key order) arrival already pinned it.
+    Pin { dir: NodeId, mds: MdsId },
+}
+
+/// One export's freeze or cold-prefix region. Membership is an
+/// Euler-interval range check against the namespace's current labels plus
+/// the authority holes captured at export time — no per-directory map
+/// entries are materialized. Expired windows are purged at barriers;
+/// in-window readers filter by `until` instead.
+#[derive(Debug, Clone)]
+pub(crate) struct SubtreeWindow {
+    pub(crate) root: NodeId,
+    /// Nested authority bounds inside the exported subtree; directories
+    /// under a hole did not move and are outside the window.
+    pub(crate) holes: Vec<NodeId>,
+    /// `dir_count` at capture: directories created after the export sit
+    /// outside the window even when their Euler label falls inside.
+    pub(crate) watermark: u32,
+    /// Frag exports cover only the fragmented directory itself.
+    pub(crate) root_only: bool,
+    pub(crate) until: SimTime,
+}
+
+impl SubtreeWindow {
+    pub(crate) fn contains(&self, ns: &Namespace, d: NodeId) -> bool {
+        if d.0 >= self.watermark {
+            return false;
+        }
+        if self.root_only {
+            return d == self.root;
+        }
+        ns.in_subtree(d, self.root) && !self.holes.iter().any(|&h| ns.in_subtree(d, h))
+    }
+}
+
+/// Simulation state shared read-only by every shard during a window and
+/// mutated only by the coordinator (at barriers and in exclusive
+/// control-plane phases, while all workers are parked).
+#[derive(Debug)]
+pub struct SharedSim {
+    pub(crate) ns: Namespace,
+    /// Liveness per MDS (crashes flip this off, restarts back on).
+    pub(crate) up: Vec<bool>,
+    /// Incarnation per MDS; bumped by crashes to invalidate in-flight
+    /// completions.
+    pub(crate) mds_epoch: Vec<u64>,
+    /// Service-time multiplier per MDS while `now < slow_until`.
+    pub(crate) slow_factor: Vec<f64>,
+    pub(crate) slow_until: Vec<SimTime>,
+    /// Frozen regions (two-phase-commit migrations); a request inside any
+    /// live window defers to the latest covering thaw.
+    pub(crate) frozen: Vec<SubtreeWindow>,
+    /// Regions whose new authority is still warming up its ancestor
+    /// prefix replicas.
+    pub(crate) prefix_cold: Vec<SubtreeWindow>,
+    /// Heartbeat epoch: balancer ticks completed so far (stamps trace
+    /// records; only changes in exclusive phases).
+    pub(crate) hb_epoch: u64,
+}
+
+/// Static partition map: which shard owns which MDS / client. Both
+/// partitions are contiguous slices in id order; shards may own zero
+/// MDSs (more threads than servers) or zero clients.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    pub(crate) mds_shard: Vec<ShardId>,
+    pub(crate) client_shard: Vec<ShardId>,
+    pub(crate) num_shards: usize,
+}
+
+impl ShardRouter {
+    /// Partition `num_mds` servers and `num_clients` clients across
+    /// `shards` contiguous slices of near-equal size.
+    pub fn new(num_mds: usize, num_clients: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        // id i goes to shard floor(i * shards / count): contiguous slices,
+        // balanced to within one element.
+        let assign =
+            |count: usize| -> Vec<ShardId> { (0..count).map(|i| i * shards / count).collect() };
+        ShardRouter {
+            mds_shard: assign(num_mds),
+            client_shard: assign(num_clients),
+            num_shards: shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Which shard owns MDS `m`.
+    pub fn shard_of_mds(&self, m: MdsId) -> ShardId {
+        self.mds_shard[m]
+    }
+
+    /// Which shard owns client `c`.
+    pub fn shard_of_client(&self, c: usize) -> ShardId {
+        self.client_shard[c]
+    }
+
+    /// Global ids of the MDSs shard `s` owns (contiguous range).
+    pub fn mds_of_shard(&self, s: ShardId) -> std::ops::Range<usize> {
+        range_of(&self.mds_shard, s)
+    }
+
+    /// Global ids of the clients shard `s` owns (contiguous range).
+    pub fn clients_of_shard(&self, s: ShardId) -> std::ops::Range<usize> {
+        range_of(&self.client_shard, s)
+    }
+}
+
+fn range_of(map: &[ShardId], s: ShardId) -> std::ops::Range<usize> {
+    let lo = map.partition_point(|&x| x < s);
+    let hi = map.partition_point(|&x| x <= s);
+    lo..hi
+}
+
+/// Per-shard execution statistics (wall-clock side channel; never feeds
+/// back into the simulation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// `(first, count)` of the MDS ids this shard owns.
+    pub mds_range: (usize, usize),
+    /// `(first, count)` of the client ids this shard owns.
+    pub client_range: (usize, usize),
+    /// Simulation events drained by this shard.
+    pub events: u64,
+    /// Cross-shard messages this shard sent.
+    pub msgs_sent: u64,
+    /// Wall-clock nanoseconds spent waiting at window barriers.
+    pub barrier_wait_ns: u64,
+}
+
+/// Whole-run execution statistics, reported by
+/// [`crate::cluster::Cluster::run_with_stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Worker threads used (1 = inline single-threaded driver).
+    pub threads: usize,
+    /// Lookahead windows executed.
+    pub windows: u64,
+    /// Control-plane events (heartbeats, faults, admin actions) run in
+    /// exclusive phases.
+    pub exclusive_events: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+}
+
+/// A reusable spin-then-park barrier. Latecomers spin briefly — on a
+/// multi-core host the other parties usually arrive within the spin
+/// window, skipping the parking syscalls entirely — then park on a
+/// condvar. Parking (rather than yielding) is what keeps the engine
+/// usable when hardware threads are scarcer than parties: with more
+/// workers than cores, a yield-loop barrier degenerates into a scheduler
+/// storm of busy waiters, while parked waiters cost one wakeup each.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    /// Bumped (under the lock) when the last party arrives; waiters spin
+    /// and park on it changing.
+    generation: AtomicUsize,
+    /// Arrivals in the current generation.
+    arrived: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Spin iterations before parking. Short: the spin only pays off when
+/// the remaining parties are currently *running* on other cores.
+const BARRIER_SPIN: u32 = 128;
+
+impl SpinBarrier {
+    /// A barrier for `parties` participants.
+    pub fn new(parties: usize) -> Self {
+        SpinBarrier {
+            parties,
+            generation: AtomicUsize::new(0),
+            arrived: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all `parties` participants have arrived.
+    pub fn wait(&self) {
+        let gen = {
+            let mut arrived = self.arrived.lock().expect("barrier lock");
+            *arrived += 1;
+            if *arrived == self.parties {
+                *arrived = 0;
+                // Publish under the lock: a waiter that re-checks while
+                // holding it either sees the new generation or blocks us
+                // here until it parks — no lost wakeups.
+                let gen = self.generation.load(Ordering::Relaxed);
+                self.generation
+                    .store(gen.wrapping_add(1), Ordering::Release);
+                drop(arrived);
+                self.cv.notify_all();
+                return;
+            }
+            self.generation.load(Ordering::Relaxed)
+        };
+        for _ in 0..BARRIER_SPIN {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut arrived = self.arrived.lock().expect("barrier lock");
+        while self.generation.load(Ordering::Acquire) == gen {
+            arrived = self.cv.wait(arrived).expect("barrier lock");
+        }
+    }
+}
+
+/// One shard: a contiguous slice of the cluster's MDSs and clients, with
+/// their event queue and every piece of state only they touch. During a
+/// window the shard has shared read access to [`SharedSim`] and
+/// exclusive access to itself; everything it cannot do under those terms
+/// (namespace writes, cross-shard sends) is deferred to the barrier.
+pub struct Shard {
+    pub(crate) id: ShardId,
+    /// Global id of this shard's first MDS / client.
+    pub(crate) mds_lo: usize,
+    pub(crate) client_lo: usize,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) clients: Vec<ClientState>,
+    pub(crate) counters: Vec<MdsCounters>,
+    /// Absolute µs when each local MDS becomes free (single-server queue).
+    pub(crate) next_free: Vec<SimTime>,
+    /// Per-MDS service-noise streams (`stream_n("service-noise", m)`), so
+    /// an MDS's noise sequence is independent of every other MDS's event
+    /// interleaving.
+    pub(crate) rng_service: Vec<SimRng>,
+    /// Per-origin key counters.
+    mds_ctr: Vec<u64>,
+    client_ctr: Vec<u64>,
+    /// Reused owner-list buffer (per-op span / routing checks).
+    scratch_owners: Vec<MdsId>,
+    /// Namespace mutations accumulated this window, drained at the barrier.
+    pub(crate) deferred: Vec<DeferredNsOp>,
+    /// Outgoing cross-shard messages, one bin per destination shard,
+    /// swapped into destination queues at the barrier.
+    pub(crate) outbox: Vec<Vec<CrossShardMsg>>,
+    /// This shard's slice of the trace, merged at run end.
+    pub(crate) trace: Vec<(TraceKey, TraceRecord)>,
+    /// Emit request-level records (trace level Full). Set by
+    /// [`crate::cluster::Cluster::enable_tracing`] before the run.
+    pub(crate) trace_full: bool,
+    /// Requests in flight, net of this shard's issues (+1) and
+    /// resolutions (−1). Negative mid-window is fine (a shard can resolve
+    /// more than it issued); the cross-shard *sum* is the real count.
+    pub(crate) inflight: i64,
+    /// Local clients still issuing ops.
+    pub(crate) active: usize,
+    pub(crate) timeouts: u64,
+    pub(crate) retries: u64,
+    /// Time of the last event this shard processed.
+    pub(crate) last_event: SimTime,
+    /// Wall-clock execution stats.
+    pub(crate) stats: ShardStats,
+    // Cursor of the event being processed (drives trace sort keys).
+    cur_at: SimTime,
+    cur_key: u64,
+    cur_emit: u32,
+    cur_epoch: u64,
+    // Cached config-derived values.
+    pub(crate) cfg: ClusterConfig,
+    faults_active: bool,
+    half_rtt: SimTime,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("mds_lo", &self.mds_lo)
+            .field("client_lo", &self.client_lo)
+            .field("active", &self.active)
+            .field("inflight", &self.inflight)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shard {
+    /// Build shard `id` of `router.num_shards()`, owning the router's
+    /// slices. `clients` must be exactly the [`ClientState`]s of this
+    /// shard's client range, in id order; `workload` a fork with only
+    /// those clients ever driven through it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: ShardId,
+        router: &ShardRouter,
+        cfg: ClusterConfig,
+        workload: Box<dyn Workload>,
+        clients: Vec<ClientState>,
+        master: &SimRng,
+        trace_full: bool,
+    ) -> Self {
+        let mds_range = router.mds_of_shard(id);
+        let client_range = router.clients_of_shard(id);
+        debug_assert_eq!(client_range.len(), clients.len());
+        let faults_active = cfg.faults.is_active();
+        let half_rtt = SimTime::from_micros_f64(cfg.costs.rtt_us / 2.0);
+        let stats = ShardStats {
+            mds_range: (mds_range.start, mds_range.len()),
+            client_range: (client_range.start, client_range.len()),
+            ..ShardStats::default()
+        };
+        Shard {
+            id,
+            mds_lo: mds_range.start,
+            client_lo: client_range.start,
+            queue: EventQueue::with_scheduler(cfg.scheduler),
+            workload,
+            clients,
+            counters: mds_range.clone().map(|_| MdsCounters::new()).collect(),
+            next_free: vec![SimTime::ZERO; mds_range.len()],
+            rng_service: mds_range
+                .clone()
+                .map(|m| master.stream_n("service-noise", m))
+                .collect(),
+            mds_ctr: vec![0; mds_range.len()],
+            client_ctr: vec![0; client_range.len()],
+            scratch_owners: Vec::new(),
+            deferred: Vec::new(),
+            outbox: (0..router.num_shards()).map(|_| Vec::new()).collect(),
+            trace: Vec::new(),
+            trace_full,
+            inflight: 0,
+            active: client_range.len(),
+            timeouts: 0,
+            retries: 0,
+            last_event: SimTime::ZERO,
+            stats,
+            cur_at: SimTime::ZERO,
+            cur_key: 0,
+            cur_emit: 0,
+            cur_epoch: 0,
+            faults_active,
+            half_rtt,
+            cfg,
+        }
+    }
+
+    // -- keys ------------------------------------------------------------
+
+    /// Next key for an event generated by local MDS `m` (global id).
+    fn mds_key(&mut self, m: MdsId) -> u64 {
+        let l = m - self.mds_lo;
+        let ctr = self.mds_ctr[l];
+        self.mds_ctr[l] += 1;
+        ((1 + m as u64) << KEY_CTR_BITS) | ctr
+    }
+
+    /// Next key for an event generated by local client `c` (global id).
+    pub(crate) fn client_key(&mut self, c: usize) -> u64 {
+        let l = c - self.client_lo;
+        let ctr = self.client_ctr[l];
+        self.client_ctr[l] += 1;
+        ((1 + self.cfg.num_mds as u64 + c as u64) << KEY_CTR_BITS) | ctr
+    }
+
+    // -- local state accessors -------------------------------------------
+
+    pub(crate) fn client(&self, c: usize) -> &ClientState {
+        &self.clients[c - self.client_lo]
+    }
+
+    pub(crate) fn client_mut(&mut self, c: usize) -> &mut ClientState {
+        &mut self.clients[c - self.client_lo]
+    }
+
+    pub(crate) fn counters_mut(&mut self, m: MdsId) -> &mut MdsCounters {
+        &mut self.counters[m - self.mds_lo]
+    }
+
+    // -- trace -----------------------------------------------------------
+
+    /// Emit a data-plane record (recorded only at `TraceLevel::Full`),
+    /// keyed under the event currently being processed. Every record a
+    /// shard can emit is data-plane; control-plane records all originate
+    /// at the coordinator.
+    fn emit_full(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if self.trace_full {
+            let record = TraceRecord {
+                at: self.cur_at,
+                epoch: self.cur_epoch,
+                event: make(),
+            };
+            self.trace
+                .push(((self.cur_at, self.cur_key, self.cur_emit), record));
+            self.cur_emit += 1;
+        }
+    }
+
+    // -- routing ---------------------------------------------------------
+
+    /// Schedule `event` at `(at, key)`: locally if this shard owns the
+    /// target, into the outbox otherwise. Cross-shard events are always
+    /// at least one lookahead window away (the coordinator sizes windows
+    /// below the minimum cross-shard latency), so barrier delivery never
+    /// delivers into a window already processed.
+    fn send(&mut self, target: ShardId, at: SimTime, key: u64, event: Event) {
+        if target == self.id {
+            self.queue.schedule_at_key(at, key, event);
+        } else {
+            self.stats.msgs_sent += 1;
+            self.outbox[target].push(CrossShardMsg { at, key, event });
+        }
+    }
+
+    // -- the window loop -------------------------------------------------
+
+    /// Drain every local event strictly before `window_end`. Called with
+    /// shared read access to `sh`; all mutations outside this shard are
+    /// queued in `deferred` / `outbox` for the barrier.
+    pub(crate) fn process_window(
+        &mut self,
+        sh: &SharedSim,
+        router: &ShardRouter,
+        window_end: SimTime,
+    ) {
+        self.cur_epoch = sh.hb_epoch;
+        while let Some((now, key, event)) = self.queue.pop_before(window_end) {
+            self.last_event = now;
+            self.cur_at = now;
+            self.cur_key = key;
+            self.cur_emit = 0;
+            self.stats.events += 1;
+            match event {
+                Event::ClientNext(c) => {
+                    if !self.client(c).done {
+                        self.client_next(sh, router, c, now);
+                    }
+                }
+                Event::Arrive { mds, req } => self.on_arrive(sh, router, mds, req, now),
+                Event::Complete {
+                    mds,
+                    req,
+                    service_us,
+                    epoch,
+                } => self.on_complete(sh, router, mds, req, service_us, epoch, now),
+                Event::Reply { mds, req } => self.on_reply(sh, router, mds, req, now),
+                Event::Timeout { client, seq } => self.on_timeout(client, seq, now),
+                Event::Retry(c) => self.on_retry(sh, router, c, now),
+            }
+        }
+    }
+
+    // -- client side -----------------------------------------------------
+
+    /// Advance client `c`: ask the workload for its next op and issue it,
+    /// or mark the client done. Runs inline from an accepted reply (no
+    /// same-instant self-event) and from `Event::ClientNext`.
+    fn client_next(&mut self, sh: &SharedSim, router: &ShardRouter, c: usize, now: SimTime) {
+        let stall = self.client(c).stall_until;
+        if stall > now {
+            let key = self.client_key(c);
+            self.queue.schedule_at_key(stall, key, Event::ClientNext(c));
+            return;
+        }
+        match self.workload.next(c, &sh.ns, now) {
+            None => {
+                let client = self.client_mut(c);
+                client.done = true;
+                if client.finished_at == SimTime::ZERO {
+                    client.finished_at = now;
+                }
+                self.active -= 1;
+            }
+            Some(op) => {
+                let client = self.client_mut(c);
+                client.pending = Some(op);
+                client.attempts = 0;
+                self.issue(sh, router, c, now);
+            }
+        }
+    }
+
+    /// Send the client's pending op to the MDS it routes to, arming the
+    /// request timeout when fault injection is on.
+    fn issue(&mut self, sh: &SharedSim, router: &ShardRouter, c: usize, now: SimTime) {
+        let op = self
+            .client(c)
+            .pending
+            .expect("issue() requires a pending op");
+        let frag = sh.ns.peek_frag(op.dir);
+        sh.ns.frag_owners_into(op.dir, &mut self.scratch_owners);
+        let multi_owner = self.scratch_owners.len() > 1;
+        let client = &mut self.clients[c - self.client_lo];
+        let mds = client.route(&sh.ns, &op, frag, multi_owner);
+        client.seq += 1;
+        let seq = client.seq;
+        let attempts = client.attempts;
+        let req = Request {
+            client: c,
+            op,
+            frag,
+            issued: now,
+            forwarded: false,
+            seq,
+            attempts,
+        };
+        self.emit_full(|| TraceEvent::RequestIssued {
+            client: c,
+            dir: op.dir,
+            mds,
+            seq,
+        });
+        self.inflight += 1;
+        let key = self.client_key(c);
+        self.send(
+            router.mds_shard[mds],
+            now + self.half_rtt,
+            key,
+            Event::Arrive { mds, req },
+        );
+        if self.faults_active {
+            let key = self.client_key(c);
+            self.queue.schedule_at_key(
+                now + self.cfg.faults.request_timeout,
+                key,
+                Event::Timeout { client: c, seq },
+            );
+        }
+    }
+
+    /// A request timeout fired. If the attempt is still outstanding, the
+    /// client declares it lost, forgets its (possibly stale) route for
+    /// the directory, and backs off exponentially before retrying.
+    fn on_timeout(&mut self, c: usize, seq: u64, now: SimTime) {
+        let client = self.client(c);
+        if client.seq != seq || client.pending.is_none() {
+            return; // the attempt completed (or was already superseded)
+        }
+        self.timeouts += 1;
+        self.emit_full(|| TraceEvent::RequestTimeout { client: c, seq });
+        let client = self.client_mut(c);
+        let dir = client.pending.expect("checked above").dir;
+        let attempt = client.attempts;
+        client.attempts += 1;
+        // Re-route: the cached mapping pointed at a dead or unreachable
+        // authority; fall back to the mount authority on the next try.
+        client.invalidate(dir);
+        let backoff = self.cfg.faults.backoff_for(attempt);
+        let key = self.client_key(c);
+        self.queue
+            .schedule_at_key(now + backoff, key, Event::Retry(c));
+    }
+
+    /// The backoff elapsed: re-issue the pending op (a late reply may
+    /// have landed in the meantime, in which case there is nothing to do).
+    fn on_retry(&mut self, sh: &SharedSim, router: &ShardRouter, c: usize, now: SimTime) {
+        if self.client(c).done || self.client(c).pending.is_none() {
+            return;
+        }
+        self.retries += 1;
+        let attempt = self.client(c).attempts;
+        self.emit_full(|| TraceEvent::RequestRetry { client: c, attempt });
+        self.issue(sh, router, c, now);
+    }
+
+    /// A reply reached its client. The client-side guard mirrors the old
+    /// sequential engine: a reply for a superseded attempt (the client
+    /// timed out and re-issued meanwhile) is dropped on the floor.
+    fn on_reply(
+        &mut self,
+        sh: &SharedSim,
+        router: &ShardRouter,
+        mds: MdsId,
+        req: Request,
+        now: SimTime,
+    ) {
+        let client = self.client_mut(req.client);
+        if req.seq != client.seq || client.pending.is_none() {
+            return;
+        }
+        client.pending = None;
+        client.learn(req.op.dir, mds);
+        let latency_ms = (now - req.issued).as_millis_f64();
+        client.record_completion(now, latency_ms);
+        self.client_next(sh, router, req.client, now);
+    }
+
+    // -- server side -----------------------------------------------------
+
+    fn on_arrive(
+        &mut self,
+        sh: &SharedSim,
+        router: &ShardRouter,
+        mds: MdsId,
+        mut req: Request,
+        now: SimTime,
+    ) {
+        // A crashed MDS serves nothing: the request is lost on the floor
+        // and the issuing client's timeout recovers it.
+        if !sh.up[mds] {
+            self.counters_mut(mds).dropped += 1;
+            self.inflight -= 1;
+            self.emit_full(|| TraceEvent::Dropped {
+                mds,
+                client: req.client,
+            });
+            return;
+        }
+        // Hash placement pins each directory on first touch. The pin is a
+        // namespace write, so it lands at the barrier (first arrival in
+        // key order wins); routing inside this window still sees the
+        // window-start authority, identically in every execution mode.
+        if self.cfg.placement == PlacementPolicy::HashDirs && sh.ns.dir(req.op.dir).auth.is_none() {
+            let mut target = (req.op.dir.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize
+                % self.cfg.num_mds;
+            if !sh.up[target] {
+                target = 0; // never pin fresh metadata on a dead MDS
+            }
+            self.deferred.push(DeferredNsOp {
+                at: now,
+                key: self.cur_key,
+                op: NsOp::Pin {
+                    dir: req.op.dir,
+                    mds: target,
+                },
+            });
+        }
+        // Frozen subtree (mid-migration): the request waits for the thaw.
+        if let Some(thaw) = frozen_until(sh, req.op.dir, now) {
+            self.emit_full(|| TraceEvent::Deferred {
+                mds,
+                dir: req.op.dir,
+                until: thaw,
+            });
+            let key = self.mds_key(mds);
+            self.queue
+                .schedule_at_key(thaw, key, Event::Arrive { mds, req });
+            return;
+        }
+        let frag = req.frag.min(sh.ns.dir(req.op.dir).frags.len() - 1);
+        let auth = sh.ns.frag_auth(req.op.dir, frag);
+        if auth != mds {
+            // Wrong MDS: pay a forward (wasted service here + a hop).
+            self.counters_mut(mds).forwards_out += 1;
+            let fwd_us = self.cfg.costs.forward_us;
+            let start = self.next_free[mds - self.mds_lo].max(now);
+            self.next_free[mds - self.mds_lo] = start + SimTime::from_micros_f64(fwd_us);
+            self.counters_mut(mds).busy_window_us += fwd_us;
+            req.forwarded = true;
+            self.emit_full(|| TraceEvent::Forwarded {
+                from: mds,
+                to: auth,
+                dir: req.op.dir,
+                frag,
+                client: req.client,
+            });
+            let hop = SimTime::from_micros_f64(self.cfg.costs.forward_hop_us);
+            let at = self.next_free[mds - self.mds_lo].max(now) + hop;
+            let key = self.mds_key(mds);
+            self.send(
+                router.mds_shard[auth],
+                at,
+                key,
+                Event::Arrive { mds: auth, req },
+            );
+            return;
+        }
+        if req.forwarded {
+            self.counters_mut(mds).forwards_in += 1;
+        } else {
+            self.counters_mut(mds).hits += 1;
+        }
+        self.emit_full(|| TraceEvent::Served {
+            mds,
+            client: req.client,
+            dir: req.op.dir,
+            frag,
+            kind: req.op.kind,
+            seq: req.seq,
+        });
+        sh.ns.frag_owners_into(req.op.dir, &mut self.scratch_owners);
+        let span = self.scratch_owners.len();
+        let mut base = self.cfg.costs.service_with_span(req.op.kind, span)
+            * self
+                .cfg
+                .costs
+                .contention_factor(self.counters[mds - self.mds_lo].queued);
+        // Path traversal: right after an import the serving MDS has not
+        // yet replicated the directory's ancestor prefix, so traversals
+        // resolve remotely (and, once warm, locally again).
+        let in_cold = sh
+            .prefix_cold
+            .iter()
+            .any(|w| w.until > now && w.contains(&sh.ns, req.op.dir));
+        if in_cold {
+            if sh.ns.dir(req.op.dir).parent.is_some() {
+                base *= 1.0 + self.cfg.costs.remote_prefix_penalty;
+                self.counters_mut(mds).remote_prefix += 1;
+            }
+        } else if self.cfg.placement == PlacementPolicy::HashDirs {
+            // Hash-based placement has no subtree prefix replication
+            // (§5 "Compute it – Hashing"): every traversal whose parent
+            // lives elsewhere resolves remotely, permanently.
+            if let Some(parent) = sh.ns.dir(req.op.dir).parent {
+                if sh.ns.resolve_auth(parent) != mds {
+                    base *= 1.0 + self.cfg.costs.remote_prefix_penalty;
+                    self.counters_mut(mds).remote_prefix += 1;
+                }
+            }
+        }
+        // An injected slowdown stretches every service time in its window.
+        if self.faults_active && now < sh.slow_until[mds] {
+            base *= sh.slow_factor[mds];
+        }
+        let noise = self.rng_service[mds - self.mds_lo].jitter(self.cfg.costs.service_noise);
+        let service_us = (base * noise).max(1.0);
+        let start = self.next_free[mds - self.mds_lo].max(now);
+        let done = start + SimTime::from_micros_f64(service_us);
+        self.next_free[mds - self.mds_lo] = done;
+        self.counters_mut(mds).queued += 1;
+        let key = self.mds_key(mds);
+        self.queue.schedule_at_key(
+            done,
+            key,
+            Event::Complete {
+                mds,
+                req,
+                service_us,
+                epoch: sh.mds_epoch[mds],
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_complete(
+        &mut self,
+        sh: &SharedSim,
+        router: &ShardRouter,
+        mds: MdsId,
+        req: Request,
+        service_us: f64,
+        epoch: u64,
+        now: SimTime,
+    ) {
+        // Ghost completion: the MDS crashed (and possibly restarted) after
+        // this request entered service — the reply never left the wire.
+        if !sh.up[mds] || epoch != sh.mds_epoch[mds] {
+            self.inflight -= 1;
+            self.emit_full(|| TraceEvent::GhostReply { mds });
+            return;
+        }
+        let counters = self.counters_mut(mds);
+        counters.queued = counters.queued.saturating_sub(1);
+        counters.complete_op(now, service_us);
+        // The op's heat/size charge is a namespace write → barrier. The
+        // fragment layout cannot change mid-window (splits also run at
+        // barriers), so the clamped index is exactly what the deferred
+        // apply will use.
+        let frag_used = req.frag.min(sh.ns.dir(req.op.dir).frags.len() - 1);
+        self.deferred.push(DeferredNsOp {
+            at: now,
+            key: self.cur_key,
+            op: NsOp::Record {
+                dir: req.op.dir,
+                frag: req.frag,
+                kind: req.op.kind,
+            },
+        });
+        // Server-computed staleness: the issuing client has already timed
+        // this attempt out and re-issued iff its retry fired strictly
+        // before service finished. Everything in the predicate travelled
+        // with the request, so no cross-shard peek at client state is
+        // needed — the client-side guard in `on_reply` stays authoritative
+        // for the races this can't see.
+        let stale = self.faults_active
+            && req.issued
+                + self.cfg.faults.request_timeout
+                + self.cfg.faults.backoff_for(req.attempts)
+                < now;
+        if stale {
+            self.emit_full(|| TraceEvent::StaleReply {
+                mds,
+                client: req.client,
+                dir: req.op.dir,
+                frag: frag_used,
+                kind: req.op.kind,
+            });
+            self.inflight -= 1;
+            return;
+        }
+        self.emit_full(|| TraceEvent::Completed {
+            mds,
+            client: req.client,
+            dir: req.op.dir,
+            frag: frag_used,
+            kind: req.op.kind,
+        });
+        self.inflight -= 1;
+        let reply_at = now + self.half_rtt;
+        let key = self.mds_key(mds);
+        self.send(
+            router.client_shard[req.client],
+            reply_at,
+            key,
+            Event::Reply { mds, req },
+        );
+    }
+}
+
+/// Latest thaw among live frozen windows covering `d`, if any. Purging
+/// happens at barriers; mid-window readers filter by `until` instead of
+/// mutating the shared set.
+pub(crate) fn frozen_until(sh: &SharedSim, d: NodeId, now: SimTime) -> Option<SimTime> {
+    sh.frozen
+        .iter()
+        .filter(|w| w.until > now && w.contains(&sh.ns, d))
+        .map(|w| w.until)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_partitions_contiguously() {
+        let r = ShardRouter::new(10, 7, 4);
+        // Contiguous, non-decreasing assignment covering every shard.
+        assert!(r.mds_shard.windows(2).all(|w| w[0] <= w[1]));
+        assert!(r.client_shard.windows(2).all(|w| w[0] <= w[1]));
+        let total: usize = (0..4).map(|s| r.mds_of_shard(s).len()).sum();
+        assert_eq!(total, 10);
+        let total: usize = (0..4).map(|s| r.clients_of_shard(s).len()).sum();
+        assert_eq!(total, 7);
+        // Ranges agree with the map.
+        for s in 0..4 {
+            for m in r.mds_of_shard(s) {
+                assert_eq!(r.shard_of_mds(m), s);
+            }
+        }
+    }
+
+    #[test]
+    fn router_allows_more_shards_than_mds() {
+        let r = ShardRouter::new(3, 5, 8);
+        let sizes: Vec<usize> = (0..8).map(|s| r.mds_of_shard(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 3);
+        assert!(sizes.iter().all(|&n| n <= 1));
+        // Every MDS still has exactly one owner.
+        for m in 0..3 {
+            let s = r.shard_of_mds(m);
+            assert!(r.mds_of_shard(s).contains(&m));
+        }
+    }
+
+    #[test]
+    fn keys_order_by_origin_then_sequence() {
+        // Coordinator rank 0 sorts before MDS ranks, which sort before
+        // client ranks; within a rank the counter orders emissions.
+        let coord = 7u64; // rank 0 key is just the counter
+        let mds0 = 1u64 << KEY_CTR_BITS;
+        let mds1 = 2u64 << KEY_CTR_BITS;
+        let client0 = (1u64 + 4) << KEY_CTR_BITS; // num_mds = 4
+        assert!(coord < mds0);
+        assert!(mds0 < mds1);
+        assert!(mds1 < client0);
+        assert!(mds0 < (1u64 << KEY_CTR_BITS) | 1);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let barrier = Arc::new(SpinBarrier::new(4));
+        let hits = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let h = Arc::clone(&hits);
+                std::thread::spawn(move || {
+                    for round in 0..100u64 {
+                        b.wait();
+                        // Everyone saw every previous round complete.
+                        assert!(h.load(Ordering::SeqCst) >= round * 4);
+                        h.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        assert!(h.load(Ordering::SeqCst) >= (round + 1) * 4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 400);
+    }
+}

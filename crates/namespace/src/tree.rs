@@ -490,6 +490,24 @@ impl Namespace {
         op: OpKind,
         now: SimTime,
     ) -> (FragId, Option<SplitEvent>) {
+        let frag_id = self.record_op_no_split(id, frag, op, now);
+        let split = self.maybe_split(id, now);
+        (frag_id, split)
+    }
+
+    /// [`Namespace::record_op_on`] without the split check: bumps heat,
+    /// entry counts and per-MDS aggregates, but never restructures
+    /// fragments. The windowed cluster engine records every in-window op
+    /// this way so the window-start fragment layout stays valid for the
+    /// whole window, then runs [`Namespace::check_split`] on each touched
+    /// directory at the barrier.
+    pub fn record_op_no_split(
+        &mut self,
+        id: NodeId,
+        frag: FragId,
+        op: OpKind,
+        now: SimTime,
+    ) -> FragId {
         let frag_id = frag.min(self.dir(id).frags.len() - 1);
         self.touch(now);
         {
@@ -527,8 +545,17 @@ impl Namespace {
             d.subtree_heat.record(op, now);
             anc = d.parent;
         }
-        let split = self.maybe_split(id, now);
-        (frag_id, split)
+        frag_id
+    }
+
+    /// One deferred split check on `id` — the barrier-time counterpart of
+    /// the inline check in [`Namespace::record_op_on`]. Returns the split
+    /// performed, if any; callers loop until `None`, since a directory
+    /// that absorbed many ops in one window may need several splits to get
+    /// every fragment back under the threshold.
+    pub fn check_split(&mut self, id: NodeId, now: SimTime) -> Option<SplitEvent> {
+        self.touch(now);
+        self.maybe_split(id, now)
     }
 
     /// Advance the namespace's high-water clock, the timestamp authority

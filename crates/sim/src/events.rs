@@ -86,7 +86,7 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug)]
 enum Backend<E> {
     Heap(BinaryHeap<Scheduled<E>>),
-    Wheel(TimingWheel<E>),
+    Wheel(Box<TimingWheel<E>>),
 }
 
 /// Priority queue of timestamped events with stable FIFO tie-breaking.
@@ -132,7 +132,7 @@ impl<E> EventQueue<E> {
     pub fn with_scheduler(kind: SchedulerKind) -> Self {
         let backend = match kind {
             SchedulerKind::Heap => Backend::Heap(BinaryHeap::new()),
-            SchedulerKind::Wheel => Backend::Wheel(TimingWheel::new()),
+            SchedulerKind::Wheel => Backend::Wheel(Box::new(TimingWheel::new())),
         };
         EventQueue {
             backend,
@@ -176,6 +176,29 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Schedule `event` at `at` under an explicit tie-break key instead of
+    /// the queue's insertion counter.
+    ///
+    /// Same-instant events pop in ascending key order. This is what lets
+    /// the sharded cluster engine impose one *global* total order across
+    /// many queues: every producer stamps events with a key that encodes
+    /// its identity, so the merged pop order is independent of which queue
+    /// an event sat in. Keys must be unique per instant; don't mix keyed
+    /// and auto-seq scheduling in one queue unless the key spaces are
+    /// disjoint.
+    pub fn schedule_at_key(&mut self, at: SimTime, key: u64, event: E) {
+        debug_assert!(at >= self.now, "scheduled event in the past");
+        let at = at.max(self.now);
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(Scheduled {
+                at,
+                seq: key,
+                event,
+            }),
+            Backend::Wheel(wheel) => wheel.push(at.as_micros(), key, event),
+        }
+    }
+
     /// Pop the next event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let popped = match &mut self.backend {
@@ -183,6 +206,37 @@ impl<E> EventQueue<E> {
             Backend::Wheel(wheel) => wheel.pop().map(|(us, e)| (SimTime::from_micros(us), e)),
         };
         popped.inspect(|&(at, _)| self.now = at)
+    }
+
+    /// Pop the next event together with its tie-break key (the insertion
+    /// seq, or the caller's key for [`schedule_at_key`](Self::schedule_at_key)).
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        let popped = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop().map(|s| (s.at, s.seq, s.event)),
+            Backend::Wheel(wheel) => wheel
+                .pop_keyed()
+                .map(|(us, k, e)| (SimTime::from_micros(us), k, e)),
+        };
+        popped.inspect(|&(at, ..)| self.now = at)
+    }
+
+    /// Pop the next event only if it fires strictly before `limit`,
+    /// returning its key. Declined pops leave the queue (and the clock)
+    /// untouched — the windowed cluster engine drives each shard with this.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, u64, E)> {
+        let popped = match &mut self.backend {
+            Backend::Heap(heap) => {
+                if heap.peek().is_some_and(|s| s.at < limit) {
+                    heap.pop().map(|s| (s.at, s.seq, s.event))
+                } else {
+                    None
+                }
+            }
+            Backend::Wheel(wheel) => wheel
+                .pop_before(limit.as_micros())
+                .map(|(us, k, e)| (SimTime::from_micros(us), k, e)),
+        };
+        popped.inspect(|&(at, ..)| self.now = at)
     }
 
     /// Firing time of the next event without popping it.
@@ -301,6 +355,47 @@ mod tests {
         q.schedule_at(SimTime::from_millis(10), ());
         q.pop();
         q.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn explicit_keys_order_same_instant_events() {
+        for kind in BOTH {
+            let mut q = EventQueue::with_scheduler(kind);
+            let t = SimTime::from_millis(1);
+            q.schedule_at_key(t, 30, "c");
+            q.schedule_at_key(t, 10, "a");
+            q.schedule_at_key(t, 20, "b");
+            assert_eq!(q.pop_keyed(), Some((t, 10, "a")), "{kind:?}");
+            assert_eq!(q.pop_keyed(), Some((t, 20, "b")), "{kind:?}");
+            assert_eq!(q.pop_keyed(), Some((t, 30, "c")), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn pop_before_is_exclusive_and_non_destructive() {
+        for kind in BOTH {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.schedule_at_key(SimTime::from_micros(100), 1, "x");
+            q.schedule_at_key(SimTime::from_micros(300), 2, "y");
+            assert_eq!(q.pop_before(SimTime::from_micros(100)), None, "{kind:?}");
+            assert_eq!(q.len(), 2);
+            assert_eq!(
+                q.pop_before(SimTime::from_micros(101)),
+                Some((SimTime::from_micros(100), 1, "x")),
+                "{kind:?}"
+            );
+            assert_eq!(q.pop_before(SimTime::from_micros(200)), None, "{kind:?}");
+            assert_eq!(
+                q.now(),
+                SimTime::from_micros(100),
+                "declined pop holds the clock"
+            );
+            assert_eq!(
+                q.pop_before(SimTime::from_micros(301)),
+                Some((SimTime::from_micros(300), 2, "y")),
+                "{kind:?}"
+            );
+        }
     }
 
     /// The backends must agree on arbitrary interleavings of scheduling

@@ -8,30 +8,40 @@
 //! push is O(1) and pop is O(1) amortized.
 //!
 //! Layout: `LEVELS` levels of `SLOTS` slots each, `BITS` bits per
-//! level. Level `l` spans `64^(l+1)` µs per full rotation; slot `s` at
+//! level. Level `l` spans `256^(l+1)` µs per full rotation; slot `s` at
 //! level `l` holds events whose timestamp agrees with the cursor on all
-//! digits above `l` and has digit `s` at level `l`. Six levels cover
-//! `2^36` µs ≈ 19.1 h of virtual time — far past the default 60-minute
-//! run cap — and anything further lands in an unsorted **overflow list**
-//! that is re-homed into the wheel only once the wheel itself drains
-//! (overflow events provably fire after every wheel event, because they
-//! differ from the cursor in a higher digit).
+//! digits above `l` and has digit `s` at level `l`. Five 256-slot levels
+//! cover `2^40` µs ≈ 12.7 days of virtual time — far past any run cap —
+//! and anything further lands in an unsorted **overflow list** that is
+//! re-homed into the wheel only once the wheel itself drains (overflow
+//! events provably fire after every wheel event, because they differ from
+//! the cursor in a higher digit).
+//!
+//! The 256-slot geometry is deliberate: metadata service times cluster in
+//! the 90–700 µs band, so with 64-slot levels (the original layout) most
+//! events entered at level 1–2 and paid one or two cascade re-placements
+//! before firing. A 256 µs level-0 window swallows the bulk of that band
+//! on first placement, which is what fixed the mid-density (64-MDS)
+//! cluster rows where cascade overhead had made the wheel slower than the
+//! heap.
 //!
 //! # Determinism
 //!
-//! The simulator's contract is *exact* `(time, insertion-seq)` pop order
-//! (see [`EventQueue`](crate::EventQueue)). Naive timing wheels only
-//! guarantee time order per slot granularity. Two mechanisms restore the
-//! exact order:
+//! The simulator's contract is *exact* `(time, seq)` pop order (see
+//! [`EventQueue`](crate::EventQueue)). Naive timing wheels only guarantee
+//! time order per slot granularity. Two mechanisms restore the exact
+//! order:
 //!
 //! * **absolute slot indexing** — a level-0 slot can only ever hold events
-//!   for a single timestamp (the cursor never crosses a 64 µs window while
-//!   an event in it is pending), so draining one slot yields exactly one
-//!   instant;
+//!   for a single timestamp (the cursor never crosses a 256 µs window
+//!   while an event in it is pending), so draining one slot yields exactly
+//!   one instant;
 //! * **seq-sorted drain** — a level-0 slot's events may have been inserted
 //!   out of seq order (an event can cascade down from level 2 after a
-//!   direct level-0 insertion), so the drain buffer is sorted by insertion
-//!   seq before events are handed out. Same-instant FIFO follows.
+//!   direct level-0 insertion, and callers may supply explicit seq keys),
+//!   so the drain buffer is sorted by seq before events are handed out,
+//!   and a same-instant push while that instant is mid-drain is inserted
+//!   at its sorted position.
 //!
 //! Cascades are allocation-free in steady state: slot `Vec`s and the drain
 //! buffer are recycled, so the per-event hot path does not touch the
@@ -39,16 +49,18 @@
 
 use std::collections::VecDeque;
 
-/// Bits per wheel level (6 → 64 slots).
-const BITS: u32 = 6;
+/// Bits per wheel level (8 → 256 slots).
+const BITS: u32 = 8;
 /// Slots per level.
 const SLOTS: usize = 1 << BITS;
 /// Number of hierarchical levels; together they span `2^(BITS*LEVELS)` µs.
-const LEVELS: usize = 6;
+const LEVELS: usize = 5;
 /// Low-`BITS` mask for slot extraction.
 const MASK: u64 = (SLOTS as u64) - 1;
+/// Words per occupancy bitmap (256 slots / 64 bits).
+const WORDS: usize = SLOTS / 64;
 
-/// A pending event: absolute firing time, insertion seq, payload.
+/// A pending event: absolute firing time, seq, payload.
 #[derive(Debug)]
 struct Entry<E> {
     at: u64,
@@ -81,7 +93,7 @@ pub(crate) struct TimingWheel<E> {
     /// (`level * SLOTS + slot`) so a bucket access is one indirection.
     buckets: Box<[Vec<Entry<E>>]>,
     /// Per-level bitmap of non-empty slots (bit `s` ⇔ slot `s` occupied).
-    occupied: [u64; LEVELS],
+    occupied: [[u64; WORDS]; LEVELS],
     /// Events beyond the wheel's span, unsorted.
     overflow: Vec<Entry<E>>,
     /// Minimum firing time in `overflow` (`u64::MAX` when empty).
@@ -100,7 +112,7 @@ impl<E> TimingWheel<E> {
     pub(crate) fn new() -> Self {
         TimingWheel {
             buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
-            occupied: [0; LEVELS],
+            occupied: [[0; WORDS]; LEVELS],
             overflow: Vec::new(),
             overflow_min: u64::MAX,
             cur: 0,
@@ -118,16 +130,42 @@ impl<E> TimingWheel<E> {
         self.len == 0
     }
 
+    #[inline]
+    fn mark(&mut self, level: usize, slot: usize) {
+        self.occupied[level][slot >> 6] |= 1u64 << (slot & 63);
+    }
+
+    #[inline]
+    fn unmark(&mut self, level: usize, slot: usize) {
+        self.occupied[level][slot >> 6] &= !(1u64 << (slot & 63));
+    }
+
+    /// Lowest occupied slot at `level`, if any.
+    #[inline]
+    fn first_slot(&self, level: usize) -> Option<usize> {
+        self.occupied[level]
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, w)| (i << 6) + w.trailing_zeros() as usize)
+    }
+
     /// Insert an event. `at` must be `>= cur` (the queue clamps).
     #[inline]
     pub(crate) fn push(&mut self, at: u64, seq: u64, event: E) {
         debug_assert!(at >= self.cur, "wheel push into the past");
         self.len += 1;
         let e = Entry { at, seq, event };
-        // Same-instant push while that instant is being drained: seq is
-        // monotonically increasing, so appending keeps `ready` sorted.
+        // Same-instant push while that instant is being drained. Auto-seq
+        // callers always append in order, but explicit keys may land
+        // mid-sequence — insert at the sorted position either way.
         if !self.ready.is_empty() && at == self.ready_time {
-            self.ready.push_back(e);
+            let pos = self.ready.partition_point(|r| r.seq <= seq);
+            if pos == self.ready.len() {
+                self.ready.push_back(e);
+            } else {
+                self.ready.insert(pos, e);
+            }
             return;
         }
         self.place(e);
@@ -147,56 +185,42 @@ impl<E> TimingWheel<E> {
     fn place_in_wheel(&mut self, e: Entry<E>) {
         let level = level_of(self.cur, e.at);
         let slot = ((e.at >> (BITS * level as u32)) & MASK) as usize;
-        self.occupied[level] |= 1 << slot;
+        self.mark(level, slot);
         self.buckets[level * SLOTS + slot].push(e);
     }
 
-    /// Remove and return the earliest `(time, event)` in `(time, seq)`
-    /// order, advancing the cursor.
-    #[inline]
-    pub(crate) fn pop(&mut self) -> Option<(u64, E)> {
-        if let Some(e) = self.ready.pop_front() {
-            self.len -= 1;
-            return Some((e.at, e.event));
+    /// Cascade until `ready` holds the earliest pending instant's events
+    /// in seq order. Returns false when the wheel is empty.
+    fn make_ready(&mut self) -> bool {
+        if !self.ready.is_empty() {
+            return true;
         }
-        self.pop_scan()
-    }
-
-    /// `ready` is empty: find the lowest occupied slot, cascading and
-    /// re-homing as needed, and hand out its earliest entry.
-    fn pop_scan(&mut self) -> Option<(u64, E)> {
         loop {
-            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l].iter().any(|&w| w != 0))
+            else {
                 if self.overflow.is_empty() {
-                    return None;
+                    return false;
                 }
                 self.rehome_overflow();
                 continue;
             };
-            let slot = self.occupied[level].trailing_zeros() as usize;
-            self.occupied[level] &= !(1u64 << slot);
+            let slot = self.first_slot(level).expect("level is occupied");
+            self.unmark(level, slot);
             if level == 0 {
                 // A level-0 slot holds exactly one instant: every entry in
-                // it agrees with the cursor above bit 6 (the cursor cannot
-                // have left that 64 µs window while the entry was pending)
+                // it agrees with the cursor above bit 8 (the cursor cannot
+                // have left that 256 µs window while the entry was pending)
                 // and shares the slot's low digit.
                 let t = (self.cur & !MASK) | slot as u64;
                 self.cur = t;
-                // Most instants hold a single event — hand it out without
-                // touching the drain buffer at all.
-                if self.buckets[slot].len() == 1 {
-                    let e = self.buckets[slot].pop().expect("occupied slot");
-                    self.len -= 1;
-                    return Some((e.at, e.event));
-                }
                 let mut bucket = std::mem::take(&mut self.buckets[slot]);
                 self.ready.extend(bucket.drain(..));
                 self.buckets[slot] = bucket; // keep the capacity warm
-                self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+                if self.ready.len() > 1 {
+                    self.ready.make_contiguous().sort_unstable_by_key(|e| e.seq);
+                }
                 self.ready_time = t;
-                let e = self.ready.pop_front().expect("occupied slot");
-                self.len -= 1;
-                return Some((e.at, e.event));
+                return true;
             }
             // Advance the cursor to the base of this slot's window; all
             // remaining events at this level sit in higher slots, so
@@ -212,6 +236,51 @@ impl<E> TimingWheel<E> {
             }
             self.buckets[base + slot] = bucket;
         }
+    }
+
+    /// Remove and return the earliest `(time, event)` in `(time, seq)`
+    /// order, advancing the cursor.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(u64, E)> {
+        self.pop_keyed().map(|(at, _, e)| (at, e))
+    }
+
+    /// [`pop`](Self::pop), also returning the event's seq.
+    #[inline]
+    pub(crate) fn pop_keyed(&mut self) -> Option<(u64, u64, E)> {
+        if !self.make_ready() {
+            return None;
+        }
+        let e = self.ready.pop_front().expect("ready is non-empty");
+        self.len -= 1;
+        Some((e.at, e.seq, e.event))
+    }
+
+    /// Pop the next event only if it fires strictly before `limit`.
+    ///
+    /// Crucially this never *stages* an instant it then declines: staging
+    /// advances the cursor to the staged time, and the windowed cluster
+    /// engine pushes barrier-delivered cross-shard events *after* a
+    /// declined call — events that may fire earlier than the staged
+    /// instant (though never earlier than anything already popped). A
+    /// pinned-forward cursor would mis-place those pushes. Declines
+    /// therefore go through [`peek`](Self::peek) (a bitmap scan, paid once
+    /// per window), and `make_ready` runs only once an instant is known to
+    /// fall inside the window — after which the whole instant is drained
+    /// before the next barrier, restoring `cur == now`.
+    #[inline]
+    pub(crate) fn pop_before(&mut self, limit: u64) -> Option<(u64, u64, E)> {
+        if let Some(e) = self.ready.front() {
+            if e.at >= limit {
+                return None;
+            }
+        } else {
+            if self.peek()? >= limit {
+                return None;
+            }
+            self.make_ready();
+        }
+        self.pop_keyed()
     }
 
     /// Wheel is empty but overflow is not: jump the cursor to the earliest
@@ -239,8 +308,7 @@ impl<E> TimingWheel<E> {
             return Some(e.at);
         }
         for l in 0..LEVELS {
-            if self.occupied[l] != 0 {
-                let slot = self.occupied[l].trailing_zeros() as usize;
+            if let Some(slot) = self.first_slot(l) {
                 if l == 0 {
                     // Single-instant slot: the time is implied by the index.
                     return Some((self.cur & !MASK) | slot as u64);
@@ -277,14 +345,15 @@ mod tests {
     #[test]
     fn same_instant_fifo_across_cascades() {
         let mut w = TimingWheel::new();
-        // Event 0 goes in at level 2 (t=5000), event 1 directly at level 0
-        // after the cursor advances — the cascade must not reorder them.
-        w.push(5000, 0, 0);
+        // Event 0 goes in at a higher level (t=70000), event 1 directly at
+        // level 0 after the cursor advances — the cascade must not reorder
+        // them.
+        w.push(70_000, 0, 0);
         w.push(10, 1, 1);
         assert_eq!(w.pop(), Some((10, 1)));
-        w.push(5000, 2, 2); // same instant as event 0, later seq
-        assert_eq!(w.pop(), Some((5000, 0)));
-        assert_eq!(w.pop(), Some((5000, 2)));
+        w.push(70_000, 2, 2); // same instant as event 0, later seq
+        assert_eq!(w.pop(), Some((70_000, 0)));
+        assert_eq!(w.pop(), Some((70_000, 2)));
         assert_eq!(w.pop(), None);
     }
 
@@ -301,9 +370,22 @@ mod tests {
     }
 
     #[test]
+    fn push_while_draining_respects_explicit_seq() {
+        let mut w = TimingWheel::new();
+        w.push(50, 10, 10);
+        w.push(50, 30, 30);
+        assert_eq!(w.pop(), Some((50, 10)));
+        // Mid-drain push with a seq between the staged entries: it must
+        // slot in by seq, not append.
+        w.push(50, 20, 20);
+        assert_eq!(w.pop(), Some((50, 20)));
+        assert_eq!(w.pop(), Some((50, 30)));
+    }
+
+    #[test]
     fn far_future_goes_to_overflow_and_comes_back() {
         let mut w = TimingWheel::new();
-        let far = 1u64 << 40; // beyond the 2^36 µs wheel span
+        let far = 1u64 << 41; // beyond the 2^40 µs wheel span
         w.push(far + 3, 0, 0);
         w.push(far, 1, 1);
         w.push(7, 2, 2);
@@ -317,19 +399,19 @@ mod tests {
     #[test]
     fn overflow_rehomes_in_waves() {
         let mut w = TimingWheel::new();
-        let far = 1u64 << 40;
+        let far = 1u64 << 41;
         // Two overflow events so distant from each other that the second
         // stays in overflow after the first re-homing.
         w.push(far, 0, 0);
-        w.push(far + (1 << 50), 1, 1);
+        w.push(far + (1 << 55), 1, 1);
         assert_eq!(w.pop(), Some((far, 0)));
-        assert_eq!(w.pop(), Some((far + (1 << 50), 1)));
+        assert_eq!(w.pop(), Some((far + (1 << 55), 1)));
     }
 
     #[test]
     fn peek_matches_pop() {
         let mut w = TimingWheel::new();
-        for (i, t) in [300u64, 2, 1 << 38, 4097, 64].iter().enumerate() {
+        for (i, t) in [300u64, 2, 1 << 41, 4097, 64].iter().enumerate() {
             w.push(*t, i as u64, *t);
         }
         while !w.is_empty() {
@@ -341,10 +423,39 @@ mod tests {
     }
 
     #[test]
+    fn declined_pop_before_does_not_pin_the_cursor() {
+        // The sharded cluster engine's barrier pattern: a window's final
+        // pop_before declines the next instant, then cross-shard delivery
+        // pushes an event that fires *before* the declined instant (but at
+        // or after the window end). The declined instant must not have
+        // advanced the cursor, or the late push mis-sorts.
+        let mut w = TimingWheel::new();
+        w.push(1805, 7, 1805);
+        assert_eq!(w.pop_before(1709), None, "window [_, 1709) is empty");
+        w.push(1709, 3, 1709); // barrier-delivered, earlier than the declined instant
+        assert_eq!(w.pop_before(1959), Some((1709, 3, 1709)));
+        assert_eq!(w.pop_before(1959), Some((1805, 7, 1805)));
+        assert_eq!(w.pop_before(1959), None);
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit() {
+        let mut w = TimingWheel::new();
+        w.push(100, 0, 0);
+        w.push(300, 1, 1);
+        assert_eq!(w.pop_before(100), None, "limit is exclusive");
+        assert_eq!(w.pop_before(101), Some((100, 0, 0)));
+        assert_eq!(w.pop_before(250), None);
+        assert_eq!(w.len(), 1, "declined pops keep the event pending");
+        assert_eq!(w.pop_before(u64::MAX), Some((300, 1, 1)));
+        assert_eq!(w.pop_before(u64::MAX), None);
+    }
+
+    #[test]
     fn len_tracks_everything() {
         let mut w = TimingWheel::new();
         w.push(1, 0, 0);
-        w.push(1 << 40, 1, 1);
+        w.push(1 << 41, 1, 1);
         w.push(1, 2, 2);
         assert_eq!(w.len(), 3);
         w.pop();

@@ -155,7 +155,7 @@ impl Workload for Compile {
             .collect();
     }
 
-    fn next(&mut self, client: usize, _ns: &mut Namespace, _now: SimTime) -> Option<ClientOp> {
+    fn next(&mut self, client: usize, _ns: &Namespace, _now: SimTime) -> Option<ClientOp> {
         let untar_ops = self.untar_ops;
         let compile_ops = self.compile_ops;
         let link_ops = self.link_ops;
@@ -216,6 +216,10 @@ impl Workload for Compile {
         Some(op)
     }
 
+    fn fork(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         "compile"
     }
@@ -251,7 +255,7 @@ mod tests {
         w.setup(&mut ns);
         let expected = w.ops_per_client();
         let mut n = 0;
-        while w.next(0, &mut ns, SimTime::ZERO).is_some() {
+        while w.next(0, &ns, SimTime::ZERO).is_some() {
             n += 1;
         }
         assert_eq!(n, expected);
@@ -264,14 +268,14 @@ mod tests {
         w.setup(&mut ns);
         // Drain the untar phase.
         for _ in 0..w.untar_ops {
-            w.next(0, &mut ns, SimTime::ZERO).unwrap();
+            w.next(0, &ns, SimTime::ZERO).unwrap();
         }
         // Sample compile-phase ops and count hits under /client0/linux/arch.
         let arch = ns.mkdir_p("/client0/linux/arch");
         let mut arch_hits = 0;
         let samples = 2_000;
         for _ in 0..samples {
-            let op = w.next(0, &mut ns, SimTime::ZERO).unwrap();
+            let op = w.next(0, &ns, SimTime::ZERO).unwrap();
             let p = ns.path(op.dir);
             if p.starts_with(&ns.path(arch)) {
                 arch_hits += 1;
@@ -290,11 +294,11 @@ mod tests {
         let mut ns = Namespace::default();
         w.setup(&mut ns);
         for _ in 0..(w.untar_ops + w.compile_ops) {
-            w.next(0, &mut ns, SimTime::ZERO).unwrap();
+            w.next(0, &ns, SimTime::ZERO).unwrap();
         }
         let mut readdirs = 0;
         let mut total = 0;
-        while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+        while let Some(op) = w.next(0, &ns, SimTime::ZERO) {
             total += 1;
             if op.kind == OpKind::Readdir {
                 readdirs += 1;
@@ -312,7 +316,7 @@ mod tests {
             let mut ns = Namespace::default();
             w.setup(&mut ns);
             let mut ops = Vec::new();
-            while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+            while let Some(op) = w.next(0, &ns, SimTime::ZERO) {
                 ops.push((op.dir, op.kind));
             }
             ops

@@ -44,7 +44,7 @@ impl Workload for CreateSeparateDirs {
             .collect();
     }
 
-    fn next(&mut self, client: usize, _ns: &mut Namespace, _now: SimTime) -> Option<ClientOp> {
+    fn next(&mut self, client: usize, _ns: &Namespace, _now: SimTime) -> Option<ClientOp> {
         if self.issued[client] >= self.files_per_client {
             return None;
         }
@@ -53,6 +53,10 @@ impl Workload for CreateSeparateDirs {
             dir: self.dirs[client],
             kind: OpKind::Create,
         })
+    }
+
+    fn fork(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &str {
@@ -99,7 +103,7 @@ impl Workload for CreateSharedDir {
         self.dir = Some(ns.mkdir_p("/shared"));
     }
 
-    fn next(&mut self, client: usize, _ns: &mut Namespace, _now: SimTime) -> Option<ClientOp> {
+    fn next(&mut self, client: usize, _ns: &Namespace, _now: SimTime) -> Option<ClientOp> {
         if self.issued[client] >= self.files_per_client {
             return None;
         }
@@ -108,6 +112,10 @@ impl Workload for CreateSharedDir {
             dir: self.dir.expect("setup ran"),
             kind: OpKind::Create,
         })
+    }
+
+    fn fork(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &str {
@@ -128,14 +136,14 @@ mod tests {
         assert_eq!(ns.path(w.dirs()[2]), "/client2");
         // Client 1 issues exactly 5 ops, all creates into its dir.
         let mut n = 0;
-        while let Some(op) = w.next(1, &mut ns, SimTime::ZERO) {
+        while let Some(op) = w.next(1, &ns, SimTime::ZERO) {
             assert_eq!(op.dir, w.dirs()[1]);
             assert_eq!(op.kind, OpKind::Create);
             n += 1;
         }
         assert_eq!(n, 5);
         // Other clients unaffected.
-        assert!(w.next(0, &mut ns, SimTime::ZERO).is_some());
+        assert!(w.next(0, &ns, SimTime::ZERO).is_some());
     }
 
     #[test]
@@ -146,10 +154,10 @@ mod tests {
         let d = w.dir().unwrap();
         for c in 0..4 {
             for _ in 0..3 {
-                let op = w.next(c, &mut ns, SimTime::ZERO).unwrap();
+                let op = w.next(c, &ns, SimTime::ZERO).unwrap();
                 assert_eq!(op.dir, d);
             }
-            assert!(w.next(c, &mut ns, SimTime::ZERO).is_none());
+            assert!(w.next(c, &ns, SimTime::ZERO).is_none());
         }
     }
 

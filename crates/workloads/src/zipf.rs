@@ -105,7 +105,7 @@ impl Workload for ZipfMix {
             .collect();
     }
 
-    fn next(&mut self, client: usize, _ns: &mut Namespace, _now: SimTime) -> Option<ClientOp> {
+    fn next(&mut self, client: usize, _ns: &Namespace, _now: SimTime) -> Option<ClientOp> {
         if self.issued[client] >= self.ops_per_client {
             return None;
         }
@@ -129,6 +129,10 @@ impl Workload for ZipfMix {
             }
         };
         Some(ClientOp { dir, kind })
+    }
+
+    fn fork(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &str {
@@ -159,7 +163,7 @@ mod tests {
         let first = w.nodes[0];
         let mut hits_first = 0u64;
         let mut total = 0u64;
-        while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+        while let Some(op) = w.next(0, &ns, SimTime::ZERO) {
             total += 1;
             if op.dir == first {
                 hits_first += 1;
@@ -177,7 +181,7 @@ mod tests {
         w.setup(&mut ns);
         let mut writes = 0u64;
         let mut total = 0u64;
-        while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+        while let Some(op) = w.next(0, &ns, SimTime::ZERO) {
             total += 1;
             if op.kind.is_write() {
                 writes += 1;
@@ -193,7 +197,7 @@ mod tests {
         let mut ns = Namespace::default();
         w.setup(&mut ns);
         let mut counts = std::collections::HashMap::new();
-        while let Some(op) = w.next(0, &mut ns, SimTime::ZERO) {
+        while let Some(op) = w.next(0, &ns, SimTime::ZERO) {
             *counts.entry(op.dir).or_insert(0u64) += 1;
         }
         let max = counts.values().max().copied().unwrap() as f64;
