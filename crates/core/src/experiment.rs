@@ -7,7 +7,9 @@
 //! runs, the same way the paper repeats jobs).
 
 use mantle_mds::cluster::NoopBalancer;
-use mantle_mds::{Balancer, CephfsBalancer, Cluster, ClusterConfig, MantleBalancer, RunReport};
+use mantle_mds::{
+    Balancer, CephfsBalancer, Cluster, ClusterConfig, HookEngine, MantleBalancer, RunReport,
+};
 use mantle_namespace::{MdsId, Namespace};
 use mantle_policy::env::PolicySet;
 use mantle_sim::SimTime;
@@ -106,31 +108,36 @@ pub enum BalancerSpec {
         name: String,
         /// The compiled policy.
         policy: PolicySet,
-        /// Evaluate hooks with the legacy tree-walking interpreter
-        /// instead of the slot-compiled engine. Differential testing
-        /// only — results must be identical either way.
-        force_slow_path: bool,
+        /// Which hook engine evaluates the policy. All engines are
+        /// pinned bit-identical by the differential suites; non-default
+        /// choices exist for oracle runs and benchmarks only.
+        engine: HookEngine,
     },
 }
 
 impl BalancerSpec {
-    /// Convenience constructor for Mantle policies.
+    /// Convenience constructor for Mantle policies (default engine).
     pub fn mantle(name: impl Into<String>, policy: PolicySet) -> Self {
-        BalancerSpec::Mantle {
-            name: name.into(),
-            policy,
-            force_slow_path: false,
-        }
+        Self::mantle_with_engine(name, policy, HookEngine::default())
     }
 
     /// Like [`BalancerSpec::mantle`], but hooks run on the tree-walking
-    /// interpreter (the pre-slot-compilation engine). Exists so tests can
-    /// pin both engines to byte-identical [`RunReport`]s.
+    /// interpreter (the pre-compilation engine). Exists so tests can
+    /// pin every engine to byte-identical [`RunReport`]s.
     pub fn mantle_slow_path(name: impl Into<String>, policy: PolicySet) -> Self {
+        Self::mantle_with_engine(name, policy, HookEngine::Tree)
+    }
+
+    /// [`BalancerSpec::mantle`] with an explicit hook engine.
+    pub fn mantle_with_engine(
+        name: impl Into<String>,
+        policy: PolicySet,
+        engine: HookEngine,
+    ) -> Self {
         BalancerSpec::Mantle {
             name: name.into(),
             policy,
-            force_slow_path: true,
+            engine,
         }
     }
 
@@ -141,13 +148,13 @@ impl BalancerSpec {
             BalancerSpec::Mantle {
                 name,
                 policy,
-                force_slow_path,
+                engine,
             } => Box::new(
                 // Presets are validated in `policies`; here the policy has
                 // already passed or the caller opted in explicitly.
                 MantleBalancer::new_unvalidated(name.clone(), policy.clone())
                     .expect("policy set was already validated")
-                    .with_force_slow_path(*force_slow_path),
+                    .with_engine(*engine),
             ),
         }
     }

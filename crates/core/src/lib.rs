@@ -15,6 +15,9 @@
 //! * [`scale`] — scale-mode scenarios (≥64 MDSs, ≥100k dirs) comparing
 //!   the heap and timing-wheel event-queue backends (`cargo run -p
 //!   mantle-core --bin scale`);
+//! * [`search`] — policy-parameter grid search: every Fill & Spill
+//!   knob combination ranked across the fault catalogue (`cargo run -p
+//!   mantle-core --bin search`);
 //! * [`table`] — dependency-free text-table/CSV output.
 
 pub mod degraded;
@@ -22,6 +25,7 @@ pub mod experiment;
 pub mod policies;
 pub mod repro;
 pub mod scale;
+pub mod search;
 pub mod table;
 
 pub use experiment::{

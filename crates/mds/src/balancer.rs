@@ -13,7 +13,9 @@
 use mantle_namespace::HeatSample;
 use mantle_namespace::MdsId;
 use mantle_policy::env::{FragMetrics, MantleRuntime, PolicySet};
-use mantle_policy::{BalancerInputs, MdsMetrics, PolicyError, PolicyResult, PolicyValidator};
+use mantle_policy::{
+    BalancerInputs, HookEngine, MdsMetrics, PolicyError, PolicyResult, PolicyValidator,
+};
 
 use crate::metrics::Heartbeat;
 use crate::selector::{DirfragSelector, ScriptedSelector, SelectorKind};
@@ -265,11 +267,24 @@ impl MantleBalancer {
     }
 
     /// Evaluate hooks on the legacy tree-walking interpreter instead of
-    /// the slot-compiled engine. Differential testing only — the two
+    /// the default bytecode engine. Differential testing only — the
     /// engines are pinned byte-identical.
     pub fn with_force_slow_path(mut self, force: bool) -> Self {
         self.runtime = self.runtime.with_force_slow_path(force);
         self
+    }
+
+    /// Select the policy evaluation engine explicitly (bytecode by
+    /// default; tree walker and slot evaluator are kept as differential
+    /// oracles, like `SchedulerKind::Heap` against the timing wheel).
+    pub fn with_engine(mut self, engine: HookEngine) -> Self {
+        self.runtime = self.runtime.with_engine(engine);
+        self
+    }
+
+    /// The engine policy hooks currently run on.
+    pub fn engine(&self) -> HookEngine {
+        self.runtime.engine()
     }
 
     fn inputs(ctx: &BalanceContext) -> BalancerInputs {

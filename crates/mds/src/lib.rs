@@ -42,6 +42,7 @@ pub use cluster::Cluster;
 pub use config::{ClusterConfig, ExecMode, PlacementPolicy};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use invariants::{assert_invariants, check_trace, Violation};
+pub use mantle_policy::HookEngine;
 pub use mantle_sim::SchedulerKind;
 pub use report::RunReport;
 pub use selector::{select_best, DirfragSelector};

@@ -22,12 +22,36 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::ast::Script;
+use crate::bytecode::{BytecodeProgram, BytecodeVm};
 use crate::error::{PolicyError, PolicyResult};
 use crate::interp::{Interpreter, StepBudget};
 use crate::parser::{parse_expression_script, parse_script, parse_when};
-use crate::slots::{ScalarMetaload, SlotProgram, SlotVm};
+use crate::slots::{ScalarMdsload, ScalarMetaload, SlotProgram, SlotVm};
 use crate::stdlib;
-use crate::value::{Table, Value};
+use crate::value::{Key, Table, Value};
+
+/// Which evaluation engine executes the policy hooks.
+///
+/// All three are bit-identical — same results (`f64::to_bits`-equal), same
+/// step accounting, same errors on the same lines — pinned by the
+/// differential suites in `crates/policy` and `tests/`. The slower two are
+/// kept as selectable oracles (like `SchedulerKind::Heap` against the
+/// timing wheel), so equivalence stays a runtime-checkable property rather
+/// than an assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HookEngine {
+    /// The original tree-walking interpreter: rebuilds the environment by
+    /// name for every invocation. Slowest; first oracle.
+    Tree,
+    /// The slot-compiled AST evaluator ([`SlotVm`]): resolved integer
+    /// slots, reusable frames, but still recursive per AST node. Second
+    /// oracle.
+    Slot,
+    /// The flat register bytecode dispatch loop
+    /// ([`BytecodeVm`]) — the default engine.
+    #[default]
+    Bytecode,
+}
 
 /// Decayed popularity counters for one dirfrag/subtree — the inputs to the
 /// `metaload` hook.
@@ -283,17 +307,38 @@ struct EnvSlots {
 /// no interpreter construction, no name hashing, no `String` allocation.
 struct CompiledHook {
     prog: SlotProgram,
+    bc: BytecodeProgram,
     /// Base global frame: host functions (stdlib, `WRstate`/`RDstate`) at
     /// their slots, `Nil` everywhere else.
     base: Vec<Value>,
     env: EnvSlots,
     vm: RefCell<SlotVm>,
+    bvm: RefCell<BytecodeVm>,
+}
+
+/// The slot-write surface shared by the two compiled VMs (they use the same
+/// slot numbering), so hook setup closures are engine-agnostic.
+trait EnvSink {
+    fn write_global(&mut self, slot: usize, value: Value);
+}
+
+impl EnvSink for SlotVm {
+    fn write_global(&mut self, slot: usize, value: Value) {
+        self.set_global(slot, value);
+    }
+}
+
+impl EnvSink for BytecodeVm {
+    fn write_global(&mut self, slot: usize, value: Value) {
+        self.set_global(slot, value);
+    }
 }
 
 impl CompiledHook {
     fn compile(script: &Script, host: &Interpreter, budget: StepBudget) -> CompiledHook {
         let prog = SlotProgram::compile(script);
-        let base = prog
+        let bc = BytecodeProgram::compile(&prog);
+        let base: Vec<Value> = prog
             .global_names()
             .iter()
             .map(|name| host.get_global(name))
@@ -314,27 +359,46 @@ impl CompiledHook {
             store: slot("STORE"),
         };
         let vm = RefCell::new(SlotVm::new(&prog, budget));
+        let bvm = RefCell::new(BytecodeVm::new(&bc, budget));
         CompiledHook {
             prog,
+            bc,
             base,
             env,
             vm,
+            bvm,
         }
     }
 
-    /// Reset the environment to the base image, apply `setup`, execute.
-    fn run(&self, setup: impl FnOnce(&EnvSlots, &mut SlotVm)) -> PolicyResult<Value> {
-        let mut vm = self.vm.borrow_mut();
-        vm.reset_globals(&self.base);
-        setup(&self.env, &mut vm);
-        vm.run(&self.prog)
+    /// Reset the environment to the base image, apply `setup`, execute on
+    /// the selected engine ([`HookEngine::Tree`] never reaches here — the
+    /// runtime handles it before compiled hooks come into play).
+    fn run(
+        &self,
+        engine: HookEngine,
+        setup: impl FnOnce(&EnvSlots, &mut dyn EnvSink),
+    ) -> PolicyResult<Value> {
+        match engine {
+            HookEngine::Slot => {
+                let mut vm = self.vm.borrow_mut();
+                vm.reset_globals(&self.base);
+                setup(&self.env, &mut *vm);
+                vm.run(&self.prog)
+            }
+            _ => {
+                let mut vm = self.bvm.borrow_mut();
+                vm.reset_globals(&self.base);
+                setup(&self.env, &mut *vm);
+                vm.run(&self.bc)
+            }
+        }
     }
 }
 
 /// Write a value to an environment slot the hook actually references.
-fn set_slot(vm: &mut SlotVm, slot: Option<usize>, value: Value) {
+fn set_slot(vm: &mut dyn EnvSink, slot: Option<usize>, value: Value) {
     if let Some(s) = slot {
-        vm.set_global(s, value);
+        vm.write_global(s, value);
     }
 }
 
@@ -357,14 +421,16 @@ struct CompiledHooks {
 /// the MDS (which collects metrics and performs migrations) and the policy
 /// scripts (which decide).
 ///
-/// Hooks are compiled to slot programs once, at construction (see
-/// [`crate::slots`]); each invocation reuses the compiled program and its
-/// VM. A `metaload` hook that is a linear combination of the five counters
-/// additionally compiles to a [`ScalarMetaload`] evaluated without touching
-/// the VM at all. [`Self::with_force_slow_path`] disables both and runs the
-/// original tree-walking interpreter — the two paths are bit-identical (the
-/// differential tests pin this), so the switch exists for benchmarks and
-/// differential testing only.
+/// Hooks are compiled to slot programs and then lowered to bytecode once,
+/// at construction (see [`crate::slots`] and [`crate::bytecode`]); each
+/// invocation reuses the compiled program and its VM on the engine selected
+/// by [`Self::with_engine`] (bytecode by default). A `metaload` hook that
+/// is a linear combination of the five counters additionally compiles to a
+/// [`ScalarMetaload`] evaluated without touching any VM.
+/// [`Self::with_force_slow_path`] selects the original tree-walking
+/// interpreter and disables both fast paths — all engines are bit-identical
+/// (the differential tests pin this), so the switches exist for benchmarks
+/// and differential testing only.
 pub struct MantleRuntime {
     policy: PolicySet,
     state: Rc<RefCell<dyn StateStore>>,
@@ -375,7 +441,101 @@ pub struct MantleRuntime {
     whoami_cell: Rc<Cell<usize>>,
     hooks: CompiledHooks,
     metaload_scalar: Option<ScalarMetaload>,
-    force_slow_path: bool,
+    mdsload_scalar: Option<ScalarMdsload>,
+    /// Reusable `decide` environment (tables + interned keys), built lazily
+    /// on first use. Only the default bytecode engine touches it; the
+    /// oracle engines rebuild their environment from scratch every call so
+    /// they keep measuring the unoptimized path.
+    decide_env: RefCell<Option<DecideEnv>>,
+    engine: HookEngine,
+}
+
+/// Interned string keys for the per-MDS metric fields, cloned (refcount
+/// bump, no allocation) into table inserts on the decide fast path.
+struct MdsKeys {
+    auth: Key,
+    all: Key,
+    cpu: Key,
+    mem: Key,
+    q: Key,
+    req: Key,
+    load: Key,
+}
+
+impl MdsKeys {
+    fn new() -> MdsKeys {
+        let k = |s: &str| Key::Str(Rc::from(s));
+        MdsKeys {
+            auth: k("auth"),
+            all: k("all"),
+            cpu: k("cpu"),
+            mem: k("mem"),
+            q: k("q"),
+            req: k("req"),
+            load: k("load"),
+        }
+    }
+}
+
+/// The tables backing one `decide` call, reused across calls on the
+/// bytecode engine. Building these fresh (seven `Rc<str>` allocations per
+/// MDS row plus the hash inserts) used to dominate the hot path; reuse
+/// keeps the allocations while [`DecideEnv::reset`] restores the exact
+/// observable state a fresh build would have.
+///
+/// Reuse is invisible to scripts: globals are re-imaged from the base
+/// environment on every hook run and `WRstate` persists only numbers, so
+/// no table reference survives from one call to the next — `reset`'s
+/// clear-and-refill therefore makes the reused tables indistinguishable
+/// (content *and* error behaviour) from freshly allocated ones. The
+/// report-level differential suite (`tests/bytecode_equivalence.rs`) pins
+/// this against both oracle engines.
+struct DecideEnv {
+    mdss: Rc<RefCell<Table>>,
+    /// Row tables, kept alongside `mdss` so refilling them skips the outer
+    /// lookup. `rows[i]` is the table behind `MDSs[i+1]`.
+    rows: Vec<Rc<RefCell<Table>>>,
+    targets: Rc<RefCell<Table>>,
+    keys: MdsKeys,
+}
+
+impl DecideEnv {
+    fn new() -> DecideEnv {
+        DecideEnv {
+            mdss: Rc::new(RefCell::new(Table::new())),
+            rows: Vec::new(),
+            targets: Rc::new(RefCell::new(Table::new())),
+            keys: MdsKeys::new(),
+        }
+    }
+
+    /// Clear every table and refill from `inputs`, restoring exactly the
+    /// state a fresh environment build would produce (the previous call's
+    /// decision script may have written arbitrary keys anywhere).
+    fn reset(&mut self, inputs: &BalancerInputs) {
+        let n = inputs.mds.len();
+        while self.rows.len() < n {
+            self.rows.push(Rc::new(RefCell::new(Table::new())));
+        }
+        {
+            let mut outer = self.mdss.borrow_mut();
+            outer.clear();
+            for (i, row) in self.rows.iter().take(n).enumerate() {
+                outer.set(Key::Int(i as i64 + 1), Value::Table(Rc::clone(row)));
+            }
+        }
+        for (row, m) in self.rows.iter().zip(&inputs.mds) {
+            let mut row = row.borrow_mut();
+            row.clear();
+            row.set(self.keys.auth.clone(), Value::Number(m.auth));
+            row.set(self.keys.all.clone(), Value::Number(m.all));
+            row.set(self.keys.cpu.clone(), Value::Number(m.cpu));
+            row.set(self.keys.mem.clone(), Value::Number(m.mem));
+            row.set(self.keys.q.clone(), Value::Number(m.q));
+            row.set(self.keys.req.clone(), Value::Number(m.req));
+        }
+        self.targets.borrow_mut().clear();
+    }
 }
 
 impl fmt::Debug for MantleRuntime {
@@ -394,7 +554,7 @@ impl MantleRuntime {
             policy,
             Rc::new(RefCell::new(MemoryStateStore::default())),
             StepBudget::default(),
-            false,
+            HookEngine::default(),
         )
     }
 
@@ -402,11 +562,12 @@ impl MantleRuntime {
         policy: PolicySet,
         state: Rc<RefCell<dyn StateStore>>,
         budget: StepBudget,
-        force_slow_path: bool,
+        engine: HookEngine,
     ) -> Self {
         let whoami_cell = Rc::new(Cell::new(0usize));
         let host = Self::host_env(&state, &whoami_cell, budget);
         let metaload_scalar = ScalarMetaload::extract(&policy.metaload);
+        let mdsload_scalar = ScalarMdsload::extract(&policy.mdsload);
         let hooks = CompiledHooks {
             metaload: CompiledHook::compile(&policy.metaload, &host, budget),
             mdsload: CompiledHook::compile(&policy.mdsload, &host, budget),
@@ -427,7 +588,9 @@ impl MantleRuntime {
             whoami_cell,
             hooks,
             metaload_scalar,
-            force_slow_path,
+            mdsload_scalar,
+            decide_env: RefCell::new(None),
+            engine,
         }
     }
 
@@ -470,21 +633,37 @@ impl MantleRuntime {
 
     /// Use a custom state store.
     pub fn with_state_store(self, store: Rc<RefCell<dyn StateStore>>) -> Self {
-        Self::build(self.policy, store, self.budget, self.force_slow_path)
+        Self::build(self.policy, store, self.budget, self.engine)
     }
 
     /// Override the step budget applied to every hook invocation.
     pub fn with_budget(self, budget: StepBudget) -> Self {
-        Self::build(self.policy, self.state, budget, self.force_slow_path)
+        Self::build(self.policy, self.state, budget, self.engine)
+    }
+
+    /// Select the evaluation engine (bytecode by default). All engines are
+    /// bit-identical; the oracles exist so benchmarks and differential
+    /// tests can compare them.
+    pub fn with_engine(mut self, engine: HookEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine hooks currently run on.
+    pub fn engine(&self) -> HookEngine {
+        self.engine
     }
 
     /// Force every hook through the original tree-walking interpreter
-    /// instead of the slot-compiled (and scalar) fast paths. The two
-    /// evaluation paths are bit-identical; this switch exists so benchmarks
-    /// and differential tests can compare them.
-    pub fn with_force_slow_path(mut self, force: bool) -> Self {
-        self.force_slow_path = force;
-        self
+    /// instead of the compiled (and scalar) fast paths — shorthand for
+    /// [`Self::with_engine`]`(HookEngine::Tree)`; `force == false` restores
+    /// the default bytecode engine.
+    pub fn with_force_slow_path(self, force: bool) -> Self {
+        self.with_engine(if force {
+            HookEngine::Tree
+        } else {
+            HookEngine::default()
+        })
     }
 
     /// The configured dirfrag selectors.
@@ -502,6 +681,14 @@ impl MantleRuntime {
     /// shipped policy).
     pub fn metaload_scalar(&self) -> Option<&ScalarMetaload> {
         self.metaload_scalar.as_ref()
+    }
+
+    /// The scalar-compiled `mdsload`, when the hook is a single linear
+    /// combination of the current row's metric fields (true for Table 1
+    /// and every shipped policy). Consumed by the bytecode engine's
+    /// `decide` fast path; the oracle engines ignore it.
+    pub fn mdsload_scalar(&self) -> Option<&ScalarMdsload> {
+        self.mdsload_scalar.as_ref()
     }
 
     /// True when `metaload` distributes over sums of counter vectors
@@ -553,7 +740,7 @@ impl MantleRuntime {
     /// allocations: a scalar-compiled hook is a few multiply-adds; anything
     /// else reuses the hook's compiled slot program.
     pub fn eval_metaload(&self, whoami: usize, frag: &FragMetrics) -> PolicyResult<f64> {
-        if self.force_slow_path {
+        if self.engine == HookEngine::Tree {
             let mut interp = self.base_interp(whoami);
             interp.set_global("IRD", Value::Number(frag.ird));
             interp.set_global("IWR", Value::Number(frag.iwr));
@@ -568,7 +755,7 @@ impl MantleRuntime {
         self.whoami_cell.set(whoami);
         self.hooks
             .metaload
-            .run(|env, vm| {
+            .run(self.engine, |env, vm| {
                 set_slot(vm, env.ird, Value::Number(frag.ird));
                 set_slot(vm, env.iwr, Value::Number(frag.iwr));
                 set_slot(vm, env.readdir, Value::Number(frag.readdir));
@@ -584,6 +771,9 @@ impl MantleRuntime {
         let n = inputs.mds.len();
         if n == 0 {
             return Ok(BalancerOutcome::idle(0));
+        }
+        if self.engine == HookEngine::Bytecode {
+            return self.decide_bytecode(inputs);
         }
 
         // Pass 1: evaluate mdsload for every MDS, building the MDSs table.
@@ -605,7 +795,7 @@ impl MantleRuntime {
         self.whoami_cell.set(inputs.whoami);
         let mut mds_loads = Vec::with_capacity(n);
         for i in 0..n {
-            let load = if self.force_slow_path {
+            let load = if self.engine == HookEngine::Tree {
                 let mut interp = self.base_interp(inputs.whoami);
                 interp.set_global("whoami", Value::Number(inputs.whoami as f64 + 1.0));
                 interp.set_global("i", Value::Number(i as f64 + 1.0));
@@ -616,7 +806,7 @@ impl MantleRuntime {
             } else {
                 self.hooks
                     .mdsload
-                    .run(|env, vm| {
+                    .run(self.engine, |env, vm| {
                         set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
                         set_slot(vm, env.i, Value::Number(i as f64 + 1.0));
                         set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
@@ -644,7 +834,7 @@ impl MantleRuntime {
             interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
             interp.set_global("targets", Value::Table(Rc::clone(&targets_table)));
         };
-        let slot_setup = |env: &EnvSlots, vm: &mut SlotVm| {
+        let slot_setup = |env: &EnvSlots, vm: &mut dyn EnvSink| {
             set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
             set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
             set_slot(vm, env.total, Value::Number(total));
@@ -664,7 +854,7 @@ impl MantleRuntime {
             })
         };
 
-        let migrate = if self.force_slow_path {
+        let migrate = if self.engine == HookEngine::Tree {
             match &self.policy.decision {
                 Decision::Hooks { when, where_ } => {
                     let mut interp = self.base_interp(inputs.whoami);
@@ -687,14 +877,14 @@ impl MantleRuntime {
         } else {
             match &self.hooks.decision {
                 CompiledDecision::Hooks { when, where_ } => {
-                    let fired = when.run(slot_setup)?.truthy();
+                    let fired = when.run(self.engine, slot_setup)?.truthy();
                     if fired {
-                        where_.run(slot_setup)?;
+                        where_.run(self.engine, slot_setup)?;
                     }
                     fired
                 }
                 CompiledDecision::Combined(hook) => {
-                    hook.run(slot_setup)?;
+                    hook.run(self.engine, slot_setup)?;
                     targets_filled(&targets_table)
                 }
             }
@@ -711,6 +901,128 @@ impl MantleRuntime {
         }
         // Migration that targets nobody is a no-op.
         let migrate = migrate && targets.iter().any(|&t| t > 0.0);
+
+        Ok(BalancerOutcome {
+            mds_loads,
+            total,
+            migrate,
+            targets,
+        })
+    }
+
+    /// [`Self::decide`] on the default bytecode engine: same pipeline, same
+    /// observable behaviour, but the environment tables are reused across
+    /// calls (see [`DecideEnv`]) and an `mdsload` hook that compiled to
+    /// [`ScalarMdsload`] is evaluated straight off the input metrics —
+    /// no VM run, no table lookups — exactly as [`Self::eval_metaload`]
+    /// does for scalar `metaload` hooks.
+    ///
+    /// Structure deliberately mirrors the oracle path statement for
+    /// statement; any divergence is caught by the three-way differential
+    /// suites at hook and report level.
+    fn decide_bytecode(&self, inputs: &BalancerInputs) -> PolicyResult<BalancerOutcome> {
+        let n = inputs.mds.len();
+        let mut cached = self.decide_env.borrow_mut();
+        let env = cached.get_or_insert_with(DecideEnv::new);
+        env.reset(inputs);
+        let mdss_table = Rc::clone(&env.mdss);
+        let targets_table = Rc::clone(&env.targets);
+        let load_key = env.keys.load.clone();
+
+        // Pass 1: evaluate mdsload for every MDS.
+        self.whoami_cell.set(inputs.whoami);
+        let mut mds_loads = Vec::with_capacity(n);
+        if let Some(scalar) = &self.mdsload_scalar {
+            for m in &inputs.mds {
+                mds_loads.push(scalar.eval(&[m.auth, m.all, m.cpu, m.mem, m.q, m.req]));
+            }
+            let total: f64 = mds_loads.iter().sum();
+            // A scalar mdsload runs no script, so `MDSs` is exactly as
+            // `reset` built it and `rows[i]` *is* the table behind
+            // `MDSs[i+1]` — write the loads back without the outer lookup.
+            for (row, load) in env.rows.iter().zip(&mds_loads) {
+                row.borrow_mut().set(load_key.clone(), Value::Number(*load));
+            }
+            return self.decide_bytecode_pass2(inputs, mds_loads, total, mdss_table, targets_table);
+        }
+        for i in 0..n {
+            let load = self
+                .hooks
+                .mdsload
+                .run(HookEngine::Bytecode, |env, vm| {
+                    set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
+                    set_slot(vm, env.i, Value::Number(i as f64 + 1.0));
+                    set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
+                    set_slot(vm, env.authmetaload, Value::Number(inputs.auth_metaload));
+                    set_slot(vm, env.allmetaload, Value::Number(inputs.all_metaload));
+                })?
+                .as_number(0)?;
+            mds_loads.push(load);
+        }
+        let total: f64 = mds_loads.iter().sum();
+        // Write back through the outer table, as the oracle path does — an
+        // exotic mdsload hook could have rearranged `MDSs` and the
+        // write-back must see exactly what it left behind.
+        for (i, load) in mds_loads.iter().enumerate() {
+            if let Value::Table(t) = mdss_table.borrow().get_int(i as i64 + 1) {
+                t.borrow_mut().set(load_key.clone(), Value::Number(*load));
+            }
+        }
+        self.decide_bytecode_pass2(inputs, mds_loads, total, mdss_table, targets_table)
+    }
+
+    /// Pass 2 of [`Self::decide_bytecode`]: run the decision hook(s) and
+    /// extract the targets vector.
+    fn decide_bytecode_pass2(
+        &self,
+        inputs: &BalancerInputs,
+        mds_loads: Vec<f64>,
+        total: f64,
+        mdss_table: Rc<RefCell<Table>>,
+        targets_table: Rc<RefCell<Table>>,
+    ) -> PolicyResult<BalancerOutcome> {
+        let n = inputs.mds.len();
+
+        let slot_setup = |env: &EnvSlots, vm: &mut dyn EnvSink| {
+            set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
+            set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
+            set_slot(vm, env.total, Value::Number(total));
+            set_slot(vm, env.authmetaload, Value::Number(inputs.auth_metaload));
+            set_slot(vm, env.allmetaload, Value::Number(inputs.all_metaload));
+            set_slot(vm, env.targets, Value::Table(Rc::clone(&targets_table)));
+        };
+        // `fired` for the two-hook form; `None` for the combined form,
+        // where "migrate" is simply "the script filled targets" — which
+        // the clamp-and-extract below already determines (a slot ends up
+        // > 0 exactly when `targets_filled` on the oracle path would have
+        // seen a positive number there), so the separate pre-scan the
+        // oracle path performs is skipped.
+        let fired = match &self.hooks.decision {
+            CompiledDecision::Hooks { when, where_ } => {
+                let fired = when.run(HookEngine::Bytecode, slot_setup)?.truthy();
+                if fired {
+                    where_.run(HookEngine::Bytecode, slot_setup)?;
+                }
+                Some(fired)
+            }
+            CompiledDecision::Combined(hook) => {
+                hook.run(HookEngine::Bytecode, slot_setup)?;
+                None
+            }
+        };
+
+        let mut targets = vec![0.0; n];
+        {
+            let tt = targets_table.borrow();
+            for (i, slot) in targets.iter_mut().enumerate() {
+                if let Ok(v) = tt.get_int(i as i64 + 1).as_number(0) {
+                    *slot = v.max(0.0);
+                }
+            }
+        }
+        // Migration that targets nobody is a no-op (and for the combined
+        // form, targeting nobody means the decision never fired at all).
+        let migrate = fired.unwrap_or(true) && targets.iter().any(|&t| t > 0.0);
 
         Ok(BalancerOutcome {
             mds_loads,
@@ -1060,6 +1372,151 @@ end
         assert_eq!(a, b);
         for (x, y) in a.targets.iter().zip(&b.targets) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_three_engines_agree_on_decide() {
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[90.0, 5.0, 35.0]),
+            auth_metaload: 90.0,
+            all_metaload: 95.0,
+        };
+        let frag = FragMetrics {
+            ird: 0.137,
+            iwr: 12.75,
+            readdir: 1.0 / 3.0,
+            fetch: 9e3,
+            store: 0.001,
+        };
+        let engines = [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode];
+        let runs: Vec<_> = engines
+            .iter()
+            .map(|&e| {
+                let rt = MantleRuntime::new(cephfs_policy()).with_engine(e);
+                assert_eq!(rt.engine(), e);
+                (
+                    rt.eval_metaload(2, &frag).unwrap(),
+                    rt.decide(&inputs).unwrap(),
+                )
+            })
+            .collect();
+        for w in runs.windows(2) {
+            assert_eq!(w[0].0.to_bits(), w[1].0.to_bits());
+            assert_eq!(w[0].1, w[1].1);
+            for (x, y) in w[0].1.targets.iter().zip(&w[1].1.targets) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn decide_env_reuse_is_invisible_across_calls() {
+        // The bytecode engine reuses its decide tables; a decision script
+        // that scribbles junk keys into MDSs rows, the outer table, and
+        // targets must not be able to observe (or leak) anything across
+        // calls. Every repeat call must match the slot oracle bit for bit.
+        let p = PolicySet::from_combined(
+            "IWR + IRD",
+            "MDSs[i][\"all\"]",
+            r#"
+MDSs[1]["junk"] = 99
+MDSs[4] = 7
+targets["stray"] = 5
+if MDSs[1]["polluted"] == nil then
+  targets[2] = MDSs[1]["all"] / 2
+end
+MDSs[1]["polluted"] = 1
+"#,
+            &["half"],
+        )
+        .unwrap();
+        let fast = MantleRuntime::new(p.clone());
+        assert_eq!(fast.engine(), HookEngine::Bytecode);
+        let oracle = MantleRuntime::new(p).with_engine(HookEngine::Slot);
+        let inputs = |hot: f64| BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[hot, 5.0, 35.0]),
+            auth_metaload: hot,
+            all_metaload: 95.0,
+        };
+        // Vary the cluster size mid-stream so stale rows from a larger
+        // call can't bleed into a smaller one.
+        for inp in [inputs(90.0), inputs(64.0), inputs(90.0)] {
+            let a = fast.decide(&inp).unwrap();
+            let b = oracle.decide(&inp).unwrap();
+            assert_eq!(a, b);
+            for (x, y) in a.targets.iter().zip(&b.targets) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let mut small = inputs(90.0);
+        small.mds.truncate(2);
+        let a = fast.decide(&small).unwrap();
+        let b = oracle.decide(&small).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_scalar_mdsload_agrees_across_engines() {
+        // An mdsload the scalar extractor refuses (function call) drives
+        // the bytecode path through the compiled hook against the cached
+        // MDSs table — which must still match the oracles exactly.
+        let p = PolicySet::from_hooks(
+            "IWR",
+            "max(MDSs[i][\"all\"], 10*MDSs[i][\"q\"])",
+            "if MDSs[whoami][\"load\"] > total/#MDSs then",
+            "targets[2] = MDSs[whoami][\"load\"]/4",
+            &["half"],
+        )
+        .unwrap();
+        assert!(MantleRuntime::new(p.clone()).mdsload_scalar().is_none());
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[90.0, 5.0, 35.0]),
+            auth_metaload: 90.0,
+            all_metaload: 95.0,
+        };
+        let runs: Vec<_> = [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode]
+            .iter()
+            .map(|&e| {
+                MantleRuntime::new(p.clone())
+                    .with_engine(e)
+                    .decide(&inputs)
+                    .unwrap()
+            })
+            .collect();
+        for w in runs.windows(2) {
+            assert_eq!(w[0], w[1]);
+            for (x, y) in w[0].targets.iter().zip(&w[1].targets) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shipped_mdsload_hooks_take_the_scalar_path() {
+        let rt = MantleRuntime::new(cephfs_policy());
+        assert!(rt.mdsload_scalar().is_some(), "Table 1 mdsload is linear");
+    }
+
+    #[test]
+    fn nan_in_policy_surfaces_as_error_on_every_engine() {
+        // The NaN-strict stdlib lives in shared natives, so every engine
+        // raises the same error for a policy that feeds 0/0 into max().
+        let p = PolicySet::from_hooks(
+            "max(IWR / (IRD - IRD), 1)",
+            "MDSs[i][\"all\"]",
+            "true",
+            "targets[2] = 1",
+            &["half"],
+        )
+        .unwrap();
+        for e in [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode] {
+            let rt = MantleRuntime::new(p.clone()).with_engine(e);
+            let err = rt.eval_metaload(0, &FragMetrics::default()).unwrap_err();
+            assert!(err.to_string().contains("NaN argument"), "{e:?}: {err}");
         }
     }
 

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod env;
 pub mod error;
 pub mod fmt;
@@ -58,12 +59,13 @@ pub mod token;
 pub mod validate;
 pub mod value;
 
-pub use env::{BalancerInputs, BalancerOutcome, EnvBuilder, MdsMetrics, StateStore};
+pub use bytecode::{BytecodeProgram, BytecodeVm};
+pub use env::{BalancerInputs, BalancerOutcome, EnvBuilder, HookEngine, MdsMetrics, StateStore};
 pub use error::{PolicyError, PolicyResult};
 pub use fmt::script_to_source;
 pub use interp::{Interpreter, StepBudget};
 pub use parser::parse_script;
-pub use slots::{ScalarMetaload, SlotProgram, SlotVm};
+pub use slots::{ScalarMdsload, ScalarMetaload, SlotProgram, SlotVm};
 pub use validate::PolicyValidator;
 pub use value::{Table, Value};
 

@@ -54,8 +54,11 @@ use crate::value::{Key, Table, Value};
 // ---------------------------------------------------------------------------
 
 /// A statement with all names resolved to slots.
+///
+/// `pub(crate)` so the bytecode lowering pass (`crate::bytecode`) can
+/// consume the slotted AST directly.
 #[derive(Debug, Clone)]
-enum SStmt {
+pub(crate) enum SStmt {
     Assign {
         target: SLValue,
         value: SExpr,
@@ -96,7 +99,7 @@ enum SStmt {
 
 /// An assignable location, resolved.
 #[derive(Debug, Clone)]
-enum SLValue {
+pub(crate) enum SLValue {
     Local(u32),
     Global(u32),
     Index { object: SExpr, key: SKey },
@@ -104,7 +107,7 @@ enum SLValue {
 
 /// An expression with resolved names and pre-interned constant keys.
 #[derive(Debug, Clone)]
-enum SExpr {
+pub(crate) enum SExpr {
     Nil,
     Bool(bool),
     /// String literals are pre-built `Value::Str`s: evaluating one is an
@@ -149,7 +152,7 @@ enum SExpr {
 /// (`t.auth` / `t["auth"]`), so the hot `MDSs[i]["load"]` lookups never
 /// allocate.
 #[derive(Debug, Clone)]
-enum SKey {
+pub(crate) enum SKey {
     Const {
         key: Key,
         /// The literal text, shared with `key`, for error messages.
@@ -226,6 +229,11 @@ impl SlotProgram {
     /// Size of the local frame.
     pub fn n_locals(&self) -> usize {
         self.n_locals as usize
+    }
+
+    /// The slotted statement list, for the bytecode lowering pass.
+    pub(crate) fn stmts(&self) -> &[SStmt] {
+        &self.body
     }
 }
 
@@ -957,6 +965,164 @@ fn term_of(e: &Expr) -> Option<ScalarTerm> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scalar mdsload
+// ---------------------------------------------------------------------------
+
+/// Position of each per-MDS metric in the 6-vector handed to
+/// [`ScalarMdsload::eval`]: `auth`, `all`, `cpu`, `mem`, `q`, `req`.
+pub const MDS_FIELD_NAMES: [&str; 6] = ["auth", "all", "cpu", "mem", "q", "req"];
+
+fn mds_field_index(name: &str) -> Option<usize> {
+    MDS_FIELD_NAMES.iter().position(|&n| n == name)
+}
+
+/// One term of a linear `mdsload` expression, over `MDSs[i]["<field>"]`
+/// reads instead of bare counters.
+#[derive(Debug, Clone, PartialEq)]
+enum MdsTerm {
+    /// `MDSs[i]["<field>"]`.
+    Field(usize),
+    /// `c * MDSs[i]["<field>"]` (coefficient first, as in Table 1).
+    CoeffField(f64, usize),
+    /// `MDSs[i]["<field>"] * c`.
+    FieldCoeff(usize, f64),
+    /// A numeric literal.
+    Const(f64),
+    /// Arithmetic negation of a term.
+    Neg(Box<MdsTerm>),
+}
+
+impl MdsTerm {
+    fn eval(&self, fields: &[f64; 6]) -> f64 {
+        match self {
+            MdsTerm::Field(i) => fields[*i],
+            MdsTerm::CoeffField(c, i) => c * fields[*i],
+            MdsTerm::FieldCoeff(i, c) => fields[*i] * c,
+            MdsTerm::Const(c) => *c,
+            MdsTerm::Neg(t) => -t.eval(fields),
+        }
+    }
+}
+
+/// An `mdsload` hook compiled to a coefficient term list — the counterpart
+/// of [`ScalarMetaload`] for the per-MDS pass. It covers hooks that are
+/// pure arithmetic over the current row's six metric fields (`MDSs[i][…]`),
+/// which is Table 1's weighted sum and every shipped policy.
+///
+/// Same bit-identity argument as [`ScalarMetaload`]: terms stay in source
+/// order and are folded with the interpreter's left-associative `+`/`-`
+/// chain, and each `MDSs[i]["<field>"]` read yields exactly the `f64` the
+/// environment builder would have stored in the table — so the fast path
+/// performs the identical IEEE-754 operations in the identical order,
+/// without building any table or running any VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarMdsload {
+    first: MdsTerm,
+    /// `(is_subtraction, term)`, applied left to right.
+    rest: Vec<(bool, MdsTerm)>,
+}
+
+impl ScalarMdsload {
+    /// Try to compile `script` to scalar form. Returns `None` when the hook
+    /// is anything but a single-expression linear combination of the
+    /// current row's metric fields — callers fall back to running the
+    /// compiled hook against the real `MDSs` table. Reads of other rows
+    /// (`MDSs[1][…]`), of the pass-2-only `"load"` field, and any call or
+    /// comparison all bail, so error behaviour is preserved exactly.
+    pub fn extract(script: &Script) -> Option<ScalarMdsload> {
+        let [Stmt::Return {
+            value: Some(expr), ..
+        }] = script.block.stmts.as_slice()
+        else {
+            return None;
+        };
+        let mut terms = Vec::new();
+        flatten_mds_chain(expr, &mut terms)?;
+        let mut it = terms.into_iter();
+        let (_, first) = it.next()?;
+        Some(ScalarMdsload {
+            first,
+            rest: it.collect(),
+        })
+    }
+
+    /// Evaluate against `[auth, all, cpu, mem, q, req]`.
+    pub fn eval(&self, fields: &[f64; 6]) -> f64 {
+        let mut acc = self.first.eval(fields);
+        for (sub, term) in &self.rest {
+            let v = term.eval(fields);
+            acc = if *sub { acc - v } else { acc + v };
+        }
+        acc
+    }
+}
+
+/// Flatten a left-associative `+`/`-` chain of mdsload terms.
+fn flatten_mds_chain(e: &Expr, out: &mut Vec<(bool, MdsTerm)>) -> Option<()> {
+    if let Expr::Binary {
+        op: op @ (BinOp::Add | BinOp::Sub),
+        lhs,
+        rhs,
+        ..
+    } = e
+    {
+        flatten_mds_chain(lhs, out)?;
+        out.push((*op == BinOp::Sub, mds_term_of(rhs)?));
+        Some(())
+    } else {
+        out.push((false, mds_term_of(e)?));
+        Some(())
+    }
+}
+
+/// Match exactly `MDSs[i]["<field>"]` for one of the six metric fields.
+fn current_row_field(e: &Expr) -> Option<usize> {
+    let Expr::Index { object, key, .. } = e else {
+        return None;
+    };
+    let Expr::Str(field) = &**key else {
+        return None;
+    };
+    let Expr::Index {
+        object: table,
+        key: row,
+        ..
+    } = &**object
+    else {
+        return None;
+    };
+    match (&**table, &**row) {
+        (Expr::Name(t, _), Expr::Name(r, _)) if t == "MDSs" && r == "i" => mds_field_index(field),
+        _ => None,
+    }
+}
+
+fn mds_term_of(e: &Expr) -> Option<MdsTerm> {
+    if let Some(f) = current_row_field(e) {
+        return Some(MdsTerm::Field(f));
+    }
+    match e {
+        Expr::Number(n) => Some(MdsTerm::Const(*n)),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => Some(MdsTerm::Neg(Box::new(mds_term_of(operand)?))),
+        Expr::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+            ..
+        } => match (&**lhs, &**rhs) {
+            (Expr::Number(c), field) => Some(MdsTerm::CoeffField(*c, current_row_field(field)?)),
+            (field, Expr::Number(c)) => Some(MdsTerm::FieldCoeff(current_row_field(field)?, *c)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1208,5 +1374,85 @@ return mymax
         assert!(!scalar_of("IWR + 1").unwrap().is_homogeneous());
         assert!(!scalar_of("IWR - -3").unwrap().is_homogeneous());
         assert!(scalar_of("IWR - -FETCH").unwrap().is_homogeneous());
+    }
+
+    // ---- scalar mdsload ----
+
+    use std::cell::RefCell;
+
+    fn mds_scalar_of(src: &str) -> Option<ScalarMdsload> {
+        ScalarMdsload::extract(&parse_expression_script(src).unwrap())
+    }
+
+    #[test]
+    fn shipped_mdsload_hooks_compile_to_scalar() {
+        // Listing 1 (and every listing balancer), Table 1's weighted sum,
+        // and the grid search's queue-aware capacity term.
+        for src in [
+            "MDSs[i][\"all\"]",
+            "0.8*MDSs[i][\"auth\"] + 0.2*MDSs[i][\"all\"] + MDSs[i][\"req\"] + 10*MDSs[i][\"q\"]",
+            "MDSs[i][\"all\"] + 10*MDSs[i][\"q\"]",
+        ] {
+            assert!(mds_scalar_of(src).is_some(), "{src} must be scalar");
+        }
+    }
+
+    #[test]
+    fn scalar_mdsload_is_bit_identical_to_interpreter() {
+        let cases = [
+            "MDSs[i][\"all\"]",
+            "0.8*MDSs[i][\"auth\"] + 0.2*MDSs[i][\"all\"] + MDSs[i][\"req\"] + 10*MDSs[i][\"q\"]",
+            "MDSs[i][\"all\"] + 10*MDSs[i][\"q\"]",
+            "MDSs[i][\"cpu\"]*0.5 - -MDSs[i][\"mem\"] + 1e-3",
+            "-MDSs[i][\"q\"] + 3",
+        ];
+        let rows = [
+            [90.0, 95.0, 85.0, 40.0, 12.0, 700.0],
+            [1e9, 1e-9, 3.3333, 7.77, 0.0, 1.0 / 3.0],
+        ];
+        for src in cases {
+            let s = mds_scalar_of(src).unwrap_or_else(|| panic!("{src} must be scalar"));
+            for fields in &rows {
+                // Oracle: run the expression against a real MDSs table.
+                let script = parse_expression_script(src).unwrap();
+                let row = Table::from_fields(
+                    MDS_FIELD_NAMES
+                        .iter()
+                        .zip(fields)
+                        .map(|(k, v)| (*k, Value::Number(*v))),
+                );
+                let mut mdss = Table::new();
+                mdss.set_int(1, Value::Table(Rc::new(RefCell::new(row))));
+                let mut interp = Interpreter::new();
+                interp.set_global("MDSs", Value::Table(Rc::new(RefCell::new(mdss))));
+                interp.set_global("i", Value::Number(1.0));
+                let slow = interp.run(&script).unwrap().as_number(0).unwrap();
+                let fast = s.eval(fields);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "{src} diverged on {fields:?}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_scalar_mdsload_hooks_fall_back() {
+        for src in [
+            "MDSs[i][\"load\"]",                 // pass-2-only field (reads nil in pass 1)
+            "MDSs[1][\"all\"]",                  // other row
+            "MDSs[whoami][\"all\"]",             // not the loop index
+            "max(MDSs[i][\"all\"], 1)",          // call
+            "MDSs[i][\"all\"] / 2",              // division
+            "MDSs[i][\"all\"] * MDSs[i][\"q\"]", // nonlinear
+            "allmetaload",                       // plain global
+            "x = MDSs[i][\"all\"] return x",     // multi-statement
+        ] {
+            assert!(
+                mds_scalar_of(src).is_none(),
+                "{src} must not compile to scalar"
+            );
+        }
     }
 }

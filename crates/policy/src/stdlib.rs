@@ -10,6 +10,13 @@ use crate::error::{PolicyError, PolicyResult};
 use crate::interp::Interpreter;
 use crate::value::{Table, Value};
 
+/// Fold for `max`/`min`. NaN arguments raise a runtime error rather than
+/// being silently dropped: `f64::max`/`f64::min` return the *other* operand
+/// when one side is NaN, so a policy that computed `0/0` would get a
+/// confident-looking load out of `max(...)` and the CephFS fallback (which
+/// triggers on policy *errors*) would never engage. Erroring matches the
+/// strictness of `as_number` elsewhere in the language — garbage in the
+/// load calculation is a policy bug, not a value.
 fn numeric_fold(
     name: &'static str,
     args: &[Value],
@@ -21,9 +28,19 @@ fn numeric_fold(
             format!("{name} expects at least one argument"),
         ));
     }
-    let mut acc = args[0].as_number(0)?;
+    let nan_check = |v: f64| {
+        if v.is_nan() {
+            Err(PolicyError::runtime(
+                0,
+                format!("{name} got a NaN argument"),
+            ))
+        } else {
+            Ok(v)
+        }
+    };
+    let mut acc = nan_check(args[0].as_number(0)?)?;
     for a in &args[1..] {
-        acc = f(acc, a.as_number(0)?);
+        acc = f(acc, nan_check(a.as_number(0)?)?);
     }
     Ok(Value::Number(acc))
 }
@@ -163,5 +180,29 @@ mod tests {
         let mut interp = Interpreter::new();
         install(&mut interp);
         assert!(interp.run(&script).is_err());
+    }
+
+    #[test]
+    fn nan_arguments_error_instead_of_vanishing() {
+        // `f64::max(NaN, x)` returns `x` — with the raw fold, 0/0 inside a
+        // policy would silently pick the other argument. Pinned: it errors.
+        for src in [
+            "x = max(0/0, 5)",
+            "x = max(5, 0/0)",
+            "x = min(0/0, 5)",
+            "x = math.max(1, 2, 0/0)",
+            "x = math.min(0/0)",
+        ] {
+            let script = parse_script(src).unwrap();
+            let mut interp = Interpreter::new();
+            install(&mut interp);
+            let err = interp.run(&script).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("NaN argument"), "{src}: {msg}");
+        }
+        // Infinities are fine — math.huge stays usable.
+        let i = run("x = max(math.huge, 5) y = min(-math.huge, 5)");
+        assert_eq!(i.get_global("x").as_number(0).unwrap(), f64::INFINITY);
+        assert_eq!(i.get_global("y").as_number(0).unwrap(), f64::NEG_INFINITY);
     }
 }

@@ -231,6 +231,13 @@ impl Table {
         self.set(Key::Int(i), value);
     }
 
+    /// Remove every entry, keeping the allocated capacity. Lets callers
+    /// reuse one table across runs instead of reallocating — observationally
+    /// identical to a fresh table since keys are compared by content.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
     /// The `#` border: length of the dense 1-based integer prefix.
     pub fn len(&self) -> i64 {
         let mut n = 0;

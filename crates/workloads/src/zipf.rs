@@ -83,11 +83,16 @@ impl ZipfMix {
     }
 
     fn sample_dir(&mut self, client: usize) -> NodeId {
+        // `nodes` is only populated by `setup`; sampling before that would
+        // underflow `len() - 1` in debug builds (and index out of bounds in
+        // release). Clamp against the cdf, which is built in `new` and is
+        // never empty (`dirs > 0` is asserted there).
+        assert!(
+            !self.nodes.is_empty(),
+            "ZipfMix::setup must run before ops are sampled"
+        );
         let u = self.rngs[client].f64();
-        let idx = self
-            .cdf
-            .partition_point(|&c| c < u)
-            .min(self.nodes.len() - 1);
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
         self.nodes[idx]
     }
 }
@@ -189,6 +194,16 @@ mod tests {
         }
         let frac = writes as f64 / total as f64;
         assert!((frac - 0.3).abs() < 0.03, "write fraction {frac:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "setup must run before ops are sampled")]
+    fn next_before_setup_panics_cleanly() {
+        // Regression: this used to underflow `self.nodes.len() - 1` (debug
+        // panic deep in `sample_dir`); now it's a clear assertion.
+        let mut w = ZipfMix::new(1, 8, 10, 1.0, 0.5, 1);
+        let ns = Namespace::default();
+        let _ = w.next(0, &ns, SimTime::ZERO);
     }
 
     #[test]

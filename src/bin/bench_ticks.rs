@@ -25,8 +25,13 @@
 //!   against the legacy per-dirfrag walk (O(dirs × frags × hook evals));
 //! * `metaload_hook`: one Table-1 `metaload` evaluation — the
 //!   scalar-compiled fast path against the tree-walking interpreter;
-//! * `decide_hook`: one full when/where decision (adaptable policy) —
-//!   slot-compiled hooks against per-call interpreter setup;
+//! * `decide_hook`: one full when/where decision (adaptable policy) on
+//!   all three hook engines — the default bytecode VM (cached decide
+//!   environment + scalar mdsload), the slot VM (compiled hooks, fresh
+//!   environment per call), and per-call interpreter setup. The bytecode
+//!   engine is gated ≥ 2× the slot path on this non-scalar decision
+//!   hook, and the scalar `metaload` path must never be slower under the
+//!   bytecode engine than under the slot engine;
 //! * `end_to_end`: a small create-shared experiment wall-clock, fast vs
 //!   forced-slow hook engine (results are byte-identical; only time may
 //!   differ);
@@ -52,7 +57,7 @@ use std::time::Instant;
 
 use mantle::core::policies;
 use mantle::core::scale::{run_scale, run_scale_mode, ScaleSpec};
-use mantle::mds::ExecMode;
+use mantle::mds::{ExecMode, HookEngine};
 use mantle::namespace::{IndexMode, Namespace, NodeId, NsConfig, OpKind};
 use mantle::policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics};
 use mantle::prelude::*;
@@ -228,6 +233,22 @@ fn run_smoke() {
             agg_auth[m],
             walk_auth[m]
         );
+    }
+
+    // The decide pipeline on all three hook engines, same inputs, must be
+    // bit-identical (the timing run gates speed; smoke gates agreement).
+    let inputs = decide_inputs();
+    let outcomes: Vec<_> = [HookEngine::Bytecode, HookEngine::Slot, HookEngine::Tree]
+        .iter()
+        .map(|&e| {
+            MantleRuntime::new(policies::adaptable().expect("preset compiles"))
+                .with_engine(e)
+                .decide(&inputs)
+                .expect("adaptable decides cleanly")
+        })
+        .collect();
+    for w in outcomes.windows(2) {
+        assert_eq!(w[0], w[1], "smoke: hook engines disagree on decide");
     }
 
     let leaves_inc = project_leaves(&inc, 8);
@@ -450,21 +471,31 @@ fn main() {
         );
     }
 
-    // --- policy hooks: scalar/slot fast path vs tree-walking ------------
+    // --- policy hooks: scalar/compiled fast paths vs tree-walking -------
     let heat = frag_metrics(3.0, 5.0, 1.0, 0.5, 0.25);
+    let table1_slot = MantleRuntime::new(policies::cephfs_original().expect("preset compiles"))
+        .with_engine(HookEngine::Slot);
     let meta_fast_s = time_per_call(200_000, || {
         black_box(table1.eval_metaload(0, &heat).unwrap());
+    });
+    let meta_slot_s = time_per_call(200_000, || {
+        black_box(table1_slot.eval_metaload(0, &heat).unwrap());
     });
     let meta_tree_s = time_per_call(50_000, || {
         black_box(table1_slow.eval_metaload(0, &heat).unwrap());
     });
 
     let adaptable = MantleRuntime::new(policies::adaptable().expect("preset compiles"));
+    let adaptable_slot = MantleRuntime::new(policies::adaptable().expect("preset compiles"))
+        .with_engine(HookEngine::Slot);
     let adaptable_slow = MantleRuntime::new(policies::adaptable().expect("preset compiles"))
         .with_force_slow_path(true);
     let inputs = decide_inputs();
     let decide_fast_s = time_per_call(20_000, || {
         black_box(adaptable.decide(&inputs).unwrap());
+    });
+    let decide_slot_s = time_per_call(20_000, || {
+        black_box(adaptable_slot.decide(&inputs).unwrap());
     });
     let decide_tree_s = time_per_call(5_000, || {
         black_box(adaptable_slow.decide(&inputs).unwrap());
@@ -593,6 +624,7 @@ fn main() {
     let snapshot_speedup = walk_s / agg_s;
     let metaload_speedup = meta_tree_s / meta_fast_s;
     let decide_speedup = decide_tree_s / decide_fast_s;
+    let decide_slot_speedup = decide_slot_s / decide_fast_s;
     let migration_speedup = mig_ora_s / mig_inc_s;
 
     let mut json = String::new();
@@ -608,13 +640,16 @@ fn main() {
   }},
   "metaload_hook": {{
     "fast_ns_per_eval": {mf:.1},
+    "slot_engine_ns_per_eval": {msl:.1},
     "tree_ns_per_eval": {mt:.1},
     "speedup": {ms:.1}
   }},
   "decide_hook": {{
-    "fast_us_per_call": {df:.3},
+    "bytecode_us_per_call": {df:.3},
+    "slot_us_per_call": {dsl:.3},
     "tree_us_per_call": {dt:.3},
-    "speedup": {ds:.1}
+    "speedup_vs_slot": {dss:.1},
+    "speedup_vs_tree": {ds:.1}
   }},
   "migration_tick": {{
     "dirs": {mig_dirs},
@@ -653,10 +688,13 @@ fn main() {
         walk = walk_s * 1e6,
         snap = snapshot_speedup,
         mf = meta_fast_s * 1e9,
+        msl = meta_slot_s * 1e9,
         mt = meta_tree_s * 1e9,
         ms = metaload_speedup,
         df = decide_fast_s * 1e6,
+        dsl = decide_slot_s * 1e6,
         dt = decide_tree_s * 1e6,
+        dss = decide_slot_speedup,
         ds = decide_speedup,
         mi = mig_inc_s * 1e6,
         mo = mig_ora_s * 1e6,
@@ -689,6 +727,26 @@ fn main() {
         queue_speedup >= 5.0,
         "timing wheel must give ≥ 5× push+pop throughput over the heap at \
          {PENDING} pending events, got {queue_speedup:.1}×"
+    );
+    // The bytecode engine earns its default-engine status on the decide
+    // path: the adaptable decision hook is a real script (loops, state,
+    // no scalar shortcut), so this measures the dispatch-loop VM plus the
+    // cached decide environment against the slot VM with per-call
+    // environment construction.
+    assert!(
+        decide_slot_speedup >= 2.0,
+        "bytecode decide must be ≥ 2× the slot path on the adaptable \
+         (non-scalar) decision hook, got {decide_slot_speedup:.2}×"
+    );
+    // …and must never lose where the scalar fast path already wins: both
+    // engines hit ScalarMetaload, so any gap here is engine overhead
+    // creeping into the hottest hook. 1.2× headroom absorbs timer noise.
+    assert!(
+        meta_fast_s <= meta_slot_s * 1.2,
+        "scalar metaload under the bytecode engine ({:.1} ns) must not be \
+         slower than under the slot engine ({:.1} ns)",
+        meta_fast_s * 1e9,
+        meta_slot_s * 1e9
     );
     // The parallel gate only means something when the worker threads can
     // actually run concurrently. On a 1-core host the sharded engine pays

@@ -1,0 +1,85 @@
+//! The bytecode hook engine is pinned byte-identical at the *report*
+//! level: for a fixed seed, a full cluster run under the default
+//! bytecode engine must produce exactly the same [`RunReport`] — every
+//! float, every time series, every fault counter — as the slot VM and
+//! the tree-walking interpreter, in both execution modes, while the
+//! fault catalogue is firing.
+//!
+//! This is the top layer of the three-way differential stack: the
+//! statement/expression layer lives in `crates/policy/src/bytecode.rs`
+//! and `tests/properties.rs`, the hook layer in `crates/policy/src/env.rs`
+//! and `tests/docs_examples.rs`, and this file closes the loop end to
+//! end through the simulator.
+
+use mantle::core::degraded::{base_experiment, scenario_plans};
+use mantle::core::policies;
+use mantle::core::repro::ReproOpts;
+use mantle::core::{run_experiment, BalancerSpec, Experiment};
+use mantle::mds::{ExecMode, HookEngine};
+use mantle::policy::env::PolicySet;
+
+/// The run matrix for one (policy, fault plan) cell: the bytecode engine
+/// in both exec modes against the two oracle engines. Reports must be
+/// identical across all four runs.
+fn assert_reports_identical(label: &str, spec: &Experiment, policy: &PolicySet) {
+    let runs = [
+        ("bytecode/single", HookEngine::Bytecode, ExecMode::Single),
+        (
+            "bytecode/sharded",
+            HookEngine::Bytecode,
+            ExecMode::Sharded { threads: 2 },
+        ),
+        ("slot/single", HookEngine::Slot, ExecMode::Single),
+        ("tree/single", HookEngine::Tree, ExecMode::Single),
+    ];
+    let mut baseline: Option<(&str, String)> = None;
+    for (name, engine, mode) in runs {
+        let mut spec = spec.clone();
+        spec.balancer = BalancerSpec::mantle_with_engine(label, policy.clone(), engine);
+        spec.config = spec.config.with_exec_mode(mode);
+        let report = run_experiment(&spec);
+        // Debug formatting of f64 is shortest-roundtrip: any numeric
+        // divergence, however small, shows up in the string.
+        let rendered = format!("{report:?}");
+        match &baseline {
+            None => baseline = Some((name, rendered)),
+            Some((base_name, base)) => {
+                assert_eq!(base, &rendered, "{label}: {name} diverged from {base_name}")
+            }
+        }
+    }
+}
+
+/// The most hook-intensive built-in balancer (Listing 4 runs a loop over
+/// the whole cluster every tick) across the full fault catalogue.
+#[test]
+fn adaptable_reports_identical_across_engines_and_modes_under_all_faults() {
+    let policy = policies::adaptable().unwrap();
+    for (scenario, plan) in scenario_plans(ReproOpts::QUICK) {
+        let mut spec = base_experiment(ReproOpts::QUICK, 42);
+        spec.config.faults = plan;
+        assert_reports_identical(&format!("adaptable/{scenario}"), &spec, &policy);
+    }
+}
+
+/// The remaining built-in balancers on the two scenarios that stress
+/// hook evaluation hardest: a crash mid-run (stale state, failovers) and
+/// a poisoned balancer (policy errors driving the §3.4 fallback).
+#[test]
+fn other_builtin_balancers_report_identical_across_engines_and_modes() {
+    let plans: Vec<_> = scenario_plans(ReproOpts::QUICK)
+        .into_iter()
+        .filter(|(n, _)| matches!(*n, "crash+restart" | "poisoned-balancer"))
+        .collect();
+    assert_eq!(plans.len(), 2);
+    for (name, policy) in [
+        ("greedy-spill-even", policies::greedy_spill_even().unwrap()),
+        ("fill-and-spill", policies::fill_and_spill(0.25).unwrap()),
+    ] {
+        for (scenario, plan) in &plans {
+            let mut spec = base_experiment(ReproOpts::QUICK, 42);
+            spec.config.faults = plan.clone();
+            assert_reports_identical(&format!("{name}/{scenario}"), &spec, &policy);
+        }
+    }
+}

@@ -11,8 +11,8 @@
 //! the document drifts, this fails.
 
 use mantle::mds::selector::ScriptedSelector;
-use mantle::policy::env::PolicySet;
-use mantle::policy::PolicyValidator;
+use mantle::policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics, PolicySet};
+use mantle::policy::{HookEngine, PolicyValidator};
 
 const POLICY_MD: &str = include_str!("../POLICY.md");
 
@@ -132,6 +132,97 @@ fn every_policy_md_fence_is_checked() {
     assert!(
         seen_selector >= 1,
         "the howmuch section lost its scripted example"
+    );
+}
+
+/// Every runnable POLICY.md snippet produces bit-identical results on
+/// all three hook engines (tree walker, slot VM, bytecode VM): same
+/// metaload (`f64::to_bits`), same decision, same targets — or the same
+/// error. This is the documentation-level arm of the engine-equivalence
+/// guarantee POLICY.md states.
+#[test]
+fn every_policy_md_snippet_agrees_across_engines() {
+    let inputs = BalancerInputs {
+        whoami: 0,
+        mds: vec![
+            MdsMetrics {
+                auth: 90.0,
+                all: 95.0,
+                cpu: 85.0,
+                mem: 40.0,
+                q: 12.0,
+                req: 700.0,
+            },
+            MdsMetrics {
+                auth: 5.0,
+                all: 6.5,
+                cpu: 10.0,
+                mem: 20.0,
+                q: 0.0,
+                req: 50.0,
+            },
+            MdsMetrics {
+                auth: 35.0,
+                all: 35.0,
+                cpu: 55.0,
+                mem: 30.0,
+                q: 3.0,
+                req: 300.0,
+            },
+        ],
+        auth_metaload: 90.0,
+        all_metaload: 95.0,
+    };
+    let frag = FragMetrics {
+        ird: 0.137,
+        iwr: 12.75,
+        readdir: 1.0 / 3.0,
+        fetch: 9e3,
+        store: 0.001,
+    };
+
+    let mut checked = 0;
+    for fence in fences(POLICY_MD) {
+        if matches!(fence.tag.as_str(), "lua selector" | "lua reject") {
+            continue;
+        }
+        let at = format!("POLICY.md:{} (`{}`)", fence.line, fence.tag);
+        let policy = build(&fence.tag, &fence.body).unwrap_or_else(|e| panic!("{at}: {e}"));
+        let runs: Vec<_> = [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode]
+            .into_iter()
+            .map(|e| {
+                let rt = MantleRuntime::new(policy.clone()).with_engine(e);
+                (e, rt.eval_metaload(0, &frag), rt.decide(&inputs))
+            })
+            .collect();
+        for w in runs.windows(2) {
+            let (ea, ml_a, d_a) = &w[0];
+            let (eb, ml_b, d_b) = &w[1];
+            match (ml_a, ml_b) {
+                (Ok(x), Ok(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{at}: metaload diverged {ea:?}={x} vs {eb:?}={y}"
+                ),
+                (Err(x), Err(y)) => assert_eq!(x, y, "{at}: metaload errors diverged"),
+                _ => panic!("{at}: {ea:?} and {eb:?} disagree on metaload erroring"),
+            }
+            match (d_a, d_b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x, y, "{at}: decision diverged between {ea:?} and {eb:?}");
+                    for (tx, ty) in x.targets.iter().zip(&y.targets) {
+                        assert_eq!(tx.to_bits(), ty.to_bits(), "{at}: targets diverged");
+                    }
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y, "{at}: decision errors diverged"),
+                _ => panic!("{at}: {ea:?} and {eb:?} disagree on decide erroring"),
+            }
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 10,
+        "only {checked} snippets cross-checked — POLICY.md shrank?"
     );
 }
 

@@ -9,7 +9,7 @@ use mantle::mds::{select_best, DirfragSelector};
 use mantle::namespace::{IndexMode, Namespace, NamespaceStats, NodeId, NsConfig, OpKind};
 use mantle::policy::env::{BalancerInputs, MantleRuntime, MdsMetrics, PolicySet};
 use mantle::policy::{parse_script, script_to_source, Interpreter, StepBudget, Value};
-use mantle::policy::{SlotProgram, SlotVm};
+use mantle::policy::{BytecodeProgram, BytecodeVm, SlotProgram, SlotVm};
 use mantle::sim::{DecayCounter, EventQueue, OnlineStats, SchedulerKind, SimRng, SimTime, Summary};
 
 /// Per-test RNG: independent stream per property, fixed master seed.
@@ -605,7 +605,7 @@ fn budget_always_terminates_loops() {
 }
 
 // ---------------------------------------------------------------------------
-// Slot-compiled evaluation ≡ tree-walking interpretation
+// Tree-walking ≡ slot-compiled ≡ bytecode evaluation
 // ---------------------------------------------------------------------------
 
 /// Generate a random expression over globals `a`, `b`, `c` mixing
@@ -635,9 +635,10 @@ fn random_expr(rng: &mut SimRng, depth: u32) -> String {
     }
 }
 
-/// Run a script through both engines with identical globals and budget;
-/// results (success value of every global, steps consumed, or the error)
-/// must be identical — numbers bit-for-bit.
+/// Run a script through all three engines (tree walker, slot VM,
+/// bytecode VM) with identical globals and budget; results (success
+/// value of every global, steps consumed, or the error) must be
+/// identical — numbers bit-for-bit.
 fn assert_engines_agree(src: &str, globals: &[(&str, f64)], case: usize) {
     let script = parse_script(src).unwrap_or_else(|e| panic!("case {case}: parse {src}: {e}"));
     let budget = StepBudget(100_000);
@@ -650,47 +651,64 @@ fn assert_engines_agree(src: &str, globals: &[(&str, f64)], case: usize) {
 
     let prog = SlotProgram::compile(&script);
     let mut vm = SlotVm::new(&prog, budget);
+    let bc = BytecodeProgram::compile(&prog);
+    let mut bvm = BytecodeVm::new(&bc, budget);
     for &(name, v) in globals {
         if let Some(slot) = prog.global_slot(name) {
             vm.set_global(slot, Value::Number(v));
+            bvm.set_global(slot, Value::Number(v));
         }
     }
     let vm_result = vm.run(&prog);
+    let bvm_result = bvm.run(&bc);
 
-    match (&tree_result, &vm_result) {
-        (Ok(_), Ok(_)) => {
+    match (&tree_result, &vm_result, &bvm_result) {
+        (Ok(_), Ok(_), Ok(_)) => {
             for (slot, name) in prog.global_names().iter().enumerate() {
                 let t = tree.get_global(name);
-                let s = vm.get_global(slot);
-                let same = match (&t, s) {
-                    (Value::Number(x), Value::Number(y)) => x.to_bits() == y.to_bits(),
-                    (t, s) => t.lua_eq(s),
-                };
-                assert!(
-                    same,
-                    "case {case}: global {name} diverged on {src}: tree={t:?} slots={s:?}"
-                );
+                for (engine, v) in [
+                    ("slots", vm.get_global(slot)),
+                    ("bytecode", bvm.get_global(slot)),
+                ] {
+                    let same = match (&t, v) {
+                        (Value::Number(x), Value::Number(y)) => x.to_bits() == y.to_bits(),
+                        (t, v) => t.lua_eq(v),
+                    };
+                    assert!(
+                        same,
+                        "case {case}: global {name} diverged on {src}: tree={t:?} {engine}={v:?}"
+                    );
+                }
             }
             assert_eq!(
                 tree.steps_used(),
                 vm.steps_used(),
-                "case {case}: step counts diverged on {src}"
+                "case {case}: tree/slot step counts diverged on {src}"
+            );
+            assert_eq!(
+                tree.steps_used(),
+                bvm.steps_used(),
+                "case {case}: tree/bytecode step counts diverged on {src}"
             );
         }
-        (Err(te), Err(se)) => {
-            assert_eq!(te, se, "case {case}: errors diverged on {src}");
+        (Err(te), Err(se), Err(be)) => {
+            assert_eq!(te, se, "case {case}: tree/slot errors diverged on {src}");
+            assert_eq!(
+                te, be,
+                "case {case}: tree/bytecode errors diverged on {src}"
+            );
         }
         _ => panic!(
-            "case {case}: one engine errored on {src}: tree={tree_result:?} slots={vm_result:?}"
+            "case {case}: engines disagree on whether {src} errors: \
+             tree={tree_result:?} slots={vm_result:?} bytecode={bvm_result:?}"
         ),
     }
 }
 
-/// The slot-compiled VM and the tree-walking interpreter agree on random
-/// expressions: same values (bit-identical numbers), same step counts,
-/// same errors.
+/// All three engines agree on random expressions: same values
+/// (bit-identical numbers), same step counts, same errors.
 #[test]
-fn slot_vm_agrees_with_tree_interpreter_on_random_expressions() {
+fn all_engines_agree_on_random_expressions() {
     let mut rng = cases_rng("slots-expr");
     for case in 0..256 {
         let depth = rng.range_inclusive(1, 4) as u32;
@@ -706,7 +724,7 @@ fn slot_vm_agrees_with_tree_interpreter_on_random_expressions() {
 /// Same property over random multi-statement scripts exercising locals,
 /// scoping, conditionals, and bounded loops.
 #[test]
-fn slot_vm_agrees_with_tree_interpreter_on_random_scripts() {
+fn all_engines_agree_on_random_scripts() {
     let mut rng = cases_rng("slots-script");
     for case in 0..128 {
         let e1 = random_expr(&mut rng, 2);
