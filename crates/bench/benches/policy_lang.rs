@@ -26,6 +26,8 @@ fn cluster_inputs(n: usize) -> BalancerInputs {
                 mem: 25.0,
                 q: i as f64,
                 req: 100.0,
+                cache_hits: 0.0,
+                cache_misses: 0.0,
             })
             .collect(),
         auth_metaload: 100.0,
@@ -42,6 +44,8 @@ fn heartbeats(n: usize) -> Arc<[Heartbeat]> {
             mem: 25.0,
             queue_len: i as f64,
             req_rate: 100.0,
+            cache_hits: 0.0,
+            cache_misses: 0.0,
             taken_at: SimTime::ZERO,
         })
         .collect()

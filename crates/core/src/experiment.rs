@@ -13,7 +13,7 @@ use mantle_mds::{
 use mantle_namespace::{MdsId, Namespace};
 use mantle_policy::env::PolicySet;
 use mantle_sim::SimTime;
-use mantle_workloads::{Compile, CreateSeparateDirs, CreateSharedDir, ZipfMix};
+use mantle_workloads::{Compile, CreateSeparateDirs, CreateSharedDir, FlashCrowd, ZipfMix};
 
 /// Which workload to run.
 #[derive(Debug, Clone)]
@@ -38,6 +38,18 @@ pub enum WorkloadSpec {
         clients: usize,
         /// Op-count scale (1.0 ≈ 7 700 ops/client).
         scale: f64,
+    },
+    /// A readdir flash crowd over one hot directory plus per-client
+    /// private traffic (the proxy-cache tier's target workload).
+    FlashCrowd {
+        /// Number of clients.
+        clients: usize,
+        /// Ops each client issues.
+        ops_per_client: u64,
+        /// Fraction of ops aimed at the hot directory.
+        hot_fraction: f64,
+        /// Fraction of the private remainder that mutates.
+        write_fraction: f64,
     },
     /// Zipf-skewed mixed metadata ops over a large directory population
     /// (the scale-mode workload: ≥100k dirs, multi-million request runs).
@@ -67,6 +79,18 @@ impl WorkloadSpec {
             WorkloadSpec::Compile { clients, scale } => {
                 Box::new(Compile::new(clients, scale, seed ^ 0x00c0_ffee))
             }
+            WorkloadSpec::FlashCrowd {
+                clients,
+                ops_per_client,
+                hot_fraction,
+                write_fraction,
+            } => Box::new(FlashCrowd::new(
+                clients,
+                ops_per_client,
+                hot_fraction,
+                write_fraction,
+                seed ^ 0x0000_f1a5,
+            )),
             WorkloadSpec::ZipfMix {
                 clients,
                 dirs,
@@ -90,6 +114,7 @@ impl WorkloadSpec {
             WorkloadSpec::CreateSeparate { clients, .. }
             | WorkloadSpec::CreateShared { clients, .. }
             | WorkloadSpec::Compile { clients, .. }
+            | WorkloadSpec::FlashCrowd { clients, .. }
             | WorkloadSpec::ZipfMix { clients, .. } => clients,
         }
     }

@@ -12,6 +12,9 @@
 //! * [`degraded`] — fault-injection scenarios (crash/restart, slow MDS,
 //!   stale heartbeats, poisoned balancer) and their degradation table
 //!   (`cargo run -p mantle-core --bin degraded`);
+//! * [`flashcrowd`] — the hot-directory readdir storm, cache-off vs
+//!   cache-on under each built-in balancer (`cargo run -p mantle-core
+//!   --bin flashcrowd`);
 //! * [`scale`] — scale-mode scenarios (≥64 MDSs, ≥100k dirs) comparing
 //!   the heap and timing-wheel event-queue backends (`cargo run -p
 //!   mantle-core --bin scale`);
@@ -22,6 +25,7 @@
 
 pub mod degraded;
 pub mod experiment;
+pub mod flashcrowd;
 pub mod policies;
 pub mod repro;
 pub mod scale;
@@ -41,9 +45,9 @@ pub mod prelude {
     pub use crate::policies;
     pub use crate::table::TextTable;
     pub use mantle_mds::{
-        assert_invariants, check_trace, Balancer, CephfsBalancer, Cluster, ClusterConfig,
-        FaultEvent, FaultKind, FaultPlan, MantleBalancer, RunReport, SchedulerKind, Timeline,
-        TraceBuffer, TraceEvent, TraceLevel, TraceRecord, Violation,
+        assert_invariants, check_trace, Balancer, CacheConfig, CephfsBalancer, Cluster,
+        ClusterConfig, FaultEvent, FaultKind, FaultPlan, MantleBalancer, RunReport, SchedulerKind,
+        Timeline, TraceBuffer, TraceEvent, TraceLevel, TraceRecord, Violation,
     };
     pub use mantle_namespace::{Namespace, NodeId, NsConfig, OpKind};
     pub use mantle_policy::env::PolicySet;

@@ -118,6 +118,8 @@ pub fn table1_policies() -> String {
                             mem: 20.0,
                             queue_len: (load / 25.0).floor(),
                             req_rate: load * 2.0,
+                            cache_hits: 0.0,
+                            cache_misses: 0.0,
                             taken_at: SimTime::ZERO,
                         }
                     })

@@ -298,6 +298,8 @@ impl MantleBalancer {
                 mem: hb.mem,
                 q: hb.queue_len,
                 req: hb.req_rate,
+                cache_hits: hb.cache_hits,
+                cache_misses: hb.cache_misses,
             })
             .collect();
         BalancerInputs {
@@ -360,6 +362,8 @@ mod tests {
             mem: 0.0,
             queue_len: q,
             req_rate: req,
+            cache_hits: 0.0,
+            cache_misses: 0.0,
             taken_at: SimTime::ZERO,
         }
     }

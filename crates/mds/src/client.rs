@@ -2,10 +2,10 @@
 //! subtree→MDS map, and the [`Workload`] trait the workload generators
 //! implement.
 
-use std::collections::HashMap;
-
 use mantle_namespace::{MdsId, Namespace, NodeId, OpKind};
 use mantle_sim::SimTime;
+
+use crate::cache::{ClientCache, IntervalRegion};
 
 /// One metadata operation a client wants to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +53,9 @@ pub struct ClientState {
     pub id: usize,
     /// Learned directory→MDS map (built up from replies, exactly as the
     /// client builds "its own mapping of subtrees to MDS nodes", §2).
-    cache: HashMap<NodeId, MdsId>,
+    /// Indexed by Euler label too, so migrations invalidate the moved
+    /// region with a range scan ([`ClientCache`]).
+    cache: ClientCache,
     /// This client is done issuing ops.
     pub done: bool,
     /// Ops completed so far.
@@ -81,7 +83,7 @@ impl ClientState {
     pub fn new(id: usize) -> Self {
         ClientState {
             id,
-            cache: HashMap::new(),
+            cache: ClientCache::default(),
             done: false,
             completed: 0,
             stall_until: SimTime::ZERO,
@@ -118,25 +120,31 @@ impl ClientState {
         if multi_owner {
             ns.frag_auth(op.dir, frag)
         } else {
-            self.cache.get(&op.dir).copied().unwrap_or(0)
+            self.cache.get(op.dir).unwrap_or(0)
         }
     }
 
     /// Learn from a reply: `dir` was ultimately served by `mds`.
-    pub fn learn(&mut self, dir: NodeId, mds: MdsId) {
-        self.cache.insert(dir, mds);
+    pub fn learn(&mut self, ns: &Namespace, dir: NodeId, mds: MdsId) {
+        self.cache.learn(ns, dir, mds);
     }
 
     /// Forget everything learned about `dir` (its metadata moved).
     pub fn invalidate(&mut self, dir: NodeId) {
-        self.cache.remove(&dir);
+        self.cache.invalidate(dir);
     }
 
-    /// Forget every cached dir for which `stale` returns true — a subtree
-    /// migration invalidates the whole moved region in one pass over the
-    /// cache instead of one lookup per moved directory.
-    pub fn invalidate_matching(&mut self, mut stale: impl FnMut(NodeId) -> bool) {
-        self.cache.retain(|&d, _| !stale(d));
+    /// Forget everything learned about a migrated region in one
+    /// Euler-interval range scan, returning how many entries dropped.
+    pub fn invalidate_region(&mut self, ns: &Namespace, region: &IntervalRegion) -> u64 {
+        self.cache.invalidate_region(ns, region)
+    }
+
+    /// Forget every cached dir for which `stale` returns true — the
+    /// predicate-scan oracle for [`ClientState::invalidate_region`];
+    /// production paths use the range scan.
+    pub fn invalidate_matching(&mut self, stale: impl FnMut(NodeId) -> bool) {
+        self.cache.invalidate_matching(stale);
     }
 
     /// Record a completed op.
@@ -167,7 +175,7 @@ mod tests {
         );
         // Even though ground truth moved, the client still uses its cache…
         ns.set_auth(d, Some(2));
-        c.learn(d, 1);
+        c.learn(&ns, d, 1);
         assert_eq!(
             c.route(&ns, &op, ns.peek_frag(d), false),
             1,

@@ -35,6 +35,7 @@ use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig, SubtreeMigration};
 use mantle_sim::{EventQueue, SimRng, SimTime, Summary};
 
 use crate::balancer::{BalanceContext, Balancer, CephfsBalancer};
+use crate::cache::{GroupCache, IntervalRegion};
 use crate::client::{ClientState, Workload};
 use crate::config::{ClusterConfig, ExecMode};
 use crate::faults::FaultKind;
@@ -115,10 +116,17 @@ struct Coordinator {
     workload_name: String,
     failovers: u64,
     balancer_fallbacks: u64,
+    /// Cache entries dropped by coherence invalidation (mutating ops,
+    /// migrations/session flushes), across group and client caches.
+    cache_invalidations: u64,
     /// Optional trace sink ([`Cluster::enable_tracing`]). `None` costs one
     /// branch per emission site and never builds event payloads, so
     /// untraced fixed-seed runs stay byte-identical.
     trace: Option<Rc<RefCell<TraceBuffer>>>,
+    /// The sink's level is Full (mirrors the shards' `trace_full` so the
+    /// coordinator can gate its own data-plane emissions — barrier-time
+    /// cache fills/invalidations — without borrowing the sink).
+    trace_full: bool,
     /// Coordinator-side trace records with their merge keys. Coordinator
     /// emissions carry origin rank 0, so at equal timestamps they sort
     /// before every shard emission — matching the exclusive-step /
@@ -164,6 +172,14 @@ impl Coordinator {
         self.coord_ctr += 1;
         if at > self.last_emit_at {
             self.last_emit_at = at;
+        }
+    }
+
+    /// Emit a data-plane record from the coordinator (recorded only at
+    /// `TraceLevel::Full`): barrier-applied cache fills/invalidations.
+    fn emit_data(&mut self, at: SimTime, make: impl FnOnce() -> TraceEvent) {
+        if self.trace_full {
+            self.emit(at, make);
         }
     }
 
@@ -312,7 +328,9 @@ impl Cluster {
             workload_name: workload.name().to_string(),
             failovers: 0,
             balancer_fallbacks: 0,
+            cache_invalidations: 0,
             trace: None,
+            trace_full: false,
             ctrace: Vec::new(),
             coord_ctr: 0,
             last_emit_at: SimTime::ZERO,
@@ -328,6 +346,14 @@ impl Cluster {
             touched_seen: HashSet::new(),
             cfg,
         };
+        // Proxy-tier caches: one LRU per client group, shared by every
+        // shard (read-only in windows). Empty when disabled — the inert
+        // default adds no state and no per-event work.
+        let caches = if co.cfg.cache.enabled {
+            vec![GroupCache::new(co.cfg.cache.capacity); co.cfg.cache.groups.max(1)]
+        } else {
+            Vec::new()
+        };
         let shared = SharedSim {
             ns,
             up: vec![true; n],
@@ -337,6 +363,7 @@ impl Cluster {
             frozen: Vec::new(),
             prefix_cold: Vec::new(),
             hb_epoch: 0,
+            caches,
         };
         Cluster {
             co,
@@ -358,6 +385,7 @@ impl Cluster {
         )));
         self.co.trace = Some(Rc::clone(&buf));
         let full = level == TraceLevel::Full;
+        self.co.trace_full = full;
         for m in &self.shards {
             m.lock()
                 .expect("no running workers before run()")
@@ -694,6 +722,26 @@ fn barrier_apply(
                     co.emit(window_end, || TraceEvent::HashPin { dir, mds });
                 }
             }
+            NsOp::CacheTouch { group, dir } => {
+                sh.caches[group].touch(dir);
+            }
+            NsOp::CacheFill { group, dir, mds } => {
+                sh.caches[group].fill(&sh.ns, dir, mds);
+                // Stamped at the barrier: that is when the fill takes
+                // effect, and it keeps the trace order-sound (no hit in
+                // a later window can precede its fill in the stream).
+                co.emit_data(window_end, || TraceEvent::CacheFill { group, dir, mds });
+            }
+            NsOp::CacheInvalidate { dir } => {
+                let mut entries = 0u64;
+                for cache in &mut sh.caches {
+                    entries += u64::from(cache.invalidate(dir));
+                }
+                if entries > 0 {
+                    co.cache_invalidations += entries;
+                    co.emit_data(window_end, || TraceEvent::CacheInvalidate { dir, entries });
+                }
+            }
         }
     }
     co.scratch_deferred = ops;
@@ -899,11 +947,13 @@ fn on_heartbeat(
         let loads: Vec<f64> = heartbeats.iter().map(|h| h.auth_metaload).collect();
         co.emit(now, || TraceEvent::HeartbeatTick { loads });
     }
-    // 2. Roll the measurement windows.
+    // 2. Roll the measurement windows (cache tallies roll with them).
     for g in shards.iter_mut() {
         for c in &mut g.counters {
             c.roll_window();
         }
+        g.cache_window_hits.iter_mut().for_each(|x| *x = 0);
+        g.cache_window_misses.iter_mut().for_each(|x| *x = 0);
     }
     // 3. Every MDS runs its balancer against the (shared, already
     //    slightly stale) snapshots and migrates ("recv HB" →
@@ -1054,6 +1104,16 @@ fn snapshot_heartbeats(
             // Loads are instantaneous samples shipped over the wire —
             // every reader sees them with sampling error (§2.2.2).
             let load_jitter = co.rng_cpu.jitter(co.cfg.metaload_noise);
+            // Cache tallies live per shard (any shard's clients can hit
+            // an entry naming any MDS); the heartbeat view sums them.
+            let cache_hits = shards
+                .iter()
+                .map(|g| g.cache_window_hits[m] as f64)
+                .sum::<f64>();
+            let cache_misses = shards
+                .iter()
+                .map(|g| g.cache_window_misses[m] as f64)
+                .sum::<f64>();
             Heartbeat {
                 auth_metaload: auth_load[m] * load_jitter,
                 all_metaload: all_load[m] * load_jitter,
@@ -1061,6 +1121,8 @@ fn snapshot_heartbeats(
                 mem: 20.0 + 0.5 * auth_load[m].min(100.0),
                 queue_len: c.queued as f64,
                 req_rate: c.req_rate(co.cfg.heartbeat_interval),
+                cache_hits,
+                cache_misses,
                 taken_at: now,
             }
         })
@@ -1204,11 +1266,21 @@ fn apply_export(
     // the root.
     let flush = SimTime::from_micros_f64(co.cfg.costs.session_flush_us);
     let mut flushed = 0;
+    // The moved region in Euler-interval form: one range scan per cache
+    // drops every stale entry — client route maps and proxy-tier group
+    // caches alike — instead of a predicate test per cached dir.
+    let iregion = IntervalRegion::new(&sh.ns, root, &region.holes, watermark, root_only);
+    {
+        let SharedSim { ns, caches, .. } = &mut *sh;
+        for cache in caches.iter_mut() {
+            co.cache_invalidations += cache.invalidate_region(ns, &iregion);
+        }
+    }
     let ns = &sh.ns;
     for g in shards.iter_mut() {
         for c in &mut g.clients {
             if !c.done {
-                c.invalidate_matching(|d| region.contains(ns, d));
+                co.cache_invalidations += c.invalidate_region(ns, &iregion);
                 let until = now + flush;
                 if until > c.stall_until {
                     c.stall_until = until;
@@ -1234,7 +1306,14 @@ fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
     let mut clients: Vec<ClientState> = Vec::new();
     let mut timeouts = 0u64;
     let mut retries = 0u64;
+    // Cache attribution arrays are per-shard over *global* MDS ids.
+    let mut cache_hits = vec![0u64; co.cfg.num_mds];
+    let mut cache_misses = vec![0u64; co.cfg.num_mds];
     for s in shards {
+        for m in 0..co.cfg.num_mds {
+            cache_hits[m] += s.cache_hits[m];
+            cache_misses[m] += s.cache_misses[m];
+        }
         counters.extend(s.counters);
         clients.extend(s.clients);
         timeouts += s.timeouts;
@@ -1254,7 +1333,8 @@ fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
         makespan,
         mds: counters
             .into_iter()
-            .map(|c| MdsReport {
+            .enumerate()
+            .map(|(m, c)| MdsReport {
                 total_ops: c.completed.total(),
                 throughput: c.completed,
                 hits: c.hits,
@@ -1266,6 +1346,8 @@ fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
                 splits: c.splits,
                 remote_prefix: c.remote_prefix,
                 dropped: c.dropped,
+                cache_hits: cache_hits[m],
+                cache_misses: cache_misses[m],
             })
             .collect(),
         clients: clients
@@ -1281,6 +1363,9 @@ fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
         retries,
         failovers: co.failovers,
         balancer_fallbacks: co.balancer_fallbacks,
+        cache_hits: cache_hits.iter().sum(),
+        cache_misses: cache_misses.iter().sum(),
+        cache_invalidations: co.cache_invalidations,
     }
 }
 
@@ -1665,8 +1750,8 @@ mod tests {
         // The client learned MDS 2 serves both dirs.
         {
             let mut g = cluster.shards[0].lock().unwrap();
-            g.clients[0].learn(a, 2);
-            g.clients[0].learn(ab, 2);
+            g.clients[0].learn(&cluster.shared.ns, a, 2);
+            g.clients[0].learn(&cluster.shared.ns, ab, 2);
         }
         // MDS 2 exports the subtree to MDS 1.
         {

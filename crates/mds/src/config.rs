@@ -107,6 +107,12 @@ pub struct ClusterConfig {
     /// or thread-per-shard. A fixed seed must produce an identical
     /// `RunReport` in either mode, at any thread count.
     pub exec_mode: ExecMode,
+    /// The proxy-tier read cache in front of the cluster
+    /// ([`crate::cache`]). **Inert by default** — with
+    /// `cache.enabled == false` no cache state is allocated, no extra
+    /// events are scheduled, and every fixed-seed run is byte-identical
+    /// to a build without the cache layer.
+    pub cache: CacheConfig,
 }
 
 impl Default for ClusterConfig {
@@ -128,6 +134,7 @@ impl Default for ClusterConfig {
             index_mode: IndexMode::default(),
             scheduler: SchedulerKind::default(),
             exec_mode: ExecMode::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -178,6 +185,53 @@ impl ClusterConfig {
             ExecMode::Sharded { threads }
         };
         self
+    }
+
+    /// Convenience: install a cache-tier configuration.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+}
+
+/// Configuration of the proxy-tier read cache ([`crate::cache`]).
+///
+/// The default is **inert** (`enabled == false`): the cache layer is
+/// compiled in but allocates no state and changes no behavior, so every
+/// pre-existing fixed-seed run stays byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Master switch. Off by default.
+    pub enabled: bool,
+    /// Max entries per group cache (LRU eviction beyond this).
+    pub capacity: usize,
+    /// Number of proxy groups; clients are split into contiguous
+    /// ranges, one [`crate::cache::GroupCache`] each.
+    pub groups: usize,
+    /// Client-observed latency of a cache hit, µs (round trip to the
+    /// proxy plus its service time). Hits never enqueue at an MDS, so
+    /// this replaces the whole `rtt + queue + service` miss path.
+    pub hit_us: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: false,
+            capacity: 4096,
+            groups: 4,
+            hit_us: 60.0,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An enabled cache tier with the default sizing.
+    pub fn on() -> Self {
+        CacheConfig {
+            enabled: true,
+            ..Default::default()
+        }
     }
 }
 

@@ -20,6 +20,13 @@
 //!   exactly `fallback_after` consecutive policy errors;
 //! * **migration-phases** — every migration id runs freeze → journal
 //!   (exporter + importer) → commit → unfreeze, completely;
+//! * **cache-coherence** — a proxy-cache hit is served only from an
+//!   entry with a live fill: filled earlier in the stream, not dropped
+//!   since by a dentry invalidation or by a migration's region
+//!   invalidation (replayed from [`TraceEvent::MigrationFreeze`]), and
+//!   attributed to the MDS the fill named. The model never evicts, so
+//!   it is a superset of the real LRU — every real hit must still
+//!   satisfy it;
 //! * **structure** — the stream itself is well-formed (header first,
 //!   known dirs, in-range fragments and MDS ids).
 //!
@@ -28,6 +35,8 @@
 //! (announced in [`TraceEvent::RunStart`]); inode conservation degrades to
 //! a structural lower bound at [`TraceLevel::Decisions`], where per-op
 //! file-count changes are not in the stream.
+
+use std::collections::HashMap;
 
 use mantle_namespace::{FragId, MdsId, NodeId, OpKind};
 use mantle_sim::SimTime;
@@ -44,7 +53,7 @@ pub struct Violation {
     pub at: SimTime,
     /// Which rule broke: `authority`, `freeze-discipline`, `conservation`,
     /// `inode-conservation`, `epoch-monotonicity`, `fallback-after-k`,
-    /// `migration-phases`, or `structure`.
+    /// `migration-phases`, `cache-coherence`, or `structure`.
     pub rule: &'static str,
     /// Human-readable description of what went wrong.
     pub detail: String,
@@ -118,6 +127,11 @@ struct Checker {
     ghost: u64,
     dropped: u64,
     end_inflight: Option<usize>,
+    /// Proxy-cache model: `(group, dir) → MDS` of the most recent live
+    /// fill. Never evicts (capacity is not in the stream), so it is a
+    /// superset of the real caches — a hit the real LRU can make is a
+    /// hit the model allows, while stale hits are outside both.
+    cache_model: HashMap<(usize, NodeId), MdsId>,
 }
 
 impl Checker {
@@ -141,6 +155,7 @@ impl Checker {
             ghost: 0,
             dropped: 0,
             end_inflight: None,
+            cache_model: HashMap::new(),
         }
     }
 
@@ -528,6 +543,27 @@ impl Checker {
                     watermark: *watermark,
                     until: *until,
                 });
+                // The simulation invalidates every cached entry inside the
+                // moved region at freeze time; replay that on the model so a
+                // later hit without a fresh fill is flagged as stale.
+                let root_only = frag.is_some();
+                let gone: Vec<(usize, NodeId)> = self
+                    .cache_model
+                    .keys()
+                    .copied()
+                    .filter(|&(_, d)| {
+                        d.0 < *watermark
+                            && if root_only {
+                                d == *root
+                            } else {
+                                self.in_subtree(d, *root)
+                                    && !holes.iter().any(|&h| self.in_subtree(d, h))
+                            }
+                    })
+                    .collect();
+                for key in gone {
+                    self.cache_model.remove(&key);
+                }
                 self.migrations
                     .push((*mig, *from, *to, MigPhase::Frozen { journals: 0 }));
             }
@@ -936,6 +972,65 @@ impl Checker {
                         format!("completion on frag {frag} of dir {} out of range", dir.0),
                     ),
                 }
+            }
+            TraceEvent::CacheHit {
+                group,
+                client: _,
+                dir,
+                mds,
+            } => {
+                if !self.dir_ok(i, at, *dir, "cache hit") || !self.mds_ok(i, at, *mds, "cache hit")
+                {
+                    return;
+                }
+                match self.cache_model.get(&(*group, *dir)) {
+                    Some(&m) if m == *mds => {}
+                    Some(&m) => self.flag(
+                        i,
+                        at,
+                        "cache-coherence",
+                        format!(
+                            "cache hit on dir {} in group {group} attributed to MDS {mds}, \
+                             live fill names {m}",
+                            dir.0
+                        ),
+                    ),
+                    None => self.flag(
+                        i,
+                        at,
+                        "cache-coherence",
+                        format!(
+                            "cache hit on dir {} in group {group} with no live fill \
+                             (stale or never-filled entry)",
+                            dir.0
+                        ),
+                    ),
+                }
+            }
+            TraceEvent::CacheFill { group, dir, mds } => {
+                if self.dir_ok(i, at, *dir, "cache fill") && self.mds_ok(i, at, *mds, "cache fill")
+                {
+                    self.cache_model.insert((*group, *dir), *mds);
+                }
+            }
+            TraceEvent::CacheInvalidate { dir, entries } => {
+                if !self.dir_ok(i, at, *dir, "cache invalidate") {
+                    return;
+                }
+                let live = self.cache_model.keys().filter(|&&(_, d)| d == *dir).count() as u64;
+                if *entries > live {
+                    self.flag(
+                        i,
+                        at,
+                        "cache-coherence",
+                        format!(
+                            "invalidation of dir {} drops {entries} entries, \
+                             model holds {live}",
+                            dir.0
+                        ),
+                    );
+                }
+                self.cache_model.retain(|&(_, d), _| d != *dir);
             }
             TraceEvent::RunEnd { inflight } => {
                 self.ended = true;
@@ -1440,6 +1535,130 @@ mod tests {
         };
         *resulting_frags = 9;
         assert!(check_trace(&bad).iter().any(|v| v.rule == "structure"));
+    }
+
+    fn fill(at_ms: u64, epoch: u64, group: usize, dir: u32, mds: MdsId) -> TraceRecord {
+        rec(
+            at_ms,
+            epoch,
+            TraceEvent::CacheFill {
+                group,
+                dir: NodeId(dir),
+                mds,
+            },
+        )
+    }
+
+    fn hit(at_ms: u64, epoch: u64, group: usize, dir: u32, mds: MdsId) -> TraceRecord {
+        rec(
+            at_ms,
+            epoch,
+            TraceEvent::CacheHit {
+                group,
+                client: 0,
+                dir: NodeId(dir),
+                mds,
+            },
+        )
+    }
+
+    fn cache_violations(t: &[TraceRecord]) -> Vec<Violation> {
+        check_trace(t)
+            .into_iter()
+            .filter(|v| v.rule == "cache-coherence")
+            .collect()
+    }
+
+    #[test]
+    fn cache_fill_then_hit_passes() {
+        let mut t = healthy();
+        t.insert(7, fill(4, 0, 0, 1, 0));
+        t.insert(8, hit(5, 0, 0, 1, 0));
+        assert_eq!(cache_violations(&t), vec![]);
+    }
+
+    #[test]
+    fn cache_hit_without_fill_is_flagged() {
+        let mut t = healthy();
+        t.insert(7, hit(5, 0, 0, 1, 0));
+        let v = cache_violations(&t);
+        assert!(!v.is_empty(), "hit with no fill must be stale: {v:?}");
+    }
+
+    #[test]
+    fn cache_hit_in_wrong_group_is_flagged() {
+        let mut t = healthy();
+        t.insert(7, fill(4, 0, 0, 1, 0));
+        t.insert(8, hit(5, 0, 1, 1, 0)); // group 1 never filled
+        assert!(!cache_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn cache_hit_with_wrong_attribution_is_flagged() {
+        let mut t = healthy();
+        t.insert(7, fill(4, 0, 0, 1, 0));
+        t.insert(8, hit(5, 0, 0, 1, 1)); // fill named MDS 0
+        assert!(!cache_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn cache_hit_after_invalidation_is_flagged() {
+        let mut t = healthy();
+        t.insert(7, fill(4, 0, 0, 1, 0));
+        t.insert(
+            8,
+            rec(
+                5,
+                0,
+                TraceEvent::CacheInvalidate {
+                    dir: NodeId(1),
+                    entries: 1,
+                },
+            ),
+        );
+        t.insert(9, hit(6, 0, 0, 1, 0));
+        assert!(!cache_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn cache_invalidation_overcount_is_flagged() {
+        let mut t = healthy();
+        t.insert(7, fill(4, 0, 0, 1, 0));
+        // Claims 2 entries dropped; only one fill is live in the model.
+        t.insert(
+            8,
+            rec(
+                5,
+                0,
+                TraceEvent::CacheInvalidate {
+                    dir: NodeId(1),
+                    entries: 2,
+                },
+            ),
+        );
+        assert!(!cache_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn cache_hit_after_migration_freeze_is_flagged() {
+        // The freeze of dir 1 at 400 ms invalidates the region; a hit
+        // after it — even past the thaw — is stale without a fresh fill.
+        let mut t = healthy();
+        t.insert(7, fill(4, 0, 0, 1, 0));
+        let end = t.len() - 1;
+        t.insert(end, hit(460, 1, 0, 1, 0));
+        assert!(!cache_violations(&t).is_empty());
+    }
+
+    #[test]
+    fn cache_refill_after_migration_passes() {
+        let mut t = healthy();
+        t.insert(7, fill(4, 0, 0, 1, 0));
+        let end = t.len() - 1;
+        // A fresh fill from the importer re-arms the entry.
+        t.insert(end, fill(455, 1, 0, 1, 1));
+        t.insert(end + 1, hit(460, 1, 0, 1, 1));
+        assert_eq!(cache_violations(&t), vec![]);
     }
 
     #[test]

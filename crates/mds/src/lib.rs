@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod balancer;
+pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -37,9 +38,10 @@ pub mod shard;
 pub mod trace;
 
 pub use balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer, MigrationPlan};
+pub use cache::{cacheable, group_of, ClientCache, GroupCache, IntervalRegion};
 pub use client::{ClientOp, Workload};
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, ExecMode, PlacementPolicy};
+pub use config::{CacheConfig, ClusterConfig, ExecMode, PlacementPolicy};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use invariants::{assert_invariants, check_trace, Violation};
 pub use mantle_policy::HookEngine;

@@ -105,6 +105,16 @@ pub struct Heartbeat {
     pub queue_len: f64,
     /// Request rate over the last window, req/s.
     pub req_rate: f64,
+    /// Proxy-cache hits attributed to this MDS over the last window —
+    /// requests the cache tier absorbed that would otherwise have
+    /// arrived here. Zero with the cache disabled. Together with the
+    /// cache-aware metaload (absorbed hits are *not* MDS load), this
+    /// lets a policy tell "hot but absorbed" from "hot and hammering".
+    pub cache_hits: f64,
+    /// Proxy-cache misses routed to this MDS over the last window (the
+    /// post-cache traffic actually arriving). Zero with the cache
+    /// disabled.
+    pub cache_misses: f64,
     /// When this snapshot was taken.
     pub taken_at: SimTime,
 }

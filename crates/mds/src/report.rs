@@ -28,6 +28,12 @@ pub struct MdsReport {
     pub remote_prefix: u64,
     /// Requests lost because they reached this MDS while it was crashed.
     pub dropped: u64,
+    /// Proxy-cache hits attributed to this MDS (requests the cache tier
+    /// absorbed on its behalf). Zero with the cache disabled.
+    pub cache_hits: u64,
+    /// Proxy-cache misses routed to this MDS (post-cache arrivals for
+    /// cacheable ops). Zero with the cache disabled.
+    pub cache_misses: u64,
 }
 
 /// Per-client results.
@@ -70,6 +76,15 @@ pub struct RunReport {
     /// Balancers swapped for the default CephFS balancer after repeated
     /// policy errors (the §3.4 graceful-degradation path).
     pub balancer_fallbacks: u64,
+    /// Cluster-wide proxy-cache hits (ops absorbed without an MDS
+    /// round-trip). Zero with the cache disabled.
+    pub cache_hits: u64,
+    /// Cluster-wide proxy-cache misses (cacheable ops that went to an
+    /// MDS). Zero with the cache disabled.
+    pub cache_misses: u64,
+    /// Cache entries dropped by coherence invalidation — mutating ops,
+    /// migrations, and session flushes, across group and client caches.
+    pub cache_invalidations: u64,
 }
 
 impl RunReport {
@@ -108,6 +123,17 @@ impl RunReport {
     /// Requests lost at crashed MDSs across the cluster.
     pub fn total_dropped(&self) -> u64 {
         self.mds.iter().map(|m| m.dropped).sum()
+    }
+
+    /// Proxy-cache hit rate over cacheable traffic, 0–1 (0 when the
+    /// cache is disabled or saw no traffic).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = (self.cache_hits + self.cache_misses) as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total
+        }
     }
 
     /// Mean throughput over the run, ops/s.
@@ -197,6 +223,8 @@ mod tests {
                     splits: 0,
                     remote_prefix: 2,
                     dropped: 3,
+                    cache_hits: 30,
+                    cache_misses: 10,
                 },
                 MdsReport {
                     throughput: ts1,
@@ -210,6 +238,8 @@ mod tests {
                     splits: 1,
                     remote_prefix: 0,
                     dropped: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
                 },
             ],
             clients: vec![
@@ -229,6 +259,9 @@ mod tests {
             retries: 2,
             failovers: 1,
             balancer_fallbacks: 0,
+            cache_hits: 30,
+            cache_misses: 10,
+            cache_invalidations: 5,
         }
     }
 
@@ -243,6 +276,7 @@ mod tests {
         assert_eq!(r.total_migrations(), 1);
         assert_eq!(r.total_dropped(), 3);
         assert!((r.mean_throughput() - 87.5).abs() < 1e-9);
+        assert!((r.cache_hit_rate() - 0.75).abs() < 1e-9);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::sync::{Condvar, Mutex};
 use mantle_namespace::{FragId, MdsId, Namespace, NodeId, OpKind};
 use mantle_sim::{EventQueue, SimRng, SimTime};
 
+use crate::cache::{cacheable, group_of, GroupCache};
 use crate::client::{ClientOp, ClientState, Workload};
 use crate::config::{ClusterConfig, PlacementPolicy};
 use crate::metrics::MdsCounters;
@@ -133,6 +134,20 @@ pub(crate) enum NsOp {
     /// First-touch hash placement: pin `dir` to `mds` unless an earlier
     /// (in key order) arrival already pinned it.
     Pin { dir: NodeId, mds: MdsId },
+    /// LRU-touch a proxy-cache entry a hit just served. Recency is
+    /// shared state (it drives eviction), so it moves at the barrier in
+    /// global `(at, key)` order like every other shared mutation.
+    CacheTouch { group: usize, dir: NodeId },
+    /// A completed cacheable op's reply fills `group`'s proxy cache:
+    /// `dir` is now servable by the tier on behalf of `mds`.
+    CacheFill {
+        group: usize,
+        dir: NodeId,
+        mds: MdsId,
+    },
+    /// A mutating op rewrote `dir`'s metadata — every proxy copy of it
+    /// is stale and drops, ordered against the fills racing it.
+    CacheInvalidate { dir: NodeId },
 }
 
 /// One export's freeze or cold-prefix region. Membership is an
@@ -189,6 +204,11 @@ pub struct SharedSim {
     /// Heartbeat epoch: balancer ticks completed so far (stamps trace
     /// records; only changes in exclusive phases).
     pub(crate) hb_epoch: u64,
+    /// Proxy-tier caches, one per client group ([`crate::config::CacheConfig`]).
+    /// Read-only during windows (shards probe for hits); fills, LRU
+    /// touches, and invalidations are deferred [`NsOp`]s applied at
+    /// barriers. Empty when the cache is disabled.
+    pub(crate) caches: Vec<GroupCache>,
 }
 
 /// Static partition map: which shard owns which MDS / client. Both
@@ -401,6 +421,20 @@ pub struct Shard {
     pub(crate) cfg: ClusterConfig,
     faults_active: bool,
     half_rtt: SimTime,
+    // Proxy-cache plumbing (all inert when `cfg.cache.enabled` is off).
+    cache_on: bool,
+    cache_groups: usize,
+    /// Total client count across the cluster (group assignment needs the
+    /// global population, not this shard's slice).
+    num_clients: usize,
+    cache_hit_lat: SimTime,
+    /// Run-total cache hits/misses attributed per MDS (global MDS ids —
+    /// a shard's clients can hit entries naming any MDS).
+    pub(crate) cache_hits: Vec<u64>,
+    pub(crate) cache_misses: Vec<u64>,
+    /// Per-heartbeat-window slices of the above, zeroed on window roll.
+    pub(crate) cache_window_hits: Vec<u64>,
+    pub(crate) cache_window_misses: Vec<u64>,
 }
 
 impl std::fmt::Debug for Shard {
@@ -472,6 +506,14 @@ impl Shard {
             cur_epoch: 0,
             faults_active,
             half_rtt,
+            cache_on: cfg.cache.enabled,
+            cache_groups: cfg.cache.groups.max(1),
+            num_clients: router.client_shard.len(),
+            cache_hit_lat: SimTime::from_micros_f64(cfg.cache.hit_us),
+            cache_hits: vec![0; cfg.num_mds],
+            cache_misses: vec![0; cfg.num_mds],
+            cache_window_hits: vec![0; cfg.num_mds],
+            cache_window_misses: vec![0; cfg.num_mds],
             cfg,
         }
     }
@@ -621,6 +663,15 @@ impl Shard {
         let frag = sh.ns.peek_frag(op.dir);
         sh.ns.frag_owners_into(op.dir, &mut self.scratch_owners);
         let multi_owner = self.scratch_owners.len() > 1;
+        // Proxy-tier probe: does the client group's cache hold this dir?
+        // (Read-only during the window — the LRU touch defers to the
+        // barrier like every other shared-state write.)
+        let probe = if self.cache_on && cacheable(op.kind) {
+            let group = group_of(c, self.num_clients, self.cache_groups);
+            Some((group, sh.caches[group].lookup(op.dir)))
+        } else {
+            None
+        };
         let client = &mut self.clients[c - self.client_lo];
         let mds = client.route(&sh.ns, &op, frag, multi_owner);
         client.seq += 1;
@@ -635,6 +686,41 @@ impl Shard {
             seq,
             attempts,
         };
+        if let Some((group, Some(cached))) = probe {
+            // Cache hit: the proxy tier absorbs the op. No MDS is
+            // enqueued, no service time or heat is charged anywhere
+            // (cache-aware metaload: absorbed traffic is *not* MDS
+            // load), and no timeout is armed — the reply is local to
+            // the tier and cannot be lost. The hit is attributed to the
+            // entry's authority so policies can see what the tier is
+            // absorbing on each MDS's behalf.
+            self.cache_hits[cached] += 1;
+            self.cache_window_hits[cached] += 1;
+            self.emit_full(|| TraceEvent::CacheHit {
+                group,
+                client: c,
+                dir: op.dir,
+                mds: cached,
+            });
+            self.deferred.push(DeferredNsOp {
+                at: now,
+                key: self.cur_key,
+                op: NsOp::CacheTouch { group, dir: op.dir },
+            });
+            let key = self.client_key(c);
+            self.queue.schedule_at_key(
+                now + self.cache_hit_lat,
+                key,
+                Event::Reply { mds: cached, req },
+            );
+            return;
+        }
+        if probe.is_some() {
+            // Cacheable but absent: post-cache traffic the routed MDS
+            // actually receives.
+            self.cache_misses[mds] += 1;
+            self.cache_window_misses[mds] += 1;
+        }
         self.emit_full(|| TraceEvent::RequestIssued {
             client: c,
             dir: op.dir,
@@ -710,7 +796,7 @@ impl Shard {
             return;
         }
         client.pending = None;
-        client.learn(req.op.dir, mds);
+        client.learn(&sh.ns, req.op.dir, mds);
         let latency_ms = (now - req.issued).as_millis_f64();
         client.record_completion(now, latency_ms);
         self.client_next(sh, router, req.client, now);
@@ -897,6 +983,16 @@ impl Shard {
                 kind: req.op.kind,
             },
         });
+        // A mutating op rewrote `dir`'s metadata: every proxy copy is
+        // stale. The drop is queued even when the reply turns out stale
+        // below — the mutation itself happened either way.
+        if self.cache_on && req.op.kind.is_write() {
+            self.deferred.push(DeferredNsOp {
+                at: now,
+                key: self.cur_key,
+                op: NsOp::CacheInvalidate { dir: req.op.dir },
+            });
+        }
         // Server-computed staleness: the issuing client has already timed
         // this attempt out and re-issued iff its retry fired strictly
         // before service finished. Everything in the predicate travelled
@@ -926,6 +1022,21 @@ impl Shard {
             frag: frag_used,
             kind: req.op.kind,
         });
+        // The reply carries `dir`'s metadata through the proxy tier: the
+        // issuing group's cache learns it at the barrier (ghost and stale
+        // completions above never fill — their replies never landed).
+        if self.cache_on && cacheable(req.op.kind) {
+            let group = group_of(req.client, self.num_clients, self.cache_groups);
+            self.deferred.push(DeferredNsOp {
+                at: now,
+                key: self.cur_key,
+                op: NsOp::CacheFill {
+                    group,
+                    dir: req.op.dir,
+                    mds,
+                },
+            });
+        }
         self.inflight -= 1;
         let reply_at = now + self.half_rtt;
         let key = self.mds_key(mds);

@@ -329,6 +329,42 @@ pub enum TraceEvent {
         /// Operation kind.
         kind: OpKind,
     },
+    /// The proxy tier absorbed a cacheable op: the client group's cache
+    /// held the directory, so the op completed in cache-service time
+    /// without touching any MDS (Full level). Replaces the
+    /// [`TraceEvent::RequestIssued`]/[`TraceEvent::Served`]/
+    /// [`TraceEvent::Completed`] triple a miss would have produced.
+    CacheHit {
+        /// The client's proxy group.
+        group: usize,
+        /// The issuing client.
+        client: usize,
+        /// Target directory.
+        dir: NodeId,
+        /// The MDS the cached entry names (attribution only — it was
+        /// not contacted).
+        mds: MdsId,
+    },
+    /// A completed cacheable op's reply filled a group cache at the
+    /// window barrier (Full level; stamped at the barrier instant, which
+    /// is when the fill takes effect).
+    CacheFill {
+        /// The filled proxy group.
+        group: usize,
+        /// The cached directory.
+        dir: NodeId,
+        /// The authority the entry names.
+        mds: MdsId,
+    },
+    /// A mutating op's barrier-applied invalidation dropped a
+    /// directory's proxy-cache entries (Full level; emitted only when at
+    /// least one entry actually dropped).
+    CacheInvalidate {
+        /// The invalidated directory.
+        dir: NodeId,
+        /// Entries dropped across all groups.
+        entries: u64,
+    },
     /// A request completed and its reply reached the client (Full level).
     Completed {
         /// The serving MDS.
@@ -380,6 +416,9 @@ impl TraceEvent {
             TraceEvent::Served { .. } => "served",
             TraceEvent::GhostReply { .. } => "ghost_reply",
             TraceEvent::StaleReply { .. } => "stale_reply",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheFill { .. } => "cache_fill",
+            TraceEvent::CacheInvalidate { .. } => "cache_invalidate",
             TraceEvent::Completed { .. } => "completed",
             TraceEvent::RunEnd { .. } => "run_end",
         }
@@ -678,6 +717,24 @@ impl TraceRecord {
                     dir.0,
                     kind.name()
                 );
+            }
+            TraceEvent::CacheHit {
+                group,
+                client,
+                dir,
+                mds,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"group\":{group},\"client\":{client},\"dir\":{},\"mds\":{mds}",
+                    dir.0
+                );
+            }
+            TraceEvent::CacheFill { group, dir, mds } => {
+                let _ = write!(out, ",\"group\":{group},\"dir\":{},\"mds\":{mds}", dir.0);
+            }
+            TraceEvent::CacheInvalidate { dir, entries } => {
+                let _ = write!(out, ",\"dir\":{},\"entries\":{entries}", dir.0);
             }
             TraceEvent::RunEnd { inflight } => {
                 let _ = write!(out, ",\"inflight\":{inflight}");

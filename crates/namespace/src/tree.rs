@@ -395,6 +395,16 @@ impl Namespace {
         r.tin <= t && t < r.tout
     }
 
+    /// The Euler-tour label interval `[tin, tout)` of `d`: every
+    /// descendant's `tin` (including `d`'s own) falls inside it, and
+    /// nothing else does. Callers that index on these labels must
+    /// rebuild whenever [`Namespace::renumbers`] changes — a renumber
+    /// reassigns every interval wholesale.
+    pub fn euler_interval(&self, d: NodeId) -> (u64, u64) {
+        let n = &self.dirs[d.0 as usize];
+        (n.tin, n.tout)
+    }
+
     /// Full Euler renumber passes performed so far (diagnostics).
     pub fn renumbers(&self) -> u64 {
         self.renumbers

@@ -84,6 +84,12 @@ pub struct MdsMetrics {
     pub q: f64,
     /// Request rate, req/s.
     pub req: f64,
+    /// Proxy-cache hits attributed to this MDS over the last heartbeat
+    /// window (0 when the cache tier is disabled).
+    pub cache_hits: f64,
+    /// Proxy-cache misses routed to this MDS over the last heartbeat
+    /// window (0 when the cache tier is disabled).
+    pub cache_misses: f64,
 }
 
 /// Everything the balancer on one MDS knows when it runs: its identity and
@@ -459,6 +465,8 @@ struct MdsKeys {
     mem: Key,
     q: Key,
     req: Key,
+    cache_hits: Key,
+    cache_misses: Key,
     load: Key,
 }
 
@@ -472,13 +480,15 @@ impl MdsKeys {
             mem: k("mem"),
             q: k("q"),
             req: k("req"),
+            cache_hits: k("cache_hits"),
+            cache_misses: k("cache_misses"),
             load: k("load"),
         }
     }
 }
 
 /// The tables backing one `decide` call, reused across calls on the
-/// bytecode engine. Building these fresh (seven `Rc<str>` allocations per
+/// bytecode engine. Building these fresh (nine `Rc<str>` allocations per
 /// MDS row plus the hash inserts) used to dominate the hot path; reuse
 /// keeps the allocations while [`DecideEnv::reset`] restores the exact
 /// observable state a fresh build would have.
@@ -533,6 +543,11 @@ impl DecideEnv {
             row.set(self.keys.mem.clone(), Value::Number(m.mem));
             row.set(self.keys.q.clone(), Value::Number(m.q));
             row.set(self.keys.req.clone(), Value::Number(m.req));
+            row.set(self.keys.cache_hits.clone(), Value::Number(m.cache_hits));
+            row.set(
+                self.keys.cache_misses.clone(),
+                Value::Number(m.cache_misses),
+            );
         }
         self.targets.borrow_mut().clear();
     }
@@ -786,6 +801,8 @@ impl MantleRuntime {
                 ("mem", Value::Number(m.mem)),
                 ("q", Value::Number(m.q)),
                 ("req", Value::Number(m.req)),
+                ("cache_hits", Value::Number(m.cache_hits)),
+                ("cache_misses", Value::Number(m.cache_misses)),
             ]);
             mdss_table
                 .borrow_mut()
@@ -934,7 +951,16 @@ impl MantleRuntime {
         let mut mds_loads = Vec::with_capacity(n);
         if let Some(scalar) = &self.mdsload_scalar {
             for m in &inputs.mds {
-                mds_loads.push(scalar.eval(&[m.auth, m.all, m.cpu, m.mem, m.q, m.req]));
+                mds_loads.push(scalar.eval(&[
+                    m.auth,
+                    m.all,
+                    m.cpu,
+                    m.mem,
+                    m.q,
+                    m.req,
+                    m.cache_hits,
+                    m.cache_misses,
+                ]));
             }
             let total: f64 = mds_loads.iter().sum();
             // A scalar mdsload runs no script, so `MDSs` is exactly as
@@ -1487,6 +1513,50 @@ MDSs[1]["polluted"] = 1
                     .unwrap()
             })
             .collect();
+        for w in runs.windows(2) {
+            assert_eq!(w[0], w[1]);
+            for (x, y) in w[0].targets.iter().zip(&w[1].targets) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_fields_reach_scripts_on_every_engine() {
+        // A cache-aware mdsload: absorbed hits are nearly free, misses
+        // carry full service cost. Linear, so bytecode takes the scalar
+        // path; Tree and Slot read the same values out of the MDSs table.
+        let p = PolicySet::from_hooks(
+            "IWR",
+            "MDSs[i][\"all\"] + 0.1*MDSs[i][\"cache_hits\"] + MDSs[i][\"cache_misses\"]",
+            "if MDSs[whoami][\"load\"] > total/#MDSs then",
+            "targets[2] = MDSs[whoami][\"load\"]/4",
+            &["half"],
+        )
+        .unwrap();
+        assert!(MantleRuntime::new(p.clone()).mdsload_scalar().is_some());
+        let mut mds = metrics(&[80.0, 10.0]);
+        mds[0].cache_hits = 400.0;
+        mds[0].cache_misses = 30.0;
+        mds[1].cache_hits = 20.0;
+        mds[1].cache_misses = 5.0;
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds,
+            auth_metaload: 80.0,
+            all_metaload: 80.0,
+        };
+        let runs: Vec<_> = [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode]
+            .iter()
+            .map(|&e| {
+                MantleRuntime::new(p.clone())
+                    .with_engine(e)
+                    .decide(&inputs)
+                    .unwrap()
+            })
+            .collect();
+        // 80 + 0.1*400 + 30 = 150; 10 + 0.1*20 + 5 = 17.
+        assert_eq!(runs[0].mds_loads, vec![150.0, 17.0]);
         for w in runs.windows(2) {
             assert_eq!(w[0], w[1]);
             for (x, y) in w[0].targets.iter().zip(&w[1].targets) {

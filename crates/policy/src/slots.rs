@@ -969,9 +969,19 @@ fn term_of(e: &Expr) -> Option<ScalarTerm> {
 // Scalar mdsload
 // ---------------------------------------------------------------------------
 
-/// Position of each per-MDS metric in the 6-vector handed to
-/// [`ScalarMdsload::eval`]: `auth`, `all`, `cpu`, `mem`, `q`, `req`.
-pub const MDS_FIELD_NAMES: [&str; 6] = ["auth", "all", "cpu", "mem", "q", "req"];
+/// Position of each per-MDS metric in the 8-vector handed to
+/// [`ScalarMdsload::eval`]: `auth`, `all`, `cpu`, `mem`, `q`, `req`,
+/// `cache_hits`, `cache_misses`.
+pub const MDS_FIELD_NAMES: [&str; 8] = [
+    "auth",
+    "all",
+    "cpu",
+    "mem",
+    "q",
+    "req",
+    "cache_hits",
+    "cache_misses",
+];
 
 fn mds_field_index(name: &str) -> Option<usize> {
     MDS_FIELD_NAMES.iter().position(|&n| n == name)
@@ -994,7 +1004,7 @@ enum MdsTerm {
 }
 
 impl MdsTerm {
-    fn eval(&self, fields: &[f64; 6]) -> f64 {
+    fn eval(&self, fields: &[f64; 8]) -> f64 {
         match self {
             MdsTerm::Field(i) => fields[*i],
             MdsTerm::CoeffField(c, i) => c * fields[*i],
@@ -1007,7 +1017,7 @@ impl MdsTerm {
 
 /// An `mdsload` hook compiled to a coefficient term list — the counterpart
 /// of [`ScalarMetaload`] for the per-MDS pass. It covers hooks that are
-/// pure arithmetic over the current row's six metric fields (`MDSs[i][…]`),
+/// pure arithmetic over the current row's metric fields (`MDSs[i][…]`),
 /// which is Table 1's weighted sum and every shipped policy.
 ///
 /// Same bit-identity argument as [`ScalarMetaload`]: terms stay in source
@@ -1047,8 +1057,9 @@ impl ScalarMdsload {
         })
     }
 
-    /// Evaluate against `[auth, all, cpu, mem, q, req]`.
-    pub fn eval(&self, fields: &[f64; 6]) -> f64 {
+    /// Evaluate against `[auth, all, cpu, mem, q, req, cache_hits,
+    /// cache_misses]`.
+    pub fn eval(&self, fields: &[f64; 8]) -> f64 {
         let mut acc = self.first.eval(fields);
         for (sub, term) in &self.rest {
             let v = term.eval(fields);
@@ -1076,7 +1087,7 @@ fn flatten_mds_chain(e: &Expr, out: &mut Vec<(bool, MdsTerm)>) -> Option<()> {
     }
 }
 
-/// Match exactly `MDSs[i]["<field>"]` for one of the six metric fields.
+/// Match exactly `MDSs[i]["<field>"]` for one of the pass-1 metric fields.
 fn current_row_field(e: &Expr) -> Option<usize> {
     let Expr::Index { object, key, .. } = e else {
         return None;
@@ -1407,8 +1418,8 @@ return mymax
             "-MDSs[i][\"q\"] + 3",
         ];
         let rows = [
-            [90.0, 95.0, 85.0, 40.0, 12.0, 700.0],
-            [1e9, 1e-9, 3.3333, 7.77, 0.0, 1.0 / 3.0],
+            [90.0, 95.0, 85.0, 40.0, 12.0, 700.0, 250.0, 31.0],
+            [1e9, 1e-9, 3.3333, 7.77, 0.0, 1.0 / 3.0, 0.0, 1e6],
         ];
         for src in cases {
             let s = mds_scalar_of(src).unwrap_or_else(|| panic!("{src} must be scalar"));

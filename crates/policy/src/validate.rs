@@ -143,6 +143,8 @@ fn synthetic_clusters() -> Vec<(&'static str, BalancerInputs)> {
                 mem: 20.0,
                 q: (l / 10.0).floor(),
                 req: l * 5.0,
+                cache_hits: l * 2.0,
+                cache_misses: l,
             })
             .collect();
         BalancerInputs {

@@ -8,14 +8,19 @@
 //!   workload);
 //! * [`Compile`] — a phased stand-in for compiling the Linux source:
 //!   untar (create sweep), compile (hot subdirectories: `arch`, `kernel`,
-//!   `fs`, `mm`), and a link-phase readdir flash crowd (Figs. 1, 3, 9, 10).
+//!   `fs`, `mm`), and a link-phase readdir flash crowd (Figs. 1, 3, 9, 10);
+//! * [`FlashCrowd`] — the link-phase flash crowd distilled to its worst
+//!   case: every client hammers one hot directory with read-class ops
+//!   (the proxy-cache tier's target workload).
 //!
 //! All generators are deterministic given their seed.
 
 pub mod compile;
 pub mod create;
+pub mod flashcrowd;
 pub mod zipf;
 
 pub use compile::{Compile, CompilePhase};
 pub use create::{CreateSeparateDirs, CreateSharedDir};
+pub use flashcrowd::FlashCrowd;
 pub use zipf::ZipfMix;

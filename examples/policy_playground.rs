@@ -21,6 +21,8 @@ fn demo_inputs() -> BalancerInputs {
                 mem: 35.0,
                 q: 7.0,
                 req: 420.0,
+                cache_hits: 900.0,
+                cache_misses: 120.0,
             },
             MdsMetrics {
                 auth: 6.0,
@@ -29,6 +31,8 @@ fn demo_inputs() -> BalancerInputs {
                 mem: 21.0,
                 q: 0.0,
                 req: 40.0,
+                cache_hits: 60.0,
+                cache_misses: 8.0,
             },
             MdsMetrics {
                 auth: 3.0,
@@ -37,6 +41,8 @@ fn demo_inputs() -> BalancerInputs {
                 mem: 20.0,
                 q: 0.0,
                 req: 22.0,
+                cache_hits: 30.0,
+                cache_misses: 4.0,
             },
             MdsMetrics::default(),
         ],

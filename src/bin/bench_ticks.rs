@@ -49,15 +49,21 @@
 //!   oracle). The ≥2.5× speedup gate at 4 threads arms only when the
 //!   host actually has ≥4 cores; on smaller hosts the numbers are still
 //!   recorded (barrier overhead makes sharding a slowdown there — see
-//!   DESIGN.md §14).
+//!   DESIGN.md §14);
+//! * `cache`: the proxy-cache tier — `GroupCache` lookup/fill cost on a
+//!   bench-sized namespace, plus the flash-crowd storm run cache-off and
+//!   cache-on (simulated ops/s, hit rate). The cache-on/off speedup is
+//!   gated ≥ 2× — the acceptance bound for the hotspot-absorbing tier.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use mantle::core::flashcrowd::{client_ops, ops_per_sec, run_pair};
 use mantle::core::policies;
+use mantle::core::repro::ReproOpts;
 use mantle::core::scale::{run_scale, run_scale_mode, ScaleSpec};
-use mantle::mds::{ExecMode, HookEngine};
+use mantle::mds::{ExecMode, GroupCache, HookEngine};
 use mantle::namespace::{IndexMode, Namespace, NodeId, NsConfig, OpKind};
 use mantle::policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics};
 use mantle::prelude::*;
@@ -327,13 +333,32 @@ fn run_smoke() {
     }
     assert!(wheel_q.is_empty());
 
+    // Cache smoke: the flash-crowd storm at quick size, cache off vs on.
+    // Same client completions either way (hits bypass the MDS but not the
+    // client), no hits recorded with the cache off, and the tier clears
+    // its ≥2× acceptance bound even at smoke size.
+    let (off, on) = run_pair(ReproOpts::QUICK, BalancerSpec::None, 42);
+    assert_eq!(
+        client_ops(&off),
+        client_ops(&on),
+        "smoke: cache setting changed the work done"
+    );
+    assert_eq!(off.cache_hits, 0, "smoke: disabled cache recorded hits");
+    let cache_speedup = ops_per_sec(&on) / ops_per_sec(&off).max(f64::MIN_POSITIVE);
+    assert!(
+        cache_speedup >= 2.0,
+        "smoke: storm speedup {cache_speedup:.2}x below the 2x cache gate"
+    );
+
     println!(
         "smoke ok: {} dirs, {} migration ticks, incremental rebuilds = 0, \
-         oracle rebuilds = {}, {} trace records invariant-clean",
+         oracle rebuilds = {}, {} trace records invariant-clean, \
+         storm cache speedup {:.1}x",
         inc.dir_count(),
         ii,
         ora.rebuilds(),
-        trace.records().len()
+        trace.records().len(),
+        cache_speedup
     );
 }
 
@@ -416,6 +441,8 @@ fn decide_inputs() -> BalancerInputs {
                 mem: 25.0,
                 q: 1.0,
                 req: 40.0,
+                cache_hits: 120.0,
+                cache_misses: 15.0,
             })
             .collect(),
         auth_metaload: 80.0,
@@ -620,6 +647,41 @@ fn main() {
         );
     }
 
+    // --- cache: proxy-tier primitives and the flash-crowd storm ---------
+    // Primitive costs on the bench namespace: in-window lookup hits and
+    // barrier-time fills (with LRU eviction pressure — the cache holds
+    // half the dirs it is offered).
+    let cache_ns = build_namespace(700, 3, IndexMode::Incremental);
+    let cache_dirs: Vec<NodeId> = cache_ns.all_dirs().collect();
+    let mut gc = GroupCache::new(cache_dirs.len() / 2);
+    for &d in &cache_dirs {
+        gc.fill(&cache_ns, d, 0);
+    }
+    let mut li = 0;
+    let cache_lookup_s = time_per_call(200_000, || {
+        li += 1;
+        black_box(gc.lookup(cache_dirs[li % cache_dirs.len()]));
+    });
+    let mut fi = 0;
+    let cache_fill_s = time_per_call(200_000, || {
+        fi += 1;
+        gc.fill(&cache_ns, cache_dirs[fi % cache_dirs.len()], fi % NUM_MDS);
+    });
+
+    // The storm itself, cache off vs on (simulated ops/s — the tier's
+    // acceptance bound, gated below). Client completions are conserved
+    // across cache settings; only where they are served changes.
+    let (storm_off, storm_on) = run_pair(ReproOpts::QUICK, BalancerSpec::None, 42);
+    assert_eq!(
+        client_ops(&storm_off),
+        client_ops(&storm_on),
+        "cache setting changed the work done"
+    );
+    let storm_off_rate = ops_per_sec(&storm_off);
+    let storm_on_rate = ops_per_sec(&storm_on);
+    let cache_speedup = storm_on_rate / storm_off_rate.max(f64::MIN_POSITIVE);
+    let storm_hit_rate = storm_on.cache_hit_rate();
+
     // --- report ---------------------------------------------------------
     let snapshot_speedup = walk_s / agg_s;
     let metaload_speedup = meta_tree_s / meta_fast_s;
@@ -681,6 +743,17 @@ fn main() {
       {parallel_rows}
     ],
     "speedup_4t": {sp4:.2}
+  }},
+  "cache": {{
+    "group_cache_lookup_ns": {cl:.1},
+    "group_cache_fill_ns": {cf:.1},
+    "flash_crowd_storm": {{
+      "client_ops": {storm_ops},
+      "off_ops_per_sec": {sor:.0},
+      "on_ops_per_sec": {snr:.0},
+      "hit_rate": {shr:.3},
+      "speedup": {csp:.2}
+    }}
   }}
 }}
 "#,
@@ -708,6 +781,13 @@ fn main() {
         par_name = par_spec.name,
         par_ops = par_spec.total_ops(),
         sp4 = speedup_4t,
+        cl = cache_lookup_s * 1e9,
+        cf = cache_fill_s * 1e9,
+        storm_ops = client_ops(&storm_on),
+        sor = storm_off_rate,
+        snr = storm_on_rate,
+        shr = storm_hit_rate,
+        csp = cache_speedup,
     );
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ticks.json");
@@ -747,6 +827,15 @@ fn main() {
          slower than under the slot engine ({:.1} ns)",
         meta_fast_s * 1e9,
         meta_slot_s * 1e9
+    );
+    // The proxy-cache tier earns its keep on the flash-crowd storm: with
+    // one hot directory pinning throughput to a single MDS's service
+    // rate, absorbing read-class hits at the proxy must at least double
+    // client-visible ops/s (in practice it is far above the gate).
+    assert!(
+        cache_speedup >= 2.0,
+        "flash-crowd storm must be ≥ 2× faster cache-on than cache-off, \
+         got {cache_speedup:.2}×"
     );
     // The parallel gate only means something when the worker threads can
     // actually run concurrently. On a 1-core host the sharded engine pays

@@ -152,6 +152,8 @@ fn every_policy_md_snippet_agrees_across_engines() {
                 mem: 40.0,
                 q: 12.0,
                 req: 700.0,
+                cache_hits: 1400.0,
+                cache_misses: 210.0,
             },
             MdsMetrics {
                 auth: 5.0,
@@ -160,6 +162,8 @@ fn every_policy_md_snippet_agrees_across_engines() {
                 mem: 20.0,
                 q: 0.0,
                 req: 50.0,
+                cache_hits: 90.0,
+                cache_misses: 12.0,
             },
             MdsMetrics {
                 auth: 35.0,
@@ -168,6 +172,8 @@ fn every_policy_md_snippet_agrees_across_engines() {
                 mem: 30.0,
                 q: 3.0,
                 req: 300.0,
+                cache_hits: 550.0,
+                cache_misses: 75.0,
             },
         ],
         auth_metaload: 90.0,

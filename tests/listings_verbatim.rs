@@ -15,6 +15,8 @@ fn hb(auth: f64, cpu: f64) -> Heartbeat {
         mem: 20.0,
         queue_len: 0.0,
         req_rate: 0.0,
+        cache_hits: 0.0,
+        cache_misses: 0.0,
         taken_at: SimTime::ZERO,
     }
 }
@@ -142,6 +144,8 @@ fn table1_script_equals_hardcoded_on_a_grid() {
                             mem: 25.0,
                             queue_len: (load / 30.0).floor(),
                             req_rate: load * 1.7,
+                            cache_hits: 0.0,
+                            cache_misses: 0.0,
                             taken_at: SimTime::ZERO,
                         }
                     })

@@ -558,6 +558,8 @@ fn shipped_policies_are_total_over_random_states() {
                     mem: 25.0,
                     q: (loads[i] / 100.0).floor(),
                     req: loads[i],
+                    cache_hits: loads[i] * 3.0,
+                    cache_misses: loads[i] / 2.0,
                 })
                 .collect(),
             auth_metaload: loads[whoami],
