@@ -1,0 +1,12 @@
+-- Elastic `howmany` hook: pick the member count from the cluster-wide
+-- load, one step per tick, with a hysteresis band so heartbeat sampling
+-- noise does not flap membership:
+--   * grow while the per-member load sits above GROW_THRESHOLD;
+--   * shrink once it falls below SHRINK_THRESHOLD;
+--   * otherwise hold.
+-- GROW_THRESHOLD / SHRINK_THRESHOLD are substituted by
+-- `policies::elastic_scaler`; the cluster rounds the returned target and
+-- clamps it into [min_mds, max_mds], so the steps need no guards here.
+if total / active > GROW_THRESHOLD then return active + 1 end
+if total / active < SHRINK_THRESHOLD then return active - 1 end
+return active

@@ -13,7 +13,9 @@ use mantle_mds::{
 use mantle_namespace::{MdsId, Namespace};
 use mantle_policy::env::PolicySet;
 use mantle_sim::SimTime;
-use mantle_workloads::{Compile, CreateSeparateDirs, CreateSharedDir, FlashCrowd, ZipfMix};
+use mantle_workloads::{
+    Compile, CreateSeparateDirs, CreateSharedDir, Diurnal, FlashCrowd, ZipfMix,
+};
 
 /// Which workload to run.
 #[derive(Debug, Clone)]
@@ -50,6 +52,23 @@ pub enum WorkloadSpec {
         hot_fraction: f64,
         /// Fraction of the private remainder that mutates.
         write_fraction: f64,
+    },
+    /// A day/night cycle: bursty daytime clients plus a uniformly paced
+    /// nighttime baseline, repeated for `days` periods (the
+    /// elastic-membership target workload; canonical 20% write mix).
+    Diurnal {
+        /// Number of clients; the first `night_clients` run all night.
+        clients: usize,
+        /// Clients that pace their budget around the clock.
+        night_clients: usize,
+        /// Number of day/night periods.
+        days: u64,
+        /// Op budget per client per period.
+        ops_per_day: u64,
+        /// Length of one virtual "day".
+        period: SimTime,
+        /// Fraction of each period that is the day window.
+        day_fraction: f64,
     },
     /// Zipf-skewed mixed metadata ops over a large directory population
     /// (the scale-mode workload: ≥100k dirs, multi-million request runs).
@@ -91,6 +110,23 @@ impl WorkloadSpec {
                 write_fraction,
                 seed ^ 0x0000_f1a5,
             )),
+            WorkloadSpec::Diurnal {
+                clients,
+                night_clients,
+                days,
+                ops_per_day,
+                period,
+                day_fraction,
+            } => Box::new(Diurnal::new(
+                clients,
+                night_clients,
+                days,
+                ops_per_day,
+                period,
+                day_fraction,
+                0.2,
+                seed ^ 0x0000_d1a1,
+            )),
             WorkloadSpec::ZipfMix {
                 clients,
                 dirs,
@@ -115,6 +151,7 @@ impl WorkloadSpec {
             | WorkloadSpec::CreateShared { clients, .. }
             | WorkloadSpec::Compile { clients, .. }
             | WorkloadSpec::FlashCrowd { clients, .. }
+            | WorkloadSpec::Diurnal { clients, .. }
             | WorkloadSpec::ZipfMix { clients, .. } => clients,
         }
     }

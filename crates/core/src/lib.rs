@@ -15,6 +15,9 @@
 //! * [`flashcrowd`] — the hot-directory readdir storm, cache-off vs
 //!   cache-on under each built-in balancer (`cargo run -p mantle-core
 //!   --bin flashcrowd`);
+//! * [`elastic`] — the diurnal day/night cycle on an elastic cluster
+//!   (the `howmany` hook) vs every fixed size, scored in ops per
+//!   provisioned MDS-hour (`cargo run -p mantle-core --bin elastic`);
 //! * [`scale`] — scale-mode scenarios (≥64 MDSs, ≥100k dirs) comparing
 //!   the heap and timing-wheel event-queue backends (`cargo run -p
 //!   mantle-core --bin scale`);
@@ -24,6 +27,7 @@
 //! * [`table`] — dependency-free text-table/CSV output.
 
 pub mod degraded;
+pub mod elastic;
 pub mod experiment;
 pub mod flashcrowd;
 pub mod policies;
@@ -46,8 +50,9 @@ pub mod prelude {
     pub use crate::table::TextTable;
     pub use mantle_mds::{
         assert_invariants, check_trace, Balancer, CacheConfig, CephfsBalancer, Cluster,
-        ClusterConfig, FaultEvent, FaultKind, FaultPlan, MantleBalancer, RunReport, SchedulerKind,
-        Timeline, TraceBuffer, TraceEvent, TraceLevel, TraceRecord, Violation,
+        ClusterConfig, ElasticConfig, FaultEvent, FaultKind, FaultPlan, JoinPolicy, MantleBalancer,
+        RunReport, SchedulerKind, Timeline, TraceBuffer, TraceEvent, TraceLevel, TraceRecord,
+        Violation,
     };
     pub use mantle_namespace::{Namespace, NodeId, NsConfig, OpKind};
     pub use mantle_policy::env::PolicySet;

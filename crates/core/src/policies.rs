@@ -26,6 +26,10 @@ pub const ADAPTABLE_TOO_AGGRESSIVE_LUA: &str =
     include_str!("../policies/adaptable_too_aggressive.lua");
 /// Table 1's "where" policy in the Mantle API.
 pub const CEPHFS_WHERE_LUA: &str = include_str!("../policies/cephfs_where.lua");
+/// The elastic `howmany` auto-scaling hook. Contains the
+/// `GROW_THRESHOLD`/`SHRINK_THRESHOLD` placeholders substituted by
+/// [`elastic_scaler`].
+pub const ELASTIC_SCALER_LUA: &str = include_str!("../policies/elastic_scaler.lua");
 
 /// Table 1 metaload: `IRD + 2·IWR + READDIR + 2·FETCH + 4·STORE`.
 pub const CEPHFS_METALOAD: &str = "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE";
@@ -119,6 +123,45 @@ pub fn adaptable_too_aggressive() -> PolicyResult<PolicySet> {
     )
 }
 
+/// A `where` policy that never migrates: balancing is left entirely to
+/// other machinery (static partitions, or the elastic membership moves —
+/// consistent-hash re-homing on join, drains on leave).
+pub const HOLD_LUA: &str = "if 0 > 1 then\n  targets[whoami] = 0\nend\n";
+
+fn scaler_hook(grow: f64, shrink: f64) -> String {
+    assert!(grow > shrink, "hysteresis needs grow > shrink");
+    assert!(shrink > 0.0, "thresholds are positive loads");
+    ELASTIC_SCALER_LUA
+        .replace("GROW_THRESHOLD", &format!("{grow}"))
+        .replace("SHRINK_THRESHOLD", &format!("{shrink}"))
+}
+
+/// An elastic policy set: Listing 2's spreading (when/where) over the
+/// member set, plus a `howmany` hook that grows the cluster while the
+/// per-member load sits above `grow` and shrinks it once the load falls
+/// below `shrink`. `grow > shrink` is required: the gap is the
+/// hysteresis band that keeps heartbeat sampling noise from flapping
+/// membership (and `shrink × k/(k-1) < grow` keeps the load a leave
+/// re-concentrates from immediately re-triggering a join).
+pub fn elastic_scaler(grow: f64, shrink: f64) -> PolicyResult<PolicySet> {
+    PolicySet::from_combined(
+        MIXED_METALOAD,
+        ALL_MDSLOAD,
+        GREEDY_SPILL_EVEN_LUA,
+        &["half"],
+    )?
+    .with_howmany(&scaler_hook(grow, shrink))
+}
+
+/// [`elastic_scaler`]'s hook over [`HOLD_LUA`]: the balancer itself
+/// never migrates, so every subtree move in the run comes from the
+/// membership machinery. The diurnal scenario runs this to score the
+/// `howmany` hook in isolation.
+pub fn elastic_scaler_membership_only(grow: f64, shrink: f64) -> PolicyResult<PolicySet> {
+    PolicySet::from_combined(MIXED_METALOAD, ALL_MDSLOAD, HOLD_LUA, &["half"])?
+        .with_howmany(&scaler_hook(grow, shrink))
+}
+
 /// The original CephFS balancer expressed through the Mantle API — used by
 /// the Table 1 equivalence test against the hard-coded implementation.
 pub fn cephfs_original() -> PolicyResult<PolicySet> {
@@ -155,6 +198,11 @@ mod tests {
                 adaptable_too_aggressive().unwrap(),
             ),
             ("cephfs_original", cephfs_original().unwrap()),
+            ("elastic_scaler", elastic_scaler(4_000.0, 800.0).unwrap()),
+            (
+                "elastic_scaler_membership_only",
+                elastic_scaler_membership_only(4_000.0, 800.0).unwrap(),
+            ),
         ] {
             v.validate(&policy)
                 .unwrap_or_else(|e| panic!("{name} failed validation: {e}"));
@@ -174,6 +222,20 @@ mod tests {
     #[should_panic(expected = "spill fraction")]
     fn fill_and_spill_rejects_bad_fraction() {
         let _ = fill_and_spill(1.5);
+    }
+
+    #[test]
+    fn elastic_scaler_carries_a_substituted_howmany_hook() {
+        let p = elastic_scaler(4_000.0, 800.0).unwrap();
+        assert!(p.howmany.is_some(), "the hook is the point of the preset");
+        let s = format!("{:?}", p.howmany);
+        assert!(!s.contains("GROW_THRESHOLD") && !s.contains("SHRINK_THRESHOLD"));
+    }
+
+    #[test]
+    #[should_panic(expected = "grow > shrink")]
+    fn elastic_scaler_rejects_inverted_band() {
+        let _ = elastic_scaler(100.0, 200.0);
     }
 
     #[test]

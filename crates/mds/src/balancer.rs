@@ -119,6 +119,23 @@ pub trait Balancer {
 
     /// The when/where decision. `Ok(None)` = no migration this tick.
     fn decide(&mut self, ctx: &BalanceContext) -> PolicyResult<Option<MigrationPlan>>;
+
+    /// The `howmany` auto-scaling hook: the target member count for an
+    /// elastic cluster, given the member heartbeats in `ctx`, the current
+    /// member count `active`, and the configured `[min_mds, max_mds]`
+    /// bounds. `Ok(None)` (the default — balancers without an auto-scaling
+    /// policy) leaves the cluster size alone. The raw value is rounded and
+    /// clamped by the coordinator.
+    fn howmany(
+        &mut self,
+        ctx: &BalanceContext,
+        active: usize,
+        min_mds: usize,
+        max_mds: usize,
+    ) -> PolicyResult<Option<f64>> {
+        let (_, _, _, _) = (ctx, active, min_mds, max_mds);
+        Ok(None)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +364,20 @@ impl Balancer for MantleBalancer {
             selectors: Rc::clone(&self.selectors),
         }))
     }
+
+    fn howmany(
+        &mut self,
+        ctx: &BalanceContext,
+        active: usize,
+        min_mds: usize,
+        max_mds: usize,
+    ) -> PolicyResult<Option<f64>> {
+        if ctx.heartbeats.is_empty() {
+            return Ok(None);
+        }
+        self.runtime
+            .eval_howmany(&Self::inputs(ctx), active, min_mds, max_mds)
+    }
 }
 
 #[cfg(test)]
@@ -543,6 +574,24 @@ end
             PolicySet::from_combined("IWR", "MDSs[i][\"all\"]", "while 1 do end", &["half"])
                 .unwrap();
         assert!(MantleBalancer::new("evil", policy).is_err());
+    }
+
+    #[test]
+    fn howmany_default_is_none_and_mantle_hook_scales() {
+        let ctx = BalanceContext {
+            whoami: 0,
+            heartbeats: vec![hb(40.0, 0.0, 0.0), hb(20.0, 0.0, 0.0)].into(),
+        };
+        let mut cephfs = CephfsBalancer::default();
+        assert_eq!(cephfs.howmany(&ctx, 2, 1, 4).unwrap(), None);
+
+        let policy = PolicySet::from_combined("IWR", "MDSs[i][\"all\"]", "x = 1", &["half"])
+            .unwrap()
+            .with_howmany("max(min_mds, min(max_mds, total / 20))")
+            .unwrap();
+        let mut b = MantleBalancer::new("scaler", policy).unwrap();
+        // mdsload = all = {40, 20}; total 60; 60/20 = 3 within [1, 4].
+        assert_eq!(b.howmany(&ctx, 2, 1, 4).unwrap(), Some(3.0));
     }
 
     #[test]

@@ -35,6 +35,18 @@ pub trait Workload: Send {
     /// The next op for `client`, or `None` when that client is finished.
     fn next(&mut self, client: usize, ns: &Namespace, now: SimTime) -> Option<ClientOp>;
 
+    /// If `client` has more work but none before some future instant,
+    /// that instant; `None` means "ready now (or finished)". Open-loop
+    /// workloads with think windows (e.g. diurnal day/night phases) use
+    /// this to park a client until its next active window — the cluster
+    /// reschedules the client's wakeup instead of calling
+    /// [`Workload::next`]. Must be deterministic in `(client, now)` so
+    /// sharded execution stays byte-identical to single-threaded.
+    fn next_ready_at(&mut self, client: usize, now: SimTime) -> Option<SimTime> {
+        let _ = (client, now);
+        None
+    }
+
     /// A boxed copy with identical per-client generator state. Each shard
     /// gets one fork and only ever calls [`Workload::next`] for the
     /// clients it owns.

@@ -34,13 +34,14 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use mantle_namespace::{MdsId, Namespace, NodeId, NsConfig, SubtreeMigration};
 use mantle_sim::{EventQueue, SimRng, SimTime, Summary};
 
-use crate::balancer::{BalanceContext, Balancer, CephfsBalancer};
+use crate::balancer::{BalanceContext, Balancer, CephfsBalancer, MigrationPlan};
 use crate::cache::{GroupCache, IntervalRegion};
 use crate::client::{ClientState, Workload};
-use crate::config::{ClusterConfig, ExecMode};
+use crate::config::{ClusterConfig, ExecMode, JoinPolicy};
+use crate::elastic::rendezvous_owner;
 use crate::faults::FaultKind;
 use crate::metrics::{Heartbeat, MdsCounters};
-use crate::partition::{plan_exports, Export, ExportUnit};
+use crate::partition::{plan_exports, subtree_load, Export, ExportUnit};
 use crate::report::{ClientReport, MdsReport, RunReport};
 use crate::shard::{
     DeferredNsOp, Event, ExecStats, NsOp, Shard, ShardRouter, SharedSim, SpinBarrier,
@@ -145,6 +146,19 @@ struct Coordinator {
     /// Migration counter: ids shared by the freeze→…→unfreeze phases.
     mig_seq: u64,
     faults_active: bool,
+    /// MDS-join transitions taken by the elastic controller.
+    joins: u64,
+    /// MDS-leave (drain) transitions taken by the elastic controller.
+    leaves: u64,
+    /// Current member count (mirrors [`SharedSim::member`]; drives the
+    /// MDS-seconds accrual).
+    active_count: usize,
+    /// Provisioned MDS-time accrued so far: the integral of the member
+    /// count over virtual time, in seconds (the ops/s-per-MDS-hour
+    /// denominator). With elasticity off this is `num_mds × makespan`.
+    mds_seconds: f64,
+    /// Instant up to which [`Coordinator::mds_seconds`] has been accrued.
+    last_accrual: SimTime,
     /// Reused per-tick load accumulators (heartbeat snapshots).
     scratch_auth_load: Vec<f64>,
     scratch_all_load: Vec<f64>,
@@ -288,6 +302,7 @@ impl Cluster {
             .map(|b| b.name().to_string())
             .unwrap_or_default();
         let faults_active = cfg.faults.is_active();
+        let initial_members = cfg.elastic.initial(n);
         // Every shard gets a fork of the post-setup workload and the
         // contiguous slice of clients it owns; forks only ever see their
         // own clients, so per-client op streams are partition-invariant.
@@ -338,6 +353,11 @@ impl Cluster {
             traced_dirs: 0,
             mig_seq: 0,
             faults_active,
+            joins: 0,
+            leaves: 0,
+            active_count: initial_members,
+            mds_seconds: 0.0,
+            last_accrual: SimTime::ZERO,
             scratch_auth_load: Vec::new(),
             scratch_all_load: Vec::new(),
             scratch_dirs: Vec::new(),
@@ -364,6 +384,8 @@ impl Cluster {
             prefix_cold: Vec::new(),
             hb_epoch: 0,
             caches,
+            member: (0..n).map(|m| m < initial_members).collect(),
+            membership_epoch: 0,
         };
         Cluster {
             co,
@@ -549,7 +571,8 @@ impl Cluster {
                 }
             }
         };
-        let _shared = shared.into_inner().expect("workers joined");
+        let shared = shared.into_inner().expect("workers joined");
+        let membership_epoch = shared.membership_epoch;
         let mut shard_objs: Vec<Shard> = self
             .shards
             .into_iter()
@@ -585,7 +608,7 @@ impl Cluster {
             }
         }
         stats.shards = shard_objs.iter().map(|s| s.stats).collect();
-        (into_report(co, shard_objs), stats)
+        (into_report(co, shard_objs, membership_epoch), stats)
     }
 }
 
@@ -925,6 +948,10 @@ fn on_heartbeat(
     co.sync_dirs(&sh.ns, now);
     co.hb_epoch += 1;
     sh.hb_epoch = co.hb_epoch;
+    // Accrue provisioned MDS-time up to this instant under the *old*
+    // membership; transitions below only bill from here on.
+    co.mds_seconds += co.active_count as f64 * (now.as_secs_f64() - co.last_accrual.as_secs_f64());
+    co.last_accrual = now;
     // 1. Every MDS packages up its metrics ("send HB").
     let heartbeats = snapshot_heartbeats(co, sh, shards, router, now);
     // Timeline + tick record before the windows roll, so the sampled
@@ -955,12 +982,29 @@ fn on_heartbeat(
         g.cache_window_hits.iter_mut().for_each(|x| *x = 0);
         g.cache_window_misses.iter_mut().for_each(|x| *x = 0);
     }
+    // 2½. The elastic controller: evaluate the `howmany` hook over the
+    //     member-filtered snapshots and take at most one membership
+    //     transition (join or drain) per tick. No-op when disabled.
+    let elastic = co.cfg.elastic.enabled;
+    if elastic {
+        elastic_step(co, sh, shards, router, &heartbeats, now);
+    }
+    // The post-transition member view the balancers run against. With
+    // elasticity off this is the identity (all MDSs are members) and the
+    // filtered snapshot is never built.
+    let active_ids: Vec<MdsId> = (0..co.cfg.num_mds).filter(|&m| sh.member[m]).collect();
+    let member_view: Option<Arc<[Heartbeat]>> = if elastic {
+        Some(active_ids.iter().map(|&m| heartbeats[m]).collect())
+    } else {
+        None
+    };
     // 3. Every MDS runs its balancer against the (shared, already
     //    slightly stale) snapshots and migrates ("recv HB" →
     //    "rebalance" → "migrate").
     for m in 0..co.cfg.num_mds {
-        // A crashed MDS neither balances nor exports.
-        if !sh.up[m] {
+        // A crashed MDS neither balances nor exports; a non-member
+        // (spare or departed) has nothing to balance.
+        if !sh.up[m] || !sh.member[m] {
             continue;
         }
         // A poisoned balancer errors before reaching a decision.
@@ -968,9 +1012,21 @@ fn on_heartbeat(
             co.note_policy_error(m, now);
             continue;
         }
-        let ctx = BalanceContext {
-            whoami: m,
-            heartbeats: heartbeats.clone(),
+        // Elastic clusters show the policy only the member set: `whoami`
+        // and the MDSs table are positions in `active_ids`, so hooks see
+        // a dense cluster of the current size.
+        let ctx = match &member_view {
+            Some(view) => BalanceContext {
+                whoami: active_ids
+                    .iter()
+                    .position(|&x| x == m)
+                    .expect("m is a member"),
+                heartbeats: view.clone(),
+            },
+            None => BalanceContext {
+                whoami: m,
+                heartbeats: heartbeats.clone(),
+            },
         };
         let plan = match co.balancers[m].decide(&ctx) {
             Ok(Some(plan)) => plan,
@@ -983,6 +1039,22 @@ fn on_heartbeat(
                 co.note_policy_error(m, now);
                 continue;
             }
+        };
+        // Translate member-relative targets back to global MDS ids for
+        // the export planner (identity when elasticity is off).
+        let plan = if elastic {
+            let mut targets = vec![0.0; co.cfg.num_mds];
+            for (pos, t) in plan.targets.iter().enumerate() {
+                if let Some(&id) = active_ids.get(pos) {
+                    targets[id] = *t;
+                }
+            }
+            MigrationPlan {
+                targets,
+                selectors: plan.selectors,
+            }
+        } else {
+            plan
         };
         let exports = match plan_exports(&mut sh.ns, m, co.balancers[m].as_ref(), &plan, now) {
             Ok(e) => e,
@@ -1017,6 +1089,226 @@ fn on_heartbeat(
         co.globals
             .schedule_at(now + co.cfg.heartbeat_interval, GlobalEvent::Heartbeat);
     }
+}
+
+/// One elastic-controller tick: ask the `howmany` hook for a target MDS
+/// count and take at most one membership transition toward it. Runs in
+/// the exclusive heartbeat step, so membership state, the namespace, and
+/// every shard are writable — exactly like fault handling.
+fn elastic_step(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    heartbeats: &Arc<[Heartbeat]>,
+    now: SimTime,
+) {
+    let n = co.cfg.num_mds;
+    // MDS 0 hosts the controller (it is the mount authority, never
+    // crashes, and never leaves); a poisoned balancer there suspends
+    // scaling — the decide loop already records the error.
+    if co.poisoned[0] {
+        return;
+    }
+    let members: Vec<MdsId> = (0..n).filter(|&m| sh.member[m]).collect();
+    let active = members.len();
+    let (min_mds, max_mds) = co.cfg.elastic.bounds(n);
+    // The hook sees the member-filtered pre-transition snapshot: the
+    // same dense view the `where`/`howmuch` hooks get this tick.
+    let view: Arc<[Heartbeat]> = members.iter().map(|&m| heartbeats[m]).collect();
+    let ctx = BalanceContext {
+        whoami: 0,
+        heartbeats: view,
+    };
+    let target = match co.balancers[0].howmany(&ctx, active, min_mds, max_mds) {
+        Ok(Some(t)) if t.is_finite() => t,
+        Ok(_) => return, // no hook (or nothing to decide): fixed size
+        Err(_) => {
+            co.note_policy_error(0, now);
+            return;
+        }
+    };
+    let want = (target.round() as i64).clamp(min_mds as i64, max_mds as i64) as usize;
+    if want > active {
+        join_one(co, sh, shards, router, heartbeats, &members, now);
+    } else if want < active {
+        leave_one(co, sh, shards, router, &members, now);
+    }
+}
+
+/// Activate the lowest-id live spare and re-home subtrees onto it via
+/// the configured [`JoinPolicy`]. The whole join — epoch bump, member
+/// flip, re-home migrations — happens inside this exclusive step, so the
+/// `MdsJoinStart` → `MdsJoinComplete` chain can never be split by a
+/// concurrent fault or window.
+fn join_one(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    heartbeats: &Arc<[Heartbeat]>,
+    members: &[MdsId],
+    now: SimTime,
+) {
+    let n = co.cfg.num_mds;
+    let Some(j) = (0..n).find(|&m| !sh.member[m] && sh.up[m]) else {
+        return; // no live spare in the pool
+    };
+    sh.membership_epoch += 1;
+    let epoch = sh.membership_epoch;
+    co.joins += 1;
+    co.emit(now, || TraceEvent::MdsJoinStart {
+        mds: j,
+        membership_epoch: epoch,
+    });
+    sh.member[j] = true;
+    co.active_count += 1;
+    let mut rehomed = 0usize;
+    match co.cfg.elastic.join_policy {
+        JoinPolicy::ConsistentHash => {
+            // Rendezvous re-home: move exactly the subtrees whose
+            // owner-of-record under the *new* member set is the joiner —
+            // the minimal set, nothing shuffles between survivors.
+            let owners: Vec<MdsId> = (0..n).filter(|&m| sh.member[m] && sh.up[m]).collect();
+            for &src in members {
+                if !sh.up[src] {
+                    continue;
+                }
+                for d in sh.ns.export_candidate_dirs(src) {
+                    if sh.ns.dir(d).auth != Some(src) {
+                        continue; // frag-only ownership stays put on join
+                    }
+                    if rendezvous_owner(d, &owners) == j {
+                        let export = Export {
+                            unit: ExportUnit::Subtree(d),
+                            to: j,
+                            load: 0.0,
+                        };
+                        apply_export(co, sh, shards, router, src, export, now);
+                        rehomed += 1;
+                    }
+                }
+            }
+        }
+        JoinPolicy::LargestSubtree => {
+            // Classic relief valve: take the hottest member's largest
+            // subtree (by its own metaload hook) and hand it over.
+            let src = members
+                .iter()
+                .copied()
+                .filter(|&m| sh.up[m])
+                .max_by(|&a, &b| {
+                    heartbeats[a]
+                        .auth_metaload
+                        .partial_cmp(&heartbeats[b].auth_metaload)
+                        .expect("loads are never NaN")
+                        .then(b.cmp(&a)) // ties prefer the lower id
+                });
+            if let Some(src) = src {
+                let mut best: Option<(NodeId, f64)> = None;
+                for d in sh.ns.export_candidate_dirs(src) {
+                    if sh.ns.dir(d).auth != Some(src) {
+                        continue;
+                    }
+                    let Ok(load) =
+                        subtree_load(&mut sh.ns, co.balancers[src].as_ref(), d, src, now)
+                    else {
+                        continue;
+                    };
+                    if best.is_none_or(|(_, b)| load > b) {
+                        best = Some((d, load));
+                    }
+                }
+                if let Some((d, _)) = best {
+                    let export = Export {
+                        unit: ExportUnit::Subtree(d),
+                        to: j,
+                        load: 0.0,
+                    };
+                    apply_export(co, sh, shards, router, src, export, now);
+                    rehomed = 1;
+                }
+            }
+        }
+    }
+    co.emit(now, || TraceEvent::MdsJoinComplete {
+        mds: j,
+        membership_epoch: epoch,
+        rehomed,
+    });
+}
+
+/// Drain and deregister the highest-id member (never MDS 0): freeze and
+/// export every subtree and dirfrag it owns to the rendezvous owner
+/// among the remaining members, then flip it out of the member set. The
+/// departed MDS stays `up` — straggler requests routed by stale client
+/// caches are served by the normal forward path until the caches relearn.
+fn leave_one(
+    co: &mut Coordinator,
+    sh: &mut SharedSim,
+    shards: &mut [MutexGuard<Shard>],
+    router: &ShardRouter,
+    members: &[MdsId],
+    now: SimTime,
+) {
+    let Some(&victim) = members.iter().rev().find(|&&m| m != 0) else {
+        return; // only the mount authority is left
+    };
+    sh.membership_epoch += 1;
+    let epoch = sh.membership_epoch;
+    co.leaves += 1;
+    co.emit(now, || TraceEvent::MdsDrainStart {
+        mds: victim,
+        membership_epoch: epoch,
+    });
+    // Drain targets: live surviving members. MDS 0 never crashes and
+    // never leaves, so this is never empty.
+    let remaining: Vec<MdsId> = members
+        .iter()
+        .copied()
+        .filter(|&m| m != victim && sh.up[m])
+        .collect();
+    let mut drained = 0usize;
+    if sh.up[victim] && !remaining.is_empty() {
+        // A crashed victim owns nothing (its subtrees already failed
+        // over); draining it is pure deregistration.
+        for dir in sh.ns.export_candidate_dirs(victim) {
+            if sh.ns.dir(dir).auth == Some(victim) {
+                let export = Export {
+                    unit: ExportUnit::Subtree(dir),
+                    to: rendezvous_owner(dir, &remaining),
+                    load: 0.0,
+                };
+                apply_export(co, sh, shards, router, victim, export, now);
+                drained += 1;
+            } else {
+                // Frag-only ownership: ship the victim's fragments.
+                let nfrags = sh.ns.dir(dir).frags.len();
+                for f in 0..nfrags {
+                    if sh.ns.frag_auth(dir, f) == victim {
+                        let export = Export {
+                            unit: ExportUnit::Frag(dir, f),
+                            to: rendezvous_owner(dir, &remaining),
+                            load: 0.0,
+                        };
+                        apply_export(co, sh, shards, router, victim, export, now);
+                        drained += 1;
+                    }
+                }
+            }
+        }
+    }
+    co.emit(now, || TraceEvent::MdsDrainComplete {
+        mds: victim,
+        membership_epoch: epoch,
+        drained,
+    });
+    sh.member[victim] = false;
+    co.active_count -= 1;
+    co.emit(now, || TraceEvent::MdsDeparted {
+        mds: victim,
+        membership_epoch: epoch,
+    });
 }
 
 fn snapshot_heartbeats(
@@ -1160,7 +1452,9 @@ fn apply_export(
     now: SimTime,
 ) {
     let to = export.to;
-    if to >= co.cfg.num_mds || to == from || !sh.up[to] {
+    // Non-members (spares and departed MDSs) never import: a drained MDS
+    // must not regain dirfrag authority until it rejoins.
+    if to >= co.cfg.num_mds || to == from || !sh.up[to] || !sh.member[to] {
         return;
     }
     // The checker replays migrations against its namespace model; make
@@ -1301,7 +1595,7 @@ fn apply_export(
 /// Assemble the report from the coordinator and the drained shards.
 /// Shards own contiguous id slices in order, so concatenating their
 /// counters/clients reproduces the global id order.
-fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
+fn into_report(co: Coordinator, shards: Vec<Shard>, membership_epoch: u64) -> RunReport {
     let mut counters: Vec<MdsCounters> = Vec::new();
     let mut clients: Vec<ClientState> = Vec::new();
     let mut timeouts = 0u64;
@@ -1325,6 +1619,11 @@ fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
         .max()
         .unwrap_or(SimTime::ZERO);
     let sessions: u64 = counters.iter().map(|c| c.sessions_flushed).sum();
+    // Close the MDS-seconds integral at the later of the last accrual
+    // point and the makespan (heartbeats can outlast the final op).
+    let end = makespan.max(co.last_accrual);
+    let mds_seconds = co.mds_seconds
+        + co.active_count as f64 * (end.as_secs_f64() - co.last_accrual.as_secs_f64());
     RunReport {
         balancer: co.balancer_name,
         workload: co.workload_name,
@@ -1366,6 +1665,10 @@ fn into_report(co: Coordinator, shards: Vec<Shard>) -> RunReport {
         cache_hits: cache_hits.iter().sum(),
         cache_misses: cache_misses.iter().sum(),
         cache_invalidations: co.cache_invalidations,
+        mds_seconds,
+        joins: co.joins,
+        leaves: co.leaves,
+        membership_epoch,
     }
 }
 

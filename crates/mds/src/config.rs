@@ -113,6 +113,12 @@ pub struct ClusterConfig {
     /// events are scheduled, and every fixed-seed run is byte-identical
     /// to a build without the cache layer.
     pub cache: CacheConfig,
+    /// Elastic cluster membership driven by the `howmany` policy hook.
+    /// **Inert by default** — with `elastic.enabled == false` every MDS
+    /// in `0..num_mds` is a member for the whole run, no membership
+    /// events fire, and every pre-existing fixed-seed run is
+    /// byte-identical to a build without the elastic layer.
+    pub elastic: ElasticConfig,
 }
 
 impl Default for ClusterConfig {
@@ -135,6 +141,7 @@ impl Default for ClusterConfig {
             scheduler: SchedulerKind::default(),
             exec_mode: ExecMode::default(),
             cache: CacheConfig::default(),
+            elastic: ElasticConfig::default(),
         }
     }
 }
@@ -192,6 +199,12 @@ impl ClusterConfig {
         self.cache = cache;
         self
     }
+
+    /// Convenience: install an elastic-membership configuration.
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        self.elastic = elastic;
+        self
+    }
 }
 
 /// Configuration of the proxy-tier read cache ([`crate::cache`]).
@@ -232,6 +245,89 @@ impl CacheConfig {
             enabled: true,
             ..Default::default()
         }
+    }
+}
+
+/// How a joining MDS picks the subtrees re-homed onto it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinPolicy {
+    /// Rendezvous (highest-random-weight) hashing over the member set:
+    /// every top-level export candidate whose owner-of-record becomes the
+    /// new member moves — and nothing else does, which is the minimal
+    /// re-homing set (pinned by a property test against a full-recompute
+    /// oracle).
+    #[default]
+    ConsistentHash,
+    /// Move the single largest subtree (by policy metaload) off the most
+    /// loaded member — the dynamic-subtree-partitioning flavour of join.
+    LargestSubtree,
+}
+
+/// Configuration of elastic cluster membership ([`crate::cluster`]).
+///
+/// `num_mds` stays the fixed *pool* size — every per-MDS array, shard
+/// partition, and cache group keeps its shape — while membership becomes a
+/// versioned subset of the pool. The `howmany` policy hook picks a target
+/// member count each heartbeat; the coordinator then performs at most one
+/// join (re-home subtrees onto the lowest-id spare via the migration
+/// machinery) or one leave (drain the highest-id member, then deregister)
+/// per tick.
+///
+/// The default is **inert** (`enabled == false`): all `num_mds` MDSs are
+/// members from the start and membership never changes, so every
+/// pre-existing fixed-seed run stays byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticConfig {
+    /// Master switch. Off by default.
+    pub enabled: bool,
+    /// Fewest members allowed (≥ 1; MDS 0 never leaves).
+    pub min_mds: usize,
+    /// Most members allowed; clamped to `num_mds` at runtime.
+    pub max_mds: usize,
+    /// Member count at t = 0, clamped into `[min_mds, max_mds]`. Members
+    /// are always the lowest-id MDSs first, so the initial set is
+    /// `0..initial_mds`.
+    pub initial_mds: usize,
+    /// How join selects subtrees for the new member.
+    pub join_policy: JoinPolicy,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            enabled: false,
+            min_mds: 1,
+            max_mds: usize::MAX,
+            initial_mds: 1,
+            join_policy: JoinPolicy::default(),
+        }
+    }
+}
+
+impl ElasticConfig {
+    /// An enabled elastic tier: start at one member, scale anywhere in
+    /// `[1, num_mds]`, consistent-hash re-homing.
+    pub fn on() -> Self {
+        ElasticConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// The effective `[min, max]` member bounds for a pool of `num_mds`.
+    pub fn bounds(&self, num_mds: usize) -> (usize, usize) {
+        let max = self.max_mds.min(num_mds).max(1);
+        let min = self.min_mds.clamp(1, max);
+        (min, max)
+    }
+
+    /// The initial member count for a pool of `num_mds`.
+    pub fn initial(&self, num_mds: usize) -> usize {
+        if !self.enabled {
+            return num_mds;
+        }
+        let (min, max) = self.bounds(num_mds);
+        self.initial_mds.clamp(min, max)
     }
 }
 
@@ -411,6 +507,27 @@ mod tests {
     #[test]
     fn placement_defaults_to_subtree() {
         assert_eq!(ClusterConfig::default().placement, PlacementPolicy::Subtree);
+    }
+
+    #[test]
+    fn elastic_default_is_inert() {
+        let e = ElasticConfig::default();
+        assert!(!e.enabled);
+        // Inert: the whole pool is the member set.
+        assert_eq!(e.initial(4), 4);
+        let on = ElasticConfig::on();
+        assert_eq!(on.bounds(4), (1, 4));
+        assert_eq!(on.initial(4), 1);
+        // Bounds clamp into the pool.
+        let wide = ElasticConfig {
+            enabled: true,
+            min_mds: 3,
+            max_mds: 100,
+            initial_mds: 50,
+            ..ElasticConfig::on()
+        };
+        assert_eq!(wide.bounds(4), (3, 4));
+        assert_eq!(wide.initial(4), 4);
     }
 
     #[test]

@@ -27,6 +27,15 @@
 //!   attributed to the MDS the fill named. The model never evicts, so
 //!   it is a superset of the real LRU — every real hit must still
 //!   satisfy it;
+//! * **membership** — a drained MDS holds no dirfrag authority at
+//!   `mds_drain_complete` and neither serves, imports, nor is pinned or
+//!   forwarded to while departed (until it rejoins);
+//! * **membership-epoch** — the membership epoch increments by exactly
+//!   one per join/leave transition and never regresses;
+//! * **membership-phases** — every join runs `join_start` →
+//!   `join_complete` and every leave runs `drain_start` →
+//!   `drain_complete` → `departed`, completely and without interleaving
+//!   another transition;
 //! * **structure** — the stream itself is well-formed (header first,
 //!   known dirs, in-range fragments and MDS ids).
 //!
@@ -53,7 +62,8 @@ pub struct Violation {
     pub at: SimTime,
     /// Which rule broke: `authority`, `freeze-discipline`, `conservation`,
     /// `inode-conservation`, `epoch-monotonicity`, `fallback-after-k`,
-    /// `migration-phases`, `cache-coherence`, or `structure`.
+    /// `migration-phases`, `cache-coherence`, `membership`,
+    /// `membership-epoch`, `membership-phases`, or `structure`.
     pub rule: &'static str,
     /// Human-readable description of what went wrong.
     pub detail: String,
@@ -132,6 +142,19 @@ struct Checker {
     /// superset of the real caches — a hit the real LRU can make is a
     /// hit the model allows, while stale hits are outside both.
     cache_model: HashMap<(usize, NodeId), MdsId>,
+    /// Highest membership epoch seen; each transition must announce
+    /// exactly `mem_epoch + 1`.
+    mem_epoch: u64,
+    /// Per-MDS departed flag: set at `drain_complete`, cleared at
+    /// `mds_join_start` (re-homing imports toward a rejoiner land
+    /// between join start and complete) — i.e. cleared when the
+    /// MDS rejoins. Departed MDSs must hold and gain no authority.
+    departed: Vec<bool>,
+    /// An open join chain: `(mds, membership_epoch)` from `join_start`.
+    pending_join: Option<(MdsId, u64)>,
+    /// An open leave chain: `(mds, membership_epoch, drain_complete
+    /// seen)` from `drain_start`.
+    pending_leave: Option<(MdsId, u64, bool)>,
 }
 
 impl Checker {
@@ -156,6 +179,10 @@ impl Checker {
             dropped: 0,
             end_inflight: None,
             cache_model: HashMap::new(),
+            mem_epoch: 0,
+            departed: Vec::new(),
+            pending_join: None,
+            pending_leave: None,
         }
     }
 
@@ -343,6 +370,7 @@ impl Checker {
                 self.fallback_after = *fallback_after;
                 self.up = vec![true; *num_mds];
                 self.consecutive = vec![0; *num_mds];
+                self.departed = vec![false; *num_mds];
             }
             TraceEvent::DirAdded { dir, parent, files } => {
                 if dir.0 as usize != self.dirs.len() {
@@ -640,6 +668,14 @@ impl Checker {
                         format!("migration {mig}: {from}→{to} with a crashed endpoint"),
                     );
                 }
+                if self.departed[*to] {
+                    self.flag(
+                        i,
+                        at,
+                        "membership",
+                        format!("migration {mig} imports onto departed MDS {to}"),
+                    );
+                }
                 match frag {
                     None => {
                         // Subtree export: the exporter must own the root,
@@ -811,6 +847,14 @@ impl Checker {
                             format!("dir {} pinned on crashed MDS {mds}", dir.0),
                         );
                     }
+                    if self.departed[*mds] {
+                        self.flag(
+                            i,
+                            at,
+                            "membership",
+                            format!("dir {} pinned on departed MDS {mds}", dir.0),
+                        );
+                    }
                     self.dirs[dir.0 as usize].over = Some(*mds);
                 }
             }
@@ -904,6 +948,14 @@ impl Checker {
                         ),
                     ),
                 }
+                if self.departed[*to] {
+                    self.flag(
+                        i,
+                        at,
+                        "membership",
+                        format!("request forwarded to departed MDS {to}"),
+                    );
+                }
             }
             TraceEvent::Served { mds, dir, frag, .. } => {
                 if !self.mds_ok(i, at, *mds, "serve") || !self.dir_ok(i, at, *dir, "serve") {
@@ -915,6 +967,14 @@ impl Checker {
                         at,
                         "authority",
                         format!("crashed MDS {mds} served a request"),
+                    );
+                }
+                if self.departed[*mds] {
+                    self.flag(
+                        i,
+                        at,
+                        "membership",
+                        format!("departed MDS {mds} served a request"),
                     );
                 }
                 match self.frag_auth(*dir, *frag) {
@@ -1032,6 +1092,173 @@ impl Checker {
                 }
                 self.cache_model.retain(|&(_, d), _| d != *dir);
             }
+            TraceEvent::MdsJoinStart {
+                mds,
+                membership_epoch,
+            } => {
+                if !self.mds_ok(i, at, *mds, "join start") {
+                    return;
+                }
+                if *membership_epoch != self.mem_epoch + 1 {
+                    self.flag(
+                        i,
+                        at,
+                        "membership-epoch",
+                        format!(
+                            "join of MDS {mds} announces epoch {membership_epoch} after epoch {} (want {})",
+                            self.mem_epoch,
+                            self.mem_epoch + 1
+                        ),
+                    );
+                }
+                self.mem_epoch = self.mem_epoch.max(*membership_epoch);
+                if self.pending_join.is_some() || self.pending_leave.is_some() {
+                    self.flag(
+                        i,
+                        at,
+                        "membership-phases",
+                        format!("join of MDS {mds} started inside another transition"),
+                    );
+                }
+                self.pending_join = Some((*mds, *membership_epoch));
+                // A rejoining MDS is an import target from join_start on:
+                // the re-homing migrations toward it land between start
+                // and complete, and committed imports make it
+                // authoritative for what it received.
+                self.departed[*mds] = false;
+            }
+            TraceEvent::MdsJoinComplete {
+                mds,
+                membership_epoch,
+                ..
+            } => {
+                if !self.mds_ok(i, at, *mds, "join complete") {
+                    return;
+                }
+                match self.pending_join.take() {
+                    Some((m, e)) if m == *mds && e == *membership_epoch => {}
+                    Some((m, e)) => self.flag(
+                        i,
+                        at,
+                        "membership-phases",
+                        format!(
+                            "join_complete of MDS {mds} at epoch {membership_epoch} closes a join of MDS {m} at epoch {e}"
+                        ),
+                    ),
+                    None => self.flag(
+                        i,
+                        at,
+                        "membership-phases",
+                        format!("join_complete of MDS {mds} without join_start"),
+                    ),
+                }
+                // A rejoined MDS may hold authority again.
+                self.departed[*mds] = false;
+            }
+            TraceEvent::MdsDrainStart {
+                mds,
+                membership_epoch,
+            } => {
+                if !self.mds_ok(i, at, *mds, "drain start") {
+                    return;
+                }
+                if *mds == 0 {
+                    self.flag(
+                        i,
+                        at,
+                        "membership",
+                        "MDS 0 (mount authority) started draining".into(),
+                    );
+                }
+                if *membership_epoch != self.mem_epoch + 1 {
+                    self.flag(
+                        i,
+                        at,
+                        "membership-epoch",
+                        format!(
+                            "drain of MDS {mds} announces epoch {membership_epoch} after epoch {} (want {})",
+                            self.mem_epoch,
+                            self.mem_epoch + 1
+                        ),
+                    );
+                }
+                self.mem_epoch = self.mem_epoch.max(*membership_epoch);
+                if self.pending_join.is_some() || self.pending_leave.is_some() {
+                    self.flag(
+                        i,
+                        at,
+                        "membership-phases",
+                        format!("drain of MDS {mds} started inside another transition"),
+                    );
+                }
+                self.pending_leave = Some((*mds, *membership_epoch, false));
+            }
+            TraceEvent::MdsDrainComplete {
+                mds,
+                membership_epoch,
+                ..
+            } => {
+                if !self.mds_ok(i, at, *mds, "drain complete") {
+                    return;
+                }
+                match &mut self.pending_leave {
+                    Some((m, e, done)) if *m == *mds && *e == *membership_epoch && !*done => {
+                        *done = true;
+                    }
+                    _ => self.flag(
+                        i,
+                        at,
+                        "membership-phases",
+                        format!("drain_complete of MDS {mds} without a matching drain_start"),
+                    ),
+                }
+                // The drained MDS must hold no dirfrag authority: every
+                // explicit override naming it should have been exported.
+                let residual: usize = self
+                    .dirs
+                    .iter()
+                    .map(|ds| {
+                        usize::from(ds.over == Some(*mds))
+                            + ds.frags.iter().filter(|fs| fs.over == Some(*mds)).count()
+                    })
+                    .sum();
+                if residual > 0 {
+                    self.flag(
+                        i,
+                        at,
+                        "membership",
+                        format!(
+                            "MDS {mds} completed draining with {residual} authority override(s) still naming it"
+                        ),
+                    );
+                }
+                self.departed[*mds] = true;
+            }
+            TraceEvent::MdsDeparted {
+                mds,
+                membership_epoch,
+            } => {
+                if !self.mds_ok(i, at, *mds, "departed") {
+                    return;
+                }
+                match self.pending_leave.take() {
+                    Some((m, e, true)) if m == *mds && e == *membership_epoch => {}
+                    Some((m, _, done)) => self.flag(
+                        i,
+                        at,
+                        "membership-phases",
+                        format!(
+                            "departed of MDS {mds} closes a drain of MDS {m} (drain_complete seen: {done})"
+                        ),
+                    ),
+                    None => self.flag(
+                        i,
+                        at,
+                        "membership-phases",
+                        format!("departed of MDS {mds} without drain_start"),
+                    ),
+                }
+            }
             TraceEvent::RunEnd { inflight } => {
                 self.ended = true;
                 self.end_inflight = Some(*inflight);
@@ -1064,6 +1291,24 @@ impl Checker {
                 last_at,
                 "migration-phases",
                 format!("migration {mig} never completed (stuck in {phase:?})"),
+            );
+        }
+        if let Some((mds, epoch)) = self.pending_join {
+            self.flag(
+                total,
+                last_at,
+                "membership-phases",
+                format!("join of MDS {mds} (epoch {epoch}) never completed"),
+            );
+        }
+        if let Some((mds, epoch, done)) = self.pending_leave {
+            self.flag(
+                total,
+                last_at,
+                "membership-phases",
+                format!(
+                    "leave of MDS {mds} (epoch {epoch}) never completed (drain_complete seen: {done})"
+                ),
             );
         }
         // Conservation needs the data plane.
@@ -1659,6 +1904,238 @@ mod tests {
         t.insert(end, fill(455, 1, 0, 1, 1));
         t.insert(end + 1, hit(460, 1, 0, 1, 1));
         assert_eq!(cache_violations(&t), vec![]);
+    }
+
+    fn mem_violations(t: &[TraceRecord]) -> Vec<Violation> {
+        check_trace(t)
+            .into_iter()
+            .filter(|v| v.rule.starts_with("membership"))
+            .collect()
+    }
+
+    /// Append a complete leave chain for MDS 1 (which owns dir 1 after
+    /// healthy()'s migration): drain dir 1 back to MDS 0, then the
+    /// drain_complete/departed pair — all just before run_end.
+    fn with_leave_of_mds1() -> Vec<TraceRecord> {
+        let mut t = healthy();
+        let end = t.len() - 1;
+        let chain = vec![
+            rec(
+                520,
+                1,
+                TraceEvent::MdsDrainStart {
+                    mds: 1,
+                    membership_epoch: 1,
+                },
+            ),
+            rec(
+                520,
+                1,
+                TraceEvent::MigrationFreeze {
+                    mig: 2,
+                    from: 1,
+                    to: 0,
+                    root: NodeId(1),
+                    frag: None,
+                    holes: vec![],
+                    watermark: 2,
+                    until: SimTime::from_millis(560),
+                },
+            ),
+            rec(
+                520,
+                1,
+                TraceEvent::MigrationJournal {
+                    mig: 2,
+                    mds: 1,
+                    micros: 100.0,
+                },
+            ),
+            rec(
+                520,
+                1,
+                TraceEvent::MigrationJournal {
+                    mig: 2,
+                    mds: 0,
+                    micros: 100.0,
+                },
+            ),
+            rec(
+                520,
+                1,
+                TraceEvent::MigrationCommit {
+                    mig: 2,
+                    from: 1,
+                    to: 0,
+                    root: NodeId(1),
+                    frag: None,
+                    // dir 1 + 2 setup files + 1 traced create
+                    inodes: 4,
+                },
+            ),
+            rec(
+                520,
+                1,
+                TraceEvent::MigrationUnfreeze {
+                    mig: 2,
+                    root: NodeId(1),
+                    thaw: SimTime::from_millis(560),
+                },
+            ),
+            rec(
+                521,
+                1,
+                TraceEvent::MdsDrainComplete {
+                    mds: 1,
+                    membership_epoch: 1,
+                    drained: 1,
+                },
+            ),
+            rec(
+                521,
+                1,
+                TraceEvent::MdsDeparted {
+                    mds: 1,
+                    membership_epoch: 1,
+                },
+            ),
+        ];
+        for (k, r) in chain.into_iter().enumerate() {
+            t.insert(end + k, r);
+        }
+        t
+    }
+
+    #[test]
+    fn well_formed_leave_chain_passes() {
+        assert_eq!(mem_violations(&with_leave_of_mds1()), vec![]);
+    }
+
+    #[test]
+    fn membership_epoch_regression_is_flagged() {
+        let mut t = with_leave_of_mds1();
+        let end = t.len() - 1;
+        // A rejoin announcing epoch 1 again: the leave already took it.
+        t.insert(
+            end,
+            rec(
+                530,
+                1,
+                TraceEvent::MdsJoinStart {
+                    mds: 1,
+                    membership_epoch: 1,
+                },
+            ),
+        );
+        t.insert(
+            end + 1,
+            rec(
+                530,
+                1,
+                TraceEvent::MdsJoinComplete {
+                    mds: 1,
+                    membership_epoch: 1,
+                    rehomed: 0,
+                },
+            ),
+        );
+        let v = mem_violations(&t);
+        assert!(v.iter().any(|v| v.rule == "membership-epoch"), "{v:?}");
+    }
+
+    #[test]
+    fn residual_authority_at_drain_complete_is_flagged() {
+        // Drain chain with no export: dir 1 still names MDS 1 at
+        // drain_complete time.
+        let mut t = healthy();
+        let end = t.len() - 1;
+        t.insert(
+            end,
+            rec(
+                520,
+                1,
+                TraceEvent::MdsDrainStart {
+                    mds: 1,
+                    membership_epoch: 1,
+                },
+            ),
+        );
+        t.insert(
+            end + 1,
+            rec(
+                521,
+                1,
+                TraceEvent::MdsDrainComplete {
+                    mds: 1,
+                    membership_epoch: 1,
+                    drained: 0,
+                },
+            ),
+        );
+        t.insert(
+            end + 2,
+            rec(
+                521,
+                1,
+                TraceEvent::MdsDeparted {
+                    mds: 1,
+                    membership_epoch: 1,
+                },
+            ),
+        );
+        let v = mem_violations(&t);
+        assert!(v.iter().any(|v| v.rule == "membership"), "{v:?}");
+    }
+
+    #[test]
+    fn split_leave_chain_is_flagged() {
+        // drain_start straight to departed: the drain_complete is missing.
+        let mut t = with_leave_of_mds1();
+        t.retain(|r| !matches!(r.event, TraceEvent::MdsDrainComplete { .. }));
+        let v = mem_violations(&t);
+        assert!(v.iter().any(|v| v.rule == "membership-phases"), "{v:?}");
+    }
+
+    #[test]
+    fn dangling_join_start_is_flagged() {
+        let mut t = healthy();
+        let end = t.len() - 1;
+        t.insert(
+            end,
+            rec(
+                520,
+                1,
+                TraceEvent::MdsJoinStart {
+                    mds: 1,
+                    membership_epoch: 1,
+                },
+            ),
+        );
+        let v = mem_violations(&t);
+        assert!(v.iter().any(|v| v.rule == "membership-phases"), "{v:?}");
+    }
+
+    #[test]
+    fn serve_on_departed_mds_is_flagged() {
+        let mut t = with_leave_of_mds1();
+        let end = t.len() - 1;
+        t.insert(
+            end,
+            rec(
+                530,
+                1,
+                TraceEvent::Served {
+                    mds: 1,
+                    client: 0,
+                    dir: NodeId(1),
+                    frag: 0,
+                    kind: OpKind::Stat,
+                    seq: 7,
+                },
+            ),
+        );
+        let v = mem_violations(&t);
+        assert!(v.iter().any(|v| v.rule == "membership"), "{v:?}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod elastic;
 pub mod faults;
 pub mod invariants;
 pub mod metrics;
@@ -41,7 +42,10 @@ pub use balancer::{BalanceContext, Balancer, CephfsBalancer, MantleBalancer, Mig
 pub use cache::{cacheable, group_of, ClientCache, GroupCache, IntervalRegion};
 pub use client::{ClientOp, Workload};
 pub use cluster::Cluster;
-pub use config::{CacheConfig, ClusterConfig, ExecMode, PlacementPolicy};
+pub use config::{
+    CacheConfig, ClusterConfig, CostModel, ElasticConfig, ExecMode, JoinPolicy, PlacementPolicy,
+};
+pub use elastic::rendezvous_owner;
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use invariants::{assert_invariants, check_trace, Violation};
 pub use mantle_policy::HookEngine;

@@ -85,6 +85,17 @@ pub struct RunReport {
     /// Cache entries dropped by coherence invalidation — mutating ops,
     /// migrations, and session flushes, across group and client caches.
     pub cache_invalidations: u64,
+    /// Provisioned MDS-time: the integral of the member count over
+    /// virtual time, in seconds. With elasticity off this is
+    /// `num_mds × makespan`; the elastic scorer divides ops by it.
+    pub mds_seconds: f64,
+    /// MDS-join transitions taken by the elastic controller.
+    pub joins: u64,
+    /// MDS-leave (drain) transitions taken by the elastic controller.
+    pub leaves: u64,
+    /// Final membership epoch (one bump per join or leave; 0 with
+    /// elasticity off).
+    pub membership_epoch: u64,
 }
 
 impl RunReport {
@@ -133,6 +144,22 @@ impl RunReport {
             0.0
         } else {
             self.cache_hits as f64 / total
+        }
+    }
+
+    /// Provisioned MDS-time in hours (the elastic efficiency denominator).
+    pub fn mds_hours(&self) -> f64 {
+        self.mds_seconds / 3600.0
+    }
+
+    /// Ops per second per provisioned MDS-hour — the elastic scenario's
+    /// score: an elastic cluster that tracks the diurnal load should beat
+    /// every fixed size on it (0 when no MDS-time was accrued).
+    pub fn ops_per_mds_hour(&self) -> f64 {
+        if self.mds_seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_ops() * 3600.0 / self.mds_seconds
         }
     }
 
@@ -262,6 +289,10 @@ mod tests {
             cache_hits: 30,
             cache_misses: 10,
             cache_invalidations: 5,
+            mds_seconds: 7200.0,
+            joins: 1,
+            leaves: 1,
+            membership_epoch: 2,
         }
     }
 
@@ -277,6 +308,9 @@ mod tests {
         assert_eq!(r.total_dropped(), 3);
         assert!((r.mean_throughput() - 87.5).abs() < 1e-9);
         assert!((r.cache_hit_rate() - 0.75).abs() < 1e-9);
+        // 175 ops over 2 MDS-hours.
+        assert!((r.mds_hours() - 2.0).abs() < 1e-9);
+        assert!((r.ops_per_mds_hour() - 87.5).abs() < 1e-9);
     }
 
     #[test]

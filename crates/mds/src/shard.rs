@@ -192,6 +192,14 @@ pub struct SharedSim {
     /// Incarnation per MDS; bumped by crashes to invalidate in-flight
     /// completions.
     pub(crate) mds_epoch: Vec<u64>,
+    /// Elastic membership per MDS: only members receive placement (hash
+    /// pins, balancer targets, re-homing). With the elastic layer off
+    /// every entry is `true` for the whole run. Mutated only in exclusive
+    /// heartbeat steps, so windows read a stable view.
+    pub(crate) member: Vec<bool>,
+    /// Membership epoch: join/leave transitions completed so far. Bumped
+    /// with every membership change (exclusive steps only).
+    pub(crate) membership_epoch: u64,
     /// Service-time multiplier per MDS while `now < slow_until`.
     pub(crate) slow_factor: Vec<f64>,
     pub(crate) slow_until: Vec<SimTime>,
@@ -635,6 +643,15 @@ impl Shard {
             self.queue.schedule_at_key(stall, key, Event::ClientNext(c));
             return;
         }
+        // Open-loop workloads can park a client until a future window
+        // (diurnal phases); re-poll at that instant.
+        if let Some(ready) = self.workload.next_ready_at(c, now) {
+            if ready > now {
+                let key = self.client_key(c);
+                self.queue.schedule_at_key(ready, key, Event::ClientNext(c));
+                return;
+            }
+        }
         match self.workload.next(c, &sh.ns, now) {
             None => {
                 let client = self.client_mut(c);
@@ -830,8 +847,8 @@ impl Shard {
         if self.cfg.placement == PlacementPolicy::HashDirs && sh.ns.dir(req.op.dir).auth.is_none() {
             let mut target = (req.op.dir.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) as usize
                 % self.cfg.num_mds;
-            if !sh.up[target] {
-                target = 0; // never pin fresh metadata on a dead MDS
+            if !sh.up[target] || !sh.member[target] {
+                target = 0; // never pin fresh metadata on a dead or departed MDS
             }
             self.deferred.push(DeferredNsOp {
                 at: now,

@@ -227,6 +227,49 @@ pub enum TraceEvent {
         /// The restarted MDS.
         mds: MdsId,
     },
+    /// Elastic membership: a spare MDS began joining the member set. The
+    /// re-homing migrations toward it follow in the same tick.
+    MdsJoinStart {
+        /// The joining MDS.
+        mds: MdsId,
+        /// Membership epoch of this transition (bumped once per
+        /// join/leave; strictly increasing across transitions).
+        membership_epoch: u64,
+    },
+    /// Elastic membership: the joining MDS is a full member.
+    MdsJoinComplete {
+        /// The joined MDS.
+        mds: MdsId,
+        /// Membership epoch of this transition.
+        membership_epoch: u64,
+        /// Export units re-homed onto the new member.
+        rehomed: usize,
+    },
+    /// Elastic membership: drain of a departing member began.
+    MdsDrainStart {
+        /// The draining MDS.
+        mds: MdsId,
+        /// Membership epoch of this transition.
+        membership_epoch: u64,
+    },
+    /// Elastic membership: the departing MDS exported its last authority.
+    /// From here until a later rejoin it must own nothing.
+    MdsDrainComplete {
+        /// The drained MDS.
+        mds: MdsId,
+        /// Membership epoch of this transition.
+        membership_epoch: u64,
+        /// Export units drained off the member.
+        drained: usize,
+    },
+    /// Elastic membership: the drained MDS left the member set
+    /// (deregistered; stragglers forward to the new authorities).
+    MdsDeparted {
+        /// The departed MDS.
+        mds: MdsId,
+        /// Membership epoch of this transition.
+        membership_epoch: u64,
+    },
     /// A non-crash fault was injected.
     FaultInjected {
         /// The target MDS.
@@ -406,6 +449,11 @@ impl TraceEvent {
             TraceEvent::HashPin { .. } => "hash_pin",
             TraceEvent::MdsCrash { .. } => "mds_crash",
             TraceEvent::MdsRestart { .. } => "mds_restart",
+            TraceEvent::MdsJoinStart { .. } => "mds_join_start",
+            TraceEvent::MdsJoinComplete { .. } => "mds_join_complete",
+            TraceEvent::MdsDrainStart { .. } => "mds_drain_start",
+            TraceEvent::MdsDrainComplete { .. } => "mds_drain_complete",
+            TraceEvent::MdsDeparted { .. } => "mds_departed",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::RequestIssued { .. } => "request_issued",
             TraceEvent::RequestTimeout { .. } => "request_timeout",
@@ -630,6 +678,43 @@ impl TraceRecord {
             }
             TraceEvent::MdsCrash { mds } | TraceEvent::MdsRestart { mds } => {
                 let _ = write!(out, ",\"mds\":{mds}");
+            }
+            TraceEvent::MdsJoinStart {
+                mds,
+                membership_epoch,
+            }
+            | TraceEvent::MdsDrainStart {
+                mds,
+                membership_epoch,
+            }
+            | TraceEvent::MdsDeparted {
+                mds,
+                membership_epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mds\":{mds},\"membership_epoch\":{membership_epoch}"
+                );
+            }
+            TraceEvent::MdsJoinComplete {
+                mds,
+                membership_epoch,
+                rehomed,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mds\":{mds},\"membership_epoch\":{membership_epoch},\"rehomed\":{rehomed}"
+                );
+            }
+            TraceEvent::MdsDrainComplete {
+                mds,
+                membership_epoch,
+                drained,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mds\":{mds},\"membership_epoch\":{membership_epoch},\"drained\":{drained}"
+                );
             }
             TraceEvent::FaultInjected { mds, kind } => {
                 let _ = write!(out, ",\"mds\":{mds},\"kind\":\"{kind}\"");

@@ -228,6 +228,13 @@ pub struct PolicySet {
     pub decision: Decision,
     /// `mds_bal_howmuch`: dirfrag selector names, tried in order.
     pub howmuch: Vec<String>,
+    /// `mds_bal_howmany`: optional auto-scaling hook. Runs once per
+    /// balancer tick (on the coordinator, not per MDS) over the same
+    /// heartbeat environment as the decision hooks plus `active` (current
+    /// member count), `min_mds`, and `max_mds`; returns the target MDS
+    /// count. `None` means the cluster size is fixed — the pre-elastic
+    /// behaviour.
+    pub howmany: Option<Script>,
     /// Policy-defined dirfrag selectors: `(name, compiled script)`. The
     /// paper's §3.2 feeds the balancer "an external Lua file with a list
     /// of strategies"; this is that list, generalized so policies can ship
@@ -254,6 +261,7 @@ impl PolicySet {
                 where_: parse_script(where_)?,
             },
             howmuch: howmuch.iter().map(|s| s.to_string()).collect(),
+            howmany: None,
             custom_selectors: Vec::new(),
         })
     }
@@ -271,8 +279,19 @@ impl PolicySet {
             mdsload: parse_expression_script(mdsload)?,
             decision: Decision::Combined(parse_script(whenwhere)?),
             howmuch: howmuch.iter().map(|s| s.to_string()).collect(),
+            howmany: None,
             custom_selectors: Vec::new(),
         })
+    }
+
+    /// Attach a `mds_bal_howmany` auto-scaling hook. The script sees the
+    /// pass-2 decision environment (`whoami`, `MDSs` with `load` filled
+    /// in, `total`, `authmetaload`, `allmetaload`) plus `active`,
+    /// `min_mds`, and `max_mds`, and returns the target MDS count (a bare
+    /// expression or a full script ending in `return`).
+    pub fn with_howmany(mut self, src: &str) -> PolicyResult<Self> {
+        self.howmany = Some(parse_expression_script(src)?);
+        Ok(self)
     }
 
     /// Attach a policy-defined dirfrag selector (referenced from the
@@ -305,6 +324,9 @@ struct EnvSlots {
     readdir: Option<usize>,
     fetch: Option<usize>,
     store: Option<usize>,
+    active: Option<usize>,
+    min_mds: Option<usize>,
+    max_mds: Option<usize>,
 }
 
 /// One policy hook, slot-compiled at [`MantleRuntime`] construction and
@@ -363,6 +385,9 @@ impl CompiledHook {
             readdir: slot("READDIR"),
             fetch: slot("FETCH"),
             store: slot("STORE"),
+            active: slot("active"),
+            min_mds: slot("min_mds"),
+            max_mds: slot("max_mds"),
         };
         let vm = RefCell::new(SlotVm::new(&prog, budget));
         let bvm = RefCell::new(BytecodeVm::new(&bc, budget));
@@ -421,6 +446,7 @@ struct CompiledHooks {
     metaload: CompiledHook,
     mdsload: CompiledHook,
     decision: CompiledDecision,
+    howmany: Option<CompiledHook>,
 }
 
 /// Executes a [`PolicySet`] against [`BalancerInputs`] — the bridge between
@@ -595,6 +621,10 @@ impl MantleRuntime {
                     CompiledHook::compile(script, &host, budget),
                 )),
             },
+            howmany: policy
+                .howmany
+                .as_ref()
+                .map(|s| CompiledHook::compile(s, &host, budget)),
         };
         MantleRuntime {
             policy,
@@ -1056,6 +1086,131 @@ impl MantleRuntime {
             migrate,
             targets,
         })
+    }
+
+    /// Whether this policy carries a `mds_bal_howmany` auto-scaling hook.
+    pub fn has_howmany(&self) -> bool {
+        self.policy.howmany.is_some()
+    }
+
+    /// Run the `mds_bal_howmany` auto-scaling hook: `mdsload` per MDS
+    /// (pass 1, the same per-engine pipeline [`Self::decide`] uses), then
+    /// the hook itself over the pass-2 decision environment extended with
+    /// `active` (current member count), `min_mds`, and `max_mds`. Returns
+    /// the raw target count (callers round and clamp), or `None` when the
+    /// policy has no hook.
+    ///
+    /// Runs once per balancer tick on the coordinator, so the environment
+    /// is built fresh on every engine — there is no hot path to protect.
+    /// All three engines are bit-identical here exactly as for `decide`.
+    pub fn eval_howmany(
+        &self,
+        inputs: &BalancerInputs,
+        active: usize,
+        min_mds: usize,
+        max_mds: usize,
+    ) -> PolicyResult<Option<f64>> {
+        let Some(script) = &self.policy.howmany else {
+            return Ok(None);
+        };
+        let n = inputs.mds.len();
+        if n == 0 {
+            return Ok(None);
+        }
+        self.whoami_cell.set(inputs.whoami);
+
+        // Pass 1: evaluate mdsload for every MDS, building the MDSs table.
+        let mdss_table = Rc::new(RefCell::new(Table::new()));
+        for (i, m) in inputs.mds.iter().enumerate() {
+            let t = Table::from_fields([
+                ("auth", Value::Number(m.auth)),
+                ("all", Value::Number(m.all)),
+                ("cpu", Value::Number(m.cpu)),
+                ("mem", Value::Number(m.mem)),
+                ("q", Value::Number(m.q)),
+                ("req", Value::Number(m.req)),
+                ("cache_hits", Value::Number(m.cache_hits)),
+                ("cache_misses", Value::Number(m.cache_misses)),
+            ]);
+            mdss_table
+                .borrow_mut()
+                .set_int(i as i64 + 1, Value::Table(Rc::new(RefCell::new(t))));
+        }
+        let mut mds_loads = Vec::with_capacity(n);
+        for (i, m) in inputs.mds.iter().enumerate() {
+            let load = match self.engine {
+                HookEngine::Tree => {
+                    let mut interp = self.base_interp(inputs.whoami);
+                    interp.set_global("whoami", Value::Number(inputs.whoami as f64 + 1.0));
+                    interp.set_global("i", Value::Number(i as f64 + 1.0));
+                    interp.set_global("MDSs", Value::Table(Rc::clone(&mdss_table)));
+                    interp.set_global("authmetaload", Value::Number(inputs.auth_metaload));
+                    interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
+                    interp.run(&self.policy.mdsload)?.as_number(0)?
+                }
+                HookEngine::Bytecode if self.mdsload_scalar.is_some() => {
+                    self.mdsload_scalar.as_ref().expect("checked above").eval(&[
+                        m.auth,
+                        m.all,
+                        m.cpu,
+                        m.mem,
+                        m.q,
+                        m.req,
+                        m.cache_hits,
+                        m.cache_misses,
+                    ])
+                }
+                engine => self
+                    .hooks
+                    .mdsload
+                    .run(engine, |env, vm| {
+                        set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
+                        set_slot(vm, env.i, Value::Number(i as f64 + 1.0));
+                        set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
+                        set_slot(vm, env.authmetaload, Value::Number(inputs.auth_metaload));
+                        set_slot(vm, env.allmetaload, Value::Number(inputs.all_metaload));
+                    })?
+                    .as_number(0)?,
+            };
+            mds_loads.push(load);
+        }
+        let total: f64 = mds_loads.iter().sum();
+        for (i, load) in mds_loads.iter().enumerate() {
+            if let Value::Table(t) = mdss_table.borrow().get_int(i as i64 + 1) {
+                t.borrow_mut().set_str("load", Value::Number(*load));
+            }
+        }
+
+        // Pass 2: the howmany hook itself.
+        let target = if self.engine == HookEngine::Tree {
+            let mut interp = self.base_interp(inputs.whoami);
+            interp.set_global("whoami", Value::Number(inputs.whoami as f64 + 1.0));
+            interp.set_global("MDSs", Value::Table(Rc::clone(&mdss_table)));
+            interp.set_global("total", Value::Number(total));
+            interp.set_global("authmetaload", Value::Number(inputs.auth_metaload));
+            interp.set_global("allmetaload", Value::Number(inputs.all_metaload));
+            interp.set_global("active", Value::Number(active as f64));
+            interp.set_global("min_mds", Value::Number(min_mds as f64));
+            interp.set_global("max_mds", Value::Number(max_mds as f64));
+            interp.run(script)?.as_number(0)?
+        } else {
+            self.hooks
+                .howmany
+                .as_ref()
+                .expect("compiled alongside policy.howmany")
+                .run(self.engine, |env, vm| {
+                    set_slot(vm, env.whoami, Value::Number(inputs.whoami as f64 + 1.0));
+                    set_slot(vm, env.mdss, Value::Table(Rc::clone(&mdss_table)));
+                    set_slot(vm, env.total, Value::Number(total));
+                    set_slot(vm, env.authmetaload, Value::Number(inputs.auth_metaload));
+                    set_slot(vm, env.allmetaload, Value::Number(inputs.all_metaload));
+                    set_slot(vm, env.active, Value::Number(active as f64));
+                    set_slot(vm, env.min_mds, Value::Number(min_mds as f64));
+                    set_slot(vm, env.max_mds, Value::Number(max_mds as f64));
+                })?
+                .as_number(0)?
+        };
+        Ok(Some(target))
     }
 }
 
@@ -1587,6 +1742,96 @@ MDSs[1]["polluted"] = 1
             let rt = MantleRuntime::new(p.clone()).with_engine(e);
             let err = rt.eval_metaload(0, &FragMetrics::default()).unwrap_err();
             assert!(err.to_string().contains("NaN argument"), "{e:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn howmany_absent_yields_none() {
+        let rt = MantleRuntime::new(cephfs_policy());
+        assert!(!rt.has_howmany());
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[50.0, 5.0]),
+            ..Default::default()
+        };
+        assert_eq!(rt.eval_howmany(&inputs, 2, 1, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn howmany_agrees_across_all_three_engines() {
+        // A hook using the full environment: scale so per-member load sits
+        // near 25, clamped by the runtime's callers.
+        let p = cephfs_policy()
+            .with_howmany("max(min_mds, min(max_mds, total / 25))")
+            .unwrap();
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[90.0, 5.0, 35.0]),
+            auth_metaload: 90.0,
+            all_metaload: 95.0,
+        };
+        let runs: Vec<f64> = [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode]
+            .iter()
+            .map(|&e| {
+                MantleRuntime::new(p.clone())
+                    .with_engine(e)
+                    .eval_howmany(&inputs, 2, 1, 3)
+                    .unwrap()
+                    .expect("hook present")
+            })
+            .collect();
+        for w in runs.windows(2) {
+            assert_eq!(w[0].to_bits(), w[1].to_bits());
+        }
+        // Table-1 mdsload of metrics(&[l..]): 0.8l + 0.2l = l, so total is
+        // 130 and the hook asks for 130/25 = 5.2 pre-clamp.
+        assert!(
+            (runs[0] - 3.0).abs() < 1e-12,
+            "clamped to max_mds: {}",
+            runs[0]
+        );
+    }
+
+    #[test]
+    fn howmany_sees_active_and_bounds() {
+        let p = cephfs_policy()
+            .with_howmany("active + min_mds + max_mds")
+            .unwrap();
+        for e in [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode] {
+            let rt = MantleRuntime::new(p.clone()).with_engine(e);
+            let inputs = BalancerInputs {
+                whoami: 0,
+                mds: metrics(&[10.0, 10.0]),
+                ..Default::default()
+            };
+            assert_eq!(rt.eval_howmany(&inputs, 2, 1, 4).unwrap(), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn stateful_howmany_evolves_identically_across_engines() {
+        // Hysteresis via WRstate/RDstate: grow only after two consecutive
+        // over-threshold ticks.
+        let p = cephfs_policy()
+            .with_howmany(
+                r#"
+hot = 0
+if total / active > 40 then hot = RDstate() + 1 end
+WRstate(hot)
+if hot >= 2 then return min(active + 1, max_mds) end
+return active
+"#,
+            )
+            .unwrap();
+        let inputs = BalancerInputs {
+            whoami: 0,
+            mds: metrics(&[90.0, 60.0]),
+            ..Default::default()
+        };
+        for e in [HookEngine::Tree, HookEngine::Slot, HookEngine::Bytecode] {
+            let rt = MantleRuntime::new(p.clone()).with_engine(e);
+            assert_eq!(rt.eval_howmany(&inputs, 2, 1, 4).unwrap(), Some(2.0));
+            assert_eq!(rt.eval_howmany(&inputs, 2, 1, 4).unwrap(), Some(3.0));
         }
     }
 

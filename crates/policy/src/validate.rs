@@ -32,6 +32,10 @@ const KNOWN_GLOBALS: &[&str] = &[
     "MDSs",
     "total",
     "targets",
+    // The `howmany` auto-scaling environment.
+    "active",
+    "min_mds",
+    "max_mds",
     "WRstate",
     "RDstate",
     "max",
@@ -84,6 +88,9 @@ impl PolicyValidator {
             }
             crate::env::Decision::Combined(s) => scripts.push(s),
         }
+        if let Some(h) = &policy.howmany {
+            scripts.push(h);
+        }
         for script in scripts {
             let unknown = unknown_globals(script);
             if let Some(name) = unknown.into_iter().next() {
@@ -119,6 +126,13 @@ impl PolicyValidator {
                 .map_err(|e| reject(label, "decision", e))?;
             rt.decide(inputs)
                 .map_err(|e| reject(label, "decision", e))?;
+            // Same warm/cold discipline for the auto-scaling hook, across
+            // the full membership range it can be asked about.
+            let n = inputs.mds.len();
+            rt.eval_howmany(inputs, n, 1, n)
+                .map_err(|e| reject(label, "howmany", e))?;
+            rt.eval_howmany(inputs, 1, 1, n)
+                .map_err(|e| reject(label, "howmany", e))?;
         }
         Ok(())
     }
@@ -365,6 +379,27 @@ end
         )
         .unwrap();
         PolicyValidator::new().validate(&p).unwrap();
+    }
+
+    #[test]
+    fn howmany_globals_are_known_and_typos_rejected() {
+        let good = greedy()
+            .with_howmany("max(min_mds, min(max_mds, total / 25))")
+            .unwrap();
+        PolicyValidator::new().validate(&good).unwrap();
+
+        let bad = greedy().with_howmany("actve + 1").unwrap();
+        let err = PolicyValidator::new().validate(&bad).unwrap_err();
+        assert!(err.to_string().contains("actve"), "{err}");
+    }
+
+    #[test]
+    fn diverging_howmany_is_rejected_dynamically() {
+        let p = greedy()
+            .with_howmany("while 1 do x = 1 end return active")
+            .unwrap();
+        let err = PolicyValidator::new().validate(&p).unwrap_err();
+        assert!(err.to_string().contains("howmany"), "{err}");
     }
 
     #[test]

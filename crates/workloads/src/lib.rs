@@ -11,16 +11,20 @@
 //!   `fs`, `mm`), and a link-phase readdir flash crowd (Figs. 1, 3, 9, 10);
 //! * [`FlashCrowd`] — the link-phase flash crowd distilled to its worst
 //!   case: every client hammers one hot directory with read-class ops
-//!   (the proxy-cache tier's target workload).
+//!   (the proxy-cache tier's target workload);
+//! * [`Diurnal`] — a day/night cycle: bursty daytime clients plus a
+//!   paced nighttime baseline (the elastic-membership target workload).
 //!
 //! All generators are deterministic given their seed.
 
 pub mod compile;
 pub mod create;
+pub mod diurnal;
 pub mod flashcrowd;
 pub mod zipf;
 
 pub use compile::{Compile, CompilePhase};
 pub use create::{CreateSeparateDirs, CreateSharedDir};
+pub use diurnal::Diurnal;
 pub use flashcrowd::FlashCrowd;
 pub use zipf::ZipfMix;

@@ -53,12 +53,19 @@
 //! * `cache`: the proxy-cache tier — `GroupCache` lookup/fill cost on a
 //!   bench-sized namespace, plus the flash-crowd storm run cache-off and
 //!   cache-on (simulated ops/s, hit rate). The cache-on/off speedup is
-//!   gated ≥ 2× — the acceptance bound for the hotspot-absorbing tier.
+//!   gated ≥ 2× — the acceptance bound for the hotspot-absorbing tier;
+//! * `elastic`: the membership layer — one `howmany` hook evaluation
+//!   (runs once per tick on the coordinator), plus the quick diurnal
+//!   scenario scored in ops per provisioned MDS-hour: the elastic
+//!   cluster against every fixed size in its pool. The elastic run is
+//!   gated strictly better than the best fixed size — the same
+//!   acceptance bound `elastic --smoke` enforces in CI.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use mantle::core::elastic;
 use mantle::core::flashcrowd::{client_ops, ops_per_sec, run_pair};
 use mantle::core::policies;
 use mantle::core::repro::ReproOpts;
@@ -350,15 +357,50 @@ fn run_smoke() {
         "smoke: storm speedup {cache_speedup:.2}x below the 2x cache gate"
     );
 
+    // Elastic smoke: the diurnal scenario at quick size. Same client
+    // completions whether the cluster scales or stays fixed at either
+    // extreme, the howmany hook actually fires both ways, and elastic
+    // clears its acceptance bound — strictly more ops per provisioned
+    // MDS-hour than the floor and the ceiling of its pool (`elastic
+    // --smoke` in CI gates against *every* fixed size; here the two
+    // extremes keep smoke cheap).
+    let el = elastic::run_elastic(ReproOpts::QUICK, 42);
+    let floor = elastic::run_fixed(ReproOpts::QUICK, 1, 42);
+    let ceil = elastic::run_fixed(ReproOpts::QUICK, elastic::POOL, 42);
+    assert_eq!(
+        elastic::client_ops(&el),
+        elastic::client_ops(&floor),
+        "smoke: elastic scaling changed the work done"
+    );
+    assert_eq!(
+        elastic::client_ops(&el),
+        elastic::client_ops(&ceil),
+        "smoke: fixed pool size changed the work done"
+    );
+    assert!(
+        el.joins >= 1 && el.leaves >= 1,
+        "smoke: elastic run never scaled (joins={}, leaves={})",
+        el.joins,
+        el.leaves
+    );
+    let el_score = elastic::score(&el);
+    let el_fixed_best = elastic::score(&floor).max(elastic::score(&ceil));
+    assert!(
+        el_score > el_fixed_best,
+        "smoke: elastic {el_score:.0} ops/mds-h does not beat the pool \
+         extremes ({el_fixed_best:.0})"
+    );
+
     println!(
         "smoke ok: {} dirs, {} migration ticks, incremental rebuilds = 0, \
          oracle rebuilds = {}, {} trace records invariant-clean, \
-         storm cache speedup {:.1}x",
+         storm cache speedup {:.1}x, elastic {:.2}x the pool extremes",
         inc.dir_count(),
         ii,
         ora.rebuilds(),
         trace.records().len(),
-        cache_speedup
+        cache_speedup,
+        el_score / el_fixed_best
     );
 }
 
@@ -585,8 +627,28 @@ fn main() {
     // --- scale: whole-cluster rows at 10/64/128 MDSs --------------------
     let mut cluster_rows = String::new();
     for (i, spec) in bench_scale_specs().iter().enumerate() {
-        let heap = run_scale(spec, SchedulerKind::Heap, 42);
-        let wheel = run_scale(spec, SchedulerKind::Wheel, 42);
+        // Sub-second rows are jitter-dominated (mds-10 finishes in
+        // ~0.1s), so each backend gets best-of-3 and the gate below
+        // compares minima — stripping scheduler noise instead of
+        // widening the headroom.
+        let best_of = |kind: SchedulerKind| {
+            let mut best = run_scale(spec, kind, 42);
+            for _ in 0..2 {
+                let next = run_scale(spec, kind, 42);
+                assert_eq!(
+                    format!("{:?}", best.report),
+                    format!("{:?}", next.report),
+                    "{}: rerun changed the report",
+                    spec.name
+                );
+                if next.wall_secs < best.wall_secs {
+                    best = next;
+                }
+            }
+            best
+        };
+        let heap = best_of(SchedulerKind::Heap);
+        let wheel = best_of(SchedulerKind::Wheel);
         assert_eq!(
             format!("{:?}", heap.report),
             format!("{:?}", wheel.report),
@@ -682,6 +744,38 @@ fn main() {
     let cache_speedup = storm_on_rate / storm_off_rate.max(f64::MIN_POSITIVE);
     let storm_hit_rate = storm_on.cache_hit_rate();
 
+    // --- elastic: the howmany hook and the diurnal advantage ------------
+    // The hook runs once per balancer tick on the coordinator, so its
+    // cost is a per-tick tax on the whole cluster; measured on the
+    // shipped scaler preset over the bench decide inputs. Then the quick
+    // diurnal scenario: the elastic cluster against every fixed size in
+    // its pool, scored in ops per provisioned MDS-hour (the acceptance
+    // bound, gated below — the same gate `elastic --smoke` runs in CI).
+    let scaler = MantleRuntime::new(
+        policies::elastic_scaler_membership_only(
+            elastic::GROW_THRESHOLD,
+            elastic::SHRINK_THRESHOLD,
+        )
+        .expect("preset compiles"),
+    );
+    let howmany_s = time_per_call(100_000, || {
+        black_box(scaler.eval_howmany(&inputs, 2, 1, elastic::POOL).unwrap());
+    });
+
+    let el_run = elastic::run_elastic(ReproOpts::QUICK, 42);
+    let el_score = elastic::score(&el_run);
+    let mut el_best_fixed = f64::MIN;
+    for n in 1..=elastic::POOL {
+        let fixed = elastic::run_fixed(ReproOpts::QUICK, n, 42);
+        assert_eq!(
+            elastic::client_ops(&fixed),
+            elastic::client_ops(&el_run),
+            "fixed-{n} did different work than the elastic run"
+        );
+        el_best_fixed = el_best_fixed.max(elastic::score(&fixed));
+    }
+    let el_advantage = el_score / el_best_fixed;
+
     // --- report ---------------------------------------------------------
     let snapshot_speedup = walk_s / agg_s;
     let metaload_speedup = meta_tree_s / meta_fast_s;
@@ -754,6 +848,17 @@ fn main() {
       "hit_rate": {shr:.3},
       "speedup": {csp:.2}
     }}
+  }},
+  "elastic": {{
+    "howmany_ns_per_eval": {hme:.1},
+    "diurnal_quick": {{
+      "client_ops": {el_ops},
+      "elastic_ops_per_mds_hour": {elo:.0},
+      "best_fixed_ops_per_mds_hour": {elf:.0},
+      "advantage": {eladv:.2},
+      "joins": {elj},
+      "leaves": {ell}
+    }}
   }}
 }}
 "#,
@@ -788,6 +893,13 @@ fn main() {
         snr = storm_on_rate,
         shr = storm_hit_rate,
         csp = cache_speedup,
+        hme = howmany_s * 1e9,
+        el_ops = elastic::client_ops(&el_run),
+        elo = el_score,
+        elf = el_best_fixed,
+        eladv = el_advantage,
+        elj = el_run.joins,
+        ell = el_run.leaves,
     );
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ticks.json");
@@ -836,6 +948,21 @@ fn main() {
         cache_speedup >= 2.0,
         "flash-crowd storm must be ≥ 2× faster cache-on than cache-off, \
          got {cache_speedup:.2}×"
+    );
+    // The elastic layer earns its keep on efficiency, not throughput:
+    // the diurnal workload finishes the same ops whatever the cluster
+    // does, so the bound is ops per provisioned MDS-hour — and elastic
+    // must strictly beat the best fixed size in its pool.
+    assert!(
+        el_run.joins >= 1 && el_run.leaves >= 1,
+        "elastic diurnal run never scaled (joins={}, leaves={})",
+        el_run.joins,
+        el_run.leaves
+    );
+    assert!(
+        el_advantage > 1.0,
+        "elastic must strictly beat every fixed size on the diurnal run, \
+         got {el_advantage:.2}× the best fixed"
     );
     // The parallel gate only means something when the worker threads can
     // actually run concurrently. On a 1-core host the sharded engine pays

@@ -70,6 +70,8 @@ fn build(tag: &str, body: &str) -> Result<PolicySet, mantle::policy::PolicyError
         "lua metaload" => PolicySet::from_combined(body, MDSLOAD, NOOP_DECISION, &["half"]),
         "lua mdsload" => PolicySet::from_combined(METALOAD, body, NOOP_DECISION, &["half"]),
         "lua when" => PolicySet::from_hooks(METALOAD, MDSLOAD, body, NOOP_WHERE, &["half"]),
+        "lua howmany" => PolicySet::from_combined(METALOAD, MDSLOAD, NOOP_DECISION, &["half"])?
+            .with_howmany(body),
         other => panic!("unknown fence tag `{other}` — document it and teach this harness"),
     }
 }
@@ -132,6 +134,10 @@ fn every_policy_md_fence_is_checked() {
     assert!(
         seen_selector >= 1,
         "the howmuch section lost its scripted example"
+    );
+    assert!(
+        all.iter().filter(|f| f.tag == "lua howmany").count() >= 2,
+        "the howmany section lost its examples"
     );
 }
 
@@ -198,12 +204,26 @@ fn every_policy_md_snippet_agrees_across_engines() {
             .into_iter()
             .map(|e| {
                 let rt = MantleRuntime::new(policy.clone()).with_engine(e);
-                (e, rt.eval_metaload(0, &frag), rt.decide(&inputs))
+                (
+                    e,
+                    rt.eval_metaload(0, &frag),
+                    rt.decide(&inputs),
+                    rt.eval_howmany(&inputs, 2, 1, 3),
+                )
             })
             .collect();
         for w in runs.windows(2) {
-            let (ea, ml_a, d_a) = &w[0];
-            let (eb, ml_b, d_b) = &w[1];
+            let (ea, ml_a, d_a, hm_a) = &w[0];
+            let (eb, ml_b, d_b, hm_b) = &w[1];
+            match (hm_a, hm_b) {
+                (Ok(x), Ok(y)) => assert_eq!(
+                    x.map(f64::to_bits),
+                    y.map(f64::to_bits),
+                    "{at}: howmany diverged {ea:?}={x:?} vs {eb:?}={y:?}"
+                ),
+                (Err(x), Err(y)) => assert_eq!(x, y, "{at}: howmany errors diverged"),
+                _ => panic!("{at}: {ea:?} and {eb:?} disagree on howmany erroring"),
+            }
             match (ml_a, ml_b) {
                 (Ok(x), Ok(y)) => assert_eq!(
                     x.to_bits(),

@@ -190,3 +190,91 @@ fn fault_runs_are_identical_across_policy_engines() {
     )));
     assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
 }
+
+// ---------------------------------------------------------------------------
+// Elastic membership × faults
+// ---------------------------------------------------------------------------
+
+/// Crash of a freshly joined MDS mid-re-home. At seed 42 the elastic
+/// diurnal run joins MDS 1 at 0.40 s and hands it six just-imported
+/// subtrees; killing it at 0.60 s — deep in the morning burst, right
+/// after the import freeze lifts and clients start landing on it — must
+/// fail the re-homed subtrees back over to the mount authority, recover
+/// the lost in-flight requests through the timeout machinery, and still
+/// complete every client's budget. The restart at 2.0 s (after dark)
+/// turns MDS 1 back into a joinable spare for the next morning.
+#[test]
+fn crash_of_joining_mds_mid_rehome_degrades_gracefully() {
+    use mantle::core::elastic::{client_ops, diurnal_experiment, POOL};
+
+    let elastic = ElasticConfig {
+        enabled: true,
+        min_mds: 1,
+        max_mds: POOL,
+        initial_mds: 1,
+        ..ElasticConfig::on()
+    };
+    let mut spec = diurnal_experiment(ReproOpts::QUICK, POOL, elastic, 1, 42);
+    spec.config.faults = reactions()
+        .crash(SimTime::from_millis(600), 1)
+        .restart(SimTime::from_millis(2_000), 1);
+    let (r, trace) = run_experiment_traced(&spec, TraceLevel::Full);
+
+    assert_invariants(trace.records());
+    assert_eq!(client_ops(&r), 84_000, "client budgets not conserved");
+    assert!(r.joins >= 1, "the cluster grew before the crash");
+    assert!(
+        r.failovers >= 1,
+        "the re-homed subtrees failed over to the mount authority"
+    );
+    assert!(
+        r.timeouts >= 1 && r.retries >= 1,
+        "requests in flight to the crashed joiner were recovered \
+         (timeouts={}, retries={})",
+        r.timeouts,
+        r.retries
+    );
+}
+
+/// Crash of the member the evening scale-down is about to drain. At
+/// seed 42 the first drain (MDS 3, the highest-id member) fires at
+/// 3.6 s; killing MDS 3 at 3.5 s means the leave finds its victim
+/// already dead — the crash has failed its subtrees over, so the drain
+/// degenerates to pure deregistration. Work must be conserved and the
+/// membership phase chain must still close cleanly.
+#[test]
+fn crash_of_draining_mds_mid_migrate_degrades_gracefully() {
+    use mantle::core::elastic::{client_ops, diurnal_experiment, POOL};
+
+    let elastic = ElasticConfig {
+        enabled: true,
+        min_mds: 1,
+        max_mds: POOL,
+        initial_mds: 1,
+        ..ElasticConfig::on()
+    };
+    let mut spec = diurnal_experiment(ReproOpts::QUICK, POOL, elastic, 1, 42);
+    spec.config.faults = reactions().crash(SimTime::from_millis(3_500), 3);
+    let (r, trace) = run_experiment_traced(&spec, TraceLevel::Full);
+
+    assert_invariants(trace.records());
+    assert_eq!(client_ops(&r), 84_000, "client budgets not conserved");
+    assert!(
+        r.joins >= 1 && r.leaves >= 1,
+        "the cluster scaled both ways"
+    );
+    assert!(
+        r.failovers >= 1,
+        "the crashed member's subtrees failed over before the drain"
+    );
+    // The run must still shed the dead member from the member set: its
+    // drain chain closes (drain_start → drain_complete → departed) even
+    // though there is nothing left to migrate.
+    let drained_dead = trace.records().iter().any(|rec| {
+        matches!(
+            rec.event,
+            mantle::mds::TraceEvent::MdsDrainComplete { mds: 3, .. }
+        )
+    });
+    assert!(drained_dead, "the dead member was never deregistered");
+}

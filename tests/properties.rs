@@ -777,3 +777,143 @@ fn policy_from_combined_handles_arbitrary_howmuch() {
         let _ = PolicySet::from_combined("IWR", "MDSs[i][\"all\"]", "x = 1", &refs);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Elastic membership: rendezvous re-homing and drain conservation
+// ---------------------------------------------------------------------------
+
+/// Draw a sorted, duplicate-free random member set from `0..pool`.
+fn random_members(rng: &mut SimRng, pool: u64, min_len: u64) -> Vec<usize> {
+    loop {
+        let members: Vec<usize> = (0..pool)
+            .filter(|_| rng.f64() < 0.5)
+            .map(|m| m as usize)
+            .collect();
+        if members.len() as u64 >= min_len {
+            return members;
+        }
+    }
+}
+
+/// Rendezvous hashing's minimal-movement law, differentially against the
+/// full-recompute oracle: when a member joins, the only dirs whose owner
+/// changes are exactly those the full recompute assigns to the joiner.
+/// Nothing shuffles between surviving members.
+#[test]
+fn rendezvous_join_rehomes_only_the_minimal_set() {
+    let mut rng = cases_rng("rendezvous-join");
+    for case in 0..200 {
+        let before = random_members(&mut rng, 16, 1);
+        let joiner = loop {
+            let j = rng.below(16) as usize;
+            if !before.contains(&j) {
+                break j;
+            }
+        };
+        let mut after = before.clone();
+        after.push(joiner);
+        after.sort_unstable();
+
+        let dirs: Vec<NodeId> = (0..rng.range_inclusive(1, 300))
+            .map(|_| NodeId(rng.below(1 << 30) as u32))
+            .collect();
+        let mut moved = 0usize;
+        for &dir in &dirs {
+            let old = mantle::mds::rendezvous_owner(dir, &before);
+            let new = mantle::mds::rendezvous_owner(dir, &after);
+            if new != old {
+                assert_eq!(
+                    new, joiner,
+                    "case {case}: dir {dir:?} moved {old} -> {new}, not onto the joiner {joiner}"
+                );
+                moved += 1;
+            } else {
+                assert_ne!(
+                    new, joiner,
+                    "case {case}: oracle assigns {dir:?} to the joiner but it did not move"
+                );
+            }
+        }
+        // The moved set is the oracle's ownership set of the joiner.
+        let oracle: usize = dirs
+            .iter()
+            .filter(|&&d| mantle::mds::rendezvous_owner(d, &after) == joiner)
+            .count();
+        assert_eq!(
+            moved, oracle,
+            "case {case}: moved set != full-recompute oracle"
+        );
+    }
+}
+
+/// The leave direction: removing a member re-homes exactly that member's
+/// dirs; every dir owned by a survivor keeps its owner.
+#[test]
+fn rendezvous_leave_moves_only_the_departed_members_dirs() {
+    let mut rng = cases_rng("rendezvous-leave");
+    for case in 0..200 {
+        let before = random_members(&mut rng, 16, 2);
+        let leaver = before[rng.below(before.len() as u64) as usize];
+        let after: Vec<usize> = before.iter().copied().filter(|&m| m != leaver).collect();
+
+        for _ in 0..rng.range_inclusive(1, 300) {
+            let dir = NodeId(rng.below(1 << 30) as u32);
+            let old = mantle::mds::rendezvous_owner(dir, &before);
+            let new = mantle::mds::rendezvous_owner(dir, &after);
+            if old == leaver {
+                assert!(after.contains(&new), "case {case}: orphaned dir {dir:?}");
+            } else {
+                assert_eq!(old, new, "case {case}: survivor-owned dir {dir:?} moved");
+            }
+        }
+    }
+}
+
+/// End to end, across seeds: an elastic diurnal run completes every
+/// client's budget (drain-on-leave loses nothing), drops no requests,
+/// and its trace satisfies every membership invariant — including
+/// zero dirfrag authority on a drained MDS and no service while
+/// departed.
+#[test]
+fn elastic_runs_conserve_ops_across_seeds() {
+    use mantle::core::elastic::{client_ops, diurnal_experiment, POOL};
+    use mantle::core::repro::ReproOpts;
+    use mantle::core::run_experiment_traced;
+    use mantle::mds::{assert_invariants, ElasticConfig, TraceLevel};
+
+    for seed in [3, 42, 1337] {
+        let elastic = ElasticConfig {
+            enabled: true,
+            min_mds: 1,
+            max_mds: POOL,
+            initial_mds: 1,
+            ..ElasticConfig::on()
+        };
+        let spec = diurnal_experiment(ReproOpts::QUICK, POOL, elastic, 1, seed);
+        let expected: u64 = match spec.workload {
+            mantle::core::WorkloadSpec::Diurnal {
+                clients,
+                days,
+                ops_per_day,
+                ..
+            } => clients as u64 * days * ops_per_day,
+            _ => unreachable!("diurnal spec"),
+        };
+        let (report, trace) = run_experiment_traced(&spec, TraceLevel::Full);
+        assert_invariants(trace.records());
+        assert_eq!(
+            client_ops(&report),
+            expected,
+            "seed {seed}: client budget not conserved"
+        );
+        let dropped: u64 = report.mds.iter().map(|m| m.dropped).sum();
+        assert_eq!(dropped, 0, "seed {seed}: requests dropped");
+        assert!(
+            report.joins >= 1 && report.leaves >= 1,
+            "seed {seed}: vacuous run — never scaled ({} joins, {} leaves)",
+            report.joins,
+            report.leaves
+        );
+        assert_eq!(report.membership_epoch, report.joins + report.leaves);
+    }
+}
