@@ -295,6 +295,23 @@ fn apply_assignments(ns: &mut Namespace, assignments: &[(String, MdsId)]) {
     }
 }
 
+/// Build the cluster an experiment describes — workload, balancers,
+/// static partitions, and scheduled repartitions all applied — without
+/// running it. This is the shared front half of [`run_experiment`] and
+/// the daemon's scenario path ([`crate::service`]), so both drive
+/// byte-identical engines.
+pub fn build_cluster(spec: &Experiment) -> Cluster {
+    let workload = spec.workload.build(spec.config.seed);
+    let balancer_spec = spec.balancer.clone();
+    let mut cluster = Cluster::new(spec.config.clone(), workload, |m| balancer_spec.build(m));
+    apply_assignments(cluster.namespace_mut(), &spec.initial_partition);
+    for sched in &spec.scheduled_partitions {
+        let assignments = sched.assignments.clone();
+        cluster.schedule_admin(sched.at, move |ns| apply_assignments(ns, &assignments));
+    }
+    cluster
+}
+
 /// Run one experiment to completion.
 pub fn run_experiment(spec: &Experiment) -> RunReport {
     run_experiment_with_stats(spec).0
@@ -305,15 +322,7 @@ pub fn run_experiment(spec: &Experiment) -> RunReport {
 /// identical in every [`mantle_mds::ExecMode`]; the stats are a
 /// wall-clock side channel for the `scale --threads` breakdown.
 pub fn run_experiment_with_stats(spec: &Experiment) -> (RunReport, mantle_mds::ExecStats) {
-    let workload = spec.workload.build(spec.config.seed);
-    let balancer_spec = spec.balancer.clone();
-    let mut cluster = Cluster::new(spec.config.clone(), workload, |m| balancer_spec.build(m));
-    apply_assignments(cluster.namespace_mut(), &spec.initial_partition);
-    for sched in &spec.scheduled_partitions {
-        let assignments = sched.assignments.clone();
-        cluster.schedule_admin(sched.at, move |ns| apply_assignments(ns, &assignments));
-    }
-    cluster.run_with_stats()
+    build_cluster(spec).run_with_stats()
 }
 
 /// Run one experiment with a trace sink attached, returning the report
@@ -322,15 +331,8 @@ pub fn run_experiment_traced(
     spec: &Experiment,
     level: mantle_mds::TraceLevel,
 ) -> (RunReport, mantle_mds::TraceBuffer) {
-    let workload = spec.workload.build(spec.config.seed);
-    let balancer_spec = spec.balancer.clone();
-    let mut cluster = Cluster::new(spec.config.clone(), workload, |m| balancer_spec.build(m));
+    let mut cluster = build_cluster(spec);
     let handle = cluster.enable_tracing(level);
-    apply_assignments(cluster.namespace_mut(), &spec.initial_partition);
-    for sched in &spec.scheduled_partitions {
-        let assignments = sched.assignments.clone();
-        cluster.schedule_admin(sched.at, move |ns| apply_assignments(ns, &assignments));
-    }
     let report = cluster.run();
     let buffer = std::rc::Rc::try_unwrap(handle)
         .expect("run consumed the cluster; the handle is the sole owner")

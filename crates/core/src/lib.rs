@@ -24,6 +24,9 @@
 //! * [`search`] — policy-parameter grid search: every Fill & Spill
 //!   knob combination ranked across the fault catalogue (`cargo run -p
 //!   mantle-core --bin search`);
+//! * [`service`] — the daemon's scenario harness: named fixed
+//!   experiments run through the live-service engine path
+//!   (`mantled --scenario <name>`, `tests/daemon_equivalence.rs`);
 //! * [`table`] — dependency-free text-table/CSV output.
 
 pub mod degraded;
@@ -34,11 +37,12 @@ pub mod policies;
 pub mod repro;
 pub mod scale;
 pub mod search;
+pub mod service;
 pub mod table;
 
 pub use experiment::{
-    run_experiment, run_experiment_traced, run_seeds, BalancerSpec, Experiment, ScheduledPartition,
-    WorkloadSpec,
+    build_cluster, run_experiment, run_experiment_traced, run_seeds, BalancerSpec, Experiment,
+    ScheduledPartition, WorkloadSpec,
 };
 
 /// Convenient glob import for examples and tests.
@@ -47,6 +51,7 @@ pub mod prelude {
         run_experiment, run_experiment_traced, run_seeds, BalancerSpec, Experiment, WorkloadSpec,
     };
     pub use crate::policies;
+    pub use crate::service::{run_service, scenario, SCENARIO_NAMES};
     pub use crate::table::TextTable;
     pub use mantle_mds::{
         assert_invariants, check_trace, Balancer, CacheConfig, CephfsBalancer, Cluster,

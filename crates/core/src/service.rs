@@ -1,0 +1,154 @@
+//! The daemon's scenario harness: named, fixed experiments that
+//! `mantled` can run on demand, plus the service-path runner that drives
+//! them through [`Cluster::serve`] instead of the batch entry point.
+//!
+//! Two callers share this module:
+//!
+//! * `mantled --scenario <name>` (and the `scenario` admin verb) looks a
+//!   name up with [`scenario`] and runs it via [`run_service`], so a
+//!   daemon deployment can sanity-check its engine against known
+//!   workloads without any live clients;
+//! * `tests/daemon_equivalence.rs` runs the same [`Experiment`] through
+//!   both [`run_service`] and [`crate::run_experiment`] and asserts the
+//!   [`RunReport`]s are byte-identical — the service pump must observe
+//!   without perturbing.
+
+use mantle_mds::service::{LiveService, ServiceEvent};
+use mantle_mds::{Cluster, RunReport, TraceLevel, TraceRecord};
+use mantle_sim::{ClockMode, SimTime};
+
+use crate::experiment::{build_cluster, BalancerSpec, Experiment, WorkloadSpec};
+use crate::policies;
+
+/// Names accepted by [`scenario`], in presentation order.
+pub const SCENARIO_NAMES: &[&str] = &[
+    "greedyspill-shared",
+    "adaptable-compile",
+    "cephfs-separate",
+    "static-spread",
+];
+
+/// Look up a named scenario: a small, fixed-seed experiment suitable for
+/// a daemon self-check. Returns `None` for unknown names (the daemon
+/// reports the valid set from [`SCENARIO_NAMES`]).
+pub fn scenario(name: &str) -> Option<Experiment> {
+    let spec = match name {
+        // The paper's headline case: clients hammering one shared
+        // directory, Greedy Spill shedding halves down the chain.
+        "greedyspill-shared" => Experiment::new(
+            mantle_mds::ClusterConfig::default()
+                .with_mds(4)
+                .with_seed(42),
+            WorkloadSpec::CreateShared {
+                clients: 12,
+                files: 220,
+            },
+            BalancerSpec::mantle(
+                "greedy-spill",
+                policies::greedy_spill().expect("preset policy compiles"),
+            ),
+        ),
+        // The phased compile job under the adaptable policy.
+        "adaptable-compile" => Experiment::new(
+            mantle_mds::ClusterConfig::default()
+                .with_mds(3)
+                .with_seed(42),
+            WorkloadSpec::Compile {
+                clients: 8,
+                scale: 0.35,
+            },
+            BalancerSpec::mantle(
+                "adaptable",
+                policies::adaptable().expect("preset policy compiles"),
+            ),
+        ),
+        // The built-in CephFS balancer over per-client directories.
+        "cephfs-separate" => Experiment::new(
+            mantle_mds::ClusterConfig::default()
+                .with_mds(3)
+                .with_seed(42),
+            WorkloadSpec::CreateSeparate {
+                clients: 9,
+                files: 260,
+            },
+            BalancerSpec::Cephfs,
+        ),
+        // No balancer, clients pre-spread by a static partition.
+        "static-spread" => {
+            let mut e = Experiment::new(
+                mantle_mds::ClusterConfig::default()
+                    .with_mds(4)
+                    .with_seed(42),
+                WorkloadSpec::CreateSeparate {
+                    clients: 8,
+                    files: 200,
+                },
+                BalancerSpec::None,
+            );
+            for c in 0..8usize {
+                e = e.assign(&format!("/client{c}"), c % 4);
+            }
+            e
+        }
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Run an experiment through the **service** engine path: the cluster is
+/// driven by [`Cluster::serve`] with a simulated clock and an idle
+/// command inbox, exactly as a `mantled` scenario run is. Returns the
+/// report plus every trace record the service streamed (empty when
+/// `trace` is `None`).
+///
+/// With no commands and [`ClockMode::Sim`], the service pump never
+/// perturbs the scheduler, so the report is byte-identical to
+/// [`crate::run_experiment`] on the same spec — pinned by
+/// `tests/daemon_equivalence.rs`.
+pub fn run_service(spec: &Experiment, trace: Option<TraceLevel>) -> (RunReport, Vec<TraceRecord>) {
+    let cluster: Cluster = build_cluster(spec);
+    let (svc, handle) = LiveService::new(ClockMode::Sim);
+    let (report, _timeline) = cluster.serve(svc, trace);
+    let mut records = Vec::new();
+    while let Ok(ev) = handle.events.try_recv() {
+        if let ServiceEvent::Trace(batch) = ev {
+            records.extend(batch);
+        }
+    }
+    (report, records)
+}
+
+/// The default poll interval for live client sessions: how long an idle
+/// live client parks before re-checking its op queue. One millisecond
+/// keeps injected-op pickup latency well under typical service times
+/// while costing ~10³ no-op wakeups per client-second.
+pub const LIVE_POLL: SimTime = SimTime::from_millis(1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_name_resolves_and_runs() {
+        for name in SCENARIO_NAMES {
+            let spec = scenario(name).expect("listed scenario resolves");
+            let (report, records) = run_service(&spec, Some(TraceLevel::Decisions));
+            assert!(report.total_ops() > 0.0, "{name} did no work");
+            assert!(
+                records
+                    .iter()
+                    .any(|r| matches!(r.event, mantle_mds::TraceEvent::RunEnd { .. })),
+                "{name} stream lost its trailer"
+            );
+        }
+        assert!(scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn service_path_matches_batch_path() {
+        let spec = scenario("greedyspill-shared").unwrap();
+        let batch = crate::run_experiment(&spec);
+        let (service, _) = run_service(&spec, None);
+        assert_eq!(format!("{batch:?}"), format!("{service:?}"));
+    }
+}

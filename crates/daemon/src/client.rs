@@ -1,0 +1,103 @@
+//! A small blocking client for the `mantled` wire protocol, used by
+//! `mantlectl`, the CI smoke test, and anything else that wants to talk
+//! to a daemon without writing framing code.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::wire::{read_frame, write_frame, PROTO_VERSION};
+
+/// A connected, hello-completed wire connection.
+pub struct MantleClient {
+    stream: TcpStream,
+    /// The daemon's `welcome` message (role, policy, epoch, and — for
+    /// client-role connections — the assigned session `slot`).
+    pub welcome: Json,
+    next_id: u64,
+}
+
+impl MantleClient {
+    /// Connect to `addr` and complete the hello handshake for `role`
+    /// (`"client"`, `"admin"`, or `"trace"`). Reads block with a 60 s
+    /// timeout so a wedged daemon fails a caller instead of hanging it.
+    pub fn connect(addr: &str, role: &str) -> io::Result<MantleClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        let mut client = MantleClient {
+            stream,
+            welcome: Json::Null,
+            next_id: 0,
+        };
+        let hello = Json::obj(vec![
+            ("type", Json::str("hello")),
+            ("role", Json::str(role)),
+            ("proto", Json::num(PROTO_VERSION as f64)),
+        ]);
+        client.send(&hello)?;
+        let welcome = client.recv_required()?;
+        if welcome.get_str("type") != Some("welcome") {
+            return Err(io::Error::other(format!("handshake rejected: {welcome}")));
+        }
+        client.welcome = welcome;
+        Ok(client)
+    }
+
+    /// The session slot assigned in the welcome (client role only).
+    pub fn slot(&self) -> Option<u64> {
+        self.welcome.get_u64("slot")
+    }
+
+    /// Send one frame.
+    pub fn send(&mut self, msg: &Json) -> io::Result<()> {
+        write_frame(&mut self.stream, msg)
+    }
+
+    /// Receive one frame; `None` on clean EOF.
+    pub fn recv(&mut self) -> io::Result<Option<Json>> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Receive one frame, treating EOF as an error.
+    pub fn recv_required(&mut self) -> io::Result<Json> {
+        self.recv()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed connection"))
+    }
+
+    /// Send a request carrying a fresh `id` and block for its reply.
+    /// Frames with a different (or absent) `id` — e.g. a late reply the
+    /// caller abandoned — are skipped.
+    pub fn request(&mut self, mut msg: Json) -> io::Result<Json> {
+        self.next_id += 1;
+        let id = self.next_id;
+        if let Json::Obj(members) = &mut msg {
+            members.retain(|(k, _)| k != "id");
+            members.insert(1.min(members.len()), ("id".into(), Json::num(id as f64)));
+        }
+        self.send(&msg)?;
+        loop {
+            let reply = self.recv_required()?;
+            if reply.get_u64("id") == Some(id) {
+                return Ok(reply);
+            }
+        }
+    }
+
+    /// Issue one metadata op (client role) and wait for the reply.
+    pub fn op(&mut self, op: &str, path: &str) -> io::Result<Json> {
+        self.request(Json::obj(vec![
+            ("type", Json::str("op")),
+            ("op", Json::str(op)),
+            ("path", Json::str(path)),
+        ]))
+    }
+
+    /// Issue an admin verb (admin role) and wait for the reply.
+    pub fn admin(&mut self, verb: &str, extra: Vec<(&str, Json)>) -> io::Result<Json> {
+        let mut members = vec![("type", Json::str("admin")), ("verb", Json::str(verb))];
+        members.extend(extra);
+        self.request(Json::obj(members))
+    }
+}

@@ -1,0 +1,130 @@
+//! Daemon configuration: defaults plus `--key=value` command-line
+//! parsing (the workspace is dependency-free, so flags are hand-parsed).
+
+use mantle_mds::TraceLevel;
+use mantle_sim::ClockMode;
+
+/// Everything `mantled` needs to boot, with operational defaults.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address (`--addr`), e.g. `127.0.0.1:7717`. Port 0 binds an
+    /// ephemeral port; the chosen address is printed on stdout as
+    /// `listening <addr>` so scripts (and the smoke test) can find it.
+    pub addr: String,
+    /// Live client session slots (`--sessions`): the maximum number of
+    /// concurrently connected op-issuing clients.
+    pub sessions: usize,
+    /// MDS count (`--mds`).
+    pub mds: usize,
+    /// Deterministic seed (`--seed`).
+    pub seed: u64,
+    /// Engine pacing (`--clock=wall|sim`). `wall` maps simulated time
+    /// onto real time for live service; `sim` runs as fast as possible
+    /// (scenario runs, tests).
+    pub clock: ClockMode,
+    /// Trace stream level (`--trace=decisions|full|off`). `off` disables
+    /// the trace subsystem; trace-role subscribers then receive nothing.
+    pub trace: Option<TraceLevel>,
+    /// Boot balancer preset (`--policy`), one of
+    /// [`crate::engine::PRESET_NAMES`].
+    pub policy: String,
+    /// Run one named scenario and exit (`--scenario=<name>`) instead of
+    /// serving; see [`mantle_core::service::SCENARIO_NAMES`].
+    pub scenario: Option<String>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:7717".into(),
+            sessions: 16,
+            mds: 4,
+            seed: 42,
+            clock: ClockMode::Wall,
+            trace: Some(TraceLevel::Decisions),
+            policy: "greedy-spill".into(),
+            scenario: None,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Parse `--key=value` arguments over the defaults. Unknown keys and
+    /// unparseable values are errors (returned as the usage string).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<DaemonConfig, String> {
+        let mut cfg = DaemonConfig::default();
+        for arg in args {
+            let Some((key, value)) = arg.strip_prefix("--").and_then(|a| a.split_once('=')) else {
+                return Err(format!("unrecognized argument `{arg}`\n{USAGE}"));
+            };
+            let bad = |what: &str| format!("bad --{what} value `{value}`\n{USAGE}");
+            match key {
+                "addr" => cfg.addr = value.to_string(),
+                "sessions" => cfg.sessions = value.parse().map_err(|_| bad("sessions"))?,
+                "mds" => cfg.mds = value.parse().map_err(|_| bad("mds"))?,
+                "seed" => cfg.seed = value.parse().map_err(|_| bad("seed"))?,
+                "clock" => cfg.clock = ClockMode::parse(value).ok_or_else(|| bad("clock"))?,
+                "trace" => {
+                    cfg.trace = match value {
+                        "off" => None,
+                        lvl => Some(TraceLevel::parse(lvl).ok_or_else(|| bad("trace"))?),
+                    }
+                }
+                "policy" => cfg.policy = value.to_string(),
+                "scenario" => cfg.scenario = Some(value.to_string()),
+                _ => return Err(format!("unknown flag `--{key}`\n{USAGE}")),
+            }
+        }
+        if cfg.sessions == 0 || cfg.mds == 0 {
+            return Err(format!("--sessions and --mds must be at least 1\n{USAGE}"));
+        }
+        Ok(cfg)
+    }
+}
+
+/// `mantled --help` text.
+pub const USAGE: &str = "usage: mantled [--addr=HOST:PORT] [--sessions=N] [--mds=N] [--seed=N]
+               [--clock=wall|sim] [--trace=decisions|full|off]
+               [--policy=PRESET] [--scenario=NAME]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<DaemonConfig, String> {
+        DaemonConfig::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.mds, 4);
+        assert_eq!(cfg.clock, ClockMode::Wall);
+        let cfg = parse(&[
+            "--addr=127.0.0.1:0",
+            "--sessions=2",
+            "--mds=3",
+            "--seed=7",
+            "--clock=sim",
+            "--trace=full",
+            "--policy=adaptable",
+        ])
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!((cfg.sessions, cfg.mds, cfg.seed), (2, 3, 7));
+        assert_eq!(cfg.clock, ClockMode::Sim);
+        assert_eq!(cfg.trace, Some(TraceLevel::Full));
+        assert_eq!(cfg.policy, "adaptable");
+        assert_eq!(parse(&["--trace=off"]).unwrap().trace, None);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&["--mds"]).is_err());
+        assert!(parse(&["--mds=zero"]).is_err());
+        assert!(parse(&["--mds=0"]).is_err());
+        assert!(parse(&["--wat=1"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+        assert!(parse(&["--clock=lunar"]).is_err());
+    }
+}

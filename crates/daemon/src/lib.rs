@@ -1,0 +1,44 @@
+//! `mantled`: the Mantle cluster as a long-running service.
+//!
+//! The batch harness ([`mantle_core`]) runs an experiment to completion
+//! and prints a report; this crate runs the *same engine* continuously
+//! behind a TCP wire protocol. Real client connections issue metadata
+//! ops over length-prefixed JSON frames, an admin endpoint performs
+//! **hot policy reload** (validate → compile → epoch-tagged atomic
+//! install, with in-flight decisions finishing on the old policy), and
+//! the trace subsystem streams live to `trace`-role subscribers.
+//!
+//! The split, layer by layer:
+//!
+//! * [`json`] / [`wire`] — a dependency-free JSON codec and the framed
+//!   protocol documented in `PROTOCOL.md`;
+//! * [`config`] — `mantled`'s flags and defaults;
+//! * [`engine`] — boots [`Cluster::serve`](mantle_mds::Cluster::serve)
+//!   on its own thread and owns the
+//!   [`PolicyCell`](mantle_policy::install::PolicyCell) swap pipeline;
+//! * [`server`] — the nonblocking `std::net` reactor tying sockets to
+//!   the engine's command inbox and event stream;
+//! * [`client`] — a blocking protocol client (`mantlectl`, smoke tests).
+//!
+//! Determinism is preserved across the daemon boundary: with
+//! `--clock=sim` and no live traffic, a scenario run through the
+//! service path is byte-identical to the batch harness (pinned by
+//! `tests/daemon_equivalence.rs` at the workspace root). `--clock=wall`
+//! maps the same virtual timeline onto real time without feeding wall
+//! time back into the engine, so event *order* stays deterministic even
+//! live — see `DESIGN.md` §18.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use client::MantleClient;
+pub use config::DaemonConfig;
+pub use engine::Engine;
+pub use json::Json;
+pub use server::Server;

@@ -72,7 +72,25 @@ impl Balancer for NoopBalancer {
     }
 }
 
-type AdminAction = Box<dyn FnOnce(&mut Namespace) + Send>;
+/// A scheduled control-plane mutation, run in an exclusive step.
+#[allow(clippy::large_enum_variant)] // few instances, never collection-heavy
+enum AdminOp {
+    /// A namespace edit (manual repartition etc.).
+    Ns(Box<dyn FnOnce(&mut Namespace) + Send>),
+    /// A hot policy install: swap every MDS's balancer for a fresh one
+    /// built from an already-validated policy. In-flight decisions are
+    /// untouched — balancers only ever run inside exclusive heartbeat
+    /// steps, so a decision that started before the swap has already
+    /// finished on the old policy by the time this op runs.
+    Swap {
+        name: String,
+        epoch: u64,
+        set: mantle_policy::env::PolicySet,
+        engine: mantle_policy::HookEngine,
+        /// Acked with the simulated install instant (live installs).
+        ack: Option<std::sync::mpsc::Sender<Result<SimTime, String>>>,
+    },
+}
 
 /// A control-plane event. Globals always run in exclusive steps — never
 /// concurrently with a window — because they read and write cluster-wide
@@ -97,7 +115,7 @@ struct Coordinator {
     /// order once per tick — identical in every execution mode.
     rng_cpu: SimRng,
     globals: EventQueue<GlobalEvent>,
-    admin_actions: Vec<Option<AdminAction>>,
+    admin_actions: Vec<Option<AdminOp>>,
     /// Count of balancer hook errors (bad policies surface here).
     policy_errors: u64,
     /// Balancers whose hooks were poisoned mid-run (every decide errors).
@@ -433,7 +451,35 @@ impl Cluster {
         F: FnOnce(&mut Namespace) + Send + 'static,
     {
         let idx = self.co.admin_actions.len();
-        self.co.admin_actions.push(Some(Box::new(action)));
+        self.co
+            .admin_actions
+            .push(Some(AdminOp::Ns(Box::new(action))));
+        self.co.globals.schedule_at(at, GlobalEvent::Admin(idx));
+    }
+
+    /// Schedule a hot policy install at a point in virtual time: every
+    /// MDS's balancer is swapped for a fresh [`MantleBalancer`] built
+    /// from `set` in the coordinator's exclusive step, exactly as the
+    /// live daemon's admin socket does it. The caller is responsible for
+    /// having validated `set` (see [`mantle_policy::install::prepare`]);
+    /// a policy that fails to compile leaves the old balancers in place
+    /// and counts a policy error.
+    pub fn schedule_policy_install(
+        &mut self,
+        at: SimTime,
+        name: impl Into<String>,
+        epoch: u64,
+        set: mantle_policy::env::PolicySet,
+        engine: mantle_policy::HookEngine,
+    ) {
+        let idx = self.co.admin_actions.len();
+        self.co.admin_actions.push(Some(AdminOp::Swap {
+            name: name.into(),
+            epoch,
+            set,
+            engine,
+            ack: None,
+        }));
         self.co.globals.schedule_at(at, GlobalEvent::Admin(idx));
     }
 
@@ -446,7 +492,60 @@ impl Cluster {
     /// count, windows, per-shard event/message/barrier-stall breakdown).
     /// The [`RunReport`] is identical in every [`ExecMode`]; the
     /// [`ExecStats`] are a wall-clock side channel.
-    pub fn run_with_stats(mut self) -> (RunReport, ExecStats) {
+    pub fn run_with_stats(self) -> (RunReport, ExecStats) {
+        self.run_inner(None)
+    }
+
+    /// Run as a live service: the engine loop additionally pumps `svc` —
+    /// draining submitted ops and policy installs before each scheduler
+    /// iteration and streaming trace records and completions after it —
+    /// and, under [`ClockMode::Wall`], paces event processing so
+    /// simulated time tracks wall time. Returns when the service is shut
+    /// down ([`crate::service::ServiceHandle::shutdown`]) and every
+    /// client has drained, or when the (scripted) workload finishes.
+    ///
+    /// With [`ClockMode::Sim`], an empty inbox, and a scripted workload
+    /// this is behaviorally identical to [`Cluster::run_with_stats`]:
+    /// the pump observes the run without perturbing event order, which
+    /// is what `tests/daemon_equivalence.rs` pins byte-for-byte.
+    ///
+    /// `trace` optionally attaches a trace sink whose records are
+    /// streamed live as [`ServiceEvent::Trace`] batches instead of
+    /// accumulating; the returned buffer holds the per-tick
+    /// [`crate::trace::Timeline`] and nothing else.
+    pub fn serve(
+        mut self,
+        svc: crate::service::LiveService,
+        trace: Option<TraceLevel>,
+    ) -> (RunReport, Option<TraceBuffer>) {
+        let sink = trace.map(|l| self.enable_tracing(l));
+        for m in &self.shards {
+            m.lock().expect("no workers before serve()").live = true;
+        }
+        let mut pump = ServicePump {
+            inbox: svc.inbox,
+            events: svc.events,
+            clock: svc.clock,
+            wall: mantle_sim::WallClock::start(),
+            queues: svc.queues,
+        };
+        let (report, _stats) = self.run_inner(Some(&mut pump));
+        // Stream the tail: records merged after the loop's last pump
+        // (including the RunEnd trailer) still belong on the wire.
+        let buffer = sink.map(|s| {
+            let mut buf = Rc::try_unwrap(s)
+                .expect("serve consumed the cluster; the sink is the sole owner")
+                .into_inner();
+            let tail = std::mem::take(buf.records_mut());
+            if !tail.is_empty() {
+                let _ = pump.events.send(crate::service::ServiceEvent::Trace(tail));
+            }
+            buf
+        });
+        (report, buffer)
+    }
+
+    fn run_inner(mut self, pump: Option<&mut ServicePump>) -> (RunReport, ExecStats) {
         let k = self.router.num_shards();
         let trace_on = self.co.trace.is_some();
         // Trace preamble: stream header, the setup-time tree, and the
@@ -520,6 +619,7 @@ impl Cluster {
                         lookahead,
                         &mut stats,
                         &mut run_window,
+                        pump,
                     )
                 }
                 ExecMode::Sharded { .. } => {
@@ -563,6 +663,7 @@ impl Cluster {
                             lookahead,
                             &mut stats,
                             &mut run_window,
+                            pump,
                         );
                         cmd.store(u64::MAX, Ordering::Release);
                         start.wait();
@@ -616,6 +717,12 @@ impl Cluster {
 /// every shard (inline or via worker threads); everything else — gather,
 /// exclusive global steps, barriers — is identical in both modes.
 /// Returns the timestamp of the last processed event.
+///
+/// `pump` is the live-service hook ([`Cluster::serve`]): drained before
+/// the gather (command injection + wall pacing) and after each step
+/// (trace/completion streaming). Batch runs pass `None`, which skips
+/// both calls entirely — the scheduler's decisions are untouched.
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     co: &mut Coordinator,
     shared: &RwLock<SharedSim>,
@@ -624,12 +731,16 @@ fn run_loop(
     lookahead: SimTime,
     stats: &mut ExecStats,
     run_window: &mut dyn FnMut(SimTime),
+    mut pump: Option<&mut ServicePump>,
 ) -> SimTime {
     let max_d = co.cfg.max_duration;
     // Events at exactly `max_duration` still run (strict-less windows).
     let hard_end = max_d + SimTime::from_micros(1);
     let mut last_now = SimTime::ZERO;
     loop {
+        if let Some(p) = pump.as_deref_mut() {
+            pump_pre(p, co, shared, shards, last_now);
+        }
         // Gather: next event time, liveness, and conservation counts.
         let mut t_shard: Option<SimTime> = None;
         let mut active = 0usize;
@@ -688,8 +799,165 @@ fn run_loop(
                 .collect();
             barrier_apply(co, &mut sh, &mut guards, router, window_end);
         }
+        if let Some(p) = pump.as_deref_mut() {
+            pump_post(p, co, shards);
+        }
+    }
+    if let Some(p) = pump {
+        pump_post(p, co, shards);
     }
     last_now
+}
+
+/// Live-service driver state: the engine side of a
+/// [`crate::service::LiveService`], pumped by [`run_loop`].
+struct ServicePump {
+    inbox: Arc<crate::service::Inbox>,
+    events: std::sync::mpsc::Sender<crate::service::ServiceEvent>,
+    clock: mantle_sim::ClockMode,
+    wall: mantle_sim::WallClock,
+    queues: Option<Arc<crate::service::LiveQueues>>,
+}
+
+/// Drain the service inbox into the engine, then (wall clock only) sleep
+/// until the next event falls due or a new command arrives.
+fn pump_pre(
+    pump: &mut ServicePump,
+    co: &mut Coordinator,
+    shared: &RwLock<SharedSim>,
+    shards: &[Mutex<Shard>],
+    last_now: SimTime,
+) {
+    use crate::service::ServiceCmd;
+    let mut drained: Vec<ServiceCmd> = Vec::new();
+    loop {
+        drained.extend(
+            pump.inbox
+                .queue
+                .lock()
+                .expect("service inbox never poisoned")
+                .drain(..),
+        );
+        for cmd in drained.drain(..) {
+            match cmd {
+                ServiceCmd::Op { client, path, kind } => {
+                    let Some(queues) = &pump.queues else { continue };
+                    let Some(slot) = queues.queues.get(client) else {
+                        continue;
+                    };
+                    // Resolve (and create) the target directory now, at
+                    // the engine's time frontier, so the namespace stays
+                    // read-only inside windows and the trace stream
+                    // announces the dir before any op touches it.
+                    let dir = {
+                        let mut sh = shared.write().expect("sim lock");
+                        let dir = sh.ns.mkdir_p(&path);
+                        co.sync_dirs(&sh.ns, last_now);
+                        dir
+                    };
+                    slot.lock()
+                        .expect("live queue never poisoned")
+                        .push_back(crate::client::ClientOp { dir, kind });
+                }
+                ServiceCmd::Install {
+                    name,
+                    epoch,
+                    set,
+                    engine,
+                    ack,
+                } => {
+                    // Queue the swap as a regular admin event at the time
+                    // frontier: the very next scheduler iteration runs it
+                    // in an exclusive step (globals win same-instant
+                    // ties), after which every balancer tick uses the new
+                    // policy.
+                    let at = last_now.max(co.globals.now());
+                    let idx = co.admin_actions.len();
+                    co.admin_actions.push(Some(AdminOp::Swap {
+                        name,
+                        epoch,
+                        set,
+                        engine,
+                        ack: Some(ack),
+                    }));
+                    co.globals.schedule_at(at, GlobalEvent::Admin(idx));
+                }
+                ServiceCmd::Shutdown => {
+                    if let Some(queues) = &pump.queues {
+                        queues.closed.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
+        if pump.clock == mantle_sim::ClockMode::Sim {
+            return;
+        }
+        // Wall pacing: find the next event deadline and sleep until it is
+        // due or the inbox signals. Spurious wakeups just loop: the
+        // deadline is re-derived every pass, so newly injected (earlier)
+        // events shorten the sleep and overdue backlogs skip it.
+        let mut t_min = co.globals.peek_time();
+        let (mut active, mut inflight) = (0usize, 0i64);
+        for m in shards {
+            let g = m.lock().expect("shard lock");
+            if let Some(t) = g.queue.peek_time() {
+                t_min = Some(t_min.map_or(t, |x: SimTime| x.min(t)));
+            }
+            active += g.active;
+            inflight += g.inflight;
+        }
+        if active == 0 && inflight == 0 {
+            // Drained: the caller's liveness check ends the run. Sleeping
+            // here would stall shutdown until the next (now moot) global
+            // event — typically a whole heartbeat interval away.
+            return;
+        }
+        let Some(t) = t_min else { return };
+        let Some(wait) = pump.wall.until(t) else {
+            return;
+        };
+        let q = pump
+            .inbox
+            .queue
+            .lock()
+            .expect("service inbox never poisoned");
+        if q.is_empty() {
+            let _ = pump
+                .inbox
+                .signal
+                .wait_timeout(q, wait)
+                .expect("service inbox never poisoned");
+        }
+    }
+}
+
+/// Stream freshly-emitted trace records and live completions. Records
+/// are globally ordered within a batch (the `(time, key)` sort), and
+/// batches are time-ordered because the scheduler frontier only moves
+/// forward — concatenated batches reproduce the batch-mode stream.
+fn pump_post(pump: &mut ServicePump, co: &mut Coordinator, shards: &[Mutex<Shard>]) {
+    let mut recs: Vec<(TraceKey, TraceRecord)> = std::mem::take(&mut co.ctrace);
+    let mut comps: Vec<crate::service::LiveCompletion> = Vec::new();
+    for m in shards {
+        let mut g = m.lock().expect("shard lock");
+        recs.append(&mut g.trace);
+        comps.append(&mut g.completions);
+    }
+    if !recs.is_empty() {
+        recs.sort_unstable_by_key(|(k, _)| *k);
+        let _ = pump.events.send(crate::service::ServiceEvent::Trace(
+            recs.into_iter().map(|(_, r)| r).collect(),
+        ));
+    }
+    if !comps.is_empty() {
+        // Cross-shard merge: completion order is deterministic by
+        // (time, client) — clients are closed-loop, so one instant never
+        // holds two completions for the same client.
+        comps.sort_unstable_by_key(|c| (c.at, c.client));
+        let _ = pump
+            .events
+            .send(crate::service::ServiceEvent::Completions(comps));
+    }
 }
 
 /// Resolve the shard owning MDS `m` out of the full guard set.
@@ -825,16 +1093,69 @@ fn exclusive_step(
 ) {
     match ev {
         GlobalEvent::Heartbeat => on_heartbeat(co, sh, shards, router, now),
-        GlobalEvent::Admin(idx) => {
-            if let Some(action) = co.admin_actions[idx].take() {
+        GlobalEvent::Admin(idx) => match co.admin_actions[idx].take() {
+            Some(AdminOp::Ns(action)) => {
                 action(&mut sh.ns);
                 // Admin actions mutate the namespace wholesale;
                 // re-announce new dirs and the authority state.
                 co.sync_dirs(&sh.ns, now);
                 co.emit_auth_snapshot(&sh.ns, now);
             }
-        }
+            Some(AdminOp::Swap {
+                name,
+                epoch,
+                set,
+                engine,
+                ack,
+            }) => install_policy(co, name, epoch, set, engine, ack, now),
+            None => {}
+        },
         GlobalEvent::Fault(idx) => on_fault(co, sh, shards, router, idx, now),
+    }
+}
+
+/// Run a hot policy install inside an exclusive step: build one fresh
+/// balancer per MDS from the validated policy, swap the whole set, and
+/// stamp the install epoch into the trace stream. Building happens here
+/// (not on the submitting thread) because balancer runtimes are
+/// deliberately not `Send`; the raw [`PolicySet`] is.
+fn install_policy(
+    co: &mut Coordinator,
+    name: String,
+    epoch: u64,
+    set: mantle_policy::env::PolicySet,
+    engine: mantle_policy::HookEngine,
+    ack: Option<std::sync::mpsc::Sender<Result<SimTime, String>>>,
+    now: SimTime,
+) {
+    let n = co.cfg.num_mds;
+    let built: Result<Vec<Box<dyn Balancer>>, mantle_policy::PolicyError> = (0..n)
+        .map(|_| {
+            crate::balancer::MantleBalancer::new_unvalidated(name.clone(), set.clone())
+                .map(|b| Box::new(b.with_engine(engine)) as Box<dyn Balancer>)
+        })
+        .collect();
+    match built {
+        Ok(balancers) => {
+            co.balancers = balancers;
+            // A fresh policy gets a clean slate: prior poisoning and
+            // error streaks belonged to the replaced one.
+            co.poisoned = vec![false; n];
+            co.consecutive_policy_errors = vec![0; n];
+            co.balancer_name = name.clone();
+            co.emit(now, || TraceEvent::PolicyInstalled { epoch, name });
+            if let Some(ack) = ack {
+                let _ = ack.send(Ok(now));
+            }
+        }
+        Err(e) => {
+            // Validated upstream, so this is exceptional — keep the old
+            // balancers running and surface the error.
+            co.policy_errors += 1;
+            if let Some(ack) = ack {
+                let _ = ack.send(Err(e.to_string()));
+            }
+        }
     }
 }
 

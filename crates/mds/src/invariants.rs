@@ -128,6 +128,8 @@ struct Checker {
     epochs_seen: u64,
     /// Per-MDS consecutive policy errors, replayed from the stream.
     consecutive: Vec<u32>,
+    /// Highest hot-install epoch announced; installs must only grow it.
+    install_epoch: u64,
     frozen: Vec<FreezeWindow>,
     /// `(mig id, exporter, importer, phase)`.
     migrations: Vec<(u64, MdsId, MdsId, MigPhase)>,
@@ -170,6 +172,7 @@ impl Checker {
             up: Vec::new(),
             epochs_seen: 0,
             consecutive: Vec::new(),
+            install_epoch: 0,
             frozen: Vec::new(),
             migrations: Vec::new(),
             issued: 0,
@@ -494,6 +497,26 @@ impl Checker {
                         );
                         self.consecutive[*mds] = *consecutive;
                     }
+                }
+            }
+            TraceEvent::PolicyInstalled { epoch, .. } => {
+                // A hot install swaps every MDS's balancer in one
+                // exclusive step: error streaks belong to the replaced
+                // policy, and install epochs must only grow.
+                if *epoch <= self.install_epoch {
+                    self.flag(
+                        i,
+                        at,
+                        "structure",
+                        format!(
+                            "install epoch {epoch} not past previous {}",
+                            self.install_epoch
+                        ),
+                    );
+                }
+                self.install_epoch = (*epoch).max(self.install_epoch);
+                for c in &mut self.consecutive {
+                    *c = 0;
                 }
             }
             TraceEvent::BalancerFallback { mds } => {

@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod partition;
 pub mod report;
 pub mod selector;
+pub mod service;
 pub mod shard;
 pub mod trace;
 
@@ -52,5 +53,6 @@ pub use mantle_policy::HookEngine;
 pub use mantle_sim::SchedulerKind;
 pub use report::RunReport;
 pub use selector::{select_best, DirfragSelector};
+pub use service::{LiveCompletion, LiveService, ServiceEvent, ServiceHandle, ServiceSender};
 pub use shard::{ExecStats, ShardStats};
 pub use trace::{Timeline, TraceBuffer, TraceEvent, TraceLevel, TraceRecord};

@@ -443,6 +443,12 @@ pub struct Shard {
     /// Per-heartbeat-window slices of the above, zeroed on window roll.
     pub(crate) cache_window_hits: Vec<u64>,
     pub(crate) cache_window_misses: Vec<u64>,
+    /// Live-service mode: record op completions for the wire layer. Set
+    /// by [`crate::cluster::Cluster::serve`] before the run; batch runs
+    /// leave it off and pay one untaken branch per reply.
+    pub(crate) live: bool,
+    /// Completions accumulated since the service pump last drained them.
+    pub(crate) completions: Vec<crate::service::LiveCompletion>,
 }
 
 impl std::fmt::Debug for Shard {
@@ -522,6 +528,8 @@ impl Shard {
             cache_misses: vec![0; cfg.num_mds],
             cache_window_hits: vec![0; cfg.num_mds],
             cache_window_misses: vec![0; cfg.num_mds],
+            live: false,
+            completions: Vec::new(),
             cfg,
         }
     }
@@ -816,6 +824,16 @@ impl Shard {
         client.learn(&sh.ns, req.op.dir, mds);
         let latency_ms = (now - req.issued).as_millis_f64();
         client.record_completion(now, latency_ms);
+        if self.live {
+            self.completions.push(crate::service::LiveCompletion {
+                client: req.client,
+                mds,
+                kind: req.op.kind,
+                dir: req.op.dir,
+                at: now,
+                latency_ms,
+            });
+        }
         self.client_next(sh, router, req.client, now);
     }
 

@@ -139,6 +139,16 @@ pub enum TraceEvent {
         /// The falling-back MDS.
         mds: MdsId,
     },
+    /// A hot policy reload installed a new balancer on every MDS (the
+    /// daemon's admin swap, or a scheduled sim-mode install). Runs in the
+    /// coordinator's exclusive step, so decisions in earlier ticks
+    /// finished entirely on the previous policy.
+    PolicyInstalled {
+        /// Install epoch (monotonic; 0 is the boot policy).
+        epoch: u64,
+        /// The new policy's name.
+        name: String,
+    },
     /// Migration phase 1: the moved region froze for two-phase commit.
     MigrationFreeze {
         /// Migration id (unique per run, shared by all phases).
@@ -440,6 +450,7 @@ impl TraceEvent {
             TraceEvent::BalancerPlan { .. } => "balancer_plan",
             TraceEvent::PolicyError { .. } => "policy_error",
             TraceEvent::BalancerFallback { .. } => "balancer_fallback",
+            TraceEvent::PolicyInstalled { .. } => "policy_installed",
             TraceEvent::MigrationFreeze { .. } => "migration_freeze",
             TraceEvent::MigrationJournal { .. } => "migration_journal",
             TraceEvent::MigrationCommit { .. } => "migration_commit",
@@ -592,6 +603,10 @@ impl TraceRecord {
             }
             TraceEvent::BalancerFallback { mds } => {
                 let _ = write!(out, ",\"mds\":{mds}");
+            }
+            TraceEvent::PolicyInstalled { epoch, name } => {
+                let _ = write!(out, ",\"install_epoch\":{epoch},\"name\":");
+                push_escaped(out, name);
             }
             TraceEvent::MigrationFreeze {
                 mig,

@@ -1,0 +1,200 @@
+//! The hot-reload install lifecycle: raw Lua sources arrive from
+//! outside (an admin socket, a config file), get compiled and validated,
+//! and are then published atomically as an epoch-tagged snapshot that
+//! readers pick up without locking out in-flight decisions.
+//!
+//! The pipeline is deliberately staged so a bad policy can never reach a
+//! running balancer:
+//!
+//! 1. **Parse/compile** — [`PolicySource::compile`] builds a
+//!    [`PolicySet`] from the raw hook sources; syntax errors stop here.
+//! 2. **Validate** — [`prepare`] runs the full [`PolicyValidator`]
+//!    gauntlet: the static global scan plus dry runs over the synthetic
+//!    clusters, each evaluated at *both membership extremes* (all MDSs
+//!    up, and a single survivor) exactly as the elastic validator does,
+//!    so a policy that only divides by `#MDSs - 1` when the cluster is
+//!    full is caught before installation.
+//! 3. **Install** — [`PolicyCell::install`] swaps the published
+//!    [`InstalledPolicy`] under a write lock and bumps the epoch.
+//!    Readers hold `Arc` snapshots ([`PolicyCell::current`]), so a
+//!    decision that began under epoch *n* finishes under epoch *n* even
+//!    if epoch *n + 1* lands mid-decision.
+
+use std::sync::{Arc, RwLock};
+
+use crate::env::PolicySet;
+use crate::error::PolicyResult;
+use crate::validate::PolicyValidator;
+
+/// Raw Lua sources for a complete policy, as received over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicySource {
+    /// Human-facing policy name (reports, trace records).
+    pub name: String,
+    /// The `metaload` hook body.
+    pub metaload: String,
+    /// The `mdsload` hook body.
+    pub mdsload: String,
+    /// The decision logic: one combined body, or split when/where hooks.
+    pub decision: DecisionSource,
+    /// `howmuch` selector names, in preference order.
+    pub selectors: Vec<String>,
+    /// Optional `howmany` hook body (elastic sizing).
+    pub howmany: Option<String>,
+}
+
+/// How the decision logic is expressed in the source form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// A single body that both decides and fills `targets`.
+    Combined(String),
+    /// Separate `when` / `where` hooks, as in the paper's Table 3.
+    Hooks {
+        /// The `when` hook body (boolean result).
+        when: String,
+        /// The `where` hook body (fills `targets`).
+        where_: String,
+    },
+}
+
+impl PolicySource {
+    /// Compile the raw sources into a [`PolicySet`]. Syntax and
+    /// structural errors surface here; semantic validation is
+    /// [`prepare`]'s job.
+    pub fn compile(&self) -> PolicyResult<PolicySet> {
+        let sels: Vec<&str> = self.selectors.iter().map(String::as_str).collect();
+        let set = match &self.decision {
+            DecisionSource::Combined(body) => {
+                PolicySet::from_combined(&self.metaload, &self.mdsload, body, &sels)?
+            }
+            DecisionSource::Hooks { when, where_ } => {
+                PolicySet::from_hooks(&self.metaload, &self.mdsload, when, where_, &sels)?
+            }
+        };
+        match &self.howmany {
+            Some(src) => set.with_howmany(src),
+            None => Ok(set),
+        }
+    }
+}
+
+/// Compile **and** validate a source bundle — the full pre-install
+/// gauntlet. On success the returned [`PolicySet`] is safe to hand to a
+/// balancer constructor that skips re-validation.
+pub fn prepare(source: &PolicySource) -> PolicyResult<PolicySet> {
+    let set = source.compile()?;
+    PolicyValidator::new().validate(&set)?;
+    Ok(set)
+}
+
+/// A validated policy published at a specific epoch.
+#[derive(Debug, Clone)]
+pub struct InstalledPolicy {
+    /// Monotonic install counter; epoch 0 is the boot policy.
+    pub epoch: u64,
+    /// The policy's name.
+    pub name: String,
+    /// The compiled policy.
+    pub set: PolicySet,
+}
+
+/// An atomically-swappable policy slot.
+///
+/// Readers call [`PolicyCell::current`] and get an `Arc` snapshot they
+/// can keep for the duration of a decision; [`PolicyCell::install`]
+/// replaces the published snapshot and bumps the epoch. The lock is held
+/// only for the pointer swap — never across compilation, validation, or
+/// a decision — so installs are effectively wait-free for readers.
+#[derive(Debug)]
+pub struct PolicyCell {
+    slot: RwLock<Arc<InstalledPolicy>>,
+}
+
+impl PolicyCell {
+    /// Publish `set` as the boot policy (epoch 0).
+    pub fn new(name: impl Into<String>, set: PolicySet) -> Self {
+        PolicyCell {
+            slot: RwLock::new(Arc::new(InstalledPolicy {
+                epoch: 0,
+                name: name.into(),
+                set,
+            })),
+        }
+    }
+
+    /// The currently-published policy. The returned snapshot stays valid
+    /// (and unchanged) even if an install lands immediately after.
+    pub fn current(&self) -> Arc<InstalledPolicy> {
+        Arc::clone(&self.slot.read().expect("policy slot never poisoned"))
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.slot.read().expect("policy slot never poisoned").epoch
+    }
+
+    /// Atomically publish a new policy, returning its epoch. The caller
+    /// is expected to have run [`prepare`] (or equivalent validation)
+    /// first — the cell itself only swaps.
+    pub fn install(&self, name: impl Into<String>, set: PolicySet) -> u64 {
+        let mut slot = self.slot.write().expect("policy slot never poisoned");
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(InstalledPolicy {
+            epoch,
+            name: name.into(),
+            set,
+        });
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn greedy() -> PolicySource {
+        PolicySource {
+            name: "greedy".into(),
+            metaload: "IWR + IRD".into(),
+            mdsload: "MDSs[i][\"all\"]".into(),
+            decision: DecisionSource::Hooks {
+                when: "result = MDSs[whoami][\"load\"] > total/#MDSs".into(),
+                where_: "targets[1] = MDSs[whoami][\"load\"] - total/#MDSs".into(),
+            },
+            selectors: vec!["half".into()],
+            howmany: None,
+        }
+    }
+
+    #[test]
+    fn prepare_accepts_a_sane_policy() {
+        prepare(&greedy()).expect("greedy spill validates");
+    }
+
+    #[test]
+    fn prepare_rejects_syntax_and_semantics() {
+        let mut bad = greedy();
+        bad.metaload = "IWR +".into();
+        assert!(prepare(&bad).is_err(), "syntax error must fail compile");
+
+        let mut unknown = greedy();
+        unknown.decision = DecisionSource::Combined("x = unknowng".into());
+        assert!(prepare(&unknown).is_err(), "unknown global must fail");
+    }
+
+    #[test]
+    fn install_bumps_epoch_and_keeps_old_snapshots_alive() {
+        let set = prepare(&greedy()).unwrap();
+        let cell = PolicyCell::new("greedy", set.clone());
+        let before = cell.current();
+        assert_eq!(before.epoch, 0);
+        let epoch = cell.install("greedy-v2", set);
+        assert_eq!(epoch, 1);
+        assert_eq!(cell.epoch(), 1);
+        // The pre-install snapshot is untouched: in-flight decisions
+        // finish on the policy they started with.
+        assert_eq!(before.epoch, 0);
+        assert_eq!(before.name, "greedy");
+        assert_eq!(cell.current().name, "greedy-v2");
+    }
+}

@@ -50,6 +50,7 @@ pub mod bytecode;
 pub mod env;
 pub mod error;
 pub mod fmt;
+pub mod install;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
@@ -63,6 +64,7 @@ pub use bytecode::{BytecodeProgram, BytecodeVm};
 pub use env::{BalancerInputs, BalancerOutcome, EnvBuilder, HookEngine, MdsMetrics, StateStore};
 pub use error::{PolicyError, PolicyResult};
 pub use fmt::script_to_source;
+pub use install::{prepare, DecisionSource, InstalledPolicy, PolicyCell, PolicySource};
 pub use interp::{Interpreter, StepBudget};
 pub use parser::parse_script;
 pub use slots::{ScalarMdsload, ScalarMetaload, SlotProgram, SlotVm};

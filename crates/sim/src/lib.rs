@@ -20,12 +20,14 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod events;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod wheel;
 
+pub use clock::{ClockMode, WallClock};
 pub use events::{EventQueue, Scheduled, SchedulerKind};
 pub use rng::SimRng;
 pub use stats::{DecayCounter, OnlineStats, Summary, TimeSeries};

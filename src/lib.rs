@@ -16,6 +16,7 @@
 //! assert_eq!(report.total_ops(), 2_000.0);
 //! ```
 pub use mantle_core as core;
+pub use mantle_daemon as daemon;
 pub use mantle_mds as mds;
 pub use mantle_namespace as namespace;
 pub use mantle_policy as policy;

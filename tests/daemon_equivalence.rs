@@ -1,0 +1,79 @@
+//! The daemon determinism pin: running an experiment through the live
+//! **service** engine path (`Cluster::serve` with a simulated clock and
+//! an idle command inbox — exactly what `mantled --scenario` does) must
+//! be *byte-identical* to the batch harness (`run_experiment`) on the
+//! same spec.
+//!
+//! Equivalence is by construction — the service pump only observes
+//! (drains trace/completion streams) and never perturbs the scheduler
+//! unless commands arrive — and this suite is the regression tripwire
+//! for that claim. `format!("{report:?}")` comparison covers every
+//! counter and every f64 bit-for-bit (Debug prints shortest-round-trip
+//! floats).
+
+use mantle::prelude::*;
+use mantle_core::service::{run_service, scenario, SCENARIO_NAMES};
+use mantle_daemon::wire::report_json;
+use mantle_mds::{TraceEvent, TraceLevel};
+
+/// Every named daemon scenario: service report == batch report, byte for
+/// byte.
+#[test]
+fn every_scenario_is_byte_identical_to_batch() {
+    for name in SCENARIO_NAMES {
+        let spec = scenario(name).expect("listed scenario resolves");
+        let batch = run_experiment(&spec);
+        let (service, _) = run_service(&spec, None);
+        assert_eq!(
+            format!("{batch:?}"),
+            format!("{service:?}"),
+            "{name}: service path diverged from batch path"
+        );
+    }
+}
+
+/// Tracing through the service stream matches batch-mode tracing: the
+/// concatenated live batches reproduce the batch-collected record
+/// stream, record for record.
+#[test]
+fn service_trace_stream_matches_batch_trace() {
+    let spec = scenario("greedyspill-shared").expect("scenario resolves");
+    let (_r1, handle) = run_experiment_traced(&spec, TraceLevel::Decisions);
+    let batch_records = handle.records().to_vec();
+    let (_r2, live_records) = run_service(&spec, Some(TraceLevel::Decisions));
+    assert_eq!(batch_records.len(), live_records.len(), "record counts");
+    for (b, l) in batch_records.iter().zip(&live_records) {
+        let (mut bl, mut ll) = (String::new(), String::new());
+        b.write_json(&mut bl);
+        l.write_json(&mut ll);
+        assert_eq!(bl, ll, "trace records diverged");
+    }
+    assert!(
+        live_records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::RunEnd { .. })),
+        "live stream carries the RunEnd trailer"
+    );
+}
+
+/// The wire rendering of a report is deterministic too: same spec, same
+/// JSON bytes (this is what `mantled` prints and `mantlectl report`
+/// shows, so operators can diff runs).
+#[test]
+fn wire_report_is_deterministic() {
+    let spec = scenario("adaptable-compile").expect("scenario resolves");
+    let (a, _) = run_service(&spec, None);
+    let (b, _) = run_service(&spec, None);
+    assert_eq!(report_json(&a).to_string(), report_json(&b).to_string());
+}
+
+/// Repeated service runs are themselves deterministic (seeded engine, no
+/// wall-clock leakage with `ClockMode::Sim`).
+#[test]
+fn service_runs_are_reproducible() {
+    let spec = scenario("cephfs-separate").expect("scenario resolves");
+    let (a, ta) = run_service(&spec, Some(TraceLevel::Decisions));
+    let (b, tb) = run_service(&spec, Some(TraceLevel::Decisions));
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(ta.len(), tb.len());
+}

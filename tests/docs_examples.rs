@@ -1,20 +1,30 @@
-//! Every fenced code block in POLICY.md must parse and run.
+//! Every fenced code block in POLICY.md, PROTOCOL.md, and OPERATIONS.md
+//! must parse and run.
 //!
-//! The reference document promises that its examples are live: each
-//! fence's info string names the hook environment it belongs to
-//! (`lua`, `lua metaload`, `lua mdsload`, `lua when`, `lua selector`)
-//! or marks it as a deliberately-invalid example the validator must
-//! refuse (`lua reject`). This test extracts every fence, builds a
-//! policy set around it, and pushes it through [`PolicyValidator`] —
-//! the same static-global check plus synthetic-cluster dry run that
-//! gates real injection. If the language, the Table 2 environment, or
-//! the document drifts, this fails.
+//! The reference documents promise that their examples are live: each
+//! fence's info string names the machinery it belongs to. POLICY.md
+//! fences name a hook environment (`lua`, `lua metaload`, `lua mdsload`,
+//! `lua when`, `lua selector`, `lua howmany`) or a deliberately-invalid
+//! example the validator must refuse (`lua reject`); those are built
+//! into policy sets and pushed through [`PolicyValidator`] — the same
+//! static-global check plus synthetic-cluster dry run that gates real
+//! injection. PROTOCOL.md/OPERATIONS.md fences tagged `json frame` are
+//! round-tripped through the real daemon codec
+//! (`mantle_daemon::{json, wire}`), and `json policy-bundle` documents
+//! go through the real hot-swap pipeline (`policy_source_from_json` →
+//! `prepare`), with `reject` variants required to fail it. If the
+//! language, the wire format, or a document drifts, this fails.
 
 use mantle::mds::selector::ScriptedSelector;
 use mantle::policy::env::{BalancerInputs, FragMetrics, MantleRuntime, MdsMetrics, PolicySet};
-use mantle::policy::{HookEngine, PolicyValidator};
+use mantle::policy::{prepare, HookEngine, PolicyValidator};
+use mantle_daemon::engine::policy_source_from_json;
+use mantle_daemon::json::{parse as parse_json, Json};
+use mantle_daemon::wire::{decode_frame, encode_frame, op_kind, PROTO_VERSION};
 
 const POLICY_MD: &str = include_str!("../POLICY.md");
+const PROTOCOL_MD: &str = include_str!("../PROTOCOL.md");
+const OPERATIONS_MD: &str = include_str!("../OPERATIONS.md");
 
 /// Hooks that surround a snippet so the rest of the policy set is
 /// trivially valid and the snippet under test is the only variable.
@@ -34,7 +44,7 @@ struct Fence {
 }
 
 /// Extract every fenced code block, failing on unterminated fences.
-fn fences(md: &str) -> Vec<Fence> {
+fn fences_in(doc: &str, md: &str) -> Vec<Fence> {
     let mut out = Vec::new();
     let mut open: Option<(String, usize, Vec<&str>)> = None;
     for (idx, raw) in md.lines().enumerate() {
@@ -59,8 +69,27 @@ fn fences(md: &str) -> Vec<Fence> {
             }
         }
     }
-    assert!(open.is_none(), "unterminated fence in POLICY.md");
+    assert!(open.is_none(), "unterminated fence in {doc}");
     out
+}
+
+/// POLICY.md's fences (the original harness surface).
+fn fences(md: &str) -> Vec<Fence> {
+    fences_in("POLICY.md", md)
+}
+
+/// Belt and braces for one document: the extraction must have seen
+/// every fence delimiter (an odd count would already have panicked).
+fn assert_all_fences_seen(doc: &str, md: &str, extracted: usize) {
+    let delimiters = md
+        .lines()
+        .filter(|l| l.trim_end().starts_with("```"))
+        .count();
+    assert_eq!(
+        delimiters,
+        extracted * 2,
+        "{doc}: extraction missed a fence"
+    );
 }
 
 /// Build the policy set a snippet belongs in, given its tag.
@@ -80,13 +109,7 @@ fn build(tag: &str, body: &str) -> Result<PolicySet, mantle::policy::PolicyError
 fn every_policy_md_fence_is_checked() {
     let all = fences(POLICY_MD);
 
-    // Belt and braces: the extraction itself must have seen every fence
-    // delimiter in the file (an odd count would already have panicked).
-    let delimiters = POLICY_MD
-        .lines()
-        .filter(|l| l.trim_end().starts_with("```"))
-        .count();
-    assert_eq!(delimiters, all.len() * 2, "extraction missed a fence");
+    assert_all_fences_seen("POLICY.md", POLICY_MD, all.len());
     assert!(
         all.len() >= 15,
         "POLICY.md shrank to {} examples — the reference should stay comprehensive",
@@ -263,4 +286,125 @@ fn selector_example_behaves_as_documented() {
     let sel = ScriptedSelector::compile("every_other", &snippet.body).unwrap();
     let chosen = sel.select(&[10.0, 20.0, 30.0, 40.0, 50.0], 35.0).unwrap();
     assert_eq!(chosen, vec![0, 2], "indices 1,3 (1-based) → 0,2");
+}
+
+/// Check one daemon document's fences: `json frame` examples round-trip
+/// through the real codec, `json policy-bundle` documents compile and
+/// validate through the real hot-swap pipeline (and `reject` variants
+/// fail it), prose fences (`text`, `console`) are prose. Returns
+/// (frames, bundles, rejects) counts for the per-document floors.
+fn check_daemon_doc(doc: &str, md: &str) -> (usize, usize, usize) {
+    let all = fences_in(doc, md);
+    assert_all_fences_seen(doc, md, all.len());
+    let (mut frames, mut bundles, mut rejects) = (0, 0, 0);
+    for fence in &all {
+        let at = format!("{doc}:{} (`{}`)", fence.line, fence.tag);
+        match fence.tag.as_str() {
+            "json frame" => {
+                frames += 1;
+                let msg = parse_json(&fence.body)
+                    .unwrap_or_else(|e| panic!("{at} is not valid JSON: {e}"));
+                assert!(
+                    matches!(msg, Json::Obj(_)),
+                    "{at}: frames carry exactly one JSON object"
+                );
+                // Encode: 4-byte big-endian length prefix + canonical
+                // payload, within the frame bound.
+                let encoded = encode_frame(&msg);
+                let payload = &encoded[4..];
+                assert_eq!(
+                    u32::from_be_bytes(encoded[..4].try_into().unwrap()) as usize,
+                    payload.len(),
+                    "{at}: length prefix"
+                );
+                // Decode from a live buffer: one message out, buffer
+                // drained, and the round trip is canonical-identical.
+                let mut buf = encoded.clone();
+                let decoded = decode_frame(&mut buf)
+                    .unwrap_or_else(|e| panic!("{at} failed to decode: {e}"))
+                    .unwrap_or_else(|| panic!("{at}: decoder wanted more bytes"));
+                assert!(buf.is_empty(), "{at}: decoder left residue");
+                assert_eq!(decoded.to_string(), msg.to_string(), "{at}: round trip");
+                // Schema spot-checks the codec cannot see.
+                match msg.get_str("type") {
+                    Some("op") => {
+                        let name = msg.get_str("op").expect("op frames name an op");
+                        assert!(op_kind(name).is_some(), "{at}: unknown op kind `{name}`");
+                    }
+                    Some("hello") | Some("welcome") => {
+                        assert_eq!(msg.get_u64("proto"), Some(PROTO_VERSION), "{at}: proto");
+                    }
+                    Some("error") => {
+                        assert!(msg.get_str("code").is_some(), "{at}: errors carry a code");
+                    }
+                    _ => {}
+                }
+            }
+            "json policy-bundle" => {
+                bundles += 1;
+                let bundle = parse_json(&fence.body)
+                    .unwrap_or_else(|e| panic!("{at} is not valid JSON: {e}"));
+                let src = policy_source_from_json(&bundle)
+                    .unwrap_or_else(|e| panic!("{at} is not a valid bundle: {e}"));
+                prepare(&src).unwrap_or_else(|e| panic!("{at} failed the install pipeline: {e}"));
+            }
+            "json policy-bundle reject" => {
+                rejects += 1;
+                // Reject bundles are well-formed JSON with a valid shape —
+                // they demonstrate *validation* refusing the hooks.
+                let bundle = parse_json(&fence.body)
+                    .unwrap_or_else(|e| panic!("{at} is not valid JSON: {e}"));
+                let src = policy_source_from_json(&bundle)
+                    .unwrap_or_else(|e| panic!("{at} is not a valid bundle: {e}"));
+                assert!(
+                    prepare(&src).is_err(),
+                    "{at} is documented as rejected but installed cleanly"
+                );
+            }
+            "text" | "console" => {}
+            other => panic!("{at}: unknown fence tag `{other}` — teach this harness"),
+        }
+    }
+    (frames, bundles, rejects)
+}
+
+/// Every framed-message example in PROTOCOL.md round-trips through the
+/// real codec, and its policy bundle installs through the real pipeline.
+#[test]
+fn every_protocol_md_frame_round_trips() {
+    let (frames, bundles, _) = check_daemon_doc("PROTOCOL.md", PROTOCOL_MD);
+    assert!(
+        frames >= 15,
+        "PROTOCOL.md shrank to {frames} frame examples — every message shape should stay illustrated"
+    );
+    assert!(
+        bundles >= 1,
+        "PROTOCOL.md lost its standalone bundle example"
+    );
+    // The op-kind table must cover the whole wire vocabulary, spelled
+    // exactly as the codec spells it.
+    for name in [
+        "create", "stat", "setattr", "readdir", "open", "unlink", "mkdir",
+    ] {
+        assert!(op_kind(name).is_some(), "`{name}` fell out of the codec");
+        assert!(
+            PROTOCOL_MD.contains(&format!("`{name}`")),
+            "PROTOCOL.md op table lost `{name}`"
+        );
+    }
+}
+
+/// The runbook's bundle walkthrough is live too: the good bundle
+/// installs, the broken one is refused before anything is published.
+#[test]
+fn operations_md_walkthrough_is_live() {
+    let (_, bundles, rejects) = check_daemon_doc("OPERATIONS.md", OPERATIONS_MD);
+    assert!(
+        bundles >= 1,
+        "OPERATIONS.md lost its swap walkthrough bundle"
+    );
+    assert!(
+        rejects >= 1,
+        "OPERATIONS.md lost its rejected-bundle example"
+    );
 }

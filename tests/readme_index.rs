@@ -1,0 +1,97 @@
+//! README index drift guard: the "Runnable things" table in `README.md`
+//! must list exactly the bin targets, examples, and workspace-root
+//! integration tests that exist on disk. (This PR exists because the
+//! table had silently lost the `elastic` bin and `elastic_equivalence`
+//! test rows; now the build fails instead.)
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn repo() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// File stems of every `*.rs` in `dir` (empty set if it doesn't exist).
+fn stems(dir: &Path) -> BTreeSet<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return BTreeSet::new();
+    };
+    entries
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            (path.extension()?.to_str()? == "rs")
+                .then(|| path.file_stem()?.to_str().map(str::to_string))?
+        })
+        .collect()
+}
+
+/// Bin targets on disk: the root package's `src/bin/*.rs` (auto-bins)
+/// plus every workspace crate's `src/bin/*.rs` (all of which are
+/// declared as `[[bin]]`s with matching names).
+fn bins_on_disk() -> BTreeSet<String> {
+    let mut bins = stems(&repo().join("src/bin"));
+    for crate_dir in std::fs::read_dir(repo().join("crates")).expect("crates/ exists") {
+        let crate_dir = crate_dir.expect("readable entry").path();
+        bins.extend(stems(&crate_dir.join("src/bin")));
+    }
+    bins
+}
+
+/// Backticked names from the README "Runnable things" rows of one kind.
+fn readme_index(kind: &str) -> BTreeSet<String> {
+    let readme = std::fs::read_to_string(repo().join("README.md")).expect("README.md is readable");
+    let table = readme
+        .split("Runnable things:")
+        .nth(1)
+        .expect("README has a `Runnable things:` table");
+    let mut names = BTreeSet::new();
+    for line in table.lines() {
+        // Rows look like `| bin | `name` | ... |` — stop at the first
+        // non-table paragraph after the table started.
+        let mut cells = line.split('|').map(str::trim);
+        let Some(row_kind) = cells.nth(1) else {
+            if names.is_empty() {
+                continue; // still in the blank lines before the table
+            }
+            break;
+        };
+        if row_kind != kind {
+            continue;
+        }
+        let name_cell = cells.next().unwrap_or("");
+        for piece in name_cell.split(',') {
+            let piece = piece.trim();
+            if let Some(name) = piece.strip_prefix('`').and_then(|p| p.strip_suffix('`')) {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+fn assert_in_sync(kind: &str, on_disk: BTreeSet<String>) {
+    let listed = readme_index(kind);
+    let missing: Vec<_> = on_disk.difference(&listed).collect();
+    let stale: Vec<_> = listed.difference(&on_disk).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "README `Runnable things` {kind} rows drifted from disk:\n  \
+         on disk but not listed: {missing:?}\n  \
+         listed but not on disk: {stale:?}"
+    );
+}
+
+#[test]
+fn readme_lists_every_bin() {
+    assert_in_sync("bin", bins_on_disk());
+}
+
+#[test]
+fn readme_lists_every_example() {
+    assert_in_sync("examples", stems(&repo().join("examples")));
+}
+
+#[test]
+fn readme_lists_every_workspace_test() {
+    assert_in_sync("tests", stems(&repo().join("tests")));
+}
